@@ -1,0 +1,17 @@
+"""Benchmark + artefact: convergence-trajectory figure (EXP-F1).
+
+Regenerates the diameter-per-round series for every model x algorithm
+and validates measured contraction factors against the theory.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_convergence
+
+
+def test_convergence_figure_reproduces(benchmark, record_artifact):
+    result = benchmark(lambda: run_convergence(f=1, rounds=20))
+    record_artifact("convergence_figure", result.render())
+    assert result.ok, result.render()
+    # Every measured factor within its theoretical bound.
+    assert all(row[5] for row in result.rows)

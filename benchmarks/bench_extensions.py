@@ -1,0 +1,116 @@
+"""Benchmark + artefact: extensions (EXP-EXT).
+
+Clock synchronization skew series per model, and 2-D robot gathering --
+the conclusion's proposed reuse of the technique and the introduction's
+motivating application.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import Series, render_series
+from repro.core.convergence import mobile_contraction
+from repro.core.mapping import msr_trim_parameter
+from repro.extensions import (
+    ClockConfig,
+    ClockSyncSimulator,
+    gathering_diameter,
+    multidim_simulate,
+    steady_state_skew_bound,
+)
+from repro.faults import ALL_MODELS, Adversary, RoundRobinWalk, SplitAttack, get_semantics
+from repro.msr import make_algorithm
+
+RHO = 1e-4
+PERIOD = 10.0
+SYNC_ROUNDS = 50
+
+
+def run_clock_sync_all_models():
+    outcomes = {}
+    for model in ALL_MODELS:
+        f = 1
+        n = get_semantics(model).required_n(f)
+        algorithm = make_algorithm("ftm", msr_trim_parameter(model, f))
+        config = ClockConfig(
+            n=n,
+            f=f,
+            model=model,
+            algorithm=algorithm,
+            adversary=Adversary(RoundRobinWalk(), SplitAttack()),
+            rho=RHO,
+            period=PERIOD,
+            sync_rounds=SYNC_ROUNDS,
+            seed=11,
+        )
+        trace = ClockSyncSimulator(config).run()
+        contraction = mobile_contraction(algorithm, model, n, f).factor
+        bound = steady_state_skew_bound(RHO, PERIOD, contraction)
+        outcomes[model.value] = (trace, bound)
+    return outcomes
+
+
+def test_clock_sync_skew_bounded(benchmark, record_artifact):
+    outcomes = benchmark(run_clock_sync_all_models)
+    series = [
+        Series.of(f"{name} skew", trace.skew_series())
+        for name, (trace, _bound) in outcomes.items()
+    ]
+    record_artifact(
+        "clock_sync",
+        render_series(series, title="EXP-EXT: post-sync skew per round"),
+    )
+    for name, (trace, bound) in outcomes.items():
+        steady = trace.max_skew_after(skip_transient=SYNC_ROUNDS // 2)
+        assert steady <= bound * 1.5 + 1e-9, f"{name}: {steady} > {bound}"
+
+
+def run_gathering():
+    points = [
+        (0.05, 0.95), (0.93, 0.11), (0.42, 0.77), (0.66, 0.31), (0.18, 0.52),
+    ]
+    result = multidim_simulate(
+        points, model="M1", f=1, algorithm="ftm", rounds=40, seed=4
+    )
+    return points, result
+
+
+def test_robot_gathering(benchmark, record_artifact):
+    points, result = benchmark(run_gathering)
+    lines = [
+        "EXP-EXT: 2-D robot gathering under M1 (f=1)",
+        f"initial spread (inf-norm): {gathering_diameter(points):.3f}",
+        f"final spread   (inf-norm): {result.decision_diameter_inf():.3e}",
+        f"box validity: {result.box_validity_holds()}",
+    ]
+    record_artifact("robot_gathering", "\n".join(lines))
+    assert result.box_validity_holds()
+    assert result.decision_diameter_inf() <= 1e-6
+
+
+def run_interactive_consistency():
+    from repro.extensions import interactive_consistency
+
+    outcomes = {}
+    for model in ALL_MODELS:
+        f = 1
+        n = get_semantics(model).required_n(f)
+        inputs = tuple((i * 7 % n) / n for i in range(n))
+        outcomes[model.value] = interactive_consistency(
+            inputs, model=model, f=f, rounds=40, seed=6
+        )
+    return outcomes
+
+
+def test_interactive_consistency(benchmark, record_artifact):
+    outcomes = benchmark(run_interactive_consistency)
+    lines = ["EXP-EXT: approximate interactive consistency (f=1)"]
+    for name, result in outcomes.items():
+        lines.append(
+            f"{name}: n={result.n}, faulty sources {sorted(result.faulty_sources)}, "
+            f"agreement spread {result.agreement_spread():.2e}, "
+            f"exact-validity error {result.exact_validity_error():.2e}"
+        )
+    record_artifact("interactive_consistency", "\n".join(lines))
+    for result in outcomes.values():
+        assert result.agreement_spread() <= 1e-6
+        assert result.exact_validity_error() <= 1e-12

@@ -1,0 +1,61 @@
+"""Benchmark: simulator throughput (EXP-PERF).
+
+Not a paper artefact -- a library health metric: rounds/second of the
+full simulation stack (fault planning, n^2 messaging, MSR computation,
+trace recording) as the system grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.api import mobile_config
+from repro.runtime import run_simulation
+
+ROUNDS = 20
+
+
+def run_sized(n: int):
+    f = max(1, (n - 1) // 6)
+    config = mobile_config(
+        model="M3",
+        f=f,
+        n=n,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        rounds=ROUNDS,
+        seed=0,
+    )
+    return run_simulation(config)
+
+
+@pytest.mark.parametrize("n", [7, 13, 25, 49])
+def test_simulation_throughput(benchmark, n):
+    trace = benchmark(run_sized, n)
+    assert trace.rounds_executed() == ROUNDS
+
+
+def test_throughput_summary(benchmark, record_artifact):
+    import time
+
+    def measure():
+        rows = []
+        for n in (7, 13, 25, 49, 97):
+            start = time.perf_counter()
+            run_sized(n)
+            elapsed = time.perf_counter() - start
+            rows.append([n, f"{ROUNDS / elapsed:.0f}", f"{elapsed * 1e3:.1f}"])
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_artifact(
+        "perf",
+        render_table(
+            ["n", "rounds/sec", "total ms"],
+            rows,
+            title=f"EXP-PERF: M3 simulation throughput ({ROUNDS} rounds)",
+        ),
+    )
+    assert rows

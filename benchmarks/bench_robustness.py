@@ -1,0 +1,19 @@
+"""Benchmark + artefact: seed-robustness profile (EXP-ROB).
+
+Distribution of rounds-to-epsilon over randomly drawn adversaries;
+every observation must respect the worst-case round budget from the
+convergence theory, and every run must satisfy the specification.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_robustness
+
+
+def test_robustness_profile(benchmark, record_artifact):
+    result = benchmark(lambda: run_robustness(f=1, samples=40))
+    record_artifact("robustness", result.render())
+    assert result.ok, result.render()
+    for row in result.rows:
+        assert row[-1] == 0, "no spec failures allowed"
+        assert row[-2] is True, "all runs within the worst-case budget"

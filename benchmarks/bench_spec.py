@@ -1,0 +1,25 @@
+"""Benchmark + artefact: Theorem 2 specification battery (EXP-TH2).
+
+The heaviest sweep of the harness: models x algorithms x movements x
+attacks x seeds, all five properties checked on every trace.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_spec_battery
+
+
+def test_spec_battery_reproduces(benchmark, record_artifact):
+    result = benchmark(lambda: run_spec_battery(f=1, seeds=(0, 1)))
+    record_artifact("spec_battery", result.render())
+    assert result.ok, result.render()
+
+
+def test_spec_battery_above_bound(benchmark, record_artifact):
+    result = benchmark(
+        lambda: run_spec_battery(
+            f=1, seeds=(0,), algorithms=("ftm",), extra_processes=2
+        )
+    )
+    record_artifact("spec_battery_above_bound", result.render())
+    assert result.ok, result.render()

@@ -1,0 +1,18 @@
+"""Benchmark + artefact: static vs mobile bounds figure (EXP-F2).
+
+The paper's headline observation -- mobile bounds differ from the
+static ``n > 3f`` -- timed and asserted.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_static_vs_mobile
+
+
+def test_static_vs_mobile_reproduces(benchmark, record_artifact):
+    result = benchmark(lambda: run_static_vs_mobile(f=1))
+    record_artifact("static_vs_mobile", result.render())
+    assert result.ok, result.render()
+    minimums = {row[0]: row[4] for row in result.rows}
+    assert minimums["M1"] == 5 and minimums["M2"] == 6
+    assert minimums["M3"] == 7 and minimums["M4"] == 4

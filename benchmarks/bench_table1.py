@@ -1,0 +1,18 @@
+"""Benchmark + artefact: paper Table 1 (mobile -> mixed-mode mapping).
+
+Regenerates Table 1 behaviourally (EXP-T1) and times the full
+classification experiment.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_table1
+
+
+def test_table1_reproduces(benchmark, record_artifact):
+    result = benchmark(run_table1)
+    record_artifact("table1", result.render())
+    assert result.ok, result.render()
+    # Sanity: eight rows (4 models x f in {1, 2}) all matching.
+    assert len(result.rows) == 8
+    assert all(row[-1] for row in result.rows)

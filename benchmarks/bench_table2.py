@@ -1,0 +1,27 @@
+"""Benchmark + artefact: paper Table 2 (replica requirements).
+
+Regenerates Table 2 for f = 1 and f = 2: derivation from the mapping,
+sufficiency sweeps at the bound, stall + impossibility below it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_table2
+
+EXPECTED_BOUNDS = ["n > 4f", "n > 5f", "n > 6f", "n > 3f"]
+
+
+def test_table2_f1(benchmark, record_artifact):
+    result = benchmark(lambda: run_table2(f=1, seeds=(0, 1)))
+    record_artifact("table2_f1", result.render())
+    assert result.ok, result.render()
+    assert [row[3] for row in result.rows] == EXPECTED_BOUNDS
+
+
+@pytest.mark.parametrize("f", [2])
+def test_table2_larger_f(benchmark, record_artifact, f):
+    result = benchmark(lambda: run_table2(f=f, seeds=(0,), algorithms=("ftm", "fta")))
+    record_artifact(f"table2_f{f}", result.render())
+    assert result.ok, result.render()

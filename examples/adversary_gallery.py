@@ -1,0 +1,61 @@
+"""Adversary gallery: how movement and value strategies shape convergence.
+
+Sweeps every movement strategy against every value strategy under one
+model (M2, the subtlest: recovering processes unknowingly rebroadcast
+corrupted state) and reports rounds-to-epsilon.  Two lessons emerge:
+
+* no adversary breaks the specification above the bound (Theorem 2) --
+  the worst it can do is slow the run to the predicted contraction;
+* weak adversaries (echoing the correct midpoint) actively *help*
+  convergence, which is why the bounds of Table 2 are about worst
+  cases, not averages.
+
+Run:  python examples/adversary_gallery.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import render_table
+from repro.faults import get_semantics
+
+
+def main() -> None:
+    model = "M2"
+    f = 1
+    n = get_semantics(model).required_n(f)
+    epsilon = 1e-4
+    movements = ("static", "round-robin", "random", "target-extremes")
+    attacks = ("split", "outlier", "noise", "echo")
+
+    rows = []
+    for movement in movements:
+        row: list[object] = [movement]
+        for attack in attacks:
+            trace = repro.simulate(
+                model=model,
+                f=f,
+                n=n,
+                algorithm="ftm",
+                movement=movement,
+                attack=attack,
+                epsilon=epsilon,
+                seed=1,
+                max_rounds=200,
+            )
+            verdict = repro.check(trace)
+            cell = f"{trace.rounds_executed()}"
+            if not verdict.satisfied:
+                cell += " (SPEC VIOLATED)"
+            row.append(cell)
+        rows.append(row)
+
+    print(f"rounds to epsilon = {epsilon:g} under {model} "
+          f"(n = {n}, f = {f}, FTM)\n")
+    print(render_table(["movement \\ attack", *attacks], rows))
+    print("\nevery cell terminates with the specification intact; harsher "
+          "adversaries cost rounds, never correctness (Theorem 2)")
+
+
+if __name__ == "__main__":
+    main()

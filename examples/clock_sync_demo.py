@@ -1,0 +1,59 @@
+"""Clock synchronization under mobile Byzantine faults.
+
+The paper's conclusion proposes reusing the mobile-to-mixed-mode
+mapping for clock synchronization; this demo runs the extension: nodes
+with drifting hardware clocks periodically vote on the time with an MSR
+round while a Byzantine agent hops across them.  The non-faulty skew
+stays bounded by  2 * rho * period / (1 - K)  (K = MSR contraction
+factor) once the initial phase spread has been averaged out.
+
+Run:  python examples/clock_sync_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import sparkline
+from repro.core.convergence import mobile_contraction
+from repro.core.mapping import msr_trim_parameter
+from repro.extensions import ClockConfig, ClockSyncSimulator, steady_state_skew_bound
+from repro.faults import ALL_MODELS, Adversary, RoundRobinWalk, SplitAttack, get_semantics
+from repro.msr import make_algorithm
+
+
+def main() -> None:
+    f = 1
+    rho = 1e-4                  # 100 ppm oscillators
+    period = 10.0               # resync every 10 s
+    sync_rounds = 60
+
+    print("MSR clock synchronization with a hopping Byzantine agent")
+    print(f"drift rho = {rho:g}, resync period = {period:g} s\n")
+
+    for model in ALL_MODELS:
+        semantics = get_semantics(model)
+        n = semantics.required_n(f)
+        algorithm = make_algorithm("ftm", msr_trim_parameter(model, f))
+        config = ClockConfig(
+            n=n,
+            f=f,
+            model=semantics.model,
+            algorithm=algorithm,
+            adversary=Adversary(RoundRobinWalk(), SplitAttack()),
+            rho=rho,
+            period=period,
+            sync_rounds=sync_rounds,
+            seed=11,
+        )
+        trace = ClockSyncSimulator(config).run()
+        contraction = mobile_contraction(algorithm, model, n, f).factor
+        bound = steady_state_skew_bound(rho, period, contraction)
+        steady = trace.max_skew_after(skip_transient=sync_rounds // 2)
+        print(f"{semantics} (n = {n}):")
+        print(f"  post-sync skew: {sparkline(trace.skew_series())}")
+        print(f"  steady-state skew {steady:.2e} s vs bound {bound:.2e} s "
+              f"-> {'within bound' if steady <= bound * 1.5 else 'EXCEEDED'}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Interactive consistency under mobile Byzantine faults.
+
+Every process outputs a *vector* estimating every process's input --
+the third reuse of the paper's technique its conclusion proposes
+(after agreement and clock synchronization).  Correct sources are
+estimated *exactly* (their disseminated value is unanimous, an MSR
+fixpoint); the coordinate of a source that was faulty at dissemination
+still converges to a common value within the lies it spread.
+
+Run:  python examples/interactive_consistency_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.extensions import interactive_consistency
+from repro.faults import get_semantics
+
+
+def main() -> None:
+    model = "M2"
+    f = 1
+    n = get_semantics(model).required_n(f)
+    inputs = tuple(round(0.1 * ((i * 3) % n) + 0.05 * i, 3) for i in range(n))
+
+    print(f"Approximate interactive consistency under {model} "
+          f"(n = {n}, f = {f})")
+    print("inputs:", ", ".join(f"p{i}={v:g}" for i, v in enumerate(inputs)))
+
+    result = interactive_consistency(
+        inputs, model=model, f=f, algorithm="ftm",
+        movement="round-robin", attack="split", rounds=40, seed=6,
+    )
+
+    print(f"\nsource(s) faulty at dissemination: "
+          f"{sorted(result.faulty_sources)}")
+    print("output vectors (one per non-faulty process):")
+    for pid, vector in result.vectors.items():
+        cells = ", ".join(f"{value:.4g}" for value in vector)
+        print(f"  p{pid}: [{cells}]")
+
+    print(f"\nentry-wise agreement spread: {result.agreement_spread():.2e}")
+    print(f"exact-validity error on correct sources: "
+          f"{result.exact_validity_error():.2e}")
+    assert result.agreement_spread() <= 1e-6
+    assert result.exact_validity_error() <= 1e-12
+
+
+if __name__ == "__main__":
+    main()

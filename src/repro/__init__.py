@@ -1,0 +1,46 @@
+"""repro -- Approximate Agreement under Mobile Byzantine Faults.
+
+A complete reproduction of Bonomi, Del Pozzo, Potop-Butucaru, Tixeuil,
+*Approximate Agreement under Mobile Byzantine Faults* (ICDCS 2016,
+arXiv:1604.03871): the four mobile Byzantine fault models (M1-M4), the
+static mixed-mode substrate, the MSR algorithm family, the model
+mapping and replica bounds (Tables 1-2), executable lower bounds
+(Theorems 3-6) and the full experiment harness.
+
+Quickstart::
+
+    import repro
+
+    trace = repro.simulate(model="M2", f=1, algorithm="ftm", seed=42)
+    print(trace.summary())
+    print(repro.check(trace))
+"""
+
+from . import analysis, core, experiments, extensions, faults, msr, runtime
+from .api import (
+    check,
+    evenly_spread_values,
+    mobile_config,
+    movement_strategy,
+    simulate,
+    value_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "check",
+    "mobile_config",
+    "movement_strategy",
+    "value_strategy",
+    "evenly_spread_values",
+    "msr",
+    "faults",
+    "runtime",
+    "core",
+    "analysis",
+    "experiments",
+    "extensions",
+    "__version__",
+]

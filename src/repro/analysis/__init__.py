@@ -1,0 +1,20 @@
+"""Analysis utilities: trace metrics, table and series rendering."""
+
+from .metrics import ConvergenceStats, convergence_stats, rounds_until
+from .series import Series, render_series, sparkline
+from .stats import SummaryStats, percentile, summarize
+from .tables import format_cell, render_table
+
+__all__ = [
+    "ConvergenceStats",
+    "convergence_stats",
+    "rounds_until",
+    "Series",
+    "render_series",
+    "sparkline",
+    "render_table",
+    "format_cell",
+    "SummaryStats",
+    "summarize",
+    "percentile",
+]

@@ -1,0 +1,87 @@
+"""Trace metrics: diameters, contraction, rounds-to-epsilon.
+
+Quantities the experiments report, computed from traces.  These mirror
+the paper's Section 5.1 definitions (``rho``, ``delta``) applied to the
+evolving set of non-faulty values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.trace import Trace
+
+__all__ = ["ConvergenceStats", "convergence_stats", "rounds_until"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of one trace's convergence behaviour."""
+
+    initial_diameter: float
+    final_diameter: float
+    rounds: int
+    #: Largest per-round contraction factor observed (1.0 = no progress).
+    worst_factor: float
+    #: Geometric-mean contraction factor over shrinking rounds.
+    mean_factor: float
+    #: Diameter after each round, starting with the initial diameter.
+    trajectory: tuple[float, ...]
+
+    @property
+    def converged(self) -> bool:
+        """Whether the diameter ever shrank below the initial one."""
+        return self.final_diameter < self.initial_diameter
+
+    def stalled_from(self, tolerance: float = 1e-12) -> int | None:
+        """First round index after which the diameter never changed.
+
+        Returns ``None`` if the diameter kept moving until the end.
+        Used by the lower-bound experiments to exhibit stalls.
+        """
+        series = self.trajectory
+        if len(series) < 2:
+            return None
+        for start in range(len(series) - 1):
+            window = series[start:]
+            if all(abs(d - window[0]) <= tolerance for d in window):
+                if window[0] > tolerance:
+                    return start
+                return None
+        return None
+
+
+def convergence_stats(trace: Trace) -> ConvergenceStats:
+    """Compute convergence statistics for a completed trace."""
+    trajectory = tuple(trace.diameters())
+    factors = trace.contraction_factors()
+    worst = max(factors, default=0.0)
+    shrinking = [factor for factor in factors if 0.0 < factor]
+    if shrinking:
+        product = 1.0
+        for factor in shrinking:
+            product *= factor
+        mean = product ** (1.0 / len(shrinking))
+    else:
+        mean = 0.0
+    return ConvergenceStats(
+        initial_diameter=trajectory[0],
+        final_diameter=trajectory[-1],
+        rounds=trace.rounds_executed(),
+        worst_factor=worst,
+        mean_factor=mean,
+        trajectory=trajectory,
+    )
+
+
+def rounds_until(trace: Trace, epsilon: float) -> int | None:
+    """First round after which the non-faulty diameter is <= epsilon.
+
+    Round 0 counts as 1 executed round; returns 0 when the initial
+    values already agree, ``None`` when the trace never got there.
+    """
+    series = trace.diameters()
+    for index, diameter in enumerate(series):
+        if diameter <= epsilon:
+            return index
+    return None

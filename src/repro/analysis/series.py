@@ -1,0 +1,77 @@
+"""Series rendering: the "figures" of a terminal-based harness.
+
+The paper contains no figures; the reproduction adds convergence
+trajectories as its figure-equivalents (see EXPERIMENTS.md).  A
+:class:`Series` is a labelled sequence of (x, y) points; the renderer
+prints aligned columns plus a coarse log-scale ASCII sparkline so the
+geometric decay is visible at a glance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["Series", "render_series", "sparkline"]
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled data series, e.g. a diameter trajectory."""
+
+    label: str
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, label: str, values: Sequence[float]) -> "Series":
+        return cls(label=label, values=tuple(float(v) for v in values))
+
+
+def sparkline(values: Sequence[float], log_scale: bool = True) -> str:
+    """A one-line ASCII rendering of a non-negative series.
+
+    ``log_scale`` maps values by ``log10`` (clamped), which suits
+    geometric convergence: straight decay means a constant contraction
+    factor.
+    """
+    if not values:
+        return ""
+    floor = 1e-12
+    if log_scale:
+        transformed = [math.log10(max(v, floor)) for v in values]
+    else:
+        transformed = list(values)
+    low = min(transformed)
+    high = max(transformed)
+    if high - low < 1e-15:
+        return _SPARK_CHARS[-1] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (high - low)
+    return "".join(
+        _SPARK_CHARS[round((v - low) * scale)] for v in transformed
+    )
+
+
+def render_series(
+    series_list: Sequence[Series],
+    title: str | None = None,
+    x_label: str = "round",
+    max_points: int = 16,
+) -> str:
+    """Render several series as columns plus sparklines."""
+    lines = []
+    if title:
+        lines.append(title)
+    width = max((len(s.label) for s in series_list), default=5)
+    for series in series_list:
+        values = series.values
+        shown = values[:max_points]
+        cells = " ".join(f"{v:9.3g}" for v in shown)
+        ellipsis = " ..." if len(values) > max_points else ""
+        lines.append(
+            f"{series.label.ljust(width)} | {sparkline(values)} | {cells}{ellipsis}"
+        )
+    lines.append(f"({x_label} 0..k; sparkline is log-scale)")
+    return "\n".join(lines)

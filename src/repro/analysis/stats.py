@@ -1,0 +1,77 @@
+"""Summary statistics for experiment sweeps.
+
+Sweeps produce distributions (rounds-to-epsilon over seeds, contraction
+factors over adversaries); this module provides the few aggregations
+the harness reports, dependency-free and deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["SummaryStats", "summarize", "percentile"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` (q in [0, 100]).
+
+    Matches numpy's default method; implemented locally so the library
+    core stays dependency-free.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must lie in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    interpolated = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp away 1-ulp interpolation drift: the result is a convex
+    # combination and must lie between its two anchors.
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+    mean: float
+
+    def render(self) -> str:
+        """Compact ``min/med/p95/max`` cell for tables."""
+        return (
+            f"{self.minimum:g}/{self.median:g}/{self.p95:g}/{self.maximum:g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summarize a non-empty sample."""
+    sample = [float(v) for v in values]
+    if not sample:
+        raise ValueError("cannot summarize an empty sample")
+    lowest = min(sample)
+    highest = max(sample)
+    # fsum/len can drift one ulp outside [min, max] for near-constant
+    # samples; the mean of a sample always lies within its range.
+    mean = min(max(math.fsum(sample) / len(sample), lowest), highest)
+    return SummaryStats(
+        count=len(sample),
+        minimum=lowest,
+        median=percentile(sample, 50.0),
+        p95=percentile(sample, 95.0),
+        maximum=highest,
+        mean=mean,
+    )

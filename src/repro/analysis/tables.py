@@ -1,0 +1,57 @@
+"""ASCII table rendering for paper-shaped experiment output.
+
+Every experiment and benchmark prints its results through
+:func:`render_table`, so the harness output visually matches the
+row/column structure of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: floats get compact formatting."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]], title="T"))
+    T
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[format_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip()
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

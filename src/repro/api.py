@@ -1,0 +1,169 @@
+"""High-level convenience API.
+
+Most users want: "run approximate agreement under model M2 with f=2 and
+a nasty adversary, then check the spec".  This module assembles a
+validated :class:`~repro.runtime.config.SimulationConfig` from short
+names and sensible defaults:
+
+>>> import repro
+>>> trace = repro.simulate(model="M1", f=1, seed=7)
+>>> verdict = repro.check(trace)
+>>> verdict.satisfied
+True
+
+Everything remains overridable; power users can always construct the
+config objects directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from .core.mapping import msr_trim_parameter
+from .core.specification import SpecVerdict, check_trace
+from .faults.adversary import Adversary
+from .faults.models import MobileModel, get_semantics
+from .faults.movement import (
+    MovementStrategy,
+    RandomJump,
+    RoundRobinWalk,
+    StaticAgents,
+    TargetExtremes,
+)
+from .faults.value_strategies import (
+    EchoCorrect,
+    InertiaAttack,
+    OscillatingAttack,
+    OutlierAttack,
+    RandomNoise,
+    SplitAttack,
+    ValueStrategy,
+)
+from .msr.base import MSRFunction
+from .msr.registry import make_algorithm
+from .runtime.config import MobileFaultSetup, SimulationConfig
+from .runtime.simulator import run_simulation
+from .runtime.termination import FixedRounds, OracleDiameter, TerminationRule
+
+__all__ = [
+    "movement_strategy",
+    "value_strategy",
+    "mobile_config",
+    "simulate",
+    "check",
+    "evenly_spread_values",
+]
+
+_MOVEMENTS = {
+    "static": StaticAgents,
+    "round-robin": RoundRobinWalk,
+    "random": RandomJump,
+    "target-extremes": TargetExtremes,
+}
+
+_ATTACKS = {
+    "split": SplitAttack,
+    "outlier": OutlierAttack,
+    "noise": RandomNoise,
+    "echo": EchoCorrect,
+    "oscillating": OscillatingAttack,
+    "inertia": InertiaAttack,
+}
+
+
+def movement_strategy(name: str | MovementStrategy) -> MovementStrategy:
+    """Resolve a movement strategy by short name (or pass one through)."""
+    if isinstance(name, MovementStrategy):
+        return name
+    try:
+        return _MOVEMENTS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_MOVEMENTS))
+        raise KeyError(f"unknown movement {name!r}; known: {known}") from None
+
+
+def value_strategy(name: str | ValueStrategy) -> ValueStrategy:
+    """Resolve a value strategy by short name (or pass one through)."""
+    if isinstance(name, ValueStrategy):
+        return name
+    try:
+        return _ATTACKS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_ATTACKS))
+        raise KeyError(f"unknown attack {name!r}; known: {known}") from None
+
+
+def evenly_spread_values(n: int, low: float = 0.0, high: float = 1.0) -> tuple[float, ...]:
+    """Deterministic initial values spread across ``[low, high]``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return ((low + high) / 2.0,)
+    step = (high - low) / (n - 1)
+    return tuple(low + i * step for i in range(n))
+
+
+def mobile_config(
+    model: MobileModel | str = "M1",
+    f: int = 1,
+    n: int | None = None,
+    algorithm: str | MSRFunction = "ftm",
+    movement: str | MovementStrategy = "round-robin",
+    attack: str | ValueStrategy = "split",
+    initial_values: Sequence[float] | None = None,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+    rounds: int | None = None,
+    max_rounds: int = 1_000,
+    termination: TerminationRule | None = None,
+    bound_check: str = "error",
+) -> SimulationConfig:
+    """Assemble a mobile-Byzantine simulation configuration.
+
+    Defaults: ``n`` is the model's minimum (Table 2), the MSR trim
+    parameter is derived from the model and ``f`` (Table 1), initial
+    values are spread over ``[0, 1]``, and the run stops when the true
+    non-faulty diameter reaches ``epsilon`` (oracle termination) unless
+    ``rounds`` or ``termination`` overrides it.
+    """
+    semantics = get_semantics(model)
+    if n is None:
+        n = semantics.required_n(f)
+    if isinstance(algorithm, str):
+        algorithm = make_algorithm(algorithm, msr_trim_parameter(semantics.model, f))
+    if initial_values is None:
+        initial_values = evenly_spread_values(n)
+    if termination is None:
+        termination = (
+            FixedRounds(rounds) if rounds is not None else OracleDiameter(epsilon)
+        )
+    adversary = Adversary(
+        movement=movement_strategy(movement), values=value_strategy(attack)
+    )
+    return SimulationConfig(
+        n=n,
+        f=f,
+        initial_values=tuple(float(v) for v in initial_values),
+        algorithm=algorithm,
+        setup=MobileFaultSetup(model=semantics.model, adversary=adversary),
+        termination=termination,
+        epsilon=epsilon,
+        seed=seed,
+        max_rounds=max_rounds,
+        bound_check=bound_check,  # type: ignore[arg-type]
+    )
+
+
+def simulate(config: SimulationConfig | None = None, **kwargs):
+    """Run a simulation; keyword arguments build a config via
+    :func:`mobile_config` when none is given."""
+    if config is None:
+        config = mobile_config(**kwargs)
+    elif kwargs:
+        raise TypeError("pass either a config or keyword arguments, not both")
+    return run_simulation(config)
+
+
+def check(trace, epsilon: float | None = None) -> SpecVerdict:
+    """Check a trace against the Approximate Agreement specification."""
+    return check_trace(trace, epsilon)

@@ -1,0 +1,131 @@
+"""The paper's contribution: mapping, bounds, correctness, lower bounds.
+
+* :mod:`repro.core.mapping` -- Mobile Byzantine -> Mixed-Mode mapping
+  (Table 1, Lemmas 1-4) and the behavioural classifier validating it;
+* :mod:`repro.core.bounds` -- replica requirements (Table 2) derived
+  from the mapping;
+* :mod:`repro.core.specification` -- Approximate Agreement and P1/P2
+  checkers over traces;
+* :mod:`repro.core.configuration` / :mod:`repro.core.equivalence` --
+  Definitions 5-10 and Theorem 1's static-equivalent construction;
+* :mod:`repro.core.convergence` -- contraction factors and round
+  predictions;
+* :mod:`repro.core.lower_bounds` -- Theorems 3-6 as executable
+  indistinguishability triples plus sustained stall adversaries.
+"""
+
+from .bounds import (
+    Table2Row,
+    is_sufficient,
+    max_tolerable_faults,
+    mixed_mode_min_processes,
+    replica_coefficient,
+    required_processes,
+    static_byzantine_min_processes,
+    table2_rows,
+)
+from .configuration import (
+    MobileComputation,
+    MobileConfiguration,
+    StaticConfiguration,
+    computation_from_trace,
+    mobile_configuration_at,
+)
+from .convergence import (
+    ContractionEstimate,
+    mobile_contraction,
+    predicted_rounds,
+    worst_case_contraction,
+)
+from .equivalence import (
+    EquivalenceCheck,
+    Theorem1Report,
+    build_equivalent_static_computation,
+    configurations_equivalent,
+    cured_fault_class,
+    static_image_of,
+)
+from .lower_bounds import (
+    AlgorithmDefeat,
+    Execution,
+    Group,
+    LowerBoundScenario,
+    ScenarioVerification,
+    classical_static_scenario,
+    lower_bound_scenario,
+    run_algorithm_on_scenario,
+    stall_configuration,
+    stall_group_ids,
+)
+from .mapping import (
+    MappingRow,
+    classify_cured_processes,
+    classify_send_behavior,
+    mapping_table,
+    mixed_mode_image,
+    msr_trim_parameter,
+)
+from .specification import (
+    PropertyCheck,
+    SimpleAgreementVerdict,
+    SpecVerdict,
+    check_epsilon_agreement,
+    check_p1,
+    check_p2,
+    check_simple_agreement,
+    check_termination,
+    check_trace,
+    check_validity,
+)
+
+__all__ = [
+    "MappingRow",
+    "mixed_mode_image",
+    "msr_trim_parameter",
+    "mapping_table",
+    "classify_send_behavior",
+    "classify_cured_processes",
+    "mixed_mode_min_processes",
+    "required_processes",
+    "replica_coefficient",
+    "is_sufficient",
+    "max_tolerable_faults",
+    "static_byzantine_min_processes",
+    "Table2Row",
+    "table2_rows",
+    "PropertyCheck",
+    "SpecVerdict",
+    "check_trace",
+    "check_validity",
+    "check_epsilon_agreement",
+    "check_termination",
+    "check_p1",
+    "check_p2",
+    "check_simple_agreement",
+    "SimpleAgreementVerdict",
+    "MobileConfiguration",
+    "StaticConfiguration",
+    "MobileComputation",
+    "mobile_configuration_at",
+    "computation_from_trace",
+    "EquivalenceCheck",
+    "Theorem1Report",
+    "cured_fault_class",
+    "static_image_of",
+    "configurations_equivalent",
+    "build_equivalent_static_computation",
+    "ContractionEstimate",
+    "worst_case_contraction",
+    "mobile_contraction",
+    "predicted_rounds",
+    "Group",
+    "Execution",
+    "LowerBoundScenario",
+    "ScenarioVerification",
+    "lower_bound_scenario",
+    "classical_static_scenario",
+    "run_algorithm_on_scenario",
+    "AlgorithmDefeat",
+    "stall_configuration",
+    "stall_group_ids",
+]

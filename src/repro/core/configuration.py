@@ -1,0 +1,178 @@
+"""Configurations and computations (paper Definitions 5-8).
+
+* **Definition 5** -- a *configuration* ``C_rk`` is the set of
+  ``<failure state, proposing value>`` tuples, one per process, at a
+  round.
+* **Definition 6** -- one protocol iteration maps ``C_rk-1`` to ``C_rk``.
+* **Definition 7** -- a *static computation* keeps a fixed subset of at
+  least ``n - (3a + 2s + b)`` processes correct throughout.
+* **Definition 8** -- a *mobile computation* lets every process change
+  failure state, provided ``n > 3a + 2s + b`` holds at each round.
+
+These classes make the definitions executable: configurations are
+extracted from trace rounds, and computations are checked against the
+definitions' conditions.  :mod:`repro.core.equivalence` builds on them
+to execute Theorem 1's static-equivalent construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..faults.mixed_mode import FaultClass, MixedModeCounts
+from ..faults.models import MobileModel, get_semantics
+from ..faults.states import FailureState
+from ..msr.multiset import ValueMultiset
+from ..runtime.trace import RoundRecord, Trace
+
+__all__ = [
+    "MobileConfiguration",
+    "StaticConfiguration",
+    "MobileComputation",
+    "mobile_configuration_at",
+    "computation_from_trace",
+]
+
+
+@dataclass(frozen=True)
+class MobileConfiguration:
+    """Definition 5 instantiated for the mobile failure states."""
+
+    round_index: int
+    states: Mapping[int, FailureState]
+    values: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        if set(self.states) != set(self.values):
+            raise ValueError("states and values must cover the same processes")
+
+    @property
+    def n(self) -> int:
+        return len(self.states)
+
+    def ids_in_state(self, state: FailureState) -> frozenset[int]:
+        """Processes currently in the given failure state."""
+        return frozenset(
+            pid for pid, current in self.states.items() if current is state
+        )
+
+    @property
+    def correct(self) -> frozenset[int]:
+        return self.ids_in_state(FailureState.CORRECT)
+
+    @property
+    def cured(self) -> frozenset[int]:
+        return self.ids_in_state(FailureState.CURED)
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        return self.ids_in_state(FailureState.FAULTY)
+
+    def correct_value_multiset(self) -> ValueMultiset:
+        """The ``U`` this configuration generates: correct values."""
+        return ValueMultiset(self.values[pid] for pid in self.correct)
+
+
+@dataclass(frozen=True)
+class StaticConfiguration:
+    """Definition 5 instantiated for mixed-mode (static) fault classes.
+
+    ``classes`` assigns a :class:`FaultClass` to every non-correct
+    process; processes absent from it are correct.
+    """
+
+    round_index: int
+    classes: Mapping[int, FaultClass]
+    values: Mapping[int, float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def correct(self) -> frozenset[int]:
+        return frozenset(self.values) - frozenset(self.classes)
+
+    def counts(self) -> MixedModeCounts:
+        """The ``(a, s, b)`` counts of this configuration."""
+        assigned = list(self.classes.values())
+        return MixedModeCounts(
+            asymmetric=assigned.count(FaultClass.ASYMMETRIC),
+            symmetric=assigned.count(FaultClass.SYMMETRIC),
+            benign=assigned.count(FaultClass.BENIGN),
+        )
+
+    def meets_bound(self) -> bool:
+        """Kieckhafer-Azadmanesh: ``n > 3a + 2s + b``."""
+        return self.counts().satisfied_by(self.n)
+
+    def correct_value_multiset(self) -> ValueMultiset:
+        """The ``U`` this configuration generates: correct values."""
+        return ValueMultiset(self.values[pid] for pid in self.correct)
+
+
+def mobile_configuration_at(record: RoundRecord) -> MobileConfiguration:
+    """The configuration at the *beginning* of a recorded round.
+
+    States follow the record's send-phase fault pattern; values are the
+    pre-send memories (including any departure corruption).
+    """
+    states: dict[int, FailureState] = {}
+    for pid in record.values_before:
+        if pid in record.faulty_at_send:
+            states[pid] = FailureState.FAULTY
+        elif pid in record.cured_at_send:
+            states[pid] = FailureState.CURED
+        else:
+            states[pid] = FailureState.CORRECT
+    return MobileConfiguration(
+        round_index=record.round_index,
+        states=states,
+        values=dict(record.values_before),
+    )
+
+
+@dataclass
+class MobileComputation:
+    """Definition 8: a sequence of mobile configurations.
+
+    ``model``/``f`` provide the mixed-mode image needed to evaluate the
+    per-round resilience condition.
+    """
+
+    model: MobileModel
+    f: int
+    configurations: list[MobileConfiguration]
+
+    def per_round_images(self) -> list[MixedModeCounts]:
+        """Mixed-mode image of every configuration (Table 1)."""
+        semantics = get_semantics(self.model)
+        return [
+            semantics.mixed_mode_counts(self.f, cured=len(config.cured))
+            for config in self.configurations
+        ]
+
+    def is_mobile_computation(self) -> bool:
+        """Definition 8's condition: ``n > 3a + 2s + b`` at every round."""
+        return all(
+            image.satisfied_by(config.n)
+            for config, image in zip(self.configurations, self.per_round_images())
+        )
+
+    def max_cured(self) -> int:
+        """Largest per-round cured count (Corollary 1 says <= f)."""
+        return max((len(config.cured) for config in self.configurations), default=0)
+
+
+def computation_from_trace(trace: Trace) -> MobileComputation:
+    """Extract the mobile computation a trace executed."""
+    if trace.model is None:
+        raise ValueError(
+            "trace was produced by the static controller; mobile "
+            "computations require a mobile model"
+        )
+    configurations = [mobile_configuration_at(record) for record in trace.rounds]
+    return MobileComputation(
+        model=trace.model, f=trace.f, configurations=configurations
+    )

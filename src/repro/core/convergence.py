@@ -1,0 +1,168 @@
+"""Convergence-rate theory for MSR algorithms under mobile faults.
+
+The paper's Lemmas 6-7 inherit geometric convergence from [10, 11].
+This module provides the quantitative side: a *worst-case per-round
+contraction factor* for each MSR instance given the round's mixed-mode
+image, used to (i) predict round counts for termination rules and
+(ii) validate measured trajectories in experiments (measured factors
+must never exceed predictions).
+
+Derivations (``m`` = received multiset size, ``tau = a + s`` trimmed
+per side, ``M = m - 2*tau`` survivors, ``a`` = values that may *differ*
+between two receivers -- symmetric and benign faults are perceived
+identically, so only asymmetric values drive divergence):
+
+* ``a = 0`` -- all receivers see identical multisets and compute the
+  same value: factor 0 (one-round convergence).
+* **FTM** (midpoint of survivors): factor 1/2, the MSR optimum [11].
+* **FTA** (mean of survivors): factor ``a / M``.  Two receivers' sorted
+  survivor vectors differ per-slot by at most the span of ``a``
+  consecutive common-value gaps; summing the telescoping bound over the
+  ``M`` slots gives ``a * delta(U) / M``.
+* **Dolev et al.** (every ``step``-th survivor): factor
+  ``1 / ceil(M / step)`` [10], valid for ``step >= a``: consecutive
+  selected values then sandwich both receivers' choices.  When a single
+  stride covers all survivors (``ceil(M/step) <= 1``) the selection
+  degenerates to {min, max} and the FTM bound 1/2 applies instead.
+* **MedianTrim** (exact median of survivors): **no worst-case
+  contraction guarantee** -- with balanced value camps and one
+  asymmetric fault, two receivers' medians can sit at opposite camp
+  values, freezing the diameter (factor 1).  This reproduces, from the
+  MSR side, why the paper's Section 2.1 notes that the
+  Stolz-Wattenhofer median algorithm is *not* an MSR member: iterated
+  exact medians need an extra mechanism (their King phase) to converge.
+  See ``tests/test_core_convergence.py::TestMedianTrimStall``.
+
+All factors assume the resilience precondition ``n > 3a + 2s + b``; the
+functions return ``inf`` when it fails, which downstream code treats as
+"does not converge".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..faults.mixed_mode import MixedModeCounts
+from ..faults.models import MobileModel, get_semantics
+from ..msr.base import MSRFunction
+from ..msr.select import SelectAll, SelectEvery, SelectExtremes, SelectMedian
+
+__all__ = [
+    "ContractionEstimate",
+    "worst_case_contraction",
+    "mobile_contraction",
+    "predicted_rounds",
+]
+
+
+@dataclass(frozen=True)
+class ContractionEstimate:
+    """A worst-case per-round contraction factor and its provenance."""
+
+    factor: float
+    formula: str
+    multiset_size: int
+    survivors: int
+    trim: int
+    asymmetric: int
+
+    @property
+    def converges(self) -> bool:
+        """Whether the factor guarantees geometric convergence."""
+        return self.factor < 1.0
+
+    def __str__(self) -> str:
+        return f"{self.factor:.4g} ({self.formula})"
+
+
+def worst_case_contraction(
+    algorithm: MSRFunction, n: int, image: MixedModeCounts
+) -> ContractionEstimate:
+    """Worst-case contraction of ``algorithm`` with ``n`` processes.
+
+    ``image`` is the round's mixed-mode fault counts.  Benign processes
+    omit, so the received multiset has ``m = n - b`` values, of which
+    ``a + s`` are untrustworthy and ``a`` may differ between receivers.
+    """
+    tau = image.trim_parameter
+    m = n - image.benign
+    survivors = m - 2 * tau
+    a = image.asymmetric
+
+    def estimate(factor: float, formula: str) -> ContractionEstimate:
+        return ContractionEstimate(
+            factor=factor,
+            formula=formula,
+            multiset_size=m,
+            survivors=survivors,
+            trim=tau,
+            asymmetric=a,
+        )
+
+    if survivors < 1 or not image.satisfied_by(n):
+        return estimate(math.inf, "below resilience bound")
+    if a == 0:
+        return estimate(0.0, "identical views (a=0)")
+
+    selection = algorithm.selection
+    if isinstance(selection, SelectExtremes):
+        return estimate(0.5, "FTM midpoint: 1/2")
+    if isinstance(selection, SelectMedian):
+        return estimate(1.0, "exact median: no worst-case contraction")
+    if isinstance(selection, SelectAll):
+        factor = min(1.0, a / survivors)
+        return estimate(factor, f"FTA: a/M = {a}/{survivors}")
+    if isinstance(selection, SelectEvery):
+        step = selection.step
+        if step < a:
+            # The sandwich argument needs step >= a; fall back to the
+            # FTA bound which holds for any averaging of survivors.
+            factor = min(1.0, a / survivors)
+            return estimate(factor, f"step<a fallback: a/M = {a}/{survivors}")
+        blocks = math.ceil(survivors / step)
+        if blocks <= 1:
+            # One stride spans all survivors: the selection is exactly
+            # {min, max} (first plus appended last) -- FTM's bound.
+            return estimate(0.5, "Dolev degenerate: midpoint, 1/2")
+        return estimate(1.0 / blocks, f"Dolev: 1/ceil(M/step) = 1/{blocks}")
+    # Unknown selection: the universally valid (if loose) survivor-mean
+    # bound.
+    factor = min(1.0, a / survivors)
+    return estimate(factor, f"generic survivor bound: a/M = {a}/{survivors}")
+
+
+def mobile_contraction(
+    algorithm: MSRFunction, model: MobileModel | str, n: int, f: int
+) -> ContractionEstimate:
+    """Worst-case per-round contraction under a mobile model.
+
+    Uses the per-round worst case of Corollary 1 (``|cured| = f``).
+    """
+    image = get_semantics(model).mixed_mode_counts(f)
+    return worst_case_contraction(algorithm, n, image)
+
+
+def predicted_rounds(
+    algorithm: MSRFunction,
+    model: MobileModel | str,
+    n: int,
+    f: int,
+    initial_diameter: float,
+    epsilon: float,
+) -> int:
+    """Rounds guaranteeing epsilon-agreement from ``initial_diameter``."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    estimate = mobile_contraction(algorithm, model, n, f)
+    if not estimate.converges:
+        raise ValueError(
+            f"{algorithm.name} does not converge for {model} with "
+            f"n={n}, f={f} (factor {estimate})"
+        )
+    if initial_diameter <= epsilon:
+        return 0
+    if estimate.factor == 0.0:
+        return 1
+    ratio = initial_diameter / epsilon
+    return max(1, math.ceil(math.log(ratio) / math.log(1.0 / estimate.factor)))

@@ -1,0 +1,612 @@
+"""Executable lower bounds (paper Section 6, Theorems 3-6).
+
+Two complementary artefacts per model:
+
+1. **Indistinguishability triples** (:func:`lower_bound_scenario`): the
+   paper's executions E1/E2/E3, generalised from single processes to
+   groups of ``f``.  In E1 all correct processes propose 0 and -- by
+   Agreement+Validity of Simple Approximate Agreement -- must choose 0;
+   in E2 they propose 1 and must choose 1.  E3 is crafted so one
+   correct group's *view* (received multiset) equals its E1 view while
+   another's equals its E2 view; any deterministic algorithm therefore
+   chooses 0 and 1 in the same execution, violating Agreement.  The
+   argument binds **every** algorithm, not just MSR members.
+
+2. **Sustained stall adversaries** (:func:`stall_configuration`): a
+   concrete multi-round adversary at exactly ``n = n_Mi`` under which
+   every MSR instance stops converging -- the per-round views of the
+   two value camps reduce to unanimous multisets at their own value, so
+   the diameter freezes forever.  This demonstrates the bound's
+   tightness against the paper's own algorithm class, round after
+   round, with real agent movement (pools alternate so ``|cured| = f``
+   every round, the Corollary 1 worst case).
+
+Observation 2 (one-round computations starting without cured processes
+obey the classical static bound ``n >= 3f + 1``) is covered by
+:func:`classical_static_scenario`, which is exactly the M4 triple.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass
+
+from ..faults.adversary import Adversary
+from ..faults.models import MobileModel, get_semantics
+from ..faults.movement import AlternatingPools, StaticAgents
+from ..faults.value_strategies import SplitAttack
+from ..msr.multiset import ValueMultiset
+from ..runtime.config import MobileFaultSetup, SimulationConfig
+from ..runtime.termination import FixedRounds
+from .specification import SimpleAgreementVerdict, check_simple_agreement
+
+__all__ = [
+    "Group",
+    "Execution",
+    "LowerBoundScenario",
+    "ScenarioVerification",
+    "lower_bound_scenario",
+    "classical_static_scenario",
+    "run_algorithm_on_scenario",
+    "AlgorithmDefeat",
+    "stall_configuration",
+    "stall_group_ids",
+]
+
+# --------------------------------------------------------------------------
+# Indistinguishability triples
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Group:
+    """A block of ``size`` identically-behaving processes."""
+
+    name: str
+    size: int
+    #: "correct", "cured" or "byzantine" -- the role in the scenario.
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"group {self.name} must have positive size")
+        if self.role not in ("correct", "cured", "byzantine"):
+            raise ValueError(f"unknown role {self.role!r}")
+
+
+@dataclass(frozen=True)
+class Execution:
+    """One single-round execution of a lower-bound scenario.
+
+    ``proposals`` gives each non-Byzantine group's proposing value.
+    ``sends`` overrides a group's outgoing messages: a mapping from
+    target group name to the value every member sends to that group's
+    members, or ``None`` for silence.  Groups without an override
+    broadcast their proposal (the correct behaviour).
+    ``forced_decision`` is the output Agreement+Validity force on every
+    correct process (set for E1/E2 where all correct inputs agree).
+    """
+
+    name: str
+    proposals: Mapping[str, float]
+    sends: Mapping[str, Mapping[str, float] | None]
+    forced_decision: float | None = None
+
+
+class LowerBoundScenario:
+    """A complete E1/E2/E3 construction for one model and one ``f``."""
+
+    def __init__(
+        self,
+        model: MobileModel,
+        f: int,
+        groups: tuple[Group, ...],
+        executions: tuple[Execution, Execution, Execution],
+        view_matches: tuple[tuple[str, str, str], ...],
+        description: str,
+    ) -> None:
+        self.model = model
+        self.f = f
+        self.groups = groups
+        self.executions = {execution.name: execution for execution in executions}
+        #: Entries ``(execution_a, group, execution_b)``: the group's view
+        #: in execution_a must equal its view in execution_b.
+        self.view_matches = view_matches
+        self.description = description
+
+    @property
+    def n(self) -> int:
+        """Total process count -- exactly the bound value ``n_Mi - 1``
+        expressed as ``coefficient * f``."""
+        return sum(group.size for group in self.groups)
+
+    def group(self, name: str) -> Group:
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"unknown group {name!r}")
+
+    def view(self, execution_name: str, observer_group: str) -> ValueMultiset:
+        """The received multiset of a member of ``observer_group``.
+
+        Every process receives from every non-silent sender, itself
+        included; group members behave identically, so one view per
+        group suffices.
+        """
+        execution = self.executions[execution_name]
+        self.group(observer_group)  # validates the name
+        values: list[float] = []
+        for sender in self.groups:
+            override = execution.sends.get(sender.name, _NOT_OVERRIDDEN)
+            if override is _NOT_OVERRIDDEN:
+                if sender.role == "byzantine":
+                    raise ValueError(
+                        f"execution {execution.name}: byzantine group "
+                        f"{sender.name} needs an explicit send override"
+                    )
+                value = execution.proposals[sender.name]
+                values.extend([value] * sender.size)
+            elif override is None:
+                continue  # silent: detected omission, absent from views
+            else:
+                values.extend([override[observer_group]] * sender.size)
+        return ValueMultiset(values)
+
+    def correct_inputs(self, execution_name: str) -> dict[str, float]:
+        """Proposals of the correct groups in an execution."""
+        execution = self.executions[execution_name]
+        return {
+            group.name: execution.proposals[group.name]
+            for group in self.groups
+            if group.role == "correct"
+        }
+
+    def verify(self) -> "ScenarioVerification":
+        """Check the indistinguishability argument end to end."""
+        match_results = []
+        for execution_a, group_name, execution_b in self.view_matches:
+            view_a = self.view(execution_a, group_name)
+            view_b = self.view(execution_b, group_name)
+            match_results.append(
+                ViewMatch(
+                    execution_a=execution_a,
+                    execution_b=execution_b,
+                    group=group_name,
+                    matches=view_a == view_b,
+                    view=view_a,
+                )
+            )
+        forced: dict[str, float] = {}
+        for execution_a, group_name, execution_b in self.view_matches:
+            source = self.executions[execution_b]
+            if source.forced_decision is None:
+                raise ValueError(
+                    f"execution {execution_b} needs a forced decision"
+                )
+            forced[group_name] = source.forced_decision
+        inputs_e3 = self.correct_inputs("E3")
+        verdict = check_simple_agreement(
+            inputs={i: v for i, v in enumerate(inputs_e3.values())},
+            outputs={i: v for i, v in enumerate(forced.values())},
+        )
+        return ScenarioVerification(
+            scenario=self,
+            matches=tuple(match_results),
+            forced_decisions=forced,
+            e3_verdict=verdict,
+        )
+
+
+_NOT_OVERRIDDEN = object()
+
+
+@dataclass(frozen=True)
+class ViewMatch:
+    """One asserted view equality between two executions."""
+
+    execution_a: str
+    execution_b: str
+    group: str
+    matches: bool
+    view: ValueMultiset
+
+    def __str__(self) -> str:
+        status = "==" if self.matches else "!="
+        return (
+            f"view({self.execution_a}, {self.group}) {status} "
+            f"view({self.execution_b}, {self.group}): {self.view!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioVerification:
+    """Outcome of :meth:`LowerBoundScenario.verify`."""
+
+    scenario: LowerBoundScenario
+    matches: tuple[ViewMatch, ...]
+    #: Decision each matched correct group is forced to make in E3.
+    forced_decisions: Mapping[str, float]
+    #: Simple-Agreement verdict of those forced E3 decisions.
+    e3_verdict: SimpleAgreementVerdict
+
+    @property
+    def proves_impossibility(self) -> bool:
+        """True when the argument is airtight: all views match and the
+        forced decisions violate Agreement in E3."""
+        return all(match.matches for match in self.matches) and (
+            not self.e3_verdict.agreement
+        )
+
+    def summary(self) -> str:
+        model = self.scenario.model.value
+        outcome = "impossible" if self.proves_impossibility else "INCONCLUSIVE"
+        return (
+            f"{model}: n={self.scenario.n} (= {self.scenario.n // self.scenario.f}f), "
+            f"f={self.scenario.f}: {outcome} -- forced decisions "
+            f"{dict(self.forced_decisions)} in E3"
+        )
+
+
+def lower_bound_scenario(
+    model: MobileModel | str,
+    f: int = 1,
+    low: float = 0.0,
+    high: float = 1.0,
+) -> LowerBoundScenario:
+    """Build the paper's Theorem 3-6 construction for a model.
+
+    Every scenario has exactly ``n = coefficient * f`` processes (one
+    process below the model's requirement) and shows no algorithm can
+    solve Simple Approximate Agreement there.  The paper states the
+    proofs with inputs 0 and 1; the construction is value-generic, so
+    ``low``/``high`` may be any pair with ``low < high`` (property
+    tests sweep them).
+    """
+    semantics = get_semantics(model)
+    if f < 1:
+        raise ValueError("lower-bound scenarios need f >= 1")
+    if not low < high:
+        raise ValueError(f"need low < high, got {low} >= {high}")
+    model = semantics.model
+    if model is MobileModel.GARAY:
+        return _garay_scenario(f, low, high)
+    if model is MobileModel.BONNET:
+        return _bonnet_scenario(f, low, high)
+    if model is MobileModel.SASAKI:
+        return _sasaki_scenario(f, low, high)
+    return _buhrman_scenario(f, low, high)
+
+
+def classical_static_scenario(
+    f: int = 1, low: float = 0.0, high: float = 1.0
+) -> LowerBoundScenario:
+    """Observation 2: the classical FLM [14] triple at ``n = 3f``.
+
+    One-round computations starting with ``f`` Byzantine processes and
+    no cured ones face exactly the static bound; the construction is
+    the same as M4's.
+    """
+    return _buhrman_scenario(f, low, high)
+
+
+def _garay_scenario(f: int, low: float, high: float) -> LowerBoundScenario:
+    """Theorem 3: M1 at ``n = 4f``.  The cured group is silent."""
+    groups = (
+        Group("B", f, "byzantine"),
+        Group("T", f, "cured"),
+        Group("A", f, "correct"),
+        Group("C", f, "correct"),
+    )
+
+    def to_all(value: float) -> dict[str, float]:
+        return {name: value for name in ("A", "B", "C", "T")}
+
+    silent: Mapping[str, Mapping[str, float] | None] = {"T": None}
+    e1 = Execution(
+        name="E1",
+        proposals={"A": low, "C": low, "T": low},
+        sends={**silent, "B": to_all(high)},
+        forced_decision=low,
+    )
+    e2 = Execution(
+        name="E2",
+        proposals={"A": high, "C": high, "T": high},
+        sends={**silent, "B": to_all(low)},
+        forced_decision=high,
+    )
+    e3 = Execution(
+        name="E3",
+        proposals={"A": low, "C": high, "T": low},
+        sends={
+            **silent,
+            "B": {"A": low, "C": high, "B": low, "T": low},
+        },
+    )
+    return LowerBoundScenario(
+        model=MobileModel.GARAY,
+        f=f,
+        groups=groups,
+        executions=(e1, e2, e3),
+        view_matches=(("E3", "A", "E1"), ("E3", "C", "E2")),
+        description=(
+            "n = 4f: byzantine group B splits while cured group T is "
+            "silent; A's E3 view equals its E1 view, C's equals its E2 view"
+        ),
+    )
+
+
+def _bonnet_scenario(f: int, low: float, high: float) -> LowerBoundScenario:
+    """Theorem 4: M2 at ``n = 5f``.  The cured group broadcasts its
+    (corrupted) proposal, identically to everybody."""
+    groups = (
+        Group("B", f, "byzantine"),
+        Group("T", f, "cured"),
+        Group("A", f, "correct"),
+        Group("C", f, "correct"),
+        Group("D", f, "correct"),
+    )
+    names = ("A", "B", "C", "D", "T")
+
+    def to_all(value: float) -> dict[str, float]:
+        return {name: value for name in names}
+
+    e1 = Execution(
+        name="E1",
+        proposals={"A": low, "C": low, "D": low, "T": high},
+        sends={"B": to_all(high)},
+        forced_decision=low,
+    )
+    e2 = Execution(
+        name="E2",
+        proposals={"A": high, "C": high, "D": high, "T": low},
+        sends={"B": to_all(low)},
+        forced_decision=high,
+    )
+    e3 = Execution(
+        name="E3",
+        proposals={"A": low, "C": high, "D": low, "T": high},
+        sends={"B": {"A": low, "C": high, "B": low, "D": low, "T": low}},
+    )
+    return LowerBoundScenario(
+        model=MobileModel.BONNET,
+        f=f,
+        groups=groups,
+        executions=(e1, e2, e3),
+        view_matches=(("E3", "A", "E1"), ("E3", "C", "E2")),
+        description=(
+            "n = 5f: cured group T broadcasts its corrupted value; the "
+            "byzantine split makes A's E3 view equal E1's and C's equal E2's"
+        ),
+    )
+
+
+def _sasaki_scenario(f: int, low: float, high: float) -> LowerBoundScenario:
+    """Theorem 5: M3 at ``n = 6f``.  Cured processes send the planted
+    queue, i.e. behave asymmetrically -- effectively 2f byzantine."""
+    groups = (
+        Group("B", f, "byzantine"),
+        Group("T", f, "cured"),
+        Group("A", 2 * f, "correct"),
+        Group("C", 2 * f, "correct"),
+    )
+    names = ("A", "B", "C", "T")
+
+    def to_all(value: float) -> dict[str, float]:
+        return {name: value for name in names}
+
+    e1 = Execution(
+        name="E1",
+        proposals={"A": low, "C": low, "T": low},
+        sends={"B": to_all(high), "T": to_all(high)},
+        forced_decision=low,
+    )
+    e2 = Execution(
+        name="E2",
+        proposals={"A": high, "C": high, "T": high},
+        sends={"B": to_all(low), "T": to_all(low)},
+        forced_decision=high,
+    )
+    split = {"A": low, "C": high, "B": low, "T": low}
+    e3 = Execution(
+        name="E3",
+        proposals={"A": low, "C": high, "T": low},
+        sends={"B": dict(split), "T": dict(split)},
+    )
+    return LowerBoundScenario(
+        model=MobileModel.SASAKI,
+        f=f,
+        groups=groups,
+        executions=(e1, e2, e3),
+        view_matches=(("E3", "A", "E1"), ("E3", "C", "E2")),
+        description=(
+            "n = 6f: byzantine and planted-queue cured groups (2f "
+            "asymmetric senders) split the 4f correct processes"
+        ),
+    )
+
+
+def _buhrman_scenario(f: int, low: float, high: float) -> LowerBoundScenario:
+    """Theorem 6: M4 at ``n = 3f`` -- the classical FLM construction."""
+    groups = (
+        Group("B", f, "byzantine"),
+        Group("A", f, "correct"),
+        Group("C", f, "correct"),
+    )
+    names = ("A", "B", "C")
+
+    def to_all(value: float) -> dict[str, float]:
+        return {name: value for name in names}
+
+    e1 = Execution(
+        name="E1",
+        proposals={"A": low, "C": low},
+        sends={"B": to_all(high)},
+        forced_decision=low,
+    )
+    e2 = Execution(
+        name="E2",
+        proposals={"A": high, "C": high},
+        sends={"B": to_all(low)},
+        forced_decision=high,
+    )
+    e3 = Execution(
+        name="E3",
+        proposals={"A": low, "C": high},
+        sends={"B": {"A": low, "C": high, "B": low}},
+    )
+    return LowerBoundScenario(
+        model=MobileModel.BUHRMAN,
+        f=f,
+        groups=groups,
+        executions=(e1, e2, e3),
+        view_matches=(("E3", "A", "E1"), ("E3", "C", "E2")),
+        description=(
+            "n = 3f: no cured processes exist at send time, so the "
+            "classical FLM split applies directly"
+        ),
+    )
+
+
+# --------------------------------------------------------------------------
+# Running concrete algorithms against the triples
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlgorithmDefeat:
+    """A concrete algorithm's decisions across the E-triple."""
+
+    scenario: LowerBoundScenario
+    decisions: Mapping[str, Mapping[str, float]]
+    e3_verdict: SimpleAgreementVerdict
+
+    @property
+    def defeated(self) -> bool:
+        """Whether E3 made the algorithm violate Simple Agreement."""
+        return not self.e3_verdict.satisfied
+
+
+def run_algorithm_on_scenario(
+    scenario: LowerBoundScenario,
+    choose: Callable[[ValueMultiset], float],
+) -> AlgorithmDefeat:
+    """Apply a deterministic choice function to every view of the triple.
+
+    ``choose`` maps a received multiset to a decision (e.g. an
+    :class:`~repro.msr.base.MSRFunction`).  Because E3's views coincide
+    with E1's and E2's per the verified matches, the function
+    necessarily repeats its E1/E2 choices inside E3.
+    """
+    decisions: dict[str, dict[str, float]] = {}
+    correct_groups = [g.name for g in scenario.groups if g.role == "correct"]
+    for execution_name in scenario.executions:
+        decisions[execution_name] = {
+            group: choose(scenario.view(execution_name, group))
+            for group in correct_groups
+        }
+    inputs = scenario.correct_inputs("E3")
+    verdict = check_simple_agreement(
+        inputs={i: v for i, v in enumerate(inputs.values())},
+        outputs={i: v for i, v in enumerate(decisions["E3"].values())},
+    )
+    return AlgorithmDefeat(
+        scenario=scenario,
+        decisions={k: dict(v) for k, v in decisions.items()},
+        e3_verdict=verdict,
+    )
+
+
+# --------------------------------------------------------------------------
+# Sustained stall adversaries at n = n_Mi
+# --------------------------------------------------------------------------
+
+
+def stall_group_ids(model: MobileModel | str, f: int) -> dict[str, list[int]]:
+    """Process-id layout of the stall scenario for a model.
+
+    ``low``/``high`` are the two correct value camps; ``pool_a``/
+    ``pool_b`` host the alternating agents (``pool_b`` empty for M4,
+    where agents never need to move).
+    """
+    semantics = get_semantics(model)
+    model = semantics.model
+    if f < 1:
+        raise ValueError("stall scenarios need f >= 1")
+    if model is MobileModel.GARAY:  # n = 4f
+        return {
+            "low": list(range(0, f)),
+            "high": list(range(f, 2 * f)),
+            "pool_a": list(range(2 * f, 3 * f)),
+            "pool_b": list(range(3 * f, 4 * f)),
+        }
+    if model is MobileModel.BONNET:  # n = 5f
+        return {
+            "low": list(range(0, 2 * f)),
+            "high": list(range(2 * f, 3 * f)),
+            "pool_a": list(range(3 * f, 4 * f)),
+            "pool_b": list(range(4 * f, 5 * f)),
+        }
+    if model is MobileModel.SASAKI:  # n = 6f
+        return {
+            "low": list(range(0, 2 * f)),
+            "high": list(range(2 * f, 4 * f)),
+            "pool_a": list(range(4 * f, 5 * f)),
+            "pool_b": list(range(5 * f, 6 * f)),
+        }
+    return {  # Buhrman, n = 3f
+        "low": list(range(0, f)),
+        "high": list(range(f, 2 * f)),
+        "pool_a": list(range(2 * f, 3 * f)),
+        "pool_b": [],
+    }
+
+
+def stall_configuration(
+    model: MobileModel | str,
+    f: int,
+    algorithm,
+    rounds: int = 25,
+    extra_processes: int = 0,
+) -> SimulationConfig:
+    """A run at ``n = n_Mi (+ extra)`` under the stall adversary.
+
+    With ``extra_processes = 0`` the system sits exactly at the bound
+    value the paper proves insufficient: the split attack plus
+    pool-alternating movement freezes the diameter after at most one
+    round.  With ``extra_processes = 1`` the same adversary faces
+    ``n = n_Mi + 1`` and the paper's Theorem 2 applies: the run must
+    converge -- experiments use both sides.
+
+    ``algorithm`` is the MSR instance (trim parameter already set for
+    the model, see :func:`repro.core.mapping.msr_trim_parameter`).
+    """
+    semantics = get_semantics(model)
+    model = semantics.model
+    layout = stall_group_ids(model, f)
+    base_n = sum(len(ids) for ids in layout.values())
+    n = base_n + extra_processes
+
+    initial = [0.0] * n
+    for pid in layout["high"]:
+        initial[pid] = 1.0
+    for pid in layout["pool_a"] + layout["pool_b"]:
+        initial[pid] = 1.0
+    for pid in range(base_n, n):
+        initial[pid] = 0.0  # extra processes join the low camp
+
+    if model is MobileModel.BUHRMAN:
+        movement = StaticAgents(layout["pool_a"])
+    else:
+        movement = AlternatingPools(layout["pool_a"], layout["pool_b"])
+    adversary = Adversary(movement=movement, values=SplitAttack())
+
+    return SimulationConfig(
+        n=n,
+        f=f,
+        initial_values=tuple(initial),
+        algorithm=algorithm,
+        setup=MobileFaultSetup(model=model, adversary=adversary),
+        termination=FixedRounds(rounds),
+        epsilon=1e-3,
+        bound_check="ignore",
+    )

@@ -1,0 +1,138 @@
+"""Mapping Mobile Byzantine Faults to Mixed-Mode faults (paper Section 4).
+
+Lemmas 1-4 establish, per model, the static mixed-mode fault counts a
+round's computation is equivalent to (paper Table 1):
+
+========  ===========================  =========================
+Model     Faulty processes map to      Cured processes map to
+========  ===========================  =========================
+M1        asymmetric (``a = f``)       benign (``b = |cured|``)
+M2        asymmetric (``a = f``)       symmetric (``s = |cured|``)
+M3        asymmetric                   asymmetric (``a = f + |cured|``)
+M4        asymmetric (``a = f``)       (none exist at send time)
+========  ===========================  =========================
+
+Besides the static table, this module provides the *behavioural
+classifier* used by experiment EXP-T1: given a trace round, it derives
+each cured process's mixed-mode class purely from its observable send
+behaviour (silent / identical-to-all / per-recipient-divergent), which
+is how the mapping is validated empirically rather than read off the
+model definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..faults.mixed_mode import FaultClass, MixedModeCounts
+from ..faults.models import ALL_MODELS, MobileModel, get_semantics
+from ..runtime.trace import RoundRecord
+
+__all__ = [
+    "MappingRow",
+    "mixed_mode_image",
+    "msr_trim_parameter",
+    "mapping_table",
+    "classify_send_behavior",
+    "classify_cured_processes",
+]
+
+
+@dataclass(frozen=True)
+class MappingRow:
+    """One row of the paper's Table 1 for a single model."""
+
+    model: MobileModel
+    faulty_class: FaultClass
+    cured_class: FaultClass | None
+
+    def render_cells(self) -> dict[str, str]:
+        """Cells of Table 1 for this model (fault class -> roles)."""
+        cells = {cls.value: "" for cls in FaultClass}
+        roles: dict[str, list[str]] = {cls.value: [] for cls in FaultClass}
+        roles[self.faulty_class.value].append("faulty")
+        if self.cured_class is not None:
+            roles[self.cured_class.value].append("cured")
+        for key, entries in roles.items():
+            cells[key] = ", ".join(entries)
+        return cells
+
+
+def mixed_mode_image(
+    model: MobileModel | str, f: int, cured: int | None = None
+) -> MixedModeCounts:
+    """Lemmas 1-4: the mixed-mode counts a round is equivalent to.
+
+    ``cured`` defaults to ``f``, the worst case allowed by Corollary 1.
+    """
+    return get_semantics(model).mixed_mode_counts(f, cured)
+
+
+def msr_trim_parameter(model: MobileModel | str, f: int) -> int:
+    """The reduction parameter ``tau = a + s`` an MSR instance needs.
+
+    This is what a deployment must configure: it depends only on the
+    model and ``f``, both known a priori, not on the per-round cured
+    count.
+    """
+    return get_semantics(model).trim_parameter(f)
+
+
+def mapping_table() -> list[MappingRow]:
+    """Structured content of the paper's Table 1, in M1..M4 order."""
+    rows = []
+    for model in ALL_MODELS:
+        image_with_cured = mixed_mode_image(model, f=1, cured=1)
+        image_without = mixed_mode_image(model, f=1, cured=0)
+        # The faulty class is what remains with zero cured processes.
+        faulty_class = FaultClass.ASYMMETRIC
+        assert image_without == MixedModeCounts(asymmetric=1), (
+            "faulty processes are asymmetric in every model"
+        )
+        cured_class: FaultClass | None
+        if image_with_cured.benign > image_without.benign:
+            cured_class = FaultClass.BENIGN
+        elif image_with_cured.symmetric > image_without.symmetric:
+            cured_class = FaultClass.SYMMETRIC
+        elif image_with_cured.asymmetric > image_without.asymmetric:
+            cured_class = FaultClass.ASYMMETRIC
+        else:
+            cured_class = None
+        rows.append(
+            MappingRow(model=model, faulty_class=faulty_class, cured_class=cured_class)
+        )
+    return rows
+
+
+def classify_send_behavior(
+    record: RoundRecord, pid: int, tolerance: float = 0.0
+) -> FaultClass:
+    """Classify a process's observable send behaviour in one round.
+
+    Mirrors Definitions 1-3 operationally:
+
+    * silent (detected omission) -> **benign**;
+    * sent the same value to every recipient -> **symmetric** (the
+      weakest class consistent with the observation; an honest
+      broadcast also looks symmetric -- callers only apply this to
+      cured/faulty processes);
+    * sent diverging values -> **asymmetric**.
+    """
+    outbox = record.sent.get(pid)
+    if outbox is None:
+        return FaultClass.BENIGN
+    values = list(outbox.values())
+    if not values:
+        return FaultClass.BENIGN
+    spread = max(values) - min(values)
+    if spread <= tolerance:
+        return FaultClass.SYMMETRIC
+    return FaultClass.ASYMMETRIC
+
+
+def classify_cured_processes(record: RoundRecord) -> dict[int, FaultClass]:
+    """Observed mixed-mode class of every cured process in a round."""
+    return {
+        pid: classify_send_behavior(record, pid)
+        for pid in sorted(record.cured_at_send)
+    }

@@ -1,0 +1,36 @@
+"""Experiment harness regenerating every paper artefact.
+
+One module per table/theorem/figure (see DESIGN.md's per-experiment
+index); ``runner.run_all`` executes the suite, ``cli`` exposes it as
+``repro-experiments`` / ``python -m repro.experiments.cli``.
+"""
+
+from .base import ExperimentResult
+from .convergence_exp import run_convergence
+from .equivalence_exp import run_equivalence
+from .lower_bounds_exp import run_lower_bounds
+from .mixed_mode_exp import mixed_stall_config, run_mixed_mode
+from .robustness import run_robustness
+from .runner import EXPERIMENTS, render_report, run_all, run_named
+from .spec_exp import run_spec_battery
+from .static_vs_mobile import run_static_vs_mobile
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = [
+    "ExperimentResult",
+    "run_table1",
+    "run_table2",
+    "run_lower_bounds",
+    "run_equivalence",
+    "run_spec_battery",
+    "run_convergence",
+    "run_static_vs_mobile",
+    "run_mixed_mode",
+    "run_robustness",
+    "mixed_stall_config",
+    "EXPERIMENTS",
+    "run_all",
+    "run_named",
+    "render_report",
+]

@@ -1,0 +1,53 @@
+"""Common experiment result structure.
+
+Every experiment produces an :class:`ExperimentResult`: an identifier
+matching DESIGN.md's per-experiment index, a paper-shaped table, notes,
+and an overall pass flag asserting the paper's claim was reproduced.
+Benchmarks re-run the same experiment functions and assert on ``ok``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    #: True when every reproduced claim matched the paper.
+    ok: bool = True
+    #: Optional extra renderable blocks (e.g. series plots).
+    extra_blocks: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one table row."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form note printed under the table."""
+        self.notes.append(note)
+
+    def fail(self, note: str) -> None:
+        """Mark the experiment as failed with an explanation."""
+        self.ok = False
+        self.notes.append(f"MISMATCH: {note}")
+
+    def render(self) -> str:
+        """Full printable report for this experiment."""
+        status = "REPRODUCED" if self.ok else "MISMATCH"
+        parts = [f"=== {self.exp_id}: {self.title} [{status}] ==="]
+        if self.rows:
+            parts.append(render_table(self.headers, self.rows))
+        parts.extend(self.extra_blocks)
+        parts.extend(f"  note: {note}" for note in self.notes)
+        return "\n".join(parts)

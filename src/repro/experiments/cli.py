@@ -1,0 +1,100 @@
+"""Command-line entry point: ``repro-experiments [name ...]``.
+
+Without arguments the full suite runs; with names, only the selected
+experiments.  ``--list`` shows the registry; ``--f`` and ``--seeds``
+re-parameterize the experiments that sweep over fault counts and seeds
+(unsupported options are ignored per experiment, with a notice).
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from collections.abc import Sequence
+
+from .base import ExperimentResult
+from .runner import EXPERIMENTS, render_report
+
+__all__ = ["main", "run_with_options"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables, theorems and figures of 'Approximate "
+            "Agreement under Mobile Byzantine Faults' (ICDCS 2016)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="NAME",
+        help="experiment names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--f",
+        dest="f",
+        type=int,
+        default=None,
+        metavar="F",
+        help="number of mobile Byzantine agents for sweeping experiments",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="number of seeds per configuration (seeds 0..K-1)",
+    )
+    return parser
+
+
+def run_with_options(
+    names: Sequence[str], f: int | None = None, seeds: int | None = None
+) -> list[ExperimentResult]:
+    """Run experiments, forwarding ``f``/``seeds`` where supported.
+
+    Experiments expose different parameter spellings (``f`` vs
+    ``fault_counts``; ``seeds`` as an explicit tuple); this adapter
+    inspects each runner's signature and forwards what fits.
+    """
+    results = []
+    for name in names:
+        try:
+            runner = EXPERIMENTS[name]
+        except KeyError:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+        parameters = inspect.signature(runner).parameters
+        kwargs: dict[str, object] = {}
+        if f is not None:
+            if "f" in parameters:
+                kwargs["f"] = f
+            elif "fault_counts" in parameters:
+                kwargs["fault_counts"] = (f,)
+        if seeds is not None and "seeds" in parameters:
+            kwargs["seeds"] = tuple(range(seeds))
+        results.append(runner(**kwargs))
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.experiments if args.experiments else list(EXPERIMENTS)
+    results = run_with_options(names, f=args.f, seeds=args.seeds)
+    print(render_report(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""EXP-F1: convergence trajectories (the reproduction's "figure").
+
+The paper proves geometric convergence (Lemmas 6-7) but, being a theory
+paper, plots nothing.  This experiment produces the figure a systems
+paper would show: the non-faulty diameter per round, for every model
+and algorithm, against the worst-case contraction predicted by
+:mod:`repro.core.convergence`.  Measured per-round factors must never
+exceed the prediction.
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import convergence_stats, rounds_until
+from ..analysis.series import Series, render_series
+from ..api import mobile_config
+from ..core.convergence import mobile_contraction
+from ..faults.models import ALL_MODELS, get_semantics
+from ..msr.registry import DEFAULT_ALGORITHMS, make_algorithm
+from ..core.mapping import msr_trim_parameter
+from ..runtime.simulator import run_simulation
+from .base import ExperimentResult
+
+__all__ = ["run_convergence"]
+
+
+def run_convergence(
+    f: int = 1,
+    rounds: int = 20,
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    epsilon: float = 1e-3,
+) -> ExperimentResult:
+    """Measure convergence trajectories for every model and algorithm."""
+    result = ExperimentResult(
+        exp_id="EXP-F1",
+        title=f"Convergence trajectories under worst-case adversaries (f={f})",
+        headers=[
+            "model",
+            "n",
+            "algorithm",
+            "predicted factor",
+            "worst measured",
+            "within bound",
+            f"rounds to eps={epsilon:g}",
+        ],
+    )
+    series_blocks: list[Series] = []
+    for model in ALL_MODELS:
+        semantics = get_semantics(model)
+        n = semantics.required_n(f)
+        for name in algorithms:
+            function = make_algorithm(name, msr_trim_parameter(model, f))
+            predicted = mobile_contraction(function, model, n, f)
+            worst_measured = 0.0
+            trajectory = None
+            reach = None
+            for movement in ("round-robin", "target-extremes", "static"):
+                config = mobile_config(
+                    model=model,
+                    f=f,
+                    n=n,
+                    algorithm=make_algorithm(name, msr_trim_parameter(model, f)),
+                    movement=movement,
+                    attack="split",
+                    rounds=rounds,
+                    seed=5,
+                )
+                trace = run_simulation(config)
+                stats = convergence_stats(trace)
+                if stats.worst_factor >= worst_measured:
+                    worst_measured = stats.worst_factor
+                    trajectory = stats.trajectory
+                    reach = rounds_until(trace, epsilon)
+            within = worst_measured <= predicted.factor + 1e-9
+            if not within:
+                result.fail(
+                    f"{model.value}/{name}: measured factor {worst_measured:.4g} "
+                    f"exceeds predicted {predicted.factor:.4g}"
+                )
+            result.add_row(
+                model.value,
+                n,
+                function.name,
+                predicted.factor,
+                worst_measured,
+                within,
+                reach if reach is not None else f">{rounds}",
+            )
+            if trajectory is not None:
+                series_blocks.append(
+                    Series.of(f"{model.value}/{name}", trajectory)
+                )
+    result.extra_blocks.append(
+        render_series(
+            series_blocks,
+            title="diameter per round (worst movement per cell):",
+        )
+    )
+    result.add_note(
+        "predicted factors: FTM 1/2; FTA a/M; Dolev 1/ceil(M/step) -- see "
+        "repro.core.convergence for derivations"
+    )
+    return result

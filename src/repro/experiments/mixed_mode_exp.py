@@ -1,0 +1,138 @@
+"""EXP-MM: the Kieckhafer-Azadmanesh substrate bound ``n > 3a + 2s + b``.
+
+The paper's Theorem 1 reduces mobile executions to static mixed-mode
+ones, so the reproduction must demonstrate the substrate bound itself:
+for a grid of ``(a, s, b)`` mixes, the spec holds at
+``n = 3a + 2s + b + 1`` and an explicit camp-split adversary defeats
+MSR at ``n = 3a + 2s + b`` (when ``a >= 1``; with no asymmetric faults
+every receiver sees the same multiset, and the failure mode at the
+bound is the reduction running out of values instead).
+"""
+
+from __future__ import annotations
+
+from ..analysis.metrics import convergence_stats
+from ..api import evenly_spread_values
+from ..core.specification import check_trace
+from ..faults.adversary import Adversary
+from ..faults.mixed_mode import MixedModeCounts, StaticFaultAssignment
+from ..faults.value_strategies import SplitAttack
+from ..msr.registry import make_algorithm
+from ..runtime.config import SimulationConfig, StaticMixedSetup
+from ..runtime.simulator import run_simulation
+from ..runtime.termination import FixedRounds
+from .base import ExperimentResult
+
+__all__ = ["run_mixed_mode", "mixed_stall_config"]
+
+_GRID: tuple[tuple[int, int, int], ...] = (
+    (1, 0, 0),
+    (0, 1, 0),
+    (0, 0, 1),
+    (1, 1, 0),
+    (1, 0, 1),
+    (0, 1, 1),
+    (1, 1, 1),
+    (2, 0, 0),
+    (2, 1, 1),
+)
+
+
+def run_mixed_mode(rounds: int = 30) -> ExperimentResult:
+    """Validate ``n > 3a + 2s + b`` across the fault-mix grid."""
+    result = ExperimentResult(
+        exp_id="EXP-MM",
+        title="Mixed-mode substrate -- n > 3a + 2s + b (Kieckhafer-Azadmanesh)",
+        headers=[
+            "(a, s, b)",
+            "bound n",
+            "spec at bound n",
+            "outcome at bound n - 1",
+        ],
+    )
+    for a, s, b in _GRID:
+        counts = MixedModeCounts(asymmetric=a, symmetric=s, benign=b)
+        min_n = counts.min_processes()
+
+        trace = run_simulation(_sufficient_config(counts, min_n, rounds))
+        verdict = check_trace(trace)
+        if not verdict.satisfied:
+            result.fail(f"(a,s,b)=({a},{s},{b}) n={min_n}: {verdict}")
+
+        outcome = _below_bound_outcome(counts, min_n - 1, rounds, result)
+        result.add_row(str(counts), min_n, verdict.satisfied, outcome)
+    result.add_note(
+        "below the bound: camp-split stalls MSR when a >= 1; with a = 0 "
+        "the reduction itself runs out of values (n - b <= 2*tau)"
+    )
+    return result
+
+
+def _sufficient_config(
+    counts: MixedModeCounts, n: int, rounds: int
+) -> SimulationConfig:
+    assignment = StaticFaultAssignment.first_processes(
+        asymmetric=counts.asymmetric,
+        symmetric=counts.symmetric,
+        benign=counts.benign,
+    )
+    return SimulationConfig(
+        n=n,
+        f=counts.total,
+        initial_values=evenly_spread_values(n),
+        algorithm=make_algorithm("ftm", counts.trim_parameter),
+        setup=StaticMixedSetup(
+            assignment=assignment, adversary=Adversary(values=SplitAttack())
+        ),
+        termination=FixedRounds(rounds),
+    )
+
+
+def mixed_stall_config(counts: MixedModeCounts, rounds: int = 20) -> SimulationConfig:
+    """The camp-split adversary at exactly ``n = 3a + 2s + b``.
+
+    Layout (requires ``a >= 1``): the low camp holds ``a + s`` correct
+    processes at 0, the high camp ``a`` correct processes at 1; the
+    symmetric faults broadcast 1, the asymmetric ones send 0 to the low
+    camp and 1 to the high camp.  Each camp's reduced multiset is then
+    unanimous at its own value, freezing the diameter.
+    """
+    if counts.asymmetric < 1:
+        raise ValueError("the camp-split stall needs at least one asymmetric fault")
+    a, s, b = counts.asymmetric, counts.symmetric, counts.benign
+    n = 3 * a + 2 * s + b
+    assignment = StaticFaultAssignment.first_processes(
+        asymmetric=a, symmetric=s, benign=b
+    )
+    initial = [0.0] * n
+    high_camp_start = (a + s + b) + (a + s)
+    for pid in range(high_camp_start, n):
+        initial[pid] = 1.0
+    return SimulationConfig(
+        n=n,
+        f=counts.total,
+        initial_values=tuple(initial),
+        algorithm=make_algorithm("ftm", counts.trim_parameter),
+        setup=StaticMixedSetup(
+            assignment=assignment, adversary=Adversary(values=SplitAttack())
+        ),
+        termination=FixedRounds(rounds),
+        bound_check="ignore",
+    )
+
+
+def _below_bound_outcome(
+    counts: MixedModeCounts, n: int, rounds: int, result: ExperimentResult
+) -> str:
+    tau = counts.trim_parameter
+    if n - counts.benign < 2 * tau + 1:
+        return "reduction impossible"
+    trace = run_simulation(mixed_stall_config(counts, rounds))
+    stats = convergence_stats(trace)
+    stalled = stats.stalled_from() is not None and stats.final_diameter > 0
+    if not stalled:
+        result.fail(
+            f"(a,s,b)={counts}: expected stall at n={n}, trajectory "
+            f"{stats.trajectory[:6]}"
+        )
+    return "MSR stalls" if stalled else "UNEXPECTED convergence"

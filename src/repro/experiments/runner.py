@@ -1,0 +1,64 @@
+"""Run every experiment and render the combined report.
+
+``run_all`` executes the full suite in DESIGN.md order; the CLI and the
+benchmark harness both route through here so the printed artefacts are
+identical everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from .base import ExperimentResult
+from .convergence_exp import run_convergence
+from .equivalence_exp import run_equivalence
+from .lower_bounds_exp import run_lower_bounds
+from .mixed_mode_exp import run_mixed_mode
+from .robustness import run_robustness
+from .spec_exp import run_spec_battery
+from .static_vs_mobile import run_static_vs_mobile
+from .table1 import run_table1
+from .table2 import run_table2
+
+__all__ = ["EXPERIMENTS", "run_all", "run_named", "render_report"]
+
+#: Registry of experiment ids to zero-argument runners (default params).
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "lower-bounds": run_lower_bounds,
+    "equivalence": run_equivalence,
+    "spec": run_spec_battery,
+    "convergence": run_convergence,
+    "static-vs-mobile": run_static_vs_mobile,
+    "mixed-mode": run_mixed_mode,
+    "robustness": run_robustness,
+}
+
+
+def run_named(names: Sequence[str]) -> list[ExperimentResult]:
+    """Run the experiments with the given registry names, in order."""
+    results = []
+    for name in names:
+        try:
+            runner = EXPERIMENTS[name]
+        except KeyError:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+        results.append(runner())
+    return results
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run the complete suite in DESIGN.md order."""
+    return run_named(list(EXPERIMENTS))
+
+
+def render_report(results: Sequence[ExperimentResult]) -> str:
+    """Combined printable report with a final verdict line."""
+    blocks = [result.render() for result in results]
+    reproduced = sum(result.ok for result in results)
+    blocks.append(
+        f"=== overall: {reproduced}/{len(results)} experiments reproduced ==="
+    )
+    return "\n\n".join(blocks)

@@ -1,0 +1,44 @@
+"""Extensions beyond the paper's core results.
+
+* :mod:`repro.extensions.clock_sync` -- approximate clock
+  synchronization under mobile Byzantine faults (the conclusion's
+  proposed reuse of the mapping technique);
+* :mod:`repro.extensions.multidim` -- coordinate-wise multidimensional
+  agreement for the robot-gathering motivation;
+* :mod:`repro.extensions.interactive_consistency` -- approximate
+  interactive consistency via parallel per-source agreements;
+* :mod:`repro.extensions.median_validity` -- the median-validity
+  property of the Stolz-Wattenhofer-inspired baseline.
+"""
+
+from .clock_sync import (
+    ClockConfig,
+    ClockSyncRound,
+    ClockSyncSimulator,
+    ClockSyncTrace,
+    steady_state_skew_bound,
+)
+from .interactive_consistency import ICResult, interactive_consistency
+from .median_validity import median_validity_holds, median_validity_interval
+from .multidim import (
+    MultidimResult,
+    ensure_value_blind_movement,
+    gathering_diameter,
+    multidim_simulate,
+)
+
+__all__ = [
+    "ClockConfig",
+    "ClockSyncRound",
+    "ClockSyncTrace",
+    "ClockSyncSimulator",
+    "steady_state_skew_bound",
+    "MultidimResult",
+    "multidim_simulate",
+    "gathering_diameter",
+    "ensure_value_blind_movement",
+    "ICResult",
+    "interactive_consistency",
+    "median_validity_interval",
+    "median_validity_holds",
+]

@@ -1,0 +1,215 @@
+"""Approximate interactive consistency under mobile Byzantine faults.
+
+The paper's conclusion proposes reusing its technique for "agreement,
+clock synchronization, interactive consistency etc.".  This extension
+covers interactive consistency (IC): every process must output a
+*vector* with one entry per process, approximating each process's
+input.
+
+Construction
+------------
+IC decomposes into ``n`` parallel approximate agreements, one per
+source:
+
+1. **Dissemination** -- every source broadcasts its input once.
+   Authenticated reliable channels deliver a correct source's input
+   exactly; a source occupied by an agent sends arbitrary per-recipient
+   values.
+2. **Voting** -- for each source ``k``, the processes run the MSR
+   agreement of the main library, seeded with what they received from
+   ``k``.  All ``n`` instances share one fault pattern: an agent on a
+   process corrupts *all* coordinates of what it says (realised by
+   running the per-coordinate simulations with identical seeds and a
+   value-blind movement strategy, as in :mod:`repro.extensions.multidim`).
+
+Guarantees (with ``n > n_Mi``, paper Table 2):
+
+* **eps-Agreement** per coordinate: non-faulty vectors agree within
+  ``epsilon`` entry-wise;
+* **Exact validity for correct sources**: a source that was non-faulty
+  at dissemination time gave every non-faulty process the *same* value,
+  so the coordinate starts unanimous and -- by P1 -- remains exactly the
+  input forever (unanimity is an MSR fixpoint).  Cured processes
+  re-acquire the exact value from the others' copies.
+* **Range validity for faulty sources**: outputs stay inside the range
+  of the values the source disseminated.
+
+The per-coordinate round-0 agent placement coincides with the
+dissemination placement (identical derived randomness), which models an
+adversary that keeps its agents in place between dissemination and the
+first voting round -- a legal choice the adversary is free to make.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..api import mobile_config, movement_strategy, value_strategy
+from ..core.specification import check_trace
+from ..faults.adversary import Adversary
+from ..faults.models import MobileModel, get_semantics
+from ..faults.view import AdversaryView
+from ..msr.base import MSRFunction
+from ..runtime.rng import derive_rng
+from ..runtime.simulator import run_simulation
+from ..runtime.trace import Trace
+from .multidim import ensure_value_blind_movement
+
+__all__ = ["ICResult", "interactive_consistency"]
+
+
+@dataclass(frozen=True)
+class ICResult:
+    """Outcome of an interactive-consistency run."""
+
+    n: int
+    f: int
+    inputs: tuple[float, ...]
+    #: Sources occupied by an agent during dissemination.
+    faulty_sources: frozenset[int]
+    #: ``vectors[i][k]``: process i's output for source k (processes
+    #: non-faulty at the decision round only).
+    vectors: dict[int, tuple[float, ...]]
+    #: The per-source agreement traces.
+    traces: tuple[Trace, ...]
+
+    def agreement_spread(self) -> float:
+        """Largest entry-wise disagreement between two output vectors."""
+        worst = 0.0
+        vectors = list(self.vectors.values())
+        for i, left in enumerate(vectors):
+            for right in vectors[i + 1 :]:
+                worst = max(
+                    worst, max(abs(a - b) for a, b in zip(left, right))
+                )
+        return worst
+
+    def exact_validity_error(self) -> float:
+        """Largest deviation from a correct source's actual input."""
+        worst = 0.0
+        for vector in self.vectors.values():
+            for source, estimate in enumerate(vector):
+                if source not in self.faulty_sources:
+                    worst = max(worst, abs(estimate - self.inputs[source]))
+        return worst
+
+    def coordinate_verdicts(self):
+        """Full specification verdict of every coordinate's agreement."""
+        return [check_trace(trace) for trace in self.traces]
+
+
+def interactive_consistency(
+    inputs: Sequence[float],
+    model: MobileModel | str = "M1",
+    f: int = 1,
+    algorithm: str | MSRFunction = "ftm",
+    movement="round-robin",
+    attack="split",
+    rounds: int = 30,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+) -> ICResult:
+    """Run approximate interactive consistency on scalar inputs.
+
+    ``inputs[k]`` is process ``k``'s private input; every process
+    outputs an ``n``-vector of estimates.  ``n = len(inputs)`` must
+    satisfy the model's Table 2 bound for ``f``.
+    """
+    n = len(inputs)
+    semantics = get_semantics(model)
+    if n < semantics.required_n(f):
+        raise ValueError(
+            f"interactive consistency needs n >= {semantics.required_n(f)} "
+            f"for {semantics.model.value} with f={f}, got n={n}"
+        )
+    movement = ensure_value_blind_movement(movement)
+
+    disseminated, faulty_sources = _disseminate(
+        inputs, semantics.model, f, movement, attack, seed
+    )
+
+    traces: list[Trace] = []
+    for source in range(n):
+        config = mobile_config(
+            model=model,
+            f=f,
+            n=n,
+            algorithm=algorithm,
+            movement=movement,
+            attack=attack,
+            initial_values=[disseminated[receiver][source] for receiver in range(n)],
+            rounds=rounds,
+            epsilon=epsilon,
+            seed=seed,
+        )
+        traces.append(run_simulation(config))
+
+    patterns = [
+        tuple((r.faulty_at_send, r.cured_at_send) for r in trace.rounds)
+        for trace in traces
+    ]
+    if any(pattern != patterns[0] for pattern in patterns):
+        raise RuntimeError(
+            "fault patterns diverged between coordinates; use a "
+            "value-blind movement strategy"
+        )
+
+    shared = set(traces[0].decisions)
+    for trace in traces[1:]:
+        shared &= set(trace.decisions)
+    vectors = {
+        pid: tuple(trace.decisions[pid] for trace in traces)
+        for pid in sorted(shared)
+    }
+    return ICResult(
+        n=n,
+        f=f,
+        inputs=tuple(float(v) for v in inputs),
+        faulty_sources=faulty_sources,
+        vectors=vectors,
+        traces=tuple(traces),
+    )
+
+
+def _disseminate(inputs, model, f, movement, attack, seed):
+    """Round 0: every source broadcasts its input.
+
+    Returns ``(received, faulty_sources)`` where ``received[i][k]`` is
+    what process ``i`` stores as source ``k``'s input.  The agent
+    placement replays the per-coordinate simulations' round-0 placement
+    (identical derived randomness), so the fault pattern is continuous.
+    """
+    n = len(inputs)
+    mover = movement_strategy(movement) if isinstance(movement, str) else movement
+    values = value_strategy(attack) if isinstance(attack, str) else attack
+    adversary = Adversary(movement=mover, values=values)
+    rng = derive_rng(seed, "adversary")
+    positions = adversary.initial_positions(n, f, rng)
+
+    correct_values = {
+        pid: float(value)
+        for pid, value in enumerate(inputs)
+        if pid not in positions
+    }
+    view = AdversaryView(
+        round_index=0,
+        n=n,
+        f=f,
+        values={pid: float(value) for pid, value in enumerate(inputs)},
+        positions=positions,
+        cured=frozenset(),
+        correct_values=correct_values,
+        rng=rng,
+    )
+
+    received: list[list[float]] = []
+    for receiver in range(n):
+        row = []
+        for source in range(n):
+            if source in positions:
+                row.append(adversary.attack_message(view, source, receiver))
+            else:
+                row.append(float(inputs[source]))
+        received.append(row)
+    return received, positions

@@ -1,0 +1,66 @@
+"""Median-validity baseline (Stolz-Wattenhofer-inspired).
+
+Related work (paper Section 2.1): Stolz and Wattenhofer propose
+approximate agreement where the decision must lie close to the *median*
+of the inputs, achieved by a King-style protocol outside the MSR class.
+This reproduction includes the MSR-expressible core of that idea -- the
+trimmed median (:func:`repro.msr.algorithms.median_trim`) -- as a
+baseline, and this module provides the median-validity *property*
+checker used to compare it against plain range validity.
+
+With ``n`` inputs and at most ``f`` Byzantine ones, no algorithm can
+pin the exact median (Byzantine inputs shift it by up to ``f`` order
+positions), so median validity asks the decision to lie within the
+``f``-neighbourhood of the true median of the correct inputs:
+
+    [ sorted_correct[k - f], sorted_correct[k + f] ]    (k = median index,
+                                                         clamped to range)
+
+which is the guarantee of [17] restated over the correct inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..msr.multiset import Interval, ValueMultiset
+
+__all__ = ["median_validity_interval", "median_validity_holds"]
+
+
+def median_validity_interval(
+    correct_inputs: Mapping[int, float] | ValueMultiset, f: int
+) -> Interval:
+    """The f-neighbourhood of the correct inputs' median.
+
+    ``correct_inputs`` are the proposals of the correct processes; the
+    interval spans the order statistics ``f`` positions below and above
+    the median, clamped to the input range.
+    """
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    if isinstance(correct_inputs, ValueMultiset):
+        values = correct_inputs
+    else:
+        values = ValueMultiset(correct_inputs.values())
+    if len(values) == 0:
+        raise ValueError("need at least one correct input")
+    count = len(values)
+    lower_mid = (count - 1) // 2
+    upper_mid = count // 2
+    low_index = max(0, lower_mid - f)
+    high_index = min(count - 1, upper_mid + f)
+    return Interval(values[low_index], values[high_index])
+
+
+def median_validity_holds(
+    correct_inputs: Mapping[int, float] | ValueMultiset,
+    decisions: Mapping[int, float],
+    f: int,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether every decision lies in the median-validity interval."""
+    interval = median_validity_interval(correct_inputs, f)
+    return all(
+        interval.contains(value, tolerance) for value in decisions.values()
+    )

@@ -1,0 +1,201 @@
+"""Multidimensional approximate agreement: the robot-gathering use case.
+
+The paper's introduction motivates approximate agreement with mobile
+robots converging to nearby positions.  Positions are vectors, so this
+extension lifts the scalar machinery coordinate-wise, in the spirit of
+Mendes-Herlihy multidimensional agreement restricted to box validity:
+
+* each coordinate runs an independent scalar MSR agreement;
+* the *fault pattern* (agent positions per round) is shared across
+  coordinates -- an agent occupying a robot corrupts all coordinates of
+  what it says;
+* Validity becomes *box validity*: every decided point lies in the
+  bounding box of the initially non-faulty inputs;
+* epsilon-Agreement is measured in the infinity norm (each coordinate
+  within epsilon), the natural notion for coordinate-wise protocols.
+
+The shared fault pattern relies on movement strategies that do not read
+process values (static, round-robin, random, alternating, scripted):
+identically-seeded runs then move agents identically in every
+coordinate.  Value-dependent strategies (``TargetExtremes``) are
+rejected because coordinates would diverge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..api import mobile_config
+from ..core.specification import check_trace
+from ..faults.movement import (
+    AlternatingPools,
+    MovementStrategy,
+    RandomJump,
+    RoundRobinWalk,
+    ScriptedMovement,
+    StaticAgents,
+)
+from ..faults.models import MobileModel
+from ..msr.base import MSRFunction
+from ..runtime.simulator import run_simulation
+from ..runtime.trace import Trace
+
+__all__ = [
+    "MultidimResult",
+    "multidim_simulate",
+    "gathering_diameter",
+    "ensure_value_blind_movement",
+]
+
+_VALUE_BLIND_MOVEMENTS = (
+    StaticAgents,
+    RoundRobinWalk,
+    RandomJump,
+    AlternatingPools,
+    ScriptedMovement,
+)
+
+
+@dataclass(frozen=True)
+class MultidimResult:
+    """Outcome of a multidimensional agreement run."""
+
+    dimension: int
+    traces: tuple[Trace, ...]
+    #: Decided point of every process non-faulty in all coordinates.
+    decisions: dict[int, tuple[float, ...]]
+
+    def decision_diameter_inf(self) -> float:
+        """Largest pairwise infinity-norm distance between decisions."""
+        points = list(self.decisions.values())
+        worst = 0.0
+        for i, p in enumerate(points):
+            for q in points[i + 1 :]:
+                worst = max(
+                    worst, max(abs(a - b) for a, b in zip(p, q))
+                )
+        return worst
+
+    def validity_box(self) -> list[tuple[float, float]]:
+        """Per-coordinate range of the initially non-faulty inputs."""
+        box = []
+        for trace in self.traces:
+            interval = trace.validity_interval()
+            box.append((interval.low, interval.high))
+        return box
+
+    def box_validity_holds(self, tolerance: float = 1e-9) -> bool:
+        """Every decision inside the initial non-faulty bounding box."""
+        box = self.validity_box()
+        for point in self.decisions.values():
+            for coordinate, (low, high) in zip(point, box):
+                if not low - tolerance <= coordinate <= high + tolerance:
+                    return False
+        return True
+
+    def scalar_verdicts(self):
+        """Per-coordinate specification verdicts."""
+        return [check_trace(trace) for trace in self.traces]
+
+
+def multidim_simulate(
+    points: Sequence[Sequence[float]],
+    model: MobileModel | str = "M1",
+    f: int = 1,
+    algorithm: str | MSRFunction = "ftm",
+    movement: str | MovementStrategy = "round-robin",
+    attack: str = "split",
+    rounds: int = 30,
+    epsilon: float = 1e-3,
+    seed: int = 0,
+) -> MultidimResult:
+    """Run coordinate-wise approximate agreement on vector inputs.
+
+    ``points[i]`` is process ``i``'s initial vector (e.g. a robot's
+    position).  All vectors must share one dimension.
+    """
+    if not points:
+        raise ValueError("need at least one input point")
+    dimension = len(points[0])
+    if dimension < 1:
+        raise ValueError("points must have at least one coordinate")
+    if any(len(point) != dimension for point in points):
+        raise ValueError("all points must share the same dimension")
+
+    traces: list[Trace] = []
+    for axis in range(dimension):
+        config = mobile_config(
+            model=model,
+            f=f,
+            n=len(points),
+            algorithm=algorithm,
+            movement=_fresh_movement(movement),
+            attack=attack,
+            initial_values=[point[axis] for point in points],
+            rounds=rounds,
+            epsilon=epsilon,
+            seed=seed,
+        )
+        traces.append(run_simulation(config))
+
+    patterns = [
+        tuple((r.faulty_at_send, r.cured_at_send) for r in trace.rounds)
+        for trace in traces
+    ]
+    if any(pattern != patterns[0] for pattern in patterns):
+        raise RuntimeError(
+            "fault patterns diverged between coordinates; use a "
+            "value-blind movement strategy"
+        )
+
+    shared = set(traces[0].decisions)
+    for trace in traces[1:]:
+        shared &= set(trace.decisions)
+    decisions = {
+        pid: tuple(trace.decisions[pid] for trace in traces)
+        for pid in sorted(shared)
+    }
+    return MultidimResult(
+        dimension=dimension, traces=tuple(traces), decisions=decisions
+    )
+
+
+def gathering_diameter(points: Sequence[Sequence[float]]) -> float:
+    """Infinity-norm diameter of a point set (gathering quality metric)."""
+    worst = 0.0
+    points = [tuple(point) for point in points]
+    for i, p in enumerate(points):
+        for q in points[i + 1 :]:
+            worst = max(worst, max(abs(a - b) for a, b in zip(p, q)))
+    return worst
+
+
+def ensure_value_blind_movement(
+    movement: str | MovementStrategy,
+) -> str | MovementStrategy:
+    """Validate that the movement strategy is value-blind.
+
+    Named strategies are re-resolved per coordinate (fresh instances);
+    instances are checked by type.  Value-dependent strategies would
+    give each coordinate a different fault pattern.  Shared by every
+    coordinate-wise construction (multidim, interactive consistency).
+    """
+    if isinstance(movement, str):
+        if movement == "target-extremes":
+            raise ValueError(
+                "target-extremes reads process values and cannot be "
+                "shared across coordinates"
+            )
+        return movement
+    if not isinstance(movement, _VALUE_BLIND_MOVEMENTS):
+        raise ValueError(
+            f"{type(movement).__name__} is not value-blind; "
+            "multidimensional runs need identical fault patterns per "
+            "coordinate"
+        )
+    return movement
+
+
+#: Backwards-compatible private alias.
+_fresh_movement = ensure_value_blind_movement

@@ -1,0 +1,67 @@
+"""Fault models: mobile Byzantine agents and static mixed-mode faults.
+
+Implements the failure models of the paper's Section 3 (the four mobile
+Byzantine variants M1-M4) and the static mixed-mode model of
+Kieckhafer-Azadmanesh that the paper maps them onto, together with the
+adversary strategy library driving worst-case executions.
+"""
+
+from .adversary import Adversary
+from .mixed_mode import FaultClass, MixedModeCounts, StaticFaultAssignment
+from .models import (
+    ALL_MODELS,
+    CuredSendBehavior,
+    MobileModel,
+    ModelSemantics,
+    get_semantics,
+)
+from .movement import (
+    AlternatingPools,
+    MovementStrategy,
+    RandomJump,
+    RoundRobinWalk,
+    ScriptedMovement,
+    StaticAgents,
+    TargetExtremes,
+)
+from .states import FailureState
+from .value_strategies import (
+    EchoCorrect,
+    FixedValue,
+    InertiaAttack,
+    OscillatingAttack,
+    OutlierAttack,
+    RandomNoise,
+    SplitAttack,
+    ValueStrategy,
+)
+from .view import AdversaryView
+
+__all__ = [
+    "FailureState",
+    "FaultClass",
+    "MixedModeCounts",
+    "StaticFaultAssignment",
+    "MobileModel",
+    "ModelSemantics",
+    "CuredSendBehavior",
+    "get_semantics",
+    "ALL_MODELS",
+    "AdversaryView",
+    "Adversary",
+    "MovementStrategy",
+    "StaticAgents",
+    "RoundRobinWalk",
+    "RandomJump",
+    "AlternatingPools",
+    "TargetExtremes",
+    "ScriptedMovement",
+    "ValueStrategy",
+    "FixedValue",
+    "SplitAttack",
+    "OutlierAttack",
+    "RandomNoise",
+    "EchoCorrect",
+    "OscillatingAttack",
+    "InertiaAttack",
+]

@@ -1,0 +1,72 @@
+"""The adversary: a movement strategy paired with a value strategy.
+
+The paper's adversary "controls Byzantine agents and moves them from one
+process to another" (Section 1) and, while an agent sits on a process,
+chooses every message it sends and every value it leaves in memory.
+:class:`Adversary` bundles the two orthogonal policies; the fault
+controller in :mod:`repro.runtime` consults it at the model-appropriate
+moments.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .movement import MovementStrategy, StaticAgents
+from .value_strategies import SplitAttack, ValueStrategy
+from .view import AdversaryView
+
+__all__ = ["Adversary"]
+
+
+class Adversary:
+    """A complete adversary: where agents go and what they make hosts say."""
+
+    def __init__(
+        self,
+        movement: MovementStrategy | None = None,
+        values: ValueStrategy | None = None,
+    ) -> None:
+        self.movement = movement if movement is not None else StaticAgents()
+        self.values = values if values is not None else SplitAttack()
+
+    # -- movement -------------------------------------------------------------
+
+    def initial_positions(self, n: int, f: int, rng: random.Random) -> frozenset[int]:
+        """Agent placement for round 0."""
+        return self.movement.initial_positions(n, f, rng)
+
+    def next_positions(self, view: AdversaryView) -> frozenset[int]:
+        """Agent placement after the next movement step."""
+        return self.movement.next_positions(view)
+
+    # -- values ---------------------------------------------------------------
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        """Message a faulty ``sender`` sends to ``recipient`` (None = symmetric)."""
+        return self.values.attack_message(view, sender, recipient)
+
+    def departure_value(self, view: AdversaryView, pid: int) -> float:
+        """Memory contents the agent leaves behind when departing ``pid``."""
+        return self.values.departure_value(view, pid)
+
+    def planted_message(
+        self, view: AdversaryView, sender: int, recipient: int
+    ) -> float:
+        """M3 planted-queue message from cured ``sender`` to ``recipient``."""
+        return self.values.planted_message(view, sender, recipient)
+
+    def corrupted_compute(self, view: AdversaryView, pid: int) -> float:
+        """State an occupied process's computation phase ends with."""
+        return self.values.corrupted_compute(view, pid)
+
+    def describe(self) -> str:
+        """Short description used in experiment tables."""
+        return f"{self.movement.describe()}+{self.values.describe()}"
+
+    def __repr__(self) -> str:
+        return (
+            f"Adversary(movement={self.movement!r}, values={self.values!r})"
+        )

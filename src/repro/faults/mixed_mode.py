@@ -1,0 +1,164 @@
+"""The static Mixed-Mode fault model of Kieckhafer-Azadmanesh [11].
+
+The paper's central technique maps every mobile Byzantine model onto
+this static model, in which each faulty process permanently exhibits one
+of three behaviours (paper Definitions 1-3):
+
+* **benign** -- self-incriminating, immediately evident to all non-faulty
+  processes (e.g. a detected omission in a synchronous round);
+* **symmetric** -- arbitrary but perceived *identically* by every
+  non-faulty process (e.g. broadcasting one wrong value to everybody);
+* **asymmetric** -- fully arbitrary, possibly different towards every
+  non-faulty process (the classical Byzantine fault).
+
+The MSR resilience bound in this model is ``n > 3a + 2s + b``
+(Kieckhafer-Azadmanesh), which the paper instantiates per mobile model
+to obtain its Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+__all__ = ["FaultClass", "MixedModeCounts", "StaticFaultAssignment"]
+
+
+class FaultClass(enum.Enum):
+    """The three static fault behaviours of the mixed-mode model."""
+
+    BENIGN = "benign"
+    SYMMETRIC = "symmetric"
+    ASYMMETRIC = "asymmetric"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class MixedModeCounts:
+    """Fault counts ``(a, s, b)`` of a mixed-mode configuration.
+
+    ``asymmetric`` is the paper's ``a``, ``symmetric`` its ``s`` and
+    ``benign`` its ``b``.  The class carries the two derived quantities
+    the whole reproduction revolves around: the resilience bound
+    ``n > 3a + 2s + b`` and the MSR trim parameter ``tau = a + s``.
+    """
+
+    asymmetric: int = 0
+    symmetric: int = 0
+    benign: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("asymmetric", "symmetric", "benign"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} count must be non-negative")
+
+    @property
+    def total(self) -> int:
+        """Total number of non-correct processes ``a + s + b``."""
+        return self.asymmetric + self.symmetric + self.benign
+
+    @property
+    def trim_parameter(self) -> int:
+        """The MSR reduction parameter ``tau = a + s``.
+
+        Benign faults need no trimming: their omissions are detected
+        during the receive phase and simply absent from the multiset.
+        """
+        return self.asymmetric + self.symmetric
+
+    def min_processes(self) -> int:
+        """The smallest ``n`` satisfying ``n > 3a + 2s + b``."""
+        return 3 * self.asymmetric + 2 * self.symmetric + self.benign + 1
+
+    def satisfied_by(self, n: int) -> bool:
+        """Return whether ``n`` processes satisfy the resilience bound."""
+        return n >= self.min_processes()
+
+    def __str__(self) -> str:
+        return (
+            f"(a={self.asymmetric}, s={self.symmetric}, b={self.benign})"
+        )
+
+
+class StaticFaultAssignment:
+    """A fixed assignment of fault classes to process identifiers.
+
+    Used by the static mixed-mode fault controller: the same processes
+    misbehave in the same way every round, which is exactly the setting
+    of [11] that the paper's Theorem 1 reduces mobile executions to.
+    """
+
+    def __init__(self, assignment: Mapping[int, FaultClass]) -> None:
+        self._assignment = dict(assignment)
+        for pid in self._assignment:
+            if pid < 0:
+                raise ValueError(f"invalid process id {pid}")
+
+    @classmethod
+    def first_processes(
+        cls, asymmetric: int = 0, symmetric: int = 0, benign: int = 0
+    ) -> "StaticFaultAssignment":
+        """Assign classes to the lowest process ids, in (a, s, b) order.
+
+        Convenient for experiments: with full-mesh communication and
+        value-symmetric strategies, *which* processes are faulty does not
+        affect the results, only how many of each class.
+        """
+        assignment: dict[int, FaultClass] = {}
+        pid = 0
+        for count, fault_class in (
+            (asymmetric, FaultClass.ASYMMETRIC),
+            (symmetric, FaultClass.SYMMETRIC),
+            (benign, FaultClass.BENIGN),
+        ):
+            for _ in range(count):
+                assignment[pid] = fault_class
+                pid += 1
+        return cls(assignment)
+
+    @property
+    def counts(self) -> MixedModeCounts:
+        """The ``(a, s, b)`` counts of this assignment."""
+        values = list(self._assignment.values())
+        return MixedModeCounts(
+            asymmetric=values.count(FaultClass.ASYMMETRIC),
+            symmetric=values.count(FaultClass.SYMMETRIC),
+            benign=values.count(FaultClass.BENIGN),
+        )
+
+    @property
+    def faulty_ids(self) -> frozenset[int]:
+        """Identifiers of all non-correct processes."""
+        return frozenset(self._assignment)
+
+    def fault_class(self, pid: int) -> FaultClass | None:
+        """Return the fault class of ``pid``, or ``None`` if correct."""
+        return self._assignment.get(pid)
+
+    def ids_of(self, fault_class: FaultClass) -> frozenset[int]:
+        """Identifiers assigned the given class."""
+        return frozenset(
+            pid for pid, cls_ in self._assignment.items() if cls_ is fault_class
+        )
+
+    def validate_for(self, n: int) -> None:
+        """Check every assigned id exists among ``n`` processes."""
+        out_of_range = [pid for pid in self._assignment if pid >= n]
+        if out_of_range:
+            raise ValueError(
+                f"fault assignment references process ids {out_of_range} "
+                f"but the system has only n={n} processes"
+            )
+
+    def items(self) -> Iterable[tuple[int, FaultClass]]:
+        """Iterate over ``(pid, fault_class)`` pairs."""
+        return self._assignment.items()
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __repr__(self) -> str:
+        return f"StaticFaultAssignment({self._assignment!r})"

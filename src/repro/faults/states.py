@@ -1,0 +1,35 @@
+"""Process failure-state lifecycle for the mobile Byzantine model.
+
+Section 3 of the paper: a process is *faulty* while a mobile Byzantine
+agent occupies it, *cured* during the first round after the agent left,
+and *correct* otherwise.  A cured process recovers the correct algorithm
+code from tamper-proof memory, but its local variables may have been
+corrupted arbitrarily by the departing agent.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["FailureState"]
+
+
+class FailureState(enum.Enum):
+    """The paper's per-round failure states (Section 3, "Failure model")."""
+
+    #: No agent on the process and no agent left it this round.
+    CORRECT = "correct"
+    #: An agent occupied the process in the previous round and left;
+    #: the code is restored from tamper-proof memory but the state
+    #: (local variables) may be corrupted.
+    CURED = "cured"
+    #: A mobile Byzantine agent currently occupies the process.
+    FAULTY = "faulty"
+
+    @property
+    def is_nonfaulty(self) -> bool:
+        """Correct and cured processes are the "non faulty" of the spec."""
+        return self is not FailureState.FAULTY
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,254 @@
+"""Byzantine value strategies: what corrupted processes say and leave behind.
+
+A :class:`ValueStrategy` answers the four questions the fault controller
+asks during a round (see DESIGN.md Section 4):
+
+* ``attack_message`` -- what a *faulty* process sends to one recipient
+  (per-recipient: the asymmetric behaviour of Definition 3);
+* ``departure_value`` -- what the agent leaves in a process's memory
+  when it moves away (the corrupted state a cured process holds);
+* ``planted_message`` -- the outgoing queue the agent prepares in
+  Sasaki's model M3 (per-recipient, sent by the cured process);
+* ``corrupted_compute`` -- the garbage an occupied process's
+  computation phase produces.
+
+Recipient ``None`` in ``attack_message`` requests a *symmetric* value
+(one value perceived identically by everybody), used for symmetric
+mixed-mode faults and for M2 departure values.
+
+All strategies are deterministic functions of the view (including the
+view's seeded ``rng``), so simulations replay exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .view import AdversaryView
+
+__all__ = [
+    "ValueStrategy",
+    "FixedValue",
+    "SplitAttack",
+    "OutlierAttack",
+    "RandomNoise",
+    "EchoCorrect",
+    "OscillatingAttack",
+    "InertiaAttack",
+]
+
+
+class ValueStrategy(ABC):
+    """Base class for Byzantine value choices."""
+
+    @abstractmethod
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        """Value a faulty ``sender`` sends to ``recipient`` (None = to all)."""
+
+    def departure_value(self, view: AdversaryView, pid: int) -> float:
+        """Memory value the agent leaves behind on departure from ``pid``.
+
+        Defaults to the symmetric attack value, which is the natural
+        "most disruptive single value" of each strategy.
+        """
+        return self.attack_message(view, pid, None)
+
+    def planted_message(
+        self, view: AdversaryView, sender: int, recipient: int
+    ) -> float:
+        """M3 planted-queue value from cured ``sender`` to ``recipient``.
+
+        Defaults to the same choice as a live attack, which is the
+        strongest option available to the agent.
+        """
+        return self.attack_message(view, sender, recipient)
+
+    def corrupted_compute(self, view: AdversaryView, pid: int) -> float:
+        """State an occupied process ends the round with."""
+        return self.departure_value(view, pid)
+
+    def describe(self) -> str:
+        """Short name used in experiment tables."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FixedValue(ValueStrategy):
+    """Always say the same constant -- the simplest symmetric lie."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"fixed({self.value:g})"
+
+    def __repr__(self) -> str:
+        return f"FixedValue({self.value!r})"
+
+
+class SplitAttack(ValueStrategy):
+    """The classic bisection attack: keep the correct processes apart.
+
+    Recipients whose current value lies at or below the midpoint of the
+    correct range receive the range *minimum*; the others receive the
+    range *maximum*.  This reinforces each side's extreme and is the
+    worst case for trim-based algorithms (it realises the adversary of
+    the paper's lower-bound executions E3).
+
+    ``low``/``high`` override the sent values (used by scripted
+    scenarios with a fixed [0, 1] input range).
+    """
+
+    def __init__(self, low: float | None = None, high: float | None = None) -> None:
+        self.low = low
+        self.high = high
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        interval = view.correct_range()
+        low = interval.low if self.low is None else self.low
+        high = interval.high if self.high is None else self.high
+        if recipient is None:
+            # Symmetric variant: a single maximally-eccentric value.
+            return high
+        recipient_value = view.values.get(recipient)
+        if recipient_value is None:
+            # Unknown recipient state (e.g. another faulty process):
+            # split deterministically by identifier parity.
+            return low if recipient % 2 == 0 else high
+        return low if recipient_value <= interval.midpoint() else high
+
+    def describe(self) -> str:
+        if self.low is None and self.high is None:
+            return "split(range)"
+        return f"split({self.low:g},{self.high:g})"
+
+
+class OutlierAttack(ValueStrategy):
+    """Send values far outside the correct range.
+
+    Exercises the reduction stage (P1): every sent value must be trimmed
+    or Validity breaks.  ``magnitude`` controls how far outside; the
+    sign alternates with the recipient id so both ends are attacked.
+    """
+
+    def __init__(self, magnitude: float = 1e6) -> None:
+        if magnitude <= 0:
+            raise ValueError("magnitude must be positive")
+        self.magnitude = float(magnitude)
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        interval = view.correct_range()
+        if recipient is None or recipient % 2 == 0:
+            return interval.high + self.magnitude
+        return interval.low - self.magnitude
+
+    def describe(self) -> str:
+        return f"outlier({self.magnitude:g})"
+
+
+class RandomNoise(ValueStrategy):
+    """Uniform random values within an envelope around the correct range.
+
+    ``spread`` scales the envelope: 1.0 keeps lies inside the correct
+    range, larger values allow out-of-range lies.  Uses the view's
+    seeded adversary rng, so runs stay reproducible.
+    """
+
+    def __init__(self, spread: float = 2.0) -> None:
+        if spread <= 0:
+            raise ValueError("spread must be positive")
+        self.spread = float(spread)
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        interval = view.correct_range()
+        center = interval.midpoint()
+        half_width = max(interval.width, 1e-9) * self.spread / 2.0
+        return view.rng.uniform(center - half_width, center + half_width)
+
+    def describe(self) -> str:
+        return f"noise(spread={self.spread:g})"
+
+
+class EchoCorrect(ValueStrategy):
+    """A *weak* adversary that mimics a correct process.
+
+    Sends the midpoint of the correct range everywhere.  Used as a
+    control in experiments: with this adversary even under-provisioned
+    systems converge, which shows the bounds of Table 2 are about
+    worst-case adversaries, not averages.
+    """
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        return view.correct_midpoint()
+
+    def describe(self) -> str:
+        return "echo-correct"
+
+
+class OscillatingAttack(ValueStrategy):
+    """Time-varying symmetric lies: all-low rounds alternate with
+    all-high rounds.
+
+    Each round the faulty processes jointly push one end of the correct
+    range (the low end on even rounds, the high end on odd rounds).
+    Within a round the behaviour is symmetric, but across rounds it
+    exercises the *temporal* robustness of the protocol: reductions
+    must keep filtering even though the lie direction flips under the
+    moving agents.
+    """
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        interval = view.correct_range()
+        return interval.low if view.round_index % 2 == 0 else interval.high
+
+    def describe(self) -> str:
+        return "oscillating"
+
+
+class InertiaAttack(ValueStrategy):
+    """Echo each recipient its *own* current value.
+
+    A subtle anti-convergence attack: instead of pushing extremes, the
+    adversary reinforces every process's current position, maximising
+    the weight of the status quo inside each multiset.  Trimming caps
+    its effect -- experiments show it slows convergence by at most the
+    predicted contraction factor -- but it is the natural "keep them
+    apart without being an outlier" strategy and exercises recipient-
+    dependent lies that stay *inside* the correct range (so P1 can
+    never flag them).
+    """
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        if recipient is None:
+            return view.correct_midpoint()
+        value = view.values.get(recipient)
+        if value is None:
+            return view.correct_midpoint()
+        # Clamp to the correct range: corrupted memories of other
+        # faulty processes must not leak outliers through this path.
+        interval = view.correct_range()
+        return min(max(value, interval.low), interval.high)
+
+    def describe(self) -> str:
+        return "inertia"

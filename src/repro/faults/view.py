@@ -1,0 +1,75 @@
+"""The omniscient adversary's view of a round.
+
+Mobile Byzantine agents are computationally unbounded and, in the worst
+case, fully informed: strategies receive a snapshot of the entire system
+state at the moment they act.  Keeping the view explicit (rather than
+letting strategies poke at the simulator) makes strategies pure
+functions of ``view -> choice``, which keeps runs reproducible and lets
+tests construct views directly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from ..msr.multiset import Interval
+
+__all__ = ["AdversaryView"]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything the adversary knows when choosing an action.
+
+    Attributes
+    ----------
+    round_index:
+        The current round ``r_k``.
+    n, f:
+        System size and number of mobile agents.
+    values:
+        True current memory value of every process (the adversary reads
+        all memories, including corrupted ones).
+    positions:
+        Processes currently hosting an agent.
+    cured:
+        Processes in the cured state this round.
+    correct_values:
+        Memory values of the processes that are neither faulty nor
+        cured -- the ``U``-generators whose range Validity protects.
+    rng:
+        Deterministic randomness stream reserved for the adversary.
+    """
+
+    round_index: int
+    n: int
+    f: int
+    values: Mapping[int, float]
+    positions: frozenset[int]
+    cured: frozenset[int]
+    correct_values: Mapping[int, float] = field(default_factory=dict)
+    rng: random.Random = field(default_factory=random.Random, compare=False)
+
+    @property
+    def correct_ids(self) -> frozenset[int]:
+        """Identifiers of currently-correct processes."""
+        return frozenset(self.correct_values)
+
+    def correct_range(self) -> Interval:
+        """The interval spanned by currently-correct values.
+
+        Falls back to the range over *all* values when no process is
+        correct (only possible in deliberately degenerate tests).
+        """
+        source = self.correct_values or self.values
+        if not source:
+            raise ValueError("adversary view contains no process values")
+        lows = min(source.values())
+        highs = max(source.values())
+        return Interval(lows, highs)
+
+    def correct_midpoint(self) -> float:
+        """Midpoint of the correct range; the split point of attacks."""
+        return self.correct_range().midpoint()

@@ -1,0 +1,68 @@
+"""The MSR (Mean-Subsequence-Reduce) algorithm family.
+
+This package implements the algorithm class whose correctness under
+Mobile Byzantine Faults the paper establishes: sorted value multisets,
+the composable Red / Sel / mean stages, the classic concrete instances
+(FTM, FTA, Dolev et al., trimmed median) and a name-based registry used
+by the experiment harness.
+"""
+
+from .algorithms import (
+    dolev_et_al,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    median_trim,
+    simple_mean,
+)
+from .base import MSRApplication, MSRFunction
+from .mean import ArithmeticMean, Combiner, MedianCombiner
+from .multiset import Interval, ValueMultiset
+from .reduce import (
+    IdentityReduction,
+    Reduction,
+    TrimExtremes,
+    TrimOutsideInterval,
+)
+from .registry import (
+    DEFAULT_ALGORITHMS,
+    AlgorithmFactory,
+    algorithm_names,
+    make_algorithm,
+    register_algorithm,
+)
+from .select import (
+    SelectAll,
+    SelectEvery,
+    SelectExtremes,
+    Selection,
+    SelectMedian,
+)
+
+__all__ = [
+    "ValueMultiset",
+    "Interval",
+    "MSRFunction",
+    "MSRApplication",
+    "Reduction",
+    "TrimExtremes",
+    "IdentityReduction",
+    "TrimOutsideInterval",
+    "Selection",
+    "SelectAll",
+    "SelectExtremes",
+    "SelectEvery",
+    "SelectMedian",
+    "Combiner",
+    "ArithmeticMean",
+    "MedianCombiner",
+    "fault_tolerant_midpoint",
+    "fault_tolerant_average",
+    "dolev_et_al",
+    "median_trim",
+    "simple_mean",
+    "AlgorithmFactory",
+    "register_algorithm",
+    "make_algorithm",
+    "algorithm_names",
+    "DEFAULT_ALGORITHMS",
+]

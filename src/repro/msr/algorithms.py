@@ -1,0 +1,107 @@
+"""Concrete MSR algorithm instances.
+
+The paper proves correctness for the *whole* MSR class; experiments run
+several representative members (all from the literature the paper builds
+on) so that every claim is exercised by more than one algorithm:
+
+* :func:`fault_tolerant_midpoint` (FTM) -- trim ``tau`` from each end,
+  average the two surviving extremes.  Contraction factor 1/2 per round,
+  the optimum for MSR algorithms [11].
+* :func:`fault_tolerant_average` (FTA) -- trim ``tau``, average *all*
+  survivors.  Slower contraction but better noise behaviour; the classic
+  "trimmed mean" of the fault-tolerance literature.
+* :func:`dolev_et_al` -- trim ``tau``, keep every ``tau``-th survivor,
+  average.  The synchronous algorithm of Dolev, Lynch, Pinter, Stark,
+  Weihl [10]; contraction ``1/ceil((m - 2*tau)/tau)``.
+* :func:`median_trim` -- trim ``tau``, take the median.  A
+  median-validity style **baseline** (Stolz-Wattenhofer-inspired, see
+  DESIGN.md Section 7).  Although it fits the syntactic
+  ``mean(Sel(Red(N)))`` shape, the exact-median selection is *not* one
+  of the convergent MSR selections: with balanced value camps a single
+  asymmetric fault holds two receivers' medians at opposite camps and
+  the diameter freezes (see
+  :mod:`repro.core.convergence` and the ablation benchmark) -- the
+  empirical reason the paper's Section 2.1 notes that the
+  Stolz-Wattenhofer median algorithm lies outside the MSR class.
+
+Each factory takes the trim parameter ``tau``; callers derive ``tau``
+from the fault model via :func:`repro.core.mapping.msr_trim_parameter`.
+"""
+
+from __future__ import annotations
+
+from .base import MSRFunction
+from .mean import ArithmeticMean
+from .reduce import TrimExtremes
+from .select import SelectAll, SelectEvery, SelectExtremes, SelectMedian
+
+__all__ = [
+    "fault_tolerant_midpoint",
+    "fault_tolerant_average",
+    "dolev_et_al",
+    "median_trim",
+    "simple_mean",
+]
+
+
+def fault_tolerant_midpoint(tau: int) -> MSRFunction:
+    """FTM: midpoint of the multiset after trimming ``tau`` per side."""
+    return MSRFunction(
+        reduction=TrimExtremes(tau),
+        selection=SelectExtremes(),
+        combiner=ArithmeticMean(),
+        name=f"FTM(tau={tau})",
+    )
+
+
+def fault_tolerant_average(tau: int) -> MSRFunction:
+    """FTA: arithmetic mean of all values after trimming ``tau`` per side."""
+    return MSRFunction(
+        reduction=TrimExtremes(tau),
+        selection=SelectAll(),
+        combiner=ArithmeticMean(),
+        name=f"FTA(tau={tau})",
+    )
+
+
+def dolev_et_al(tau: int) -> MSRFunction:
+    """Dolev et al. [10]: mean of every ``tau``-th value after trimming.
+
+    For ``tau = 0`` (fault-free) this degenerates to the plain mean.
+    """
+    if tau == 0:
+        return simple_mean()
+    return MSRFunction(
+        reduction=TrimExtremes(tau),
+        selection=SelectEvery(step=tau),
+        combiner=ArithmeticMean(),
+        name=f"Dolev(tau={tau})",
+    )
+
+
+def median_trim(tau: int) -> MSRFunction:
+    """Trimmed median: median of the multiset after trimming ``tau``.
+
+    Baseline only -- satisfies P1 (validity) but **not** the single-step
+    convergence property P2 in the worst case; see the module docstring.
+    """
+    return MSRFunction(
+        reduction=TrimExtremes(tau),
+        selection=SelectMedian(),
+        combiner=ArithmeticMean(),
+        name=f"MedianTrim(tau={tau})",
+    )
+
+
+def simple_mean() -> MSRFunction:
+    """Plain averaging with no fault filtering (fault-free baseline).
+
+    Included so experiments can show *why* reduction is needed: a single
+    Byzantine value drags the plain mean outside the correct range.
+    """
+    return MSRFunction(
+        reduction=TrimExtremes(0),
+        selection=SelectAll(),
+        combiner=ArithmeticMean(),
+        name="SimpleMean",
+    )

@@ -1,0 +1,130 @@
+"""The MSR (Mean-Subsequence-Reduce) function template.
+
+Paper Section 4: every convergent voting algorithm in the MSR class
+computes, each round,
+
+    F_MSR(N) = mean( Sel( Red(N) ) )
+
+where ``N`` is the multiset of values received in the round, ``Red`` is a
+reduction filtering (potentially faulty) extreme values and ``Sel``
+selects a subsequence of the survivors.  This module composes the three
+stages into :class:`MSRFunction`, the object a voting process applies in
+its computation phase.
+
+The two correctness properties the paper relies on (Section 5.1) are
+checkable on any application of the function:
+
+* **P1**: the computed value lies in the range ``rho(U)`` of values sent
+  by non-faulty processes;
+* **P2**: any two computed values differ by strictly less than the
+  diameter ``delta(U)`` of the non-faulty values.
+
+:meth:`MSRFunction.apply_checked` evaluates the function and verifies P1
+against a supplied non-faulty range, which the trace checker uses to
+validate every round of every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mean import ArithmeticMean, Combiner
+from .multiset import Interval, ValueMultiset
+from .reduce import Reduction
+from .select import Selection
+
+__all__ = ["MSRFunction", "MSRApplication"]
+
+
+@dataclass(frozen=True)
+class MSRApplication:
+    """The intermediate products of one application of an MSR function.
+
+    Kept by the trace for inspection: experiments on the mapping and on
+    single-step convergence read the reduced/selected stages directly.
+    """
+
+    received: ValueMultiset
+    reduced: ValueMultiset
+    selected: ValueMultiset
+    result: float
+
+    def in_range(self, interval: Interval, tolerance: float = 1e-12) -> bool:
+        """Return whether the result satisfies P1 w.r.t. ``interval``."""
+        return interval.contains(self.result, tolerance)
+
+
+class MSRFunction:
+    """A concrete member of the MSR class: ``mean(Sel(Red(N)))``.
+
+    Parameters
+    ----------
+    reduction, selection, combiner:
+        The three composable stages.
+    name:
+        Display name used by registries, tables and traces.
+    """
+
+    def __init__(
+        self,
+        reduction: Reduction,
+        selection: Selection,
+        combiner: Combiner | None = None,
+        name: str = "MSR",
+    ) -> None:
+        self.reduction = reduction
+        self.selection = selection
+        self.combiner = combiner if combiner is not None else ArithmeticMean()
+        self.name = name
+
+    def __call__(self, received: ValueMultiset) -> float:
+        """Apply the function to a received multiset; returns the new vote."""
+        return self.apply(received).result
+
+    def apply(self, received: ValueMultiset) -> MSRApplication:
+        """Apply the function, returning all intermediate stages."""
+        if len(received) == 0:
+            raise ValueError(
+                f"{self.name}: received multiset is empty; a voting process "
+                "always hears at least itself, so this indicates a broken "
+                "simulation setup"
+            )
+        reduced = self.reduction(received)
+        selected = self.selection(reduced)
+        result = self.combiner(selected)
+        return MSRApplication(
+            received=received, reduced=reduced, selected=selected, result=result
+        )
+
+    def apply_checked(
+        self, received: ValueMultiset, nonfaulty_range: Interval
+    ) -> MSRApplication:
+        """Apply the function and assert property P1 against a known range.
+
+        Used by tests and the trace checker where the ground-truth range
+        of non-faulty values is available.  Raises :class:`AssertionError`
+        on violation so failures are loud during experiments.
+        """
+        application = self.apply(received)
+        if not application.in_range(nonfaulty_range):
+            raise AssertionError(
+                f"{self.name}: P1 violated -- result {application.result!r} "
+                f"outside non-faulty range [{nonfaulty_range.low!r}, "
+                f"{nonfaulty_range.high!r}]"
+            )
+        return application
+
+    def minimum_multiset_size(self) -> int:
+        """Smallest received multiset the function can be applied to."""
+        return max(1, self.reduction.minimum_input_size())
+
+    def describe(self) -> str:
+        """Full human-readable composition description."""
+        return (
+            f"{self.name}: {self.combiner.describe()} of "
+            f"[{self.selection.describe()}] of "
+            f"[{self.reduction.describe()}]"
+        )
+
+    def __repr__(self) -> str:
+        return f"MSRFunction({self.describe()!r})"

@@ -1,0 +1,69 @@
+"""Combiner (``mean``) stage of MSR algorithms.
+
+The MSR template always *averages* the selected subsequence; this module
+keeps the stage explicit and swappable so ablations can compare the
+arithmetic mean against alternatives (e.g. the exact median), and so the
+algorithm description strings stay faithful to the construction.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .multiset import ValueMultiset
+
+__all__ = ["Combiner", "ArithmeticMean", "MedianCombiner"]
+
+
+class Combiner(ABC):
+    """Base class for the final stage mapping a multiset to one value."""
+
+    @abstractmethod
+    def __call__(self, multiset: ValueMultiset) -> float:
+        """Combine the selected values into the next voted value."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A short human-readable description used in tables and repr."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class ArithmeticMean(Combiner):
+    """The standard MSR combiner: the arithmetic mean."""
+
+    def __call__(self, multiset: ValueMultiset) -> float:
+        return multiset.mean()
+
+    def describe(self) -> str:
+        return "arithmetic mean"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArithmeticMean)
+
+    def __hash__(self) -> int:
+        return hash("ArithmeticMean")
+
+
+class MedianCombiner(Combiner):
+    """Median combiner, used by ablation baselines outside the MSR class.
+
+    Note the median of the selected subsequence equals the arithmetic
+    mean when the selection returns one or two values, so MSR instances
+    built on :class:`~repro.msr.select.SelectMedian` or
+    :class:`~repro.msr.select.SelectExtremes` are unaffected by this
+    choice; it only matters for larger selections.
+    """
+
+    def __call__(self, multiset: ValueMultiset) -> float:
+        return multiset.median()
+
+    def describe(self) -> str:
+        return "median"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, MedianCombiner)
+
+    def __hash__(self) -> int:
+        return hash("MedianCombiner")

@@ -1,0 +1,282 @@
+"""Sorted value multisets, the data structure MSR functions operate on.
+
+The paper (Section 5.1) works with multisets of real values gathered in
+the receive phase of a round.  This module provides :class:`ValueMultiset`,
+an immutable sorted multiset with the operators the paper defines:
+
+* ``min(V)`` / ``max(V)`` -- extreme values,
+* ``rho(V) = [min(V), max(V)]`` -- the *range* of ``V``,
+* ``delta(V) = max(V) - min(V)`` -- the *diameter* of ``V``.
+
+(The paper's Section 5.1 writes ``delta(V) = min(V) - max(V)``; that is a
+typo in the source text -- the diameter is the non-negative width of the
+range, as in Dolev et al. [10] and Kieckhafer-Azadmanesh [11].)
+
+Instances are immutable so they can be shared between process views,
+trace records and checkers without defensive copying.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections.abc import Iterable, Iterator, Sequence
+
+__all__ = ["ValueMultiset", "Interval"]
+
+
+class Interval:
+    """A closed real interval ``[low, high]``; the paper's ``rho(V)``.
+
+    Supports containment tests used by the Validity checker and range
+    algebra used by the convergence analysis.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float, high: float) -> None:
+        if math.isnan(low) or math.isnan(high):
+            raise ValueError("interval endpoints must not be NaN")
+        if low > high:
+            raise ValueError(f"empty interval: low={low!r} > high={high!r}")
+        self.low = float(low)
+        self.high = float(high)
+
+    @classmethod
+    def degenerate(cls, value: float) -> "Interval":
+        """The single-point interval ``[value, value]``."""
+        return cls(value, value)
+
+    @property
+    def width(self) -> float:
+        """The length ``high - low`` of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float, tolerance: float = 0.0) -> bool:
+        """Return whether ``value`` lies in the interval.
+
+        ``tolerance`` widens the interval on both sides; checkers use a
+        tiny tolerance to absorb floating-point rounding in long runs.
+        """
+        return self.low - tolerance <= value <= self.high + tolerance
+
+    def contains_interval(self, other: "Interval", tolerance: float = 0.0) -> bool:
+        """Return whether ``other`` is a sub-interval of this one."""
+        return (
+            self.low - tolerance <= other.low
+            and other.high <= self.high + tolerance
+        )
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Return the intersection interval, or ``None`` if disjoint."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low > high:
+            return None
+        return Interval(low, high)
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Return the smallest interval containing both intervals."""
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def midpoint(self) -> float:
+        """Return the centre of the interval."""
+        return (self.low + self.high) / 2.0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self.low == other.low and self.high == other.high
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.low!r}, {self.high!r})"
+
+
+class ValueMultiset:
+    """An immutable multiset of real values, stored sorted ascending.
+
+    This is the ``N_rk`` of the paper: the collection of values a
+    non-faulty process aggregates during the receive phase.  All MSR
+    component functions (``Red``, ``Sel``, ``mean``) consume and produce
+    these multisets.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Iterable[float] = ()) -> None:
+        cleaned = []
+        for value in values:
+            value = float(value)
+            if math.isnan(value):
+                raise ValueError("multiset values must not be NaN")
+            cleaned.append(value)
+        cleaned.sort()
+        self._values = tuple(cleaned)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *values: float) -> "ValueMultiset":
+        """Build a multiset from positional values: ``ValueMultiset.of(0, 1)``."""
+        return cls(values)
+
+    @classmethod
+    def from_sorted(cls, values: Sequence[float]) -> "ValueMultiset":
+        """Build from an already-sorted sequence (skips the sort)."""
+        instance = cls.__new__(cls)
+        instance._values = tuple(float(v) for v in values)
+        return instance
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._values)
+
+    def __getitem__(self, index: int) -> float:
+        return self._values[index]
+
+    def __contains__(self, value: float) -> bool:
+        index = bisect.bisect_left(self._values, value)
+        return index < len(self._values) and self._values[index] == value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueMultiset):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v:g}" for v in self._values)
+        return f"ValueMultiset([{inner}])"
+
+    # -- the paper's operators --------------------------------------------------
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """The sorted tuple of values."""
+        return self._values
+
+    def min(self) -> float:
+        """``min(V)``: the minimum value; raises on an empty multiset."""
+        self._require_nonempty("min")
+        return self._values[0]
+
+    def max(self) -> float:
+        """``max(V)``: the maximum value; raises on an empty multiset."""
+        self._require_nonempty("max")
+        return self._values[-1]
+
+    def range(self) -> Interval:
+        """``rho(V) = [min(V), max(V)]``: the real interval spanned by V."""
+        self._require_nonempty("range")
+        return Interval(self._values[0], self._values[-1])
+
+    def diameter(self) -> float:
+        """``delta(V) = max(V) - min(V)``: the width of the range.
+
+        The empty multiset has diameter 0 by convention (it spans no
+        disagreement), which keeps trace metrics total.
+        """
+        if not self._values:
+            return 0.0
+        return self._values[-1] - self._values[0]
+
+    # -- multiset algebra ---------------------------------------------------------
+
+    def count(self, value: float) -> int:
+        """Return the multiplicity of ``value``."""
+        value = float(value)
+        left = bisect.bisect_left(self._values, value)
+        right = bisect.bisect_right(self._values, value)
+        return right - left
+
+    def add(self, value: float) -> "ValueMultiset":
+        """Return a new multiset with ``value`` inserted."""
+        value = float(value)
+        if math.isnan(value):
+            raise ValueError("multiset values must not be NaN")
+        index = bisect.bisect_left(self._values, value)
+        return ValueMultiset.from_sorted(
+            self._values[:index] + (value,) + self._values[index:]
+        )
+
+    def remove(self, value: float) -> "ValueMultiset":
+        """Return a new multiset with one occurrence of ``value`` removed."""
+        value = float(value)
+        index = bisect.bisect_left(self._values, value)
+        if index >= len(self._values) or self._values[index] != value:
+            raise KeyError(f"value {value!r} not in multiset")
+        return ValueMultiset.from_sorted(
+            self._values[:index] + self._values[index + 1 :]
+        )
+
+    def union(self, other: "ValueMultiset") -> "ValueMultiset":
+        """Return the multiset union (multiplicities add)."""
+        return ValueMultiset(self._values + other._values)
+
+    def trim(self, low_count: int, high_count: int) -> "ValueMultiset":
+        """Drop ``low_count`` smallest and ``high_count`` largest values.
+
+        This is the primitive underlying the ``Red`` reduction family.
+        Raises :class:`ValueError` if more values would be dropped than
+        the multiset holds -- a sign the caller's ``n`` is below the
+        resilience bound, which must never pass silently.
+        """
+        if low_count < 0 or high_count < 0:
+            raise ValueError("trim counts must be non-negative")
+        if low_count + high_count > len(self._values):
+            raise ValueError(
+                f"cannot trim {low_count}+{high_count} values from a "
+                f"multiset of size {len(self._values)}"
+            )
+        end = len(self._values) - high_count
+        return ValueMultiset.from_sorted(self._values[low_count:end])
+
+    def select_indices(self, indices: Sequence[int]) -> "ValueMultiset":
+        """Return the sub-multiset at the given sorted positions."""
+        picked = [self._values[i] for i in indices]
+        if any(picked[i] > picked[i + 1] for i in range(len(picked) - 1)):
+            picked.sort()
+        return ValueMultiset.from_sorted(picked)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the values; raises on an empty multiset."""
+        self._require_nonempty("mean")
+        return math.fsum(self._values) / len(self._values)
+
+    def median(self) -> float:
+        """Median (midpoint of the two central values when even-sized)."""
+        self._require_nonempty("median")
+        mid = len(self._values) // 2
+        if len(self._values) % 2 == 1:
+            return self._values[mid]
+        return (self._values[mid - 1] + self._values[mid]) / 2.0
+
+    def midpoint(self) -> float:
+        """``(min + max) / 2``; the Fault-Tolerant Midpoint combiner."""
+        self._require_nonempty("midpoint")
+        return (self._values[0] + self._values[-1]) / 2.0
+
+    def count_in(self, interval: Interval, tolerance: float = 0.0) -> int:
+        """Return how many values fall inside ``interval``."""
+        left = bisect.bisect_left(self._values, interval.low - tolerance)
+        right = bisect.bisect_right(self._values, interval.high + tolerance)
+        return right - left
+
+    def count_outside(self, interval: Interval, tolerance: float = 0.0) -> int:
+        """Return how many values fall strictly outside ``interval``."""
+        return len(self._values) - self.count_in(interval, tolerance)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _require_nonempty(self, operation: str) -> None:
+        if not self._values:
+            raise ValueError(f"{operation}() on an empty multiset")

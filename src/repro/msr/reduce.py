@@ -1,0 +1,126 @@
+"""Reduction functions ``Red`` for MSR algorithms.
+
+An MSR algorithm computes ``F(N) = mean(Sel(Red(N)))`` (paper Section 4).
+The reduction stage filters values that may have been contributed by
+faulty processes.  The canonical reduction of Dolev et al. [10] and
+Kieckhafer-Azadmanesh [11] removes the ``tau`` largest and ``tau``
+smallest values, where ``tau`` bounds the number of *untrustworthy*
+values that can appear at the extremes of a received multiset
+(``tau = a + s`` in the mixed-mode model).
+
+Reductions are small immutable callables so that MSR instances can be
+described, compared and registered by name.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .multiset import Interval, ValueMultiset
+
+__all__ = [
+    "Reduction",
+    "TrimExtremes",
+    "IdentityReduction",
+    "TrimOutsideInterval",
+]
+
+
+class Reduction(ABC):
+    """Base class for the ``Red`` stage of an MSR function."""
+
+    @abstractmethod
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        """Return the reduced multiset."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A short human-readable description used in tables and repr."""
+
+    def minimum_input_size(self) -> int:
+        """Smallest multiset size this reduction can be applied to."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class TrimExtremes(Reduction):
+    """Remove the ``tau`` smallest and ``tau`` largest values.
+
+    This is the reduction used by every algorithm the paper analyses.
+    With at most ``tau`` values from non-correct processes in a round's
+    multiset, trimming ``tau`` from each end guarantees the surviving
+    values lie within the range of correct values (property P1).
+    """
+
+    def __init__(self, tau: int) -> None:
+        if tau < 0:
+            raise ValueError(f"tau must be non-negative, got {tau}")
+        self.tau = tau
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        if len(multiset) < self.minimum_input_size():
+            raise ValueError(
+                f"TrimExtremes(tau={self.tau}) needs at least "
+                f"{self.minimum_input_size()} values, got {len(multiset)}; "
+                "the process count is below the resilience bound"
+            )
+        return multiset.trim(self.tau, self.tau)
+
+    def minimum_input_size(self) -> int:
+        return 2 * self.tau + 1
+
+    def describe(self) -> str:
+        return f"trim {self.tau} from each end"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TrimExtremes) and other.tau == self.tau
+
+    def __hash__(self) -> int:
+        return hash(("TrimExtremes", self.tau))
+
+
+class IdentityReduction(Reduction):
+    """No-op reduction; used by fault-free averaging baselines."""
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        return multiset
+
+    def describe(self) -> str:
+        return "identity"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IdentityReduction)
+
+    def __hash__(self) -> int:
+        return hash("IdentityReduction")
+
+
+class TrimOutsideInterval(Reduction):
+    """Remove values falling outside a fixed validity interval.
+
+    Useful for *bounded-input* variants (e.g. the Simple Approximate
+    Agreement of Section 6 assumes inputs in ``[0, 1]``): values outside
+    the a-priori valid interval are necessarily faulty and can be
+    discarded before extreme-trimming.
+    """
+
+    def __init__(self, interval: Interval) -> None:
+        self.interval = interval
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        kept = [v for v in multiset if self.interval.contains(v)]
+        return ValueMultiset.from_sorted(kept)
+
+    def describe(self) -> str:
+        return f"keep values in [{self.interval.low:g}, {self.interval.high:g}]"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TrimOutsideInterval)
+            and other.interval == self.interval
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TrimOutsideInterval", self.interval))

@@ -1,0 +1,74 @@
+"""Name-based registry of MSR algorithm factories.
+
+Experiments, benchmarks and the CLI refer to algorithms by short names
+(``"ftm"``, ``"fta"``, ``"dolev"``, ``"median-trim"``).  The registry
+maps each name to a factory ``tau -> MSRFunction`` so harness code never
+hard-codes constructors, and user code can register custom instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .algorithms import (
+    dolev_et_al,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    median_trim,
+)
+from .base import MSRFunction
+
+__all__ = [
+    "AlgorithmFactory",
+    "register_algorithm",
+    "make_algorithm",
+    "algorithm_names",
+    "DEFAULT_ALGORITHMS",
+]
+
+AlgorithmFactory = Callable[[int], MSRFunction]
+
+_REGISTRY: dict[str, AlgorithmFactory] = {}
+
+#: Names of the algorithms every experiment sweep runs by default.
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("ftm", "fta", "dolev")
+
+
+def register_algorithm(name: str, factory: AlgorithmFactory) -> None:
+    """Register ``factory`` under ``name`` (case-insensitive).
+
+    Raises :class:`ValueError` if the name is taken, to catch accidental
+    shadowing of the built-ins.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("algorithm name must be non-empty")
+    if key in _REGISTRY:
+        raise ValueError(f"algorithm {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def make_algorithm(name: str, tau: int) -> MSRFunction:
+    """Instantiate the algorithm registered under ``name`` with ``tau``."""
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(tau)
+
+
+def algorithm_names() -> Iterator[str]:
+    """Iterate over registered algorithm names, sorted."""
+    return iter(sorted(_REGISTRY))
+
+
+def _register_builtins() -> None:
+    register_algorithm("ftm", fault_tolerant_midpoint)
+    register_algorithm("fta", fault_tolerant_average)
+    register_algorithm("dolev", dolev_et_al)
+    register_algorithm("median-trim", median_trim)
+
+
+_register_builtins()

@@ -1,0 +1,156 @@
+"""Selection functions ``Sel`` for MSR algorithms.
+
+After reduction, an MSR algorithm selects a subsequence of the surviving
+sorted values and averages it (paper Section 4).  Different selections
+give different convergence rates:
+
+* selecting *everything* gives the Fault-Tolerant Averaging family,
+* selecting only the two *extremes* gives the Fault-Tolerant Midpoint,
+* selecting *every c-th value* gives the classic Dolev et al. [10]
+  algorithm, whose contraction factor is ``1/ceil((m - 2*tau) / tau)``
+  for multiset size ``m``,
+* selecting the *median* gives a median-validity style baseline.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .multiset import ValueMultiset
+
+__all__ = [
+    "Selection",
+    "SelectAll",
+    "SelectExtremes",
+    "SelectEvery",
+    "SelectMedian",
+]
+
+
+class Selection(ABC):
+    """Base class for the ``Sel`` stage of an MSR function."""
+
+    @abstractmethod
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        """Return the selected sub-multiset (never empty for valid input)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """A short human-readable description used in tables and repr."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+    @staticmethod
+    def _require_nonempty(multiset: ValueMultiset) -> None:
+        if len(multiset) == 0:
+            raise ValueError(
+                "selection applied to an empty multiset; the reduction "
+                "removed every value (process count below the bound?)"
+            )
+
+
+class SelectAll(Selection):
+    """Keep every reduced value (Fault-Tolerant Averaging)."""
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        self._require_nonempty(multiset)
+        return multiset
+
+    def describe(self) -> str:
+        return "all"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SelectAll)
+
+    def __hash__(self) -> int:
+        return hash("SelectAll")
+
+
+class SelectExtremes(Selection):
+    """Keep only the smallest and largest reduced values.
+
+    Averaging the result gives the Fault-Tolerant Midpoint (FTM), whose
+    per-round contraction factor is 1/2 -- the best possible for an MSR
+    algorithm (Kieckhafer-Azadmanesh [11]).
+    """
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        self._require_nonempty(multiset)
+        if len(multiset) == 1:
+            return multiset
+        return ValueMultiset.from_sorted((multiset.min(), multiset.max()))
+
+    def describe(self) -> str:
+        return "extremes (min, max)"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SelectExtremes)
+
+    def __hash__(self) -> int:
+        return hash("SelectExtremes")
+
+
+class SelectEvery(Selection):
+    """Keep every ``step``-th value starting from the smallest.
+
+    With ``step = tau`` after a ``TrimExtremes(tau)`` reduction, this is
+    exactly the selection of the synchronous algorithm of Dolev et
+    al. [10]: indices ``0, step, 2*step, ...`` of the reduced sorted
+    multiset.  The final (largest) value is always included so the
+    selected range spans the reduced range, which the convergence proof
+    relies on.
+    """
+
+    def __init__(self, step: int, include_last: bool = True) -> None:
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        self.step = step
+        self.include_last = include_last
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        self._require_nonempty(multiset)
+        indices = list(range(0, len(multiset), self.step))
+        last = len(multiset) - 1
+        if self.include_last and indices[-1] != last:
+            indices.append(last)
+        return multiset.select_indices(indices)
+
+    def describe(self) -> str:
+        suffix = " (+last)" if self.include_last else ""
+        return f"every {self.step}-th{suffix}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SelectEvery)
+            and other.step == self.step
+            and other.include_last == self.include_last
+        )
+
+    def __hash__(self) -> int:
+        return hash(("SelectEvery", self.step, self.include_last))
+
+
+class SelectMedian(Selection):
+    """Keep the central value(s) of the reduced multiset.
+
+    Averaging the result is the trimmed-median combiner used by the
+    median-validity baseline (Stolz-Wattenhofer-inspired; see
+    DESIGN.md Section 7).
+    """
+
+    def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
+        self._require_nonempty(multiset)
+        mid = len(multiset) // 2
+        if len(multiset) % 2 == 1:
+            return multiset.select_indices([mid])
+        return multiset.select_indices([mid - 1, mid])
+
+    def describe(self) -> str:
+        return "median"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SelectMedian)
+
+    def __hash__(self) -> int:
+        return hash("SelectMedian")

@@ -1,0 +1,119 @@
+"""Validated simulation configuration.
+
+A :class:`SimulationConfig` pins every input of a run -- system size,
+fault setup, algorithm, termination, seed -- so a run is a pure function
+of its config.  Validation happens eagerly at construction time via
+:meth:`SimulationConfig.validate`, with a configurable posture towards
+the resilience bound: experiments that *deliberately* run below the
+paper's bounds (the lower-bound demonstrations) opt out explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from ..faults.adversary import Adversary
+from ..faults.mixed_mode import StaticFaultAssignment
+from ..faults.models import MobileModel, get_semantics
+from ..msr.base import MSRFunction
+from .termination import FixedRounds, TerminationRule
+
+__all__ = ["MobileFaultSetup", "StaticMixedSetup", "SimulationConfig"]
+
+BoundCheck = Literal["error", "warn", "ignore"]
+
+
+@dataclass(frozen=True)
+class MobileFaultSetup:
+    """Fault side of a run under a mobile Byzantine model."""
+
+    model: MobileModel
+    adversary: Adversary
+
+    def min_processes(self, f: int) -> int:
+        """Table 2 requirement for this model."""
+        return get_semantics(self.model).required_n(f)
+
+    def describe(self) -> str:
+        return f"{self.model.value}/{self.adversary.describe()}"
+
+
+@dataclass(frozen=True)
+class StaticMixedSetup:
+    """Fault side of a run under the static mixed-mode model."""
+
+    assignment: StaticFaultAssignment
+    adversary: Adversary
+
+    def min_processes(self, f: int) -> int:
+        """Kieckhafer-Azadmanesh requirement ``n > 3a + 2s + b``."""
+        return self.assignment.counts.min_processes()
+
+    def describe(self) -> str:
+        return f"mixed{self.assignment.counts}/{self.adversary.describe()}"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete, validated description of one simulation run."""
+
+    n: int
+    f: int
+    initial_values: tuple[float, ...]
+    algorithm: MSRFunction
+    setup: MobileFaultSetup | StaticMixedSetup
+    termination: TerminationRule = field(default_factory=lambda: FixedRounds(30))
+    epsilon: float = 1e-3
+    seed: int = 0
+    max_rounds: int = 10_000
+    #: "error" rejects configurations below the resilience bound,
+    #: "warn" records the violation in the trace description,
+    #: "ignore" is for deliberate below-bound experiments.
+    bound_check: BoundCheck = "error"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any inconsistent field."""
+        if self.n < 1:
+            raise ValueError(f"n must be positive, got {self.n}")
+        if self.f < 0:
+            raise ValueError(f"f must be non-negative, got {self.f}")
+        if len(self.initial_values) != self.n:
+            raise ValueError(
+                f"got {len(self.initial_values)} initial values for n={self.n}"
+            )
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
+        if self.bound_check not in ("error", "warn", "ignore"):
+            raise ValueError(f"invalid bound_check {self.bound_check!r}")
+        if isinstance(self.setup, StaticMixedSetup):
+            self.setup.assignment.validate_for(self.n)
+        if self.bound_check == "error" and not self.meets_bound():
+            raise ValueError(
+                f"n={self.n} is below the resilience bound "
+                f"{self.required_n()} for {self.setup.describe()} with "
+                f"f={self.f}; pass bound_check='ignore' to run anyway "
+                "(lower-bound experiments do this deliberately)"
+            )
+
+    def required_n(self) -> int:
+        """Minimum ``n`` the theory requires for this setup."""
+        return self.setup.min_processes(self.f)
+
+    def meets_bound(self) -> bool:
+        """Whether this configuration satisfies the resilience bound."""
+        return self.n >= self.required_n()
+
+    def describe(self) -> str:
+        """One-line config summary recorded in traces."""
+        bound_note = "" if self.meets_bound() else " [BELOW BOUND]"
+        return (
+            f"n={self.n} f={self.f} {self.setup.describe()} "
+            f"alg={self.algorithm.name} term={self.termination.describe()} "
+            f"seed={self.seed}{bound_note}"
+        )

@@ -1,0 +1,413 @@
+"""Fault controllers: who misbehaves, when, and how, each round.
+
+A :class:`FaultController` turns a fault model plus an adversary into a
+per-round :class:`RoundPlan` the simulator executes mechanically.  Two
+controllers cover the paper:
+
+* :class:`MobileFaultController` -- the four mobile Byzantine models
+  M1-M4 (paper Section 3), enforcing each model's movement timing and
+  cured-state semantics;
+* :class:`StaticMixedController` -- the static mixed-mode model of
+  Kieckhafer-Azadmanesh [11] (benign / symmetric / asymmetric), which
+  doubles as the classical static Byzantine model when only asymmetric
+  faults are assigned.
+
+Keeping the plan explicit (rather than interleaving adversary calls
+with simulation steps) makes each round's fault pattern a first-class
+value: traces record it, checkers inspect it, tests assert on it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..faults.adversary import Adversary
+from ..faults.mixed_mode import FaultClass, StaticFaultAssignment
+from ..faults.models import CuredSendBehavior, MobileModel, ModelSemantics, get_semantics
+from ..faults.view import AdversaryView
+
+__all__ = [
+    "RoundPlan",
+    "FaultController",
+    "MobileFaultController",
+    "StaticMixedController",
+]
+
+
+def _frozen_mapping(mapping: Mapping) -> Mapping:
+    return MappingProxyType(dict(mapping))
+
+
+def _checked_value(value: float, context: str) -> float:
+    """Reject non-finite adversary outputs at the model boundary.
+
+    The failure model ranges over *real* values; NaN or infinities are
+    artifacts of a buggy strategy, and letting them into multisets
+    would surface as confusing arithmetic failures rounds later.
+    """
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(
+            f"adversary produced non-finite value {value!r} ({context}); "
+            "value strategies must return finite reals"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """Everything fault-related that happens in one round.
+
+    Attributes
+    ----------
+    faulty_at_send:
+        Processes whose send phase the adversary controls this round.
+    cured_at_send:
+        Processes in the cured state during this round's send phase.
+    positions_after:
+        Agent hosts at the end of the round (equals ``faulty_at_send``
+        except in M4, where agents move with the messages).
+    memory_corruptions:
+        Values the departing agents left in cured processes' memories;
+        applied before the send phase.
+    send_overrides:
+        Per-recipient message maps for processes whose outgoing traffic
+        the adversary dictates (faulty processes; M3 planted queues;
+        static symmetric/asymmetric faults).
+    forced_silent:
+        Processes that omit regardless of protocol logic (static benign
+        faults).  M1 cured silence is *not* forced here -- it is the
+        protocol's own ``if cured: nop`` guard, driven by awareness.
+    compute_corruptions:
+        Garbage each occupied process's computation phase ends with.
+    static_classes:
+        For static runs, the fixed class of each non-correct process.
+    """
+
+    round_index: int
+    faulty_at_send: frozenset[int]
+    cured_at_send: frozenset[int]
+    positions_after: frozenset[int]
+    memory_corruptions: Mapping[int, float] = field(default_factory=dict)
+    send_overrides: Mapping[int, Mapping[int, float]] = field(default_factory=dict)
+    forced_silent: frozenset[int] = frozenset()
+    compute_corruptions: Mapping[int, float] = field(default_factory=dict)
+    static_classes: Mapping[int, FaultClass] | None = None
+
+
+class FaultController(ABC):
+    """Produces the per-round fault plan the simulator executes."""
+
+    @abstractmethod
+    def plan_round(
+        self, round_index: int, values: Mapping[int, float], rng: random.Random
+    ) -> RoundPlan:
+        """Plan faults for ``round_index`` given the true current values."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short description used in tables and traces."""
+
+
+class MobileFaultController(FaultController):
+    """Mobile Byzantine agents under one of the models M1-M4.
+
+    The controller owns the agent positions between rounds.  Timing
+    (paper Section 3):
+
+    * M1-M3: agents move at the *beginning* of each round ``r >= 1``
+      (before the send phase); the vacated processes are cured for
+      round ``r``.
+    * M4: agents move *with the messages*: the round-``r`` Byzantine
+      senders are the current hosts, the agents then ride to their next
+      hosts, whose computation phase is corrupted in round ``r`` --
+      hence no process is ever cured at send time (Lemma 4).
+    """
+
+    def __init__(self, n: int, f: int, model: MobileModel, adversary: Adversary) -> None:
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        if f < 0:
+            raise ValueError(f"f must be non-negative, got {f}")
+        if f > n:
+            raise ValueError(f"cannot place f={f} agents on n={n} processes")
+        self.n = n
+        self.f = f
+        self.semantics: ModelSemantics = get_semantics(model)
+        self.adversary = adversary
+        self._positions: frozenset[int] | None = None
+
+    @property
+    def positions(self) -> frozenset[int]:
+        """Current agent hosts (after the last planned round)."""
+        if self._positions is None:
+            raise RuntimeError("no round planned yet")
+        return self._positions
+
+    def plan_round(
+        self, round_index: int, values: Mapping[int, float], rng: random.Random
+    ) -> RoundPlan:
+        if self.f == 0:
+            self._positions = frozenset()
+            return RoundPlan(
+                round_index=round_index,
+                faulty_at_send=frozenset(),
+                cured_at_send=frozenset(),
+                positions_after=frozenset(),
+            )
+        if self.semantics.moves_with_message:
+            plan = self._plan_buhrman(round_index, values, rng)
+        else:
+            plan = self._plan_round_start_movement(round_index, values, rng)
+        self._positions = plan.positions_after
+        return plan
+
+    def describe(self) -> str:
+        return (
+            f"{self.semantics.model.value}"
+            f"[{self.adversary.describe()}]"
+        )
+
+    # -- M1 / M2 / M3 -----------------------------------------------------------
+
+    def _plan_round_start_movement(
+        self, round_index: int, values: Mapping[int, float], rng: random.Random
+    ) -> RoundPlan:
+        if round_index == 0 or self._positions is None:
+            # "During the first round r0 no Byzantine agent moved yet."
+            positions = self.adversary.initial_positions(self.n, self.f, rng)
+            cured: frozenset[int] = frozenset()
+        else:
+            movement_view = self._view(round_index, values, self._positions, frozenset(), rng)
+            positions = self.adversary.next_positions(movement_view)
+            self._check_positions(positions)
+            cured = self._positions - positions
+
+        # Departing agents corrupt the memories they leave behind.
+        departure_view = self._view(round_index, values, positions, cured, rng)
+        memory_corruptions = {
+            pid: _checked_value(
+                self.adversary.departure_value(departure_view, pid),
+                f"departure value for p{pid}",
+            )
+            for pid in cured
+        }
+
+        attack_values = dict(values)
+        attack_values.update(memory_corruptions)
+        attack_view = self._view(round_index, attack_values, positions, cured, rng)
+
+        send_overrides: dict[int, Mapping[int, float]] = {}
+        for pid in positions:
+            send_overrides[pid] = _frozen_mapping(
+                {
+                    q: _checked_value(
+                        self.adversary.attack_message(attack_view, pid, q),
+                        f"attack message p{pid}->p{q}",
+                    )
+                    for q in range(self.n)
+                }
+            )
+        if self.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
+            for pid in cured:
+                send_overrides[pid] = _frozen_mapping(
+                    {
+                        q: _checked_value(
+                            self.adversary.planted_message(attack_view, pid, q),
+                            f"planted message p{pid}->p{q}",
+                        )
+                        for q in range(self.n)
+                    }
+                )
+
+        compute_corruptions = {
+            pid: _checked_value(
+                self.adversary.corrupted_compute(attack_view, pid),
+                f"corrupted compute for p{pid}",
+            )
+            for pid in positions
+        }
+        return RoundPlan(
+            round_index=round_index,
+            faulty_at_send=positions,
+            cured_at_send=cured,
+            positions_after=positions,
+            memory_corruptions=_frozen_mapping(memory_corruptions),
+            send_overrides=_frozen_mapping(send_overrides),
+            compute_corruptions=_frozen_mapping(compute_corruptions),
+        )
+
+    # -- M4 ----------------------------------------------------------------------
+
+    def _plan_buhrman(
+        self, round_index: int, values: Mapping[int, float], rng: random.Random
+    ) -> RoundPlan:
+        if round_index == 0 or self._positions is None:
+            hosts = self.adversary.initial_positions(self.n, self.f, rng)
+        else:
+            hosts = self._positions
+
+        attack_view = self._view(round_index, values, hosts, frozenset(), rng)
+        send_overrides = {
+            pid: _frozen_mapping(
+                {
+                    q: _checked_value(
+                        self.adversary.attack_message(attack_view, pid, q),
+                        f"attack message p{pid}->p{q}",
+                    )
+                    for q in range(self.n)
+                }
+            )
+            for pid in hosts
+        }
+
+        # Agents ride the messages to their next hosts, whose computation
+        # phase this round is under agent control.  Vacated hosts are
+        # cured *during the computation phase*, aware, and recompute
+        # correctly -- so they need no plan entry beyond not being in
+        # ``compute_corruptions``.
+        movement_view = self._view(round_index, values, hosts, frozenset(), rng)
+        next_hosts = self.adversary.next_positions(movement_view)
+        self._check_positions(next_hosts)
+        compute_corruptions = {
+            pid: _checked_value(
+                self.adversary.corrupted_compute(attack_view, pid),
+                f"corrupted compute for p{pid}",
+            )
+            for pid in next_hosts
+        }
+        return RoundPlan(
+            round_index=round_index,
+            faulty_at_send=hosts,
+            cured_at_send=frozenset(),
+            positions_after=next_hosts,
+            send_overrides=_frozen_mapping(send_overrides),
+            compute_corruptions=_frozen_mapping(compute_corruptions),
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _view(
+        self,
+        round_index: int,
+        values: Mapping[int, float],
+        positions: frozenset[int],
+        cured: frozenset[int],
+        rng: random.Random,
+    ) -> AdversaryView:
+        correct = {
+            pid: value
+            for pid, value in values.items()
+            if pid not in positions and pid not in cured
+        }
+        return AdversaryView(
+            round_index=round_index,
+            n=self.n,
+            f=self.f,
+            values=dict(values),
+            positions=positions,
+            cured=cured,
+            correct_values=correct,
+            rng=rng,
+        )
+
+    def _check_positions(self, positions: frozenset[int]) -> None:
+        if len(positions) > self.f:
+            raise ValueError(
+                f"adversary placed {len(positions)} agents, only f={self.f} exist"
+            )
+        bad = [pid for pid in positions if pid < 0 or pid >= self.n]
+        if bad:
+            raise ValueError(f"adversary placed agents on invalid ids {bad}")
+
+
+class StaticMixedController(FaultController):
+    """Static mixed-mode faults: the same processes misbehave forever.
+
+    Realises Definitions 1-3 of the paper (quoting [11]):
+
+    * benign processes omit every round (forced silence -- the
+      self-incriminating fault every receiver detects);
+    * symmetric processes broadcast one adversarial value, identical
+      towards every receiver;
+    * asymmetric processes send adversarially chosen per-recipient
+      values -- classical Byzantine behaviour.
+    """
+
+    def __init__(
+        self, n: int, assignment: StaticFaultAssignment, adversary: Adversary
+    ) -> None:
+        assignment.validate_for(n)
+        self.n = n
+        self.assignment = assignment
+        self.adversary = adversary
+        self._classes = dict(assignment.items())
+
+    def plan_round(
+        self, round_index: int, values: Mapping[int, float], rng: random.Random
+    ) -> RoundPlan:
+        faulty = self.assignment.faulty_ids
+        correct_values = {
+            pid: value for pid, value in values.items() if pid not in faulty
+        }
+        view = AdversaryView(
+            round_index=round_index,
+            n=self.n,
+            f=len(faulty),
+            values=dict(values),
+            positions=faulty,
+            cured=frozenset(),
+            correct_values=correct_values,
+            rng=rng,
+        )
+
+        send_overrides: dict[int, Mapping[int, float]] = {}
+        forced_silent: set[int] = set()
+        for pid, fault_class in self._classes.items():
+            if fault_class is FaultClass.BENIGN:
+                forced_silent.add(pid)
+            elif fault_class is FaultClass.SYMMETRIC:
+                value = _checked_value(
+                    self.adversary.attack_message(view, pid, None),
+                    f"symmetric message from p{pid}",
+                )
+                send_overrides[pid] = _frozen_mapping(
+                    {q: value for q in range(self.n)}
+                )
+            else:
+                send_overrides[pid] = _frozen_mapping(
+                    {
+                        q: _checked_value(
+                            self.adversary.attack_message(view, pid, q),
+                            f"attack message p{pid}->p{q}",
+                        )
+                        for q in range(self.n)
+                    }
+                )
+
+        compute_corruptions = {
+            pid: _checked_value(
+                self.adversary.corrupted_compute(view, pid),
+                f"corrupted compute for p{pid}",
+            )
+            for pid in faulty
+        }
+        return RoundPlan(
+            round_index=round_index,
+            faulty_at_send=faulty,
+            cured_at_send=frozenset(),
+            positions_after=faulty,
+            send_overrides=_frozen_mapping(send_overrides),
+            forced_silent=frozenset(forced_silent),
+            compute_corruptions=_frozen_mapping(compute_corruptions),
+            static_classes=_frozen_mapping(self._classes),
+        )
+
+    def describe(self) -> str:
+        counts = self.assignment.counts
+        return f"static-mixed{counts}[{self.adversary.describe()}]"

@@ -1,0 +1,145 @@
+"""The synchronous, authenticated, reliable communication substrate.
+
+Paper Section 3: processes disseminate messages to all other processes;
+communication is *authenticated* (a sender's identity cannot be forged)
+and *reliable* (messages are neither created, lost nor duplicated).
+Rounds have a send phase followed by a receive phase in which all
+messages sent at the beginning of the round are delivered.
+
+:class:`SynchronousNetwork` realises exactly this: senders submit their
+round's messages once, the round is then delivered atomically, and
+omissions (silent senders) are recorded -- in a synchronous system an
+omission is immediately evident to every receiver, which is what makes
+M1's cured silence a *benign* fault in the mixed-mode image.
+
+Authentication is enforced structurally: the simulator is the only
+caller and always submits under the true process id; the API offers no
+way to spoof a different sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Message", "RoundDelivery", "SynchronousNetwork"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One authenticated point-to-point message within a round."""
+
+    round_index: int
+    sender: int
+    recipient: int
+    value: float
+
+
+@dataclass(frozen=True)
+class RoundDelivery:
+    """The outcome of one round's receive phase.
+
+    ``by_recipient[q][p]`` is the value ``p`` sent to ``q``; senders
+    absent from the inner mapping omitted (benign/silent).  ``silent``
+    lists the senders every receiver detected as omitting.
+    """
+
+    round_index: int
+    by_recipient: dict[int, dict[int, float]]
+    silent: frozenset[int]
+
+    def received_values(self, recipient: int) -> tuple[float, ...]:
+        """Values delivered to ``recipient`` this round (sender-sorted)."""
+        inbox = self.by_recipient.get(recipient, {})
+        return tuple(inbox[sender] for sender in sorted(inbox))
+
+    def senders_heard_by(self, recipient: int) -> frozenset[int]:
+        """Senders whose message reached ``recipient`` this round."""
+        return frozenset(self.by_recipient.get(recipient, {}))
+
+
+class SynchronousNetwork:
+    """Round-scoped reliable full-mesh message exchange."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"network needs at least one process, got n={n}")
+        self.n = n
+        self._round_index: int | None = None
+        self._outboxes: dict[int, dict[int, float]] = {}
+        self._silent: set[int] = set()
+
+    @property
+    def round_open(self) -> bool:
+        """Whether a send phase is currently accepting submissions."""
+        return self._round_index is not None
+
+    def begin_round(self, round_index: int) -> None:
+        """Open the send phase of ``round_index``."""
+        if self.round_open:
+            raise RuntimeError(
+                f"round {self._round_index} still open; deliver it first"
+            )
+        self._round_index = round_index
+        self._outboxes = {}
+        self._silent = set()
+
+    def submit(self, sender: int, messages: dict[int, float]) -> None:
+        """Sender deposits its messages for this round (exactly once).
+
+        ``messages`` maps recipient ids to values; the mapping must
+        cover only valid process ids.  Reliability means every submitted
+        message will be delivered; authentication means ``sender`` is
+        bound by the caller (the simulator), never by message content.
+        """
+        self._require_open()
+        self._require_fresh(sender)
+        bad = [q for q in messages if q < 0 or q >= self.n]
+        if bad:
+            raise ValueError(f"sender {sender} addressed invalid recipients {bad}")
+        self._outboxes[sender] = dict(messages)
+
+    def broadcast(self, sender: int, value: float) -> None:
+        """Sender sends ``value`` to every process (including itself)."""
+        self.submit(sender, {q: value for q in range(self.n)})
+
+    def silent(self, sender: int) -> None:
+        """Sender explicitly omits this round (detected by everyone)."""
+        self._require_open()
+        self._require_fresh(sender)
+        self._silent.add(sender)
+
+    def deliver(self) -> RoundDelivery:
+        """Close the round and deliver all submitted messages.
+
+        Every process that neither submitted nor declared silence is
+        treated as silent too: in a synchronous system, not sending
+        within the round *is* a detected omission.
+        """
+        self._require_open()
+        round_index = self._round_index
+        assert round_index is not None
+        by_recipient: dict[int, dict[int, float]] = {q: {} for q in range(self.n)}
+        for sender, outbox in self._outboxes.items():
+            for recipient, value in outbox.items():
+                by_recipient[recipient][sender] = value
+        silent = frozenset(range(self.n)) - frozenset(self._outboxes)
+        self._round_index = None
+        self._outboxes = {}
+        self._silent = set()
+        return RoundDelivery(
+            round_index=round_index, by_recipient=by_recipient, silent=silent
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self.round_open:
+            raise RuntimeError("no round open; call begin_round() first")
+
+    def _require_fresh(self, sender: int) -> None:
+        if sender < 0 or sender >= self.n:
+            raise ValueError(f"invalid sender id {sender}")
+        if sender in self._outboxes or sender in self._silent:
+            raise RuntimeError(
+                f"sender {sender} already acted this round (duplicate send)"
+            )

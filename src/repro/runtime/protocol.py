@@ -1,0 +1,56 @@
+"""The voting protocol executed by non-faulty processes.
+
+Paper Section 4: each round of an MSR convergent voting algorithm is
+
+1. *send-phase*: send the current voted value to everybody -- except
+   that, per the paper's modification for model M1, a process that
+   **knows** it is cured performs ``nop`` instead (Lemma 1);
+2. *receive-phase*: aggregate received values into a multiset ``N``;
+3. *computation-phase*: adopt ``F_MSR(N)`` as the next voted value.
+
+The protocol object is the *tamper-proof code* of the failure model: it
+is immutable and shared by all processes; a mobile agent can corrupt a
+process's value (its state) but never this logic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..msr.base import MSRApplication, MSRFunction
+from ..msr.multiset import ValueMultiset
+
+__all__ = ["VotingProtocol", "MSRVotingProtocol"]
+
+
+class VotingProtocol(ABC):
+    """Abstract round behaviour of a non-faulty process."""
+
+    @abstractmethod
+    def send_value(self, pid: int, value: float, aware_cured: bool) -> float | None:
+        """Value to broadcast this round, or ``None`` to stay silent."""
+
+    @abstractmethod
+    def compute(self, pid: int, received: ValueMultiset) -> MSRApplication:
+        """Computation phase: derive the next voted value from ``received``."""
+
+
+class MSRVotingProtocol(VotingProtocol):
+    """The MSR voting protocol with the M1 cured-silence guard."""
+
+    def __init__(self, function: MSRFunction) -> None:
+        self.function = function
+
+    def send_value(self, pid: int, value: float, aware_cured: bool) -> float | None:
+        # Paper, Lemma 1: "if (cured) nop; else send(vote)".  Processes
+        # that cannot diagnose their cured state (M2/M3) always have
+        # aware_cured=False and fall through to the normal send.
+        if aware_cured:
+            return None
+        return value
+
+    def compute(self, pid: int, received: ValueMultiset) -> MSRApplication:
+        return self.function.apply(received)
+
+    def __repr__(self) -> str:
+        return f"MSRVotingProtocol({self.function.name})"

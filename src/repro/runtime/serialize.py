@@ -1,0 +1,182 @@
+"""Trace serialization: export executions as plain data / JSON.
+
+Experiments often need to archive runs, diff executions across library
+versions, or feed traces to external tooling (plotting, statistics).
+This module turns a :class:`~repro.runtime.trace.Trace` into
+JSON-compatible dictionaries and back.
+
+The round-trip is *semantically* lossless for everything the checkers
+consume: fault pattern, message matrix, received multisets, per-process
+results, decisions.  The only field not reconstructed is the live
+:class:`~repro.msr.base.MSRApplication` stage breakdown (reduced /
+selected multisets), which is re-derivable by re-running the recorded
+algorithm; the serialized form keeps each application's ``result``.
+"""
+
+from __future__ import annotations
+
+import json
+from types import MappingProxyType
+from typing import Any
+
+from ..faults.mixed_mode import FaultClass
+from ..faults.models import MobileModel
+from ..msr.base import MSRApplication
+from ..msr.multiset import ValueMultiset
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "trace_to_dict",
+    "trace_from_dict",
+    "dump_trace",
+    "load_trace",
+    "SCHEMA_VERSION",
+]
+
+#: Bumped whenever the serialized layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: Trace) -> dict[str, Any]:
+    """Convert a trace to a JSON-compatible dictionary."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "n": trace.n,
+        "f": trace.f,
+        "model": trace.model.value if trace.model else None,
+        "algorithm": trace.algorithm_name,
+        "epsilon": trace.epsilon,
+        "initial_values": _int_keys_to_str(dict(trace.initial_values)),
+        "initially_nonfaulty": sorted(trace.initially_nonfaulty),
+        "terminated": trace.terminated,
+        "decisions": _int_keys_to_str(trace.decisions),
+        "controller": trace.controller_description,
+        "rounds": [_round_to_dict(record) for record in trace.rounds],
+    }
+
+
+def trace_from_dict(payload: dict[str, Any]) -> Trace:
+    """Rebuild a trace from :func:`trace_to_dict` output."""
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema {schema!r}; this build reads "
+            f"version {SCHEMA_VERSION}"
+        )
+    model = MobileModel(payload["model"]) if payload["model"] else None
+    trace = Trace(
+        n=payload["n"],
+        f=payload["f"],
+        model=model,
+        algorithm_name=payload["algorithm"],
+        epsilon=payload["epsilon"],
+        initial_values=MappingProxyType(_str_keys_to_int(payload["initial_values"])),
+        initially_nonfaulty=frozenset(payload["initially_nonfaulty"]),
+        terminated=payload["terminated"],
+        decisions=_str_keys_to_int(payload["decisions"]),
+        controller_description=payload["controller"],
+    )
+    trace.rounds.extend(
+        _round_from_dict(entry) for entry in payload["rounds"]
+    )
+    return trace
+
+
+def dump_trace(trace: Trace, indent: int | None = None) -> str:
+    """Serialize a trace to a JSON string."""
+    return json.dumps(trace_to_dict(trace), indent=indent, sort_keys=True)
+
+
+def load_trace(text: str) -> Trace:
+    """Deserialize a trace from :func:`dump_trace` output."""
+    return trace_from_dict(json.loads(text))
+
+
+# -- internals -----------------------------------------------------------------
+
+
+def _round_to_dict(record: RoundRecord) -> dict[str, Any]:
+    return {
+        "round": record.round_index,
+        "faulty_at_send": sorted(record.faulty_at_send),
+        "cured_at_send": sorted(record.cured_at_send),
+        "positions_after": sorted(record.positions_after),
+        "values_before": _int_keys_to_str(dict(record.values_before)),
+        "values_after": _int_keys_to_str(dict(record.values_after)),
+        "sent": {
+            str(pid): (None if outbox is None else _int_keys_to_str(dict(outbox)))
+            for pid, outbox in record.sent.items()
+        },
+        "received": {
+            str(pid): list(multiset.values)
+            for pid, multiset in record.received.items()
+        },
+        "heard": {
+            str(pid): sorted(senders) for pid, senders in record.heard.items()
+        },
+        "results": {
+            str(pid): app.result for pid, app in record.applications.items()
+        },
+        "static_classes": (
+            None
+            if record.static_classes is None
+            else {
+                str(pid): cls.value for pid, cls in record.static_classes.items()
+            }
+        ),
+    }
+
+
+def _round_from_dict(entry: dict[str, Any]) -> RoundRecord:
+    received = {
+        int(pid): ValueMultiset(values)
+        for pid, values in entry["received"].items()
+    }
+    applications = {}
+    for pid, result in entry["results"].items():
+        multiset = received[int(pid)]
+        # Stage breakdown is not archived; store the result with the
+        # received multiset standing in for the reduced/selected stages.
+        applications[int(pid)] = MSRApplication(
+            received=multiset,
+            reduced=multiset,
+            selected=multiset,
+            result=float(result),
+        )
+    static_classes = entry.get("static_classes")
+    return RoundRecord(
+        round_index=entry["round"],
+        faulty_at_send=frozenset(entry["faulty_at_send"]),
+        cured_at_send=frozenset(entry["cured_at_send"]),
+        positions_after=frozenset(entry["positions_after"]),
+        values_before=MappingProxyType(_str_keys_to_int(entry["values_before"])),
+        sent=MappingProxyType(
+            {
+                int(pid): (
+                    None if outbox is None else _str_keys_to_int(outbox)
+                )
+                for pid, outbox in entry["sent"].items()
+            }
+        ),
+        received=MappingProxyType(received),
+        heard=MappingProxyType(
+            {int(pid): frozenset(s) for pid, s in entry["heard"].items()}
+        ),
+        applications=MappingProxyType(applications),
+        values_after=MappingProxyType(_str_keys_to_int(entry["values_after"])),
+        static_classes=(
+            None
+            if static_classes is None
+            else MappingProxyType(
+                {int(pid): FaultClass(cls) for pid, cls in static_classes.items()}
+            )
+        ),
+    )
+
+
+def _int_keys_to_str(mapping: dict[int, float]) -> dict[str, float]:
+    return {str(key): float(value) for key, value in mapping.items()}
+
+
+def _str_keys_to_int(mapping: dict[str, float]) -> dict[int, float]:
+    return {int(key): float(value) for key, value in mapping.items()}

@@ -1,0 +1,222 @@
+"""The round-based synchronous simulator (paper Section 3).
+
+Executes the paper's computational model: a sequence of synchronous
+rounds, each divided into *send*, *receive* and *computation* phases,
+with mobile Byzantine agents (or static mixed-mode faults) driven by a
+:class:`~repro.runtime.controllers.FaultController`.
+
+One round proceeds as:
+
+1. **fault planning** -- the controller moves agents per the model's
+   timing and fixes every corrupted send/compute of the round;
+2. **send** -- correct processes broadcast their value via the
+   protocol's send rule (which silences aware-cured processes, M1);
+   faulty processes submit the adversary's per-recipient messages;
+3. **receive** -- the network delivers all messages; omissions are
+   detected (benign);
+4. **computation** -- every non-occupied process applies the MSR
+   function to its received multiset; occupied processes end the round
+   with adversary-chosen garbage.  Cured processes thereby return to
+   the correct state (Lemma 5).
+
+The simulator is deterministic: a config (including its seed) fully
+determines the produced :class:`~repro.runtime.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+
+from ..msr.base import MSRApplication
+from ..msr.multiset import ValueMultiset
+from .config import MobileFaultSetup, SimulationConfig, StaticMixedSetup
+from .controllers import (
+    FaultController,
+    MobileFaultController,
+    RoundPlan,
+    StaticMixedController,
+)
+from .network import SynchronousNetwork
+from .protocol import MSRVotingProtocol, VotingProtocol
+from .rng import derive_rng
+from .trace import RoundRecord, Trace
+
+__all__ = ["SynchronousSimulator", "run_simulation"]
+
+
+def run_simulation(config: SimulationConfig) -> Trace:
+    """Build a simulator from ``config``, run it to completion."""
+    return SynchronousSimulator(config).run()
+
+
+class SynchronousSimulator:
+    """Drives one configured computation to its decision."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+        self.protocol: VotingProtocol = MSRVotingProtocol(config.algorithm)
+        self.network = SynchronousNetwork(config.n)
+        self.controller = self._build_controller(config)
+        self._adversary_rng = derive_rng(config.seed, "adversary")
+        self._values = {
+            pid: float(value) for pid, value in enumerate(config.initial_values)
+        }
+        self._round_index = 0
+        self._first_round_received_diameter: float | None = None
+        self._cured_aware = self._model_cured_aware(config)
+        self._trace = self._new_trace(config)
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self) -> Trace:
+        """Execute rounds until the termination rule fires (or the cap)."""
+        terminated = False
+        for _ in range(self.config.max_rounds):
+            record = self.step()
+            if self.config.termination.should_stop(
+                record.round_index,
+                record.nonfaulty_diameter_after(),
+                self._first_round_received_diameter,
+            ):
+                terminated = True
+                break
+        self._trace.terminated = terminated
+        final = self._trace.final_round
+        self._trace.decisions = dict(final.nonfaulty_values_after())
+        return self._trace
+
+    def step(self) -> RoundRecord:
+        """Execute a single synchronous round and record it."""
+        plan = self.controller.plan_round(
+            self._round_index, dict(self._values), self._adversary_rng
+        )
+
+        # Departing agents corrupt the memories they leave behind
+        # (movement happens before the send phase in M1-M3).
+        for pid, corrupted in plan.memory_corruptions.items():
+            self._values[pid] = corrupted
+        values_before = dict(self._values)
+
+        sent = self._send_phase(plan)
+        delivery = self.network.deliver()
+
+        received: dict[int, ValueMultiset] = {}
+        heard: dict[int, frozenset[int]] = {}
+        applications: dict[int, MSRApplication] = {}
+        computing = [
+            pid for pid in range(self.config.n) if pid not in plan.compute_corruptions
+        ]
+        for pid in computing:
+            inbox = delivery.by_recipient.get(pid, {})
+            multiset = ValueMultiset(inbox.values())
+            received[pid] = multiset
+            heard[pid] = frozenset(inbox)
+            application = self.protocol.compute(pid, multiset)
+            applications[pid] = application
+            self._values[pid] = application.result
+        for pid, garbage in plan.compute_corruptions.items():
+            self._values[pid] = garbage
+
+        if self._round_index == 0:
+            diameters = [m.diameter() for m in received.values()]
+            self._first_round_received_diameter = max(diameters, default=0.0)
+
+        record = RoundRecord(
+            round_index=self._round_index,
+            faulty_at_send=plan.faulty_at_send,
+            cured_at_send=plan.cured_at_send,
+            positions_after=plan.positions_after,
+            values_before=MappingProxyType(values_before),
+            sent=MappingProxyType(sent),
+            received=MappingProxyType(received),
+            heard=MappingProxyType(heard),
+            applications=MappingProxyType(applications),
+            values_after=MappingProxyType(dict(self._values)),
+            static_classes=plan.static_classes,
+        )
+        if self._round_index == 0:
+            # Round 0 is where initial agent placement becomes known; the
+            # processes outside it are the Validity reference set.
+            self._trace.initially_nonfaulty = (
+                frozenset(range(self.config.n)) - plan.faulty_at_send
+            )
+        self._trace.rounds.append(record)
+        self._round_index += 1
+        return record
+
+    # -- phases ----------------------------------------------------------------
+
+    def _send_phase(self, plan: RoundPlan) -> dict[int, dict[int, float] | None]:
+        """Run the send phase; returns the recorded message matrix."""
+        self.network.begin_round(plan.round_index)
+        sent: dict[int, dict[int, float] | None] = {}
+        for pid in range(self.config.n):
+            if pid in plan.send_overrides:
+                outbox = dict(plan.send_overrides[pid])
+                self.network.submit(pid, outbox)
+                sent[pid] = outbox
+                continue
+            if pid in plan.forced_silent:
+                self.network.silent(pid)
+                sent[pid] = None
+                continue
+            aware_cured = self._cured_aware and pid in plan.cured_at_send
+            value = self.protocol.send_value(pid, self._values[pid], aware_cured)
+            if value is None:
+                self.network.silent(pid)
+                sent[pid] = None
+            else:
+                self.network.broadcast(pid, value)
+                sent[pid] = {q: value for q in range(self.config.n)}
+        return sent
+
+    # -- construction helpers ----------------------------------------------------
+
+    @staticmethod
+    def _build_controller(config: SimulationConfig) -> FaultController:
+        if isinstance(config.setup, MobileFaultSetup):
+            return MobileFaultController(
+                n=config.n,
+                f=config.f,
+                model=config.setup.model,
+                adversary=config.setup.adversary,
+            )
+        if isinstance(config.setup, StaticMixedSetup):
+            return StaticMixedController(
+                n=config.n,
+                assignment=config.setup.assignment,
+                adversary=config.setup.adversary,
+            )
+        raise TypeError(f"unsupported fault setup {config.setup!r}")
+
+    @staticmethod
+    def _model_cured_aware(config: SimulationConfig) -> bool:
+        if isinstance(config.setup, MobileFaultSetup):
+            from ..faults.models import get_semantics
+
+            return get_semantics(config.setup.model).cured_aware
+        return False
+
+    def _new_trace(self, config: SimulationConfig) -> Trace:
+        model = (
+            config.setup.model
+            if isinstance(config.setup, MobileFaultSetup)
+            else None
+        )
+        # initially_nonfaulty is provisional until round 0 runs and the
+        # initial agent placement becomes known; step() then fixes it.
+        return Trace(
+            n=config.n,
+            f=config.f,
+            model=model,
+            algorithm_name=config.algorithm.name,
+            epsilon=config.epsilon,
+            initial_values=MappingProxyType(
+                {pid: float(v) for pid, v in enumerate(config.initial_values)}
+            ),
+            initially_nonfaulty=frozenset(range(config.n)),
+            controller_description=(
+                f"{self.controller.describe()} | {config.describe()}"
+            ),
+        )

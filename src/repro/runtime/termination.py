@@ -1,0 +1,167 @@
+"""Termination rules: when voting stops and processes decide.
+
+The paper inherits Termination from the classic solutions ([10, 11],
+Lemma 6): with a geometric per-round contraction, a finite number of
+rounds reaches any ``epsilon``.  Three interchangeable rules cover the
+needs of experiments and applications:
+
+* :class:`FixedRounds` -- run exactly ``R`` rounds.  Used when the
+  harness precomputes ``R`` from the convergence theory.
+* :class:`OracleDiameter` -- stop as soon as the true diameter of
+  non-faulty values is at most ``epsilon``.  Uses global knowledge, so
+  it is a *measurement* device (how many rounds were really needed),
+  not a distributed algorithm.
+* :class:`EstimatedRounds` -- the Dolev et al. [10] approach: after the
+  first exchange, derive a round budget from the largest received-value
+  spread and the algorithm's contraction factor.  Byzantine values can
+  inflate the estimate (delaying termination) but never truncate it
+  below what convergence needs, because the received range always
+  contains the non-faulty range.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "TerminationRule",
+    "FixedRounds",
+    "OracleDiameter",
+    "EstimatedRounds",
+    "rounds_to_reach",
+]
+
+
+def rounds_to_reach(initial_diameter: float, epsilon: float, contraction: float) -> int:
+    """Rounds needed to shrink ``initial_diameter`` to ``epsilon``.
+
+    Solves ``initial * contraction**R <= epsilon`` for the smallest
+    non-negative integer ``R``.  ``contraction`` must lie in (0, 1);
+    a contraction of 0 (one-shot convergence) returns 1 round.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if initial_diameter <= epsilon:
+        return 0
+    if contraction <= 0:
+        return 1
+    if contraction >= 1:
+        raise ValueError(
+            f"contraction factor {contraction} does not converge; "
+            "the configuration is below the resilience bound"
+        )
+    ratio = initial_diameter / epsilon
+    return max(0, math.ceil(math.log(ratio) / math.log(1.0 / contraction)))
+
+
+class TerminationRule(ABC):
+    """Decides, after each round, whether processes decide now."""
+
+    @abstractmethod
+    def should_stop(
+        self,
+        round_index: int,
+        nonfaulty_diameter: float,
+        first_round_received_diameter: float | None,
+    ) -> bool:
+        """Return True when the protocol should decide after this round.
+
+        ``first_round_received_diameter`` is the largest diameter of any
+        non-faulty process's round-0 received multiset (None before the
+        first round completes); only :class:`EstimatedRounds` uses it.
+        """
+
+    def describe(self) -> str:
+        """Short name used in tables."""
+        return type(self).__name__
+
+
+class FixedRounds(TerminationRule):
+    """Run exactly ``rounds`` voting rounds, then decide."""
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = rounds
+
+    def should_stop(
+        self,
+        round_index: int,
+        nonfaulty_diameter: float,
+        first_round_received_diameter: float | None,
+    ) -> bool:
+        return round_index + 1 >= self.rounds
+
+    def describe(self) -> str:
+        return f"fixed({self.rounds})"
+
+
+class OracleDiameter(TerminationRule):
+    """Stop when the true non-faulty diameter is at most ``epsilon``.
+
+    ``min_rounds`` forces at least one voting round so a trivially
+    agreeing start still exercises the protocol.
+    """
+
+    def __init__(self, epsilon: float, min_rounds: int = 1) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        self.min_rounds = min_rounds
+
+    def should_stop(
+        self,
+        round_index: int,
+        nonfaulty_diameter: float,
+        first_round_received_diameter: float | None,
+    ) -> bool:
+        return (
+            round_index + 1 >= self.min_rounds
+            and nonfaulty_diameter <= self.epsilon
+        )
+
+    def describe(self) -> str:
+        return f"oracle(eps={self.epsilon:g})"
+
+
+class EstimatedRounds(TerminationRule):
+    """Derive the round budget from the first exchange (Dolev et al.).
+
+    After round 0 each process knows the spread of values it received;
+    the largest such spread over non-faulty processes upper-bounds the
+    non-faulty initial diameter, so running
+
+        R = rounds_to_reach(spread, epsilon, contraction)
+
+    further rounds guarantees epsilon-agreement.  The rule is
+    conservative under Byzantine value inflation: lies can only raise
+    the spread and hence the budget.
+    """
+
+    def __init__(self, epsilon: float, contraction: float) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if not 0.0 <= contraction < 1.0:
+            raise ValueError("contraction must lie in [0, 1)")
+        self.epsilon = epsilon
+        self.contraction = contraction
+        self._budget: int | None = None
+
+    def should_stop(
+        self,
+        round_index: int,
+        nonfaulty_diameter: float,
+        first_round_received_diameter: float | None,
+    ) -> bool:
+        if self._budget is None:
+            if first_round_received_diameter is None:
+                return False
+            # Round 0 itself already contracted once, hence the +1.
+            self._budget = 1 + rounds_to_reach(
+                first_round_received_diameter, self.epsilon, self.contraction
+            )
+        return round_index + 1 >= self._budget
+
+    def describe(self) -> str:
+        return f"estimated(eps={self.epsilon:g})"

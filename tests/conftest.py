@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite (builders live in helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import ALL_MODELS
+
+ALL_MODEL_IDS = [model.value for model in ALL_MODELS]
+
+
+@pytest.fixture(params=ALL_MODELS, ids=ALL_MODEL_IDS)
+def model(request):
+    """Parametrized over the four mobile Byzantine models."""
+    return request.param
+
+
+@pytest.fixture(params=["ftm", "fta", "dolev"])
+def algorithm_name(request):
+    """Parametrized over the default MSR algorithm family members."""
+    return request.param

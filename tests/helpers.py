@@ -1,0 +1,69 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+from repro.core.mapping import msr_trim_parameter
+from repro.faults import Adversary, get_semantics
+from repro.faults.movement import RoundRobinWalk
+from repro.faults.value_strategies import SplitAttack
+from repro.msr import ValueMultiset, make_algorithm
+from repro.runtime import (
+    FixedRounds,
+    MobileFaultSetup,
+    SimulationConfig,
+    run_simulation,
+)
+
+
+def make_mobile_config(
+    model,
+    f=1,
+    n=None,
+    algorithm="ftm",
+    movement=None,
+    values=None,
+    initial_values=None,
+    rounds=15,
+    seed=0,
+    bound_check="error",
+    epsilon=1e-3,
+    max_rounds=1_000,
+    termination=None,
+):
+    """Compact config builder for runtime-level tests."""
+    semantics = get_semantics(model)
+    if n is None:
+        n = semantics.required_n(f)
+    if initial_values is None:
+        initial_values = tuple(i / max(1, n - 1) for i in range(n))
+    function = (
+        make_algorithm(algorithm, msr_trim_parameter(model, f))
+        if isinstance(algorithm, str)
+        else algorithm
+    )
+    adversary = Adversary(
+        movement=movement if movement is not None else RoundRobinWalk(),
+        values=values if values is not None else SplitAttack(),
+    )
+    return SimulationConfig(
+        n=n,
+        f=f,
+        initial_values=tuple(initial_values),
+        algorithm=function,
+        setup=MobileFaultSetup(model=semantics.model, adversary=adversary),
+        termination=termination if termination is not None else FixedRounds(rounds),
+        epsilon=epsilon,
+        seed=seed,
+        max_rounds=max_rounds,
+        bound_check=bound_check,
+    )
+
+
+def run_mobile(model, **kwargs):
+    """Build and run a mobile simulation in one call."""
+    return run_simulation(make_mobile_config(model, **kwargs))
+
+
+def multiset(*values):
+    """Shorthand multiset constructor for test bodies."""
+    return ValueMultiset(values)

@@ -1,0 +1,120 @@
+"""Tests for trace metrics, table rendering and series rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    convergence_stats,
+    render_series,
+    render_table,
+    rounds_until,
+    sparkline,
+)
+from repro.analysis.metrics import ConvergenceStats
+from repro.faults import MobileModel
+from tests.helpers import run_mobile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_mobile(MobileModel.GARAY, rounds=10, seed=6)
+
+
+class TestConvergenceStats:
+    def test_trajectory_matches_trace(self, trace):
+        stats = convergence_stats(trace)
+        assert stats.trajectory == tuple(trace.diameters())
+        assert stats.rounds == 10
+
+    def test_converged_flag(self, trace):
+        assert convergence_stats(trace).converged
+
+    def test_factors_bounded(self, trace):
+        stats = convergence_stats(trace)
+        assert 0.0 <= stats.mean_factor <= stats.worst_factor <= 1.0
+
+    def test_stalled_from_detects_plateau(self):
+        stats = ConvergenceStats(
+            initial_diameter=1.0,
+            final_diameter=0.5,
+            rounds=4,
+            worst_factor=1.0,
+            mean_factor=0.8,
+            trajectory=(1.0, 0.5, 0.5, 0.5, 0.5),
+        )
+        assert stats.stalled_from() == 1
+
+    def test_stalled_from_ignores_converged_zero(self):
+        stats = ConvergenceStats(
+            initial_diameter=1.0,
+            final_diameter=0.0,
+            rounds=3,
+            worst_factor=0.5,
+            mean_factor=0.5,
+            trajectory=(1.0, 0.5, 0.0, 0.0),
+        )
+        assert stats.stalled_from() is None
+
+    def test_rounds_until(self, trace):
+        assert rounds_until(trace, 1e12) == 0
+        needed = rounds_until(trace, 1e-3)
+        assert needed is not None and 1 <= needed <= 10
+
+    def test_rounds_until_unreachable(self, trace):
+        assert rounds_until(trace, -1.0) is None
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert "2.5" in lines[3]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_booleans_render_yes_no(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_wrong_row_width_rejected(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestSeries:
+    def test_sparkline_monotone_decay(self):
+        line = sparkline([1.0, 0.5, 0.25, 0.125])
+        assert len(line) == 4
+        # Log-scale decay maps to non-increasing glyph density.
+        glyphs = " .:-=+*#%@"
+        levels = [glyphs.index(ch) for ch in line]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_sparkline_constant(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "@@@"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_render_series_contains_labels(self):
+        text = render_series(
+            [Series.of("alpha", [1.0, 0.5]), Series.of("beta", [1.0, 0.9])],
+            title="T",
+        )
+        assert "alpha" in text and "beta" in text and text.startswith("T")
+
+    def test_render_series_truncates(self):
+        text = render_series(
+            [Series.of("long", list(range(1, 40)))], max_points=4
+        )
+        assert "..." in text

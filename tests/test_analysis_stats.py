@@ -1,0 +1,67 @@
+"""Tests for the summary-statistics helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import percentile, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_singleton(self):
+        assert percentile([7.0], 95.0) == 7.0
+
+    def test_interpolation(self):
+        # rank = 0.95 * 1 = 0.95 between 1.0 and 2.0
+        assert percentile([1.0, 2.0], 95.0) == pytest.approx(1.95)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+
+class TestSummarize:
+    def test_fields(self):
+        stats = summarize([4.0, 1.0, 3.0, 2.0])
+        assert stats.count == 4
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+        assert stats.mean == 2.5
+
+    def test_render_format(self):
+        stats = summarize([1.0, 2.0])
+        assert stats.render() == "1/1.5/1.95/2"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_ordering_invariants(self, values):
+        stats = summarize(values)
+        assert stats.minimum <= stats.median <= stats.p95 <= stats.maximum
+        assert stats.minimum <= stats.mean <= stats.maximum
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=50))
+    def test_percentile_monotone_in_q(self, values):
+        qs = [0.0, 25.0, 50.0, 75.0, 95.0, 100.0]
+        points = [percentile(values, q) for q in qs]
+        assert points == sorted(points)

@@ -1,0 +1,107 @@
+"""Tests for the high-level convenience API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.api import evenly_spread_values, mobile_config, movement_strategy, value_strategy
+from repro.faults import MobileModel, RoundRobinWalk, SplitAttack
+from repro.msr import MSRFunction, make_algorithm
+from repro.runtime import FixedRounds, OracleDiameter
+
+
+class TestResolvers:
+    def test_movement_by_name(self):
+        assert isinstance(movement_strategy("round-robin"), RoundRobinWalk)
+
+    def test_movement_passthrough(self):
+        instance = RoundRobinWalk()
+        assert movement_strategy(instance) is instance
+
+    def test_unknown_movement(self):
+        with pytest.raises(KeyError, match="known"):
+            movement_strategy("teleport")
+
+    def test_attack_by_name(self):
+        assert isinstance(value_strategy("split"), SplitAttack)
+
+    def test_unknown_attack(self):
+        with pytest.raises(KeyError, match="known"):
+            value_strategy("bribe")
+
+
+class TestEvenlySpreadValues:
+    def test_endpoints(self):
+        values = evenly_spread_values(5)
+        assert values[0] == 0.0 and values[-1] == 1.0
+        assert len(values) == 5
+
+    def test_single_value_is_midpoint(self):
+        assert evenly_spread_values(1) == (0.5,)
+
+    def test_custom_range(self):
+        values = evenly_spread_values(3, low=10.0, high=20.0)
+        assert values == (10.0, 15.0, 20.0)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            evenly_spread_values(0)
+
+
+class TestMobileConfig:
+    def test_defaults_follow_table2(self):
+        config = mobile_config(model="M2", f=2)
+        assert config.n == 11
+        assert config.setup.model is MobileModel.BONNET
+
+    def test_algorithm_tau_derived_from_model(self):
+        config = mobile_config(model="M3", f=2, algorithm="ftm")
+        # M3 needs tau = 2f = 4 -> minimum multiset 9.
+        assert config.algorithm.minimum_multiset_size() == 9
+
+    def test_explicit_algorithm_object_passes_through(self):
+        fn = make_algorithm("fta", 1)
+        config = mobile_config(model="M1", f=1, algorithm=fn)
+        assert config.algorithm is fn
+
+    def test_rounds_selects_fixed_termination(self):
+        config = mobile_config(model="M1", rounds=7)
+        assert isinstance(config.termination, FixedRounds)
+        assert config.termination.rounds == 7
+
+    def test_default_termination_is_oracle(self):
+        config = mobile_config(model="M1", epsilon=0.01)
+        assert isinstance(config.termination, OracleDiameter)
+        assert config.termination.epsilon == 0.01
+
+    def test_initial_values_default_spread(self):
+        config = mobile_config(model="M4", f=1)
+        assert config.initial_values == evenly_spread_values(4)
+
+
+class TestSimulateAndCheck:
+    def test_simulate_with_kwargs(self):
+        trace = repro.simulate(model="M4", f=1, seed=1, rounds=5)
+        assert trace.rounds_executed() == 5
+
+    def test_simulate_with_config(self):
+        config = mobile_config(model="M1", rounds=4)
+        trace = repro.simulate(config)
+        assert trace.rounds_executed() == 4
+
+    def test_simulate_rejects_mixed_usage(self):
+        config = mobile_config(model="M1", rounds=4)
+        with pytest.raises(TypeError):
+            repro.simulate(config, model="M2")
+
+    def test_check_returns_verdict(self):
+        trace = repro.simulate(model="M1", seed=0)
+        verdict = repro.check(trace)
+        assert verdict.satisfied
+
+    def test_version_exported(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_algorithm_registry_reachable(self):
+        assert isinstance(make_algorithm("median-trim", 1), MSRFunction)

@@ -1,0 +1,148 @@
+"""Tests for Definitions 5-10: configurations, computations, Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import (
+    computation_from_trace,
+    mobile_configuration_at,
+)
+from repro.core.equivalence import (
+    build_equivalent_static_computation,
+    configurations_equivalent,
+    cured_fault_class,
+    static_image_of,
+)
+from repro.faults import FailureState, FaultClass, MobileModel
+from repro.msr import ValueMultiset
+from tests.helpers import run_mobile
+
+
+@pytest.fixture(scope="module")
+def garay_trace():
+    return run_mobile(MobileModel.GARAY, rounds=8, seed=2)
+
+
+@pytest.fixture(scope="module")
+def bonnet_trace():
+    return run_mobile(MobileModel.BONNET, rounds=8, seed=2)
+
+
+class TestMobileConfiguration:
+    def test_states_partition(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[1])
+        everyone = config.correct | config.cured | config.faulty
+        assert everyone == frozenset(range(garay_trace.n))
+        assert not (config.correct & config.faulty)
+        assert not (config.correct & config.cured)
+
+    def test_round0_has_no_cured(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[0])
+        assert config.cured == frozenset()
+
+    def test_correct_value_multiset(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[0])
+        expected = ValueMultiset(
+            garay_trace.rounds[0].values_before[pid] for pid in config.correct
+        )
+        assert config.correct_value_multiset() == expected
+
+    def test_states_and_values_must_align(self):
+        from repro.core.configuration import MobileConfiguration
+
+        with pytest.raises(ValueError):
+            MobileConfiguration(
+                round_index=0,
+                states={0: FailureState.CORRECT},
+                values={0: 1.0, 1: 2.0},
+            )
+
+
+class TestComputation:
+    def test_is_mobile_computation_above_bound(self, garay_trace):
+        computation = computation_from_trace(garay_trace)
+        assert computation.is_mobile_computation()
+
+    def test_max_cured_respects_corollary1(self, bonnet_trace):
+        computation = computation_from_trace(bonnet_trace)
+        assert computation.max_cured() <= bonnet_trace.f
+
+    def test_images_follow_cured_counts(self, garay_trace):
+        computation = computation_from_trace(garay_trace)
+        for config, image in zip(
+            computation.configurations, computation.per_round_images()
+        ):
+            assert image.benign == len(config.cured)
+
+    def test_static_trace_rejected(self):
+        from repro.faults import Adversary, StaticFaultAssignment
+        from repro.msr import make_algorithm
+        from repro.runtime import (
+            FixedRounds,
+            SimulationConfig,
+            StaticMixedSetup,
+            run_simulation,
+        )
+
+        config = SimulationConfig(
+            n=4,
+            f=1,
+            initial_values=(0.0, 0.3, 0.6, 1.0),
+            algorithm=make_algorithm("ftm", 1),
+            setup=StaticMixedSetup(
+                assignment=StaticFaultAssignment.first_processes(asymmetric=1),
+                adversary=Adversary(),
+            ),
+            termination=FixedRounds(3),
+        )
+        trace = run_simulation(config)
+        with pytest.raises(ValueError, match="mobile"):
+            computation_from_trace(trace)
+
+
+class TestStaticImage:
+    def test_cured_classes(self):
+        assert cured_fault_class("M1") is FaultClass.BENIGN
+        assert cured_fault_class("M2") is FaultClass.SYMMETRIC
+        assert cured_fault_class("M3") is FaultClass.ASYMMETRIC
+        assert cured_fault_class("M4") is None
+
+    def test_image_relabels_faulty_as_asymmetric(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[1])
+        static = static_image_of(config, MobileModel.GARAY)
+        for pid in config.faulty:
+            assert static.classes[pid] is FaultClass.ASYMMETRIC
+        for pid in config.cured:
+            assert static.classes[pid] is FaultClass.BENIGN
+
+    def test_image_preserves_values_and_correct_set(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[1])
+        static = static_image_of(config, MobileModel.GARAY)
+        assert static.correct == config.correct
+        assert dict(static.values) == dict(config.values)
+
+    def test_equivalence_check(self, garay_trace):
+        config = mobile_configuration_at(garay_trace.rounds[1])
+        static = static_image_of(config, MobileModel.GARAY)
+        check = configurations_equivalent(config, static)
+        assert check.equivalent
+        assert check.meets_bound
+
+
+class TestTheorem1:
+    def test_report_for_every_model(self, model):
+        trace = run_mobile(model, rounds=8, seed=2)
+        report = build_equivalent_static_computation(trace)
+        assert report.is_mobile_computation
+        assert report.is_correct_computation
+        assert len(report.static_computation) == 8
+
+    def test_report_summary_mentions_verdict(self, garay_trace):
+        report = build_equivalent_static_computation(garay_trace)
+        assert "correct" in report.summary()
+
+    def test_static_images_meet_bound_each_round(self, garay_trace):
+        report = build_equivalent_static_computation(garay_trace)
+        for static in report.static_computation:
+            assert static.meets_bound()

@@ -1,0 +1,241 @@
+"""Tests for the convergence-rate theory and its empirical validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import convergence_stats
+from repro.core.convergence import (
+    mobile_contraction,
+    predicted_rounds,
+    worst_case_contraction,
+)
+from repro.core.mapping import msr_trim_parameter
+from repro.faults import MixedModeCounts, MobileModel, get_semantics
+from repro.faults.movement import RoundRobinWalk, StaticAgents, TargetExtremes
+from repro.msr import (
+    dolev_et_al,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    make_algorithm,
+    median_trim,
+)
+from tests.helpers import run_mobile
+
+
+class TestWorstCaseFormulas:
+    def test_ftm_is_half(self):
+        estimate = worst_case_contraction(
+            fault_tolerant_midpoint(1), 5, MixedModeCounts(asymmetric=1)
+        )
+        assert estimate.factor == 0.5
+        assert estimate.converges
+
+    def test_fta_is_a_over_survivors(self):
+        estimate = worst_case_contraction(
+            fault_tolerant_average(2), 11, MixedModeCounts(asymmetric=2)
+        )
+        # m=11, tau=2, M=7, a=2 -> 2/7
+        assert estimate.factor == pytest.approx(2 / 7)
+
+    def test_dolev_block_formula(self):
+        estimate = worst_case_contraction(
+            dolev_et_al(2), 11, MixedModeCounts(asymmetric=2)
+        )
+        # M=7, step=2 -> ceil(7/2)=4 -> 1/4
+        assert estimate.factor == pytest.approx(0.25)
+
+    def test_median_trim_has_no_guarantee(self):
+        # The exact median is not a convergent MSR selection: balanced
+        # camps freeze it (see TestMedianTrimStall), so the predicted
+        # worst-case factor is 1.
+        estimate = worst_case_contraction(
+            median_trim(1), 5, MixedModeCounts(asymmetric=1)
+        )
+        assert estimate.factor == 1.0
+        assert not estimate.converges
+
+    def test_dolev_degenerates_to_midpoint(self):
+        # M = 2 survivors with step 2: the selection is {min, max},
+        # i.e. FTM, so the bound is 1/2 rather than 1/ceil(M/step) = 1.
+        estimate = worst_case_contraction(
+            dolev_et_al(2), 6, MixedModeCounts(asymmetric=1, symmetric=1)
+        )
+        assert estimate.factor == 0.5
+
+    def test_no_asymmetric_means_one_round(self):
+        estimate = worst_case_contraction(
+            fault_tolerant_midpoint(1), 4, MixedModeCounts(symmetric=1)
+        )
+        assert estimate.factor == 0.0
+
+    def test_below_bound_is_infinite(self):
+        estimate = worst_case_contraction(
+            fault_tolerant_midpoint(1), 3, MixedModeCounts(asymmetric=1)
+        )
+        assert math.isinf(estimate.factor)
+        assert not estimate.converges
+
+    def test_benign_shrinks_multiset(self):
+        estimate = worst_case_contraction(
+            fault_tolerant_average(1),
+            5,
+            MixedModeCounts(asymmetric=1, benign=1),
+        )
+        # m = 5-1 = 4, M = 2, a=1 -> 1/2
+        assert estimate.multiset_size == 4
+        assert estimate.factor == 0.5
+
+
+class TestMobileContraction:
+    @pytest.mark.parametrize(
+        "model,expected",
+        [
+            # At n = bound+1 with FTM every model contracts at 1/2.
+            ("M1", 0.5),
+            ("M2", 0.5),
+            ("M3", 0.5),
+            ("M4", 0.5),
+        ],
+    )
+    def test_ftm_at_minimum_n(self, model, expected):
+        semantics = get_semantics(model)
+        n = semantics.required_n(1)
+        fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+        assert mobile_contraction(fn, model, n, 1).factor == expected
+
+    def test_below_bound_does_not_converge(self, model):
+        semantics = get_semantics(model)
+        n = semantics.required_n(1) - 1
+        fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+        estimate = mobile_contraction(fn, model, n, 1)
+        assert not estimate.converges
+
+    def test_fta_factor_shrinks_with_n(self):
+        fn = make_algorithm("fta", 2)
+        small = mobile_contraction(fn, "M2", 6, 1).factor
+        large = mobile_contraction(fn, "M2", 12, 1).factor
+        assert large < small
+
+
+class TestPredictedRounds:
+    def test_prediction_is_sufficient(self):
+        fn = make_algorithm("ftm", 1)
+        rounds = predicted_rounds(fn, "M1", 5, 1, initial_diameter=1.0, epsilon=1e-3)
+        assert 0.5**rounds <= 1e-3
+
+    def test_zero_needed_when_converged(self):
+        fn = make_algorithm("ftm", 1)
+        assert predicted_rounds(fn, "M1", 5, 1, 1e-6, 1e-3) == 0
+
+    def test_raises_below_bound(self):
+        fn = make_algorithm("ftm", 1)
+        with pytest.raises(ValueError, match="does not converge"):
+            predicted_rounds(fn, "M1", 4, 1, 1.0, 1e-3)
+
+    def test_raises_on_bad_epsilon(self):
+        fn = make_algorithm("ftm", 1)
+        with pytest.raises(ValueError):
+            predicted_rounds(fn, "M1", 5, 1, 1.0, 0.0)
+
+
+class TestMeasuredAgainstPredicted:
+    """Measured per-round factors must never exceed the prediction."""
+
+    @pytest.mark.parametrize("movement_factory", [RoundRobinWalk, StaticAgents, TargetExtremes])
+    def test_measured_within_prediction(self, model, algorithm_name, movement_factory):
+        f = 1
+        semantics = get_semantics(model)
+        n = semantics.required_n(f)
+        fn = make_algorithm(algorithm_name, msr_trim_parameter(model, f))
+        predicted = mobile_contraction(fn, model, n, f).factor
+        for seed in (0, 3):
+            trace = run_mobile(
+                model,
+                f=f,
+                n=n,
+                algorithm=make_algorithm(algorithm_name, msr_trim_parameter(model, f)),
+                movement=movement_factory(),
+                rounds=12,
+                seed=seed,
+            )
+            measured = convergence_stats(trace).worst_factor
+            assert measured <= predicted + 1e-9, (
+                f"{model}/{algorithm_name}/{movement_factory.__name__}: "
+                f"measured {measured} > predicted {predicted}"
+            )
+
+    def test_predicted_rounds_bound_holds_empirically(self, model):
+        f = 1
+        semantics = get_semantics(model)
+        n = semantics.required_n(f)
+        fn = make_algorithm("ftm", msr_trim_parameter(model, f))
+        trace = run_mobile(model, f=f, n=n, rounds=1, seed=0)
+        initial = trace.diameters()[0]
+        budget = predicted_rounds(fn, model, n, f, initial, 1e-3)
+        full = run_mobile(model, f=f, n=n, rounds=max(1, budget), seed=0)
+        assert full.final_round.nonfaulty_diameter_after() <= 1e-3
+
+
+class TestMedianTrimStall:
+    """The exact median freezes on balanced camps -- at any n.
+
+    One static asymmetric fault feeds each camp its own value; every
+    camp member's trimmed median stays at its camp value forever.  This
+    is the executable counterpart of the paper's remark that the
+    median-validity algorithm of Stolz-Wattenhofer is not an MSR
+    member.
+    """
+
+    def test_balanced_camps_freeze_forever(self):
+        from repro.faults import Adversary, SplitAttack, StaticFaultAssignment
+        from repro.runtime import (
+            FixedRounds,
+            SimulationConfig,
+            StaticMixedSetup,
+            run_simulation,
+        )
+
+        n, f = 9, 1
+        initial = (0.5,) + (0.0,) * 4 + (1.0,) * 4  # id 0 faulty; 4 vs 4 camps
+        config = SimulationConfig(
+            n=n,
+            f=f,
+            initial_values=initial,
+            algorithm=median_trim(f),
+            setup=StaticMixedSetup(
+                assignment=StaticFaultAssignment.first_processes(asymmetric=f),
+                adversary=Adversary(values=SplitAttack()),
+            ),
+            termination=FixedRounds(12),
+        )
+        trace = run_simulation(config)
+        assert trace.diameters() == [1.0] * 13
+
+    def test_ftm_breaks_the_same_configuration(self):
+        from repro.faults import Adversary, SplitAttack, StaticFaultAssignment
+        from repro.msr import fault_tolerant_midpoint
+        from repro.runtime import (
+            FixedRounds,
+            SimulationConfig,
+            StaticMixedSetup,
+            run_simulation,
+        )
+
+        n, f = 9, 1
+        initial = (0.5,) + (0.0,) * 4 + (1.0,) * 4
+        config = SimulationConfig(
+            n=n,
+            f=f,
+            initial_values=initial,
+            algorithm=fault_tolerant_midpoint(f),
+            setup=StaticMixedSetup(
+                assignment=StaticFaultAssignment.first_processes(asymmetric=f),
+                adversary=Adversary(values=SplitAttack()),
+            ),
+            termination=FixedRounds(40),
+        )
+        trace = run_simulation(config)
+        assert trace.final_round.nonfaulty_diameter_after() <= 1e-9

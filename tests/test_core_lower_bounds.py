@@ -1,0 +1,158 @@
+"""Tests for the executable lower bounds (Theorems 3-6, Observation 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import convergence_stats
+from repro.core.lower_bounds import (
+    classical_static_scenario,
+    lower_bound_scenario,
+    run_algorithm_on_scenario,
+    stall_configuration,
+    stall_group_ids,
+)
+from repro.core.mapping import msr_trim_parameter
+from repro.core.specification import check_trace
+from repro.faults import ALL_MODELS, get_semantics
+from repro.msr import ValueMultiset, make_algorithm
+from repro.runtime import run_simulation
+
+
+class TestScenarioStructure:
+    def test_scenario_sits_exactly_at_coefficient_times_f(self, model):
+        for f in (1, 2, 3):
+            scenario = lower_bound_scenario(model, f)
+            semantics = get_semantics(model)
+            assert scenario.n == semantics.replica_coefficient * f
+            assert scenario.n == semantics.required_n(f) - 1
+
+    def test_views_include_self(self):
+        scenario = lower_bound_scenario("M4", 1)
+        view = scenario.view("E1", "A")
+        # n=3: A hears itself, C and the Byzantine group.
+        assert len(view) == 3
+
+    def test_m1_cured_group_absent_from_views(self):
+        scenario = lower_bound_scenario("M1", 1)
+        # n=4 but cured is silent: views contain 3 values.
+        assert len(scenario.view("E1", "A")) == 3
+
+    def test_m2_cured_group_present_in_views(self):
+        scenario = lower_bound_scenario("M2", 1)
+        assert len(scenario.view("E1", "A")) == 5
+
+    def test_unknown_group_raises(self):
+        scenario = lower_bound_scenario("M1", 1)
+        with pytest.raises(KeyError):
+            scenario.view("E1", "Z")
+
+    def test_f_zero_rejected(self):
+        with pytest.raises(ValueError):
+            lower_bound_scenario("M1", 0)
+
+    def test_invalid_group_definitions_rejected(self):
+        from repro.core.lower_bounds import Group
+
+        with pytest.raises(ValueError):
+            Group("X", 0, "correct")
+        with pytest.raises(ValueError):
+            Group("X", 1, "weird")
+
+
+class TestIndistinguishability:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_all_models_prove_impossibility(self, model, f):
+        verification = lower_bound_scenario(model, f).verify()
+        assert verification.proves_impossibility
+        assert all(match.matches for match in verification.matches)
+
+    def test_expected_view_shapes_m4(self):
+        scenario = lower_bound_scenario("M4", 2)
+        assert scenario.view("E3", "A") == ValueMultiset([0, 0, 0, 0, 1, 1])
+        assert scenario.view("E3", "C") == ValueMultiset([0, 0, 1, 1, 1, 1])
+
+    def test_forced_decisions_conflict(self, model):
+        verification = lower_bound_scenario(model, 1).verify()
+        decisions = set(verification.forced_decisions.values())
+        assert decisions == {0.0, 1.0}
+        assert not verification.e3_verdict.agreement
+
+    def test_summary_text(self, model):
+        text = lower_bound_scenario(model, 1).verify().summary()
+        assert "impossible" in text
+
+    def test_observation2_matches_m4_shape(self):
+        scenario = classical_static_scenario(2)
+        assert scenario.n == 6
+        assert scenario.verify().proves_impossibility
+
+
+class TestAlgorithmDefeats:
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_every_instance_defeated(self, model, algorithm_name, f):
+        scenario = lower_bound_scenario(model, f)
+        fn = make_algorithm(algorithm_name, msr_trim_parameter(model, f))
+        defeat = run_algorithm_on_scenario(scenario, fn)
+        assert defeat.defeated
+
+    def test_defeat_repeats_e1_e2_choices(self, model):
+        scenario = lower_bound_scenario(model, 1)
+        fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+        defeat = run_algorithm_on_scenario(scenario, fn)
+        assert defeat.decisions["E3"]["A"] == defeat.decisions["E1"]["A"]
+        assert defeat.decisions["E3"]["C"] == defeat.decisions["E2"]["C"]
+
+    def test_msr_realises_the_forced_decisions(self, model):
+        scenario = lower_bound_scenario(model, 1)
+        fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+        defeat = run_algorithm_on_scenario(scenario, fn)
+        assert defeat.decisions["E1"]["A"] == 0.0
+        assert defeat.decisions["E2"]["C"] == 1.0
+
+
+class TestStallScenarios:
+    def test_layout_covers_n(self, model):
+        for f in (1, 2):
+            layout = stall_group_ids(model, f)
+            ids = [pid for ids in layout.values() for pid in ids]
+            semantics = get_semantics(model)
+            assert sorted(ids) == list(range(semantics.replica_coefficient * f))
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_stall_freezes_diameter(self, model, algorithm_name, f):
+        fn = make_algorithm(algorithm_name, msr_trim_parameter(model, f))
+        trace = run_simulation(stall_configuration(model, f, fn, rounds=15))
+        stats = convergence_stats(trace)
+        assert stats.stalled_from() is not None
+        assert stats.final_diameter > 0
+        # The frozen diameter persists from round 1 at the latest.
+        assert stats.trajectory[1] == stats.trajectory[-1]
+
+    def test_stall_preserves_validity(self, model):
+        fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+        trace = run_simulation(stall_configuration(model, 1, fn, rounds=10))
+        assert check_trace(trace).validity
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_one_extra_process_restores_convergence(self, model, f):
+        fn = make_algorithm("ftm", msr_trim_parameter(model, f))
+        config = stall_configuration(model, f, fn, rounds=60, extra_processes=1)
+        trace = run_simulation(config)
+        assert trace.final_round.nonfaulty_diameter_after() <= 1e-6
+
+    def test_m1_m3_stall_after_one_contraction(self):
+        # Round 0 has no cured processes, so M1/M3 contract once and
+        # then freeze; M2/M4 freeze immediately.
+        expectations = {"M1": 0.5, "M2": 1.0, "M3": 0.5, "M4": 1.0}
+        for model in ALL_MODELS:
+            fn = make_algorithm("ftm", msr_trim_parameter(model, 1))
+            trace = run_simulation(stall_configuration(model, 1, fn, rounds=8))
+            stats = convergence_stats(trace)
+            assert stats.final_diameter == pytest.approx(
+                expectations[model.value]
+            ), model
+
+    def test_f_zero_rejected(self):
+        with pytest.raises(ValueError):
+            stall_group_ids("M1", 0)

@@ -1,0 +1,114 @@
+"""Property tests: the lower-bound machinery over generic values and f.
+
+The paper states Theorems 3-6 with inputs 0 and 1; the constructions
+are value-generic.  Hypothesis sweeps arbitrary (low, high) pairs and
+group sizes, asserting the indistinguishability argument and the MSR
+defeats survive the generalisation -- plus structural invariants of the
+bounds and stall layouts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import max_tolerable_faults, required_processes
+from repro.core.lower_bounds import (
+    lower_bound_scenario,
+    run_algorithm_on_scenario,
+    stall_group_ids,
+)
+from repro.core.mapping import mixed_mode_image, msr_trim_parameter
+from repro.faults import ALL_MODELS, get_semantics
+from repro.msr import make_algorithm
+
+models = st.sampled_from(ALL_MODELS)
+fault_counts = st.integers(min_value=1, max_value=4)
+# Pairs must be separated by more than the spec checkers' absolute
+# float tolerance (1e-9): below it, "the inputs agree" and Simple
+# Approximate Agreement is trivially satisfiable -- no impossibility.
+value_pairs = st.tuples(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+).filter(lambda pair: pair[0] + 1e-6 < pair[1])
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=models, f=fault_counts, pair=value_pairs)
+def test_impossibility_for_arbitrary_value_pairs(model, f, pair):
+    low, high = pair
+    scenario = lower_bound_scenario(model, f, low=low, high=high)
+    verification = scenario.verify()
+    assert verification.proves_impossibility
+    assert set(verification.forced_decisions.values()) == {low, high}
+
+
+@settings(max_examples=40, deadline=None)
+@given(model=models, f=st.integers(1, 3), pair=value_pairs)
+def test_msr_defeated_for_arbitrary_value_pairs(model, f, pair):
+    low, high = pair
+    scenario = lower_bound_scenario(model, f, low=low, high=high)
+    fn = make_algorithm("ftm", msr_trim_parameter(model, f))
+    defeat = run_algorithm_on_scenario(scenario, fn)
+    assert defeat.defeated
+
+
+def test_degenerate_value_pair_rejected():
+    with pytest.raises(ValueError, match="low < high"):
+        lower_bound_scenario("M1", 1, low=1.0, high=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=models, f=fault_counts)
+def test_scenario_size_is_one_below_requirement(model, f):
+    scenario = lower_bound_scenario(model, f)
+    assert scenario.n == required_processes(model, f) - 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=models, f=fault_counts)
+def test_stall_layout_partitions_ids(model, f):
+    layout = stall_group_ids(model, f)
+    ids = sorted(pid for ids in layout.values() for pid in ids)
+    assert ids == list(range(required_processes(model, f) - 1))
+    # Pools are agent-sized (or empty for M4's static agents).
+    assert len(layout["pool_a"]) == f
+    assert len(layout["pool_b"]) in (0, f)
+
+
+@settings(max_examples=80, deadline=None)
+@given(model=models, f=st.integers(0, 20))
+def test_required_processes_monotone_in_f(model, f):
+    assert required_processes(model, f + 1) > required_processes(model, f)
+
+
+@settings(max_examples=80, deadline=None)
+@given(model=models, n=st.integers(1, 200))
+def test_bounds_form_a_galois_connection(model, n):
+    # max_tolerable_faults is the adjoint of required_processes:
+    # f tolerable at n  <=>  required_processes(f) <= n.
+    f = max_tolerable_faults(model, n)
+    assert required_processes(model, f) <= n
+    assert required_processes(model, f + 1) > n
+
+
+@settings(max_examples=60, deadline=None)
+@given(model=models, f=st.integers(1, 10), cured=st.integers(0, 10))
+def test_mixed_mode_image_structure(model, f, cured):
+    if cured > f:
+        with pytest.raises(ValueError):
+            mixed_mode_image(model, f, cured)
+        return
+    image = mixed_mode_image(model, f, cured)
+    semantics = get_semantics(model)
+    # Total non-correct processes of the image: faulty + cured (except
+    # M4, whose cured never exist at send time).
+    if semantics.model.value == "M4":
+        assert image.total == f
+    else:
+        assert image.total == f + cured
+    # Asymmetric count is at least the agent count in every model.
+    assert image.asymmetric >= f
+    # The trim parameter never exceeds the worst case 2f.
+    assert image.trim_parameter <= 2 * f

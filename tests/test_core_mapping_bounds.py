@@ -1,0 +1,154 @@
+"""Tests for the mapping (Table 1) and bounds (Table 2) modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import (
+    is_sufficient,
+    max_tolerable_faults,
+    mixed_mode_min_processes,
+    replica_coefficient,
+    required_processes,
+    static_byzantine_min_processes,
+    table2_rows,
+)
+from repro.core.mapping import (
+    classify_cured_processes,
+    classify_send_behavior,
+    mapping_table,
+    mixed_mode_image,
+    msr_trim_parameter,
+)
+from repro.faults import FaultClass, MixedModeCounts, MobileModel
+from tests.helpers import run_mobile
+
+
+class TestMixedModeImage:
+    @pytest.mark.parametrize(
+        "model,f,expected",
+        [
+            ("M1", 1, MixedModeCounts(asymmetric=1, benign=1)),
+            ("M2", 1, MixedModeCounts(asymmetric=1, symmetric=1)),
+            ("M3", 1, MixedModeCounts(asymmetric=2)),
+            ("M4", 1, MixedModeCounts(asymmetric=1)),
+            ("M1", 3, MixedModeCounts(asymmetric=3, benign=3)),
+            ("M3", 3, MixedModeCounts(asymmetric=6)),
+        ],
+    )
+    def test_worst_case_images(self, model, f, expected):
+        assert mixed_mode_image(model, f) == expected
+
+    def test_explicit_cured_count(self):
+        assert mixed_mode_image("M1", 2, cured=0) == MixedModeCounts(asymmetric=2)
+
+    @pytest.mark.parametrize(
+        "model,f,tau",
+        [("M1", 2, 2), ("M2", 2, 4), ("M3", 2, 4), ("M4", 2, 2)],
+    )
+    def test_trim_parameter(self, model, f, tau):
+        assert msr_trim_parameter(model, f) == tau
+
+
+class TestMappingTable:
+    def test_rows_cover_all_models(self):
+        rows = mapping_table()
+        assert [row.model.value for row in rows] == ["M1", "M2", "M3", "M4"]
+
+    def test_cured_classes_match_paper(self):
+        by_model = {row.model.value: row.cured_class for row in mapping_table()}
+        assert by_model == {
+            "M1": FaultClass.BENIGN,
+            "M2": FaultClass.SYMMETRIC,
+            "M3": FaultClass.ASYMMETRIC,
+            "M4": None,
+        }
+
+    def test_faulty_always_asymmetric(self):
+        assert all(
+            row.faulty_class is FaultClass.ASYMMETRIC for row in mapping_table()
+        )
+
+    def test_render_cells_roles(self):
+        row = mapping_table()[0]  # M1
+        cells = row.render_cells()
+        assert cells["asymmetric"] == "faulty"
+        assert cells["benign"] == "cured"
+        assert cells["symmetric"] == ""
+
+
+class TestBehaviouralClassifier:
+    def test_silent_is_benign(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=3)
+        record = trace.rounds[1]
+        classes = classify_cured_processes(record)
+        assert set(classes.values()) == {FaultClass.BENIGN}
+
+    def test_broadcast_is_symmetric(self):
+        trace = run_mobile(MobileModel.BONNET, rounds=3)
+        record = trace.rounds[1]
+        classes = classify_cured_processes(record)
+        assert set(classes.values()) == {FaultClass.SYMMETRIC}
+
+    def test_honest_sender_classifies_symmetric(self):
+        # An honest broadcast is indistinguishable from a symmetric
+        # fault by send pattern alone -- by design the classifier is
+        # only applied to cured/faulty processes.
+        trace = run_mobile(MobileModel.GARAY, rounds=2)
+        record = trace.rounds[0]
+        honest = next(iter(record.correct_at_send))
+        assert classify_send_behavior(record, honest) is FaultClass.SYMMETRIC
+
+
+class TestTable2:
+    @pytest.mark.parametrize(
+        "model,coefficient",
+        [("M1", 4), ("M2", 5), ("M3", 6), ("M4", 3)],
+    )
+    def test_coefficients(self, model, coefficient):
+        assert replica_coefficient(model) == coefficient
+        for f in (1, 2, 4):
+            assert required_processes(model, f) == coefficient * f + 1
+
+    def test_table2_rows_derive_from_mapping(self):
+        for f in (1, 2, 3):
+            rows = table2_rows(f)
+            for row in rows:
+                assert row.image.min_processes() == required_processes(
+                    row.model, f
+                )
+
+    def test_table2_bound_text(self):
+        texts = [row.bound_text() for row in table2_rows()]
+        assert texts == ["n > 4f", "n > 5f", "n > 6f", "n > 3f"]
+
+    def test_table2_rejects_f_zero(self):
+        with pytest.raises(ValueError):
+            table2_rows(0)
+
+    def test_is_sufficient(self):
+        assert is_sufficient("M2", 6, 1)
+        assert not is_sufficient("M2", 5, 1)
+
+    def test_max_tolerable_faults(self):
+        assert max_tolerable_faults("M1", 9) == 2
+        assert max_tolerable_faults("M4", 3) == 0
+
+    def test_mixed_mode_min_processes(self):
+        assert mixed_mode_min_processes(MixedModeCounts(1, 1, 1)) == 7
+
+    def test_static_bound(self):
+        assert static_byzantine_min_processes(0) == 1
+        assert static_byzantine_min_processes(1) == 4
+        assert static_byzantine_min_processes(3) == 10
+        with pytest.raises(ValueError):
+            static_byzantine_min_processes(-1)
+
+    def test_mobile_bounds_dominate_static_except_m4(self):
+        # The paper's headline: mobility costs replicas except in M4.
+        for f in (1, 2, 5):
+            static = static_byzantine_min_processes(f)
+            assert required_processes("M1", f) > static
+            assert required_processes("M2", f) > static
+            assert required_processes("M3", f) > static
+            assert required_processes("M4", f) == static

@@ -1,0 +1,133 @@
+"""Tests for the specification checkers (Termination, eps-Agreement,
+Validity, P1, P2, Simple Approximate Agreement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.specification import (
+    check_epsilon_agreement,
+    check_p1,
+    check_p2,
+    check_simple_agreement,
+    check_termination,
+    check_trace,
+    check_validity,
+)
+from repro.core.lower_bounds import stall_configuration
+from repro.core.mapping import msr_trim_parameter
+from repro.faults import MobileModel
+from repro.msr import make_algorithm
+from repro.runtime import run_simulation
+from tests.helpers import make_mobile_config, run_mobile
+
+
+@pytest.fixture(scope="module")
+def good_trace():
+    return run_mobile(MobileModel.GARAY, rounds=15, seed=4)
+
+
+@pytest.fixture(scope="module")
+def stalled_trace():
+    config = stall_configuration(
+        MobileModel.GARAY, 1, make_algorithm("ftm", msr_trim_parameter("M1", 1)),
+        rounds=10,
+    )
+    return run_simulation(config)
+
+
+class TestHeadlineProperties:
+    def test_good_trace_satisfies_everything(self, good_trace):
+        verdict = check_trace(good_trace)
+        assert verdict.satisfied
+        assert verdict.all_satisfied
+        assert not verdict.failures()
+
+    def test_termination_flags_round_cap(self):
+        config = make_mobile_config(MobileModel.GARAY, rounds=50, max_rounds=2)
+        trace = run_simulation(config)
+        check = check_termination(trace)
+        assert not check
+        assert "cap" in check.details
+
+    def test_epsilon_agreement_respects_explicit_epsilon(self, stalled_trace):
+        # The stall freezes the diameter at 0.5, so agreement fails for
+        # small epsilon and trivially holds for a huge one.
+        assert not check_epsilon_agreement(stalled_trace, epsilon=0.1)
+        assert check_epsilon_agreement(stalled_trace, epsilon=10.0)
+
+    def test_validity_holds_even_when_stalled(self, stalled_trace):
+        # The stall breaks liveness, not safety.
+        assert check_validity(stalled_trace)
+
+    def test_stalled_trace_fails_p2(self, stalled_trace):
+        assert not check_p2(stalled_trace)
+
+    def test_stalled_trace_keeps_p1(self, stalled_trace):
+        assert check_p1(stalled_trace)
+
+    def test_verdict_string_mentions_all_properties(self, good_trace):
+        text = str(check_trace(good_trace))
+        for name in ("Termination", "eps-Agreement", "Validity", "P1", "P2"):
+            assert name in text
+
+    def test_failures_lists_only_violations(self, stalled_trace):
+        verdict = check_trace(stalled_trace)
+        names = {check.name for check in verdict.failures()}
+        assert "eps-Agreement" in names
+        assert "Validity" not in names
+
+
+class TestSimpleAgreement:
+    def test_satisfied_case(self):
+        verdict = check_simple_agreement(
+            inputs={0: 0.0, 1: 1.0}, outputs={0: 0.4, 1: 0.6}
+        )
+        assert verdict.satisfied
+
+    def test_agreement_requires_strict_shrink(self):
+        verdict = check_simple_agreement(
+            inputs={0: 0.0, 1: 1.0}, outputs={0: 0.0, 1: 1.0}
+        )
+        assert not verdict.agreement
+        assert verdict.validity
+
+    def test_agreeing_inputs_force_exact_agreement(self):
+        good = check_simple_agreement(inputs={0: 0.5, 1: 0.5}, outputs={0: 0.5})
+        assert good.satisfied
+        bad = check_simple_agreement(
+            inputs={0: 0.5, 1: 0.5}, outputs={0: 0.5, 1: 0.6}
+        )
+        assert not bad.agreement
+
+    def test_validity_detects_escape(self):
+        verdict = check_simple_agreement(
+            inputs={0: 0.0, 1: 1.0}, outputs={0: 1.5}
+        )
+        assert not verdict.validity
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            check_simple_agreement(inputs={}, outputs={0: 1.0})
+
+
+class TestPerRoundProperties:
+    def test_p1_detects_unfiltered_mean(self):
+        # SimpleMean (no reduction) lets Byzantine outliers drag results
+        # outside the correct range: P1 and Validity must both flag it.
+        from repro.faults.movement import StaticAgents
+        from repro.faults.value_strategies import OutlierAttack
+
+        config = make_mobile_config(
+            MobileModel.BUHRMAN,
+            algorithm=make_algorithm("fta", 0),
+            movement=StaticAgents(),
+            values=OutlierAttack(magnitude=100.0),
+            rounds=5,
+        )
+        trace = run_simulation(config)
+        assert not check_p1(trace)
+        assert not check_validity(trace)
+
+    def test_p2_accepts_contraction(self, good_trace):
+        assert check_p2(good_trace)

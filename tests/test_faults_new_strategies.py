@@ -1,0 +1,110 @@
+"""Tests for the oscillating and inertia value strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.specification import check_trace
+from repro.faults import (
+    AdversaryView,
+    InertiaAttack,
+    MobileModel,
+    OscillatingAttack,
+)
+from tests.helpers import run_mobile
+
+
+def view_at_round(round_index, values=None, positions=frozenset({0})):
+    if values is None:
+        values = {0: 9.9, 1: 0.0, 2: 0.4, 3: 1.0}
+    correct = {p: v for p, v in values.items() if p not in positions}
+    return AdversaryView(
+        round_index=round_index,
+        n=len(values),
+        f=1,
+        values=values,
+        positions=positions,
+        cured=frozenset(),
+        correct_values=correct,
+        rng=random.Random(0),
+    )
+
+
+class TestOscillatingAttack:
+    def test_alternates_by_round_parity(self):
+        strategy = OscillatingAttack()
+        assert strategy.attack_message(view_at_round(0), 0, 1) == 0.0
+        assert strategy.attack_message(view_at_round(1), 0, 1) == 1.0
+        assert strategy.attack_message(view_at_round(2), 0, 1) == 0.0
+
+    def test_symmetric_within_a_round(self):
+        strategy = OscillatingAttack()
+        view = view_at_round(3)
+        values = {strategy.attack_message(view, 0, q) for q in (1, 2, 3)}
+        assert len(values) == 1
+
+    def test_spec_holds_under_oscillation(self, model):
+        trace = run_mobile(model, values=OscillatingAttack(), rounds=20, seed=2)
+        assert check_trace(trace).all_satisfied
+
+
+class TestInertiaAttack:
+    def test_echoes_recipient_value(self):
+        strategy = InertiaAttack()
+        view = view_at_round(0)
+        assert strategy.attack_message(view, 0, 2) == 0.4
+
+    def test_clamps_to_correct_range(self):
+        strategy = InertiaAttack()
+        view = view_at_round(
+            0, values={0: 0.5, 1: 0.0, 2: 1.0, 3: -50.0}, positions=frozenset({0, 3})
+        )
+        # Recipient 3 is faulty with corrupted memory -50; the echo is
+        # clamped into the correct range [0, 1].
+        assert strategy.attack_message(view, 0, 3) == 0.0
+
+    def test_symmetric_variant_is_midpoint(self):
+        strategy = InertiaAttack()
+        assert strategy.attack_message(view_at_round(0), 0, None) == 0.5
+
+    def test_spec_holds_under_inertia(self, model):
+        trace = run_mobile(model, values=InertiaAttack(), rounds=25, seed=2)
+        assert check_trace(trace).all_satisfied
+
+    def test_inertia_never_triggers_p1(self):
+        # All echoed values sit inside the correct range by design.
+        trace = run_mobile(MobileModel.BONNET, values=InertiaAttack(), rounds=15, seed=1)
+        for record in trace.rounds:
+            honest = record.honest_sent_values()
+            if len(honest) == 0:
+                continue
+            interval = honest.range()
+            for pid in record.faulty_at_send:
+                outbox = record.sent[pid]
+                for value in outbox.values():
+                    assert interval.low - 1e-9 <= value <= interval.high + 1e-9
+
+
+class TestCliOptions:
+    def test_f_option_forwards(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["equivalence", "--f", "2"]) == 0
+        out = capsys.readouterr().out
+        # Only f=2 rows are present.
+        assert "| 2 |" in out
+        assert "| 1 |" not in out
+
+    def test_seeds_option_accepted(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table2", "--seeds", "1"]) == 0
+        assert "EXP-T2" in capsys.readouterr().out
+
+    def test_run_with_options_unknown_name(self):
+        from repro.experiments.cli import run_with_options
+
+        with pytest.raises(KeyError):
+            run_with_options(["bogus"])

@@ -1,0 +1,280 @@
+"""Tests for adversary views, value strategies and movement strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import (
+    Adversary,
+    AdversaryView,
+    AlternatingPools,
+    EchoCorrect,
+    FixedValue,
+    OutlierAttack,
+    RandomJump,
+    RandomNoise,
+    RoundRobinWalk,
+    ScriptedMovement,
+    SplitAttack,
+    StaticAgents,
+    TargetExtremes,
+)
+
+
+def make_view(
+    values=None,
+    positions=frozenset({0}),
+    cured=frozenset(),
+    n=None,
+    f=1,
+    round_index=1,
+    seed=0,
+):
+    if values is None:
+        values = {0: 9.9, 1: 0.0, 2: 0.4, 3: 1.0}
+    if n is None:
+        n = len(values)
+    correct = {
+        pid: value
+        for pid, value in values.items()
+        if pid not in positions and pid not in cured
+    }
+    return AdversaryView(
+        round_index=round_index,
+        n=n,
+        f=f,
+        values=values,
+        positions=positions,
+        cured=cured,
+        correct_values=correct,
+        rng=random.Random(seed),
+    )
+
+
+class TestAdversaryView:
+    def test_correct_range_excludes_faulty(self):
+        view = make_view()
+        interval = view.correct_range()
+        assert (interval.low, interval.high) == (0.0, 1.0)
+
+    def test_correct_ids(self):
+        assert make_view().correct_ids == frozenset({1, 2, 3})
+
+    def test_midpoint(self):
+        assert make_view().correct_midpoint() == 0.5
+
+    def test_range_falls_back_to_all_values(self):
+        view = make_view(values={0: 2.0}, positions=frozenset({0}))
+        assert view.correct_range().low == 2.0
+
+    def test_empty_view_raises(self):
+        view = make_view(values={}, positions=frozenset())
+        with pytest.raises(ValueError):
+            view.correct_range()
+
+
+class TestValueStrategies:
+    def test_fixed_value(self):
+        strategy = FixedValue(42.0)
+        assert strategy.attack_message(make_view(), 0, 1) == 42.0
+        assert strategy.departure_value(make_view(), 0) == 42.0
+
+    def test_split_sends_low_to_low_half(self):
+        strategy = SplitAttack()
+        view = make_view()
+        assert strategy.attack_message(view, 0, 1) == 0.0  # value 0.0 <= mid
+        assert strategy.attack_message(view, 0, 3) == 1.0  # value 1.0 > mid
+
+    def test_split_symmetric_variant_is_high(self):
+        assert SplitAttack().attack_message(make_view(), 0, None) == 1.0
+
+    def test_split_explicit_anchors(self):
+        strategy = SplitAttack(low=-5.0, high=5.0)
+        view = make_view()
+        assert strategy.attack_message(view, 0, 1) == -5.0
+        assert strategy.attack_message(view, 0, 3) == 5.0
+
+    def test_split_unknown_recipient_uses_parity(self):
+        strategy = SplitAttack()
+        view = make_view(values={0: 0.0, 1: 1.0}, positions=frozenset())
+        assert strategy.attack_message(view, 0, 4) == 0.0
+        assert strategy.attack_message(view, 0, 5) == 1.0
+
+    def test_outlier_leaves_correct_range(self):
+        strategy = OutlierAttack(magnitude=100.0)
+        view = make_view()
+        high = strategy.attack_message(view, 0, 0)
+        low = strategy.attack_message(view, 0, 1)
+        assert high == 101.0
+        assert low == -100.0
+
+    def test_outlier_requires_positive_magnitude(self):
+        with pytest.raises(ValueError):
+            OutlierAttack(magnitude=0.0)
+
+    def test_noise_is_seed_deterministic(self):
+        strategy = RandomNoise()
+        a = strategy.attack_message(make_view(seed=5), 0, 1)
+        b = strategy.attack_message(make_view(seed=5), 0, 1)
+        assert a == b
+
+    def test_noise_spread_validation(self):
+        with pytest.raises(ValueError):
+            RandomNoise(spread=0.0)
+
+    def test_echo_sends_midpoint(self):
+        assert EchoCorrect().attack_message(make_view(), 0, 1) == 0.5
+
+    def test_planted_defaults_to_attack(self):
+        strategy = SplitAttack()
+        view = make_view()
+        assert strategy.planted_message(view, 0, 1) == strategy.attack_message(
+            view, 0, 1
+        )
+
+    def test_corrupted_compute_defaults_to_departure(self):
+        strategy = FixedValue(7.0)
+        assert strategy.corrupted_compute(make_view(), 2) == 7.0
+
+
+class TestMovementStrategies:
+    def test_static_agents_stay(self):
+        strategy = StaticAgents()
+        rng = random.Random(0)
+        initial = strategy.initial_positions(5, 2, rng)
+        assert initial == frozenset({0, 1})
+        view = make_view(
+            values={i: float(i) for i in range(5)}, positions=initial, f=2
+        )
+        assert strategy.next_positions(view) == initial
+
+    def test_static_agents_custom_positions(self):
+        strategy = StaticAgents([3, 4])
+        assert strategy.initial_positions(5, 2, random.Random(0)) == frozenset({3, 4})
+
+    def test_static_agents_validates_count(self):
+        with pytest.raises(ValueError, match="agents"):
+            StaticAgents([0, 1, 2]).initial_positions(5, 2, random.Random(0))
+
+    def test_round_robin_shifts_by_f(self):
+        strategy = RoundRobinWalk()
+        view = make_view(
+            values={i: float(i) for i in range(6)},
+            positions=frozenset({0, 1}),
+            f=2,
+            n=6,
+        )
+        assert strategy.next_positions(view) == frozenset({2, 3})
+
+    def test_round_robin_wraps(self):
+        strategy = RoundRobinWalk(stride=2)
+        view = make_view(
+            values={i: float(i) for i in range(4)},
+            positions=frozenset({3}),
+            f=1,
+            n=4,
+        )
+        assert strategy.next_positions(view) == frozenset({1})
+
+    def test_round_robin_invalid_stride(self):
+        with pytest.raises(ValueError):
+            RoundRobinWalk(stride=0)
+
+    def test_random_jump_bounded_count(self):
+        strategy = RandomJump()
+        positions = strategy.initial_positions(10, 3, random.Random(1))
+        assert len(positions) == 3
+        view = make_view(
+            values={i: 0.0 for i in range(10)}, positions=positions, f=3, n=10
+        )
+        assert len(strategy.next_positions(view)) == 3
+
+    def test_random_jump_can_linger(self):
+        strategy = RandomJump(move_probability=0.0)
+        positions = frozenset({2})
+        view = make_view(
+            values={i: 0.0 for i in range(4)}, positions=positions, f=1, n=4
+        )
+        assert strategy.next_positions(view) == positions
+
+    def test_random_jump_probability_validated(self):
+        with pytest.raises(ValueError):
+            RandomJump(move_probability=1.5)
+
+    def test_alternating_pools(self):
+        strategy = AlternatingPools([0], [1])
+        rng = random.Random(0)
+        assert strategy.initial_positions(4, 1, rng) == frozenset({0})
+        view_a = make_view(
+            values={i: 0.0 for i in range(4)}, positions=frozenset({0}), n=4
+        )
+        assert strategy.next_positions(view_a) == frozenset({1})
+        view_b = make_view(
+            values={i: 0.0 for i in range(4)}, positions=frozenset({1}), n=4
+        )
+        assert strategy.next_positions(view_b) == frozenset({0})
+
+    def test_alternating_pools_must_be_disjoint(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            AlternatingPools([0, 1], [1, 2])
+
+    def test_alternating_pools_nonempty(self):
+        with pytest.raises(ValueError):
+            AlternatingPools([], [1])
+
+    def test_target_extremes_picks_extreme_holders(self):
+        strategy = TargetExtremes()
+        view = make_view(
+            values={0: 0.0, 1: 0.5, 2: 0.4, 3: 1.0},
+            positions=frozenset(),
+            f=2,
+            n=4,
+        )
+        assert strategy.next_positions(view) == frozenset({0, 3})
+
+    def test_scripted_movement_follows_script(self):
+        strategy = ScriptedMovement([[0], [1], [2]])
+        rng = random.Random(0)
+        assert strategy.initial_positions(4, 1, rng) == frozenset({0})
+        view = make_view(values={i: 0.0 for i in range(4)}, n=4)
+        assert strategy.next_positions(view) == frozenset({1})
+        assert strategy.next_positions(view) == frozenset({2})
+        # Past the end: repeats the last entry.
+        assert strategy.next_positions(view) == frozenset({2})
+
+    def test_scripted_movement_reset_on_initial(self):
+        strategy = ScriptedMovement([[0], [1]])
+        rng = random.Random(0)
+        view = make_view(values={i: 0.0 for i in range(4)}, n=4)
+        strategy.initial_positions(4, 1, rng)
+        strategy.next_positions(view)
+        # Re-initialising replays the script from the start.
+        assert strategy.initial_positions(4, 1, rng) == frozenset({0})
+        assert strategy.next_positions(view) == frozenset({1})
+
+    def test_scripted_requires_entries(self):
+        with pytest.raises(ValueError):
+            ScriptedMovement([])
+
+
+class TestAdversary:
+    def test_defaults(self):
+        adversary = Adversary()
+        assert isinstance(adversary.movement, StaticAgents)
+        assert isinstance(adversary.values, SplitAttack)
+
+    def test_delegation(self):
+        adversary = Adversary(StaticAgents([2]), FixedValue(3.0))
+        rng = random.Random(0)
+        assert adversary.initial_positions(4, 1, rng) == frozenset({2})
+        assert adversary.attack_message(make_view(), 0, 1) == 3.0
+        assert adversary.departure_value(make_view(), 0) == 3.0
+        assert adversary.planted_message(make_view(), 0, 1) == 3.0
+        assert adversary.corrupted_compute(make_view(), 0) == 3.0
+
+    def test_describe_combines_parts(self):
+        adversary = Adversary(RoundRobinWalk(), SplitAttack())
+        text = adversary.describe()
+        assert "round-robin" in text and "split" in text

@@ -1,0 +1,120 @@
+"""Property-based integration tests: randomized adversaries never break
+safety above the bound.
+
+Hypothesis drives whole simulations with generated system sizes, seeds,
+initial values and adversary combinations; Validity and P1 are safety
+invariants that must hold in every single run, and the equivalence
+construction of Theorem 1 must always succeed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import build_equivalent_static_computation
+from repro.core.specification import check_p1, check_trace, check_validity
+from repro.faults import ALL_MODELS, get_semantics
+from repro.faults.movement import RandomJump, RoundRobinWalk, TargetExtremes
+from repro.faults.value_strategies import (
+    OutlierAttack,
+    RandomNoise,
+    SplitAttack,
+)
+from tests.helpers import run_mobile
+
+models = st.sampled_from(ALL_MODELS)
+movements = st.sampled_from([RandomJump, RoundRobinWalk, TargetExtremes])
+attacks = st.sampled_from([SplitAttack, OutlierAttack, RandomNoise])
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@st.composite
+def simulation_cases(draw):
+    model = draw(models)
+    f = draw(st.integers(min_value=1, max_value=2))
+    extra = draw(st.integers(min_value=0, max_value=3))
+    n = get_semantics(model).required_n(f) + extra
+    values = draw(
+        st.lists(
+            st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return model, f, n, tuple(values), draw(movements), draw(attacks), draw(seeds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(simulation_cases())
+def test_safety_invariants_hold_everywhere(case):
+    model, f, n, values, movement_factory, attack_factory, seed = case
+    trace = run_mobile(
+        model,
+        f=f,
+        n=n,
+        initial_values=values,
+        movement=movement_factory(),
+        values=attack_factory(),
+        rounds=12,
+        seed=seed,
+    )
+    assert check_validity(trace), f"Validity broke: {case}"
+    assert check_p1(trace), f"P1 broke: {case}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(simulation_cases())
+def test_diameter_never_expands(case):
+    model, f, n, values, movement_factory, attack_factory, seed = case
+    trace = run_mobile(
+        model,
+        f=f,
+        n=n,
+        initial_values=values,
+        movement=movement_factory(),
+        values=attack_factory(),
+        rounds=12,
+        seed=seed,
+    )
+    series = trace.diameters()
+    for before, after in zip(series, series[1:]):
+        assert after <= before + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(simulation_cases())
+def test_theorem1_construction_always_succeeds(case):
+    model, f, n, values, movement_factory, attack_factory, seed = case
+    trace = run_mobile(
+        model,
+        f=f,
+        n=n,
+        initial_values=values,
+        movement=movement_factory(),
+        values=attack_factory(),
+        rounds=8,
+        seed=seed,
+    )
+    report = build_equivalent_static_computation(trace)
+    assert report.is_correct_computation
+
+
+@settings(max_examples=20, deadline=None)
+@given(simulation_cases())
+def test_full_spec_with_enough_rounds(case):
+    model, f, n, values, movement_factory, attack_factory, seed = case
+    trace = run_mobile(
+        model,
+        f=f,
+        n=n,
+        initial_values=values,
+        movement=movement_factory(),
+        values=attack_factory(),
+        rounds=80,
+        seed=seed,
+        epsilon=1e-2,
+    )
+    # With a generous round budget the whole specification holds.
+    verdict = check_trace(trace, epsilon=max(1e-2, trace.diameters()[0] * 0.5 ** 70))
+    assert verdict.validity and verdict.termination

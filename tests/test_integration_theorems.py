@@ -1,0 +1,144 @@
+"""Integration tests: the paper's theorems over full executions.
+
+The heavyweight sweeps live in the experiment harness; these tests run
+a representative grid directly so failures localise to the library, not
+the harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import convergence_stats, rounds_until
+from repro.core.equivalence import build_equivalent_static_computation
+from repro.core.mapping import msr_trim_parameter
+from repro.core.specification import check_trace
+from repro.faults import get_semantics
+from repro.faults.movement import (
+    RandomJump,
+    RoundRobinWalk,
+    StaticAgents,
+    TargetExtremes,
+)
+from repro.faults.value_strategies import (
+    EchoCorrect,
+    OutlierAttack,
+    RandomNoise,
+    SplitAttack,
+)
+from repro.msr import make_algorithm
+from repro.runtime import OracleDiameter, run_simulation
+from tests.helpers import make_mobile_config, run_mobile
+
+MOVEMENTS = [StaticAgents, RoundRobinWalk, RandomJump, TargetExtremes]
+ATTACKS = [SplitAttack, OutlierAttack, RandomNoise, EchoCorrect]
+
+
+class TestTheorem2EndToEnd:
+    """Every model/algorithm/adversary combination at the minimum n."""
+
+    @pytest.mark.parametrize("movement_factory", MOVEMENTS)
+    @pytest.mark.parametrize("attack_factory", ATTACKS)
+    def test_spec_holds_at_minimum_n(self, model, movement_factory, attack_factory):
+        f = 1
+        trace = run_mobile(
+            model,
+            f=f,
+            movement=movement_factory(),
+            values=attack_factory(),
+            rounds=40,
+            seed=13,
+        )
+        verdict = check_trace(trace)
+        assert verdict.all_satisfied, (
+            f"{model}/{movement_factory.__name__}/{attack_factory.__name__}: "
+            f"{verdict}"
+        )
+
+    @pytest.mark.parametrize("f", [2, 3])
+    def test_spec_holds_for_larger_f(self, model, f):
+        trace = run_mobile(
+            model,
+            f=f,
+            movement=RoundRobinWalk(),
+            values=SplitAttack(),
+            rounds=40,
+            seed=7,
+        )
+        assert check_trace(trace).all_satisfied
+
+    def test_spec_holds_above_minimum_n(self, model, algorithm_name):
+        f = 1
+        semantics = get_semantics(model)
+        n = semantics.required_n(f) + 3
+        trace = run_mobile(
+            model, f=f, n=n, algorithm=algorithm_name, rounds=40, seed=5
+        )
+        assert check_trace(trace).all_satisfied
+
+    def test_oracle_termination_reaches_epsilon(self, model):
+        config = make_mobile_config(
+            model,
+            termination=OracleDiameter(1e-4),
+            epsilon=1e-4,
+            max_rounds=300,
+        )
+        trace = run_simulation(config)
+        assert trace.terminated
+        assert trace.decision_diameter() <= 1e-4
+
+    def test_agreement_preserved_after_reached(self, model):
+        # Lemma 7's second half: once epsilon-agreement holds it is
+        # preserved among the (changing) non-faulty processes.
+        trace = run_mobile(model, rounds=40, seed=3)
+        reached = rounds_until(trace, trace.epsilon)
+        assert reached is not None
+        for diameter in trace.diameters()[reached:]:
+            assert diameter <= trace.epsilon + 1e-12
+
+
+class TestTheorem1EndToEnd:
+    def test_equivalent_static_computation_for_random_runs(self, model):
+        for seed in (0, 1, 2):
+            trace = run_mobile(
+                model, movement=RandomJump(), rounds=10, seed=seed
+            )
+            report = build_equivalent_static_computation(trace)
+            assert report.is_correct_computation
+
+    def test_corollary1_over_long_runs(self, model):
+        trace = run_mobile(model, movement=RandomJump(), rounds=30, seed=11)
+        for record in trace.rounds:
+            assert len(record.cured_at_send) <= trace.f
+
+
+class TestConvergenceShape:
+    def test_geometric_decay_with_expected_factor(self, model):
+        # FTM under the split attack contracts at very close to 1/2 per
+        # round until hitting numerical zero.
+        f = 1
+        trace = run_mobile(model, f=f, rounds=25, seed=1)
+        stats = convergence_stats(trace)
+        assert stats.final_diameter <= 1e-6
+        assert stats.worst_factor <= 0.5 + 1e-9
+
+    def test_echo_adversary_accelerates(self, model):
+        # A weak adversary cannot slow convergence below the guarantee.
+        hostile = run_mobile(model, values=SplitAttack(), rounds=30, seed=2)
+        gentle = run_mobile(model, values=EchoCorrect(), rounds=30, seed=2)
+        hostile_rounds = rounds_until(hostile, 1e-3)
+        gentle_rounds = rounds_until(gentle, 1e-3)
+        assert gentle_rounds is not None and hostile_rounds is not None
+        assert gentle_rounds <= hostile_rounds
+
+    @pytest.mark.parametrize("f", [1, 2])
+    def test_larger_n_never_hurts(self, model, f):
+        semantics = get_semantics(model)
+        tight = run_mobile(model, f=f, n=semantics.required_n(f), rounds=30, seed=4)
+        roomy = run_mobile(
+            model, f=f, n=semantics.required_n(f) + 4, rounds=30, seed=4
+        )
+        tight_rounds = rounds_until(tight, 1e-3)
+        roomy_rounds = rounds_until(roomy, 1e-3)
+        assert tight_rounds is not None and roomy_rounds is not None
+        assert roomy_rounds <= tight_rounds + 2

@@ -1,0 +1,126 @@
+"""Tests for MSRFunction composition and the concrete instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.msr import (
+    Interval,
+    MSRFunction,
+    SelectAll,
+    TrimExtremes,
+    ValueMultiset,
+    algorithm_names,
+    dolev_et_al,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    make_algorithm,
+    median_trim,
+    register_algorithm,
+    simple_mean,
+)
+
+
+def ms(*values):
+    return ValueMultiset(values)
+
+
+class TestMSRFunction:
+    def test_pipeline_stages_recorded(self):
+        fn = fault_tolerant_average(1)
+        app = fn.apply(ms(0, 1, 2, 3, 100))
+        assert app.received == ms(0, 1, 2, 3, 100)
+        assert app.reduced == ms(1, 2, 3)
+        assert app.selected == ms(1, 2, 3)
+        assert app.result == 2.0
+
+    def test_call_returns_result(self):
+        fn = fault_tolerant_midpoint(0)
+        assert fn(ms(0, 1)) == 0.5
+
+    def test_empty_multiset_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            fault_tolerant_average(0).apply(ValueMultiset())
+
+    def test_minimum_multiset_size(self):
+        assert fault_tolerant_average(2).minimum_multiset_size() == 5
+        assert simple_mean().minimum_multiset_size() == 1
+
+    def test_apply_checked_accepts_in_range(self):
+        fn = fault_tolerant_average(1)
+        app = fn.apply_checked(ms(0, 1, 2), Interval(0.0, 2.0))
+        assert app.result == 1.0
+
+    def test_apply_checked_rejects_out_of_range(self):
+        fn = simple_mean()
+        with pytest.raises(AssertionError, match="P1 violated"):
+            fn.apply_checked(ms(0, 0, 100), Interval(0.0, 1.0))
+
+    def test_describe_mentions_stages(self):
+        fn = MSRFunction(TrimExtremes(1), SelectAll(), name="X")
+        text = fn.describe()
+        assert "X" in text and "trim" in text and "all" in text
+
+
+class TestConcreteAlgorithms:
+    def test_ftm_is_midpoint_of_survivors(self):
+        fn = fault_tolerant_midpoint(1)
+        # survivors of {0,1,2,3,10} are {1,2,3} -> midpoint 2
+        assert fn(ms(0, 1, 2, 3, 10)) == 2.0
+
+    def test_fta_is_mean_of_survivors(self):
+        fn = fault_tolerant_average(1)
+        assert fn(ms(0, 2, 4, 6, 100)) == 4.0
+
+    def test_dolev_selects_every_tau(self):
+        fn = dolev_et_al(2)
+        # reduce 2 -> {2,3,4,5,6}; select idx 0,2,4 -> {2,4,6}
+        assert fn(ms(0, 1, 2, 3, 4, 5, 6, 7, 8)) == 4.0
+
+    def test_dolev_tau_zero_degenerates_to_mean(self):
+        assert dolev_et_al(0)(ms(1, 2, 3)) == 2.0
+
+    def test_median_trim(self):
+        fn = median_trim(1)
+        assert fn(ms(-100, 1, 2, 3, 100)) == 2.0
+
+    def test_simple_mean_is_vulnerable(self):
+        # Documented behaviour: one outlier drags the plain mean out of
+        # the correct range -- the reason reduction exists.
+        fn = simple_mean()
+        assert fn(ms(0, 0, 0, 1000)) == 250.0
+
+    def test_unanimous_survivors_fixpoint(self):
+        # When the reduced multiset is unanimous every instance returns
+        # that value -- the mechanism behind the stall scenarios.
+        for factory in (fault_tolerant_midpoint, fault_tolerant_average, dolev_et_al, median_trim):
+            fn = factory(1)
+            assert fn(ms(0, 5, 5, 5, 9)) == 5.0
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = list(algorithm_names())
+        for expected in ("ftm", "fta", "dolev", "median-trim"):
+            assert expected in names
+
+    def test_make_algorithm_sets_tau(self):
+        fn = make_algorithm("ftm", 3)
+        assert fn.minimum_multiset_size() == 7
+
+    def test_make_algorithm_case_insensitive(self):
+        assert make_algorithm("FTM", 1).name == make_algorithm("ftm", 1).name
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known:"):
+            make_algorithm("nope", 1)
+
+    def test_register_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_algorithm("ftm", fault_tolerant_midpoint)
+
+    def test_register_custom(self):
+        register_algorithm(
+            "test-custom-instance", lambda tau: fault_tolerant_midpoint(tau)
+        )
+        assert make_algorithm("test-custom-instance", 1)(ms(0, 1, 2)) == 1.0

@@ -1,0 +1,261 @@
+"""Unit tests for ValueMultiset and Interval (the paper's V, rho, delta)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.msr import Interval, ValueMultiset
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestConstruction:
+    def test_values_are_sorted(self):
+        ms = ValueMultiset([3.0, 1.0, 2.0])
+        assert ms.values == (1.0, 2.0, 3.0)
+
+    def test_duplicates_preserved(self):
+        ms = ValueMultiset([1.0, 1.0, 2.0])
+        assert len(ms) == 3
+        assert ms.count(1.0) == 2
+
+    def test_of_constructor(self):
+        assert ValueMultiset.of(2, 1).values == (1.0, 2.0)
+
+    def test_from_sorted_skips_sort(self):
+        ms = ValueMultiset.from_sorted([1.0, 2.0, 3.0])
+        assert ms.values == (1.0, 2.0, 3.0)
+
+    def test_empty_is_allowed(self):
+        assert len(ValueMultiset()) == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ValueMultiset([float("nan")])
+
+    def test_integers_coerced_to_float(self):
+        ms = ValueMultiset([1, 2])
+        assert all(isinstance(v, float) for v in ms)
+
+
+class TestPaperOperators:
+    def test_min_max(self):
+        ms = ValueMultiset([0.5, -1.0, 2.0])
+        assert ms.min() == -1.0
+        assert ms.max() == 2.0
+
+    def test_range_rho(self):
+        ms = ValueMultiset([0.0, 0.5, 1.0])
+        assert ms.range() == Interval(0.0, 1.0)
+
+    def test_diameter_delta(self):
+        assert ValueMultiset([2.0, 5.0]).diameter() == 3.0
+
+    def test_diameter_singleton_is_zero(self):
+        assert ValueMultiset([4.0]).diameter() == 0.0
+
+    def test_diameter_empty_is_zero(self):
+        assert ValueMultiset().diameter() == 0.0
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(ValueError, match="min"):
+            ValueMultiset().min()
+
+    def test_range_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            ValueMultiset().range()
+
+
+class TestAlgebra:
+    def test_add_keeps_sorted(self):
+        ms = ValueMultiset([1.0, 3.0]).add(2.0)
+        assert ms.values == (1.0, 2.0, 3.0)
+
+    def test_add_is_persistent(self):
+        original = ValueMultiset([1.0])
+        original.add(2.0)
+        assert original.values == (1.0,)
+
+    def test_remove_one_occurrence(self):
+        ms = ValueMultiset([1.0, 1.0, 2.0]).remove(1.0)
+        assert ms.values == (1.0, 2.0)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            ValueMultiset([1.0]).remove(5.0)
+
+    def test_union_adds_multiplicities(self):
+        union = ValueMultiset([1.0]).union(ValueMultiset([1.0, 2.0]))
+        assert union.values == (1.0, 1.0, 2.0)
+
+    def test_contains(self):
+        ms = ValueMultiset([1.0, 2.0])
+        assert 1.0 in ms
+        assert 1.5 not in ms
+
+    def test_count_in_interval(self):
+        ms = ValueMultiset([0.0, 0.5, 1.0, 2.0])
+        assert ms.count_in(Interval(0.4, 1.1)) == 2
+        assert ms.count_outside(Interval(0.4, 1.1)) == 2
+
+    def test_indexing(self):
+        ms = ValueMultiset([3.0, 1.0])
+        assert ms[0] == 1.0
+        assert ms[1] == 3.0
+
+    def test_equality_and_hash(self):
+        a = ValueMultiset([1.0, 2.0])
+        b = ValueMultiset([2.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_multiplicity(self):
+        assert ValueMultiset([1.0]) != ValueMultiset([1.0, 1.0])
+
+
+class TestTrim:
+    def test_trim_both_ends(self):
+        ms = ValueMultiset([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert ms.trim(1, 1).values == (1.0, 2.0, 3.0)
+
+    def test_trim_asymmetric(self):
+        ms = ValueMultiset([0.0, 1.0, 2.0, 3.0])
+        assert ms.trim(2, 0).values == (2.0, 3.0)
+        assert ms.trim(0, 2).values == (0.0, 1.0)
+
+    def test_trim_zero_is_identity(self):
+        ms = ValueMultiset([1.0, 2.0])
+        assert ms.trim(0, 0) == ms
+
+    def test_trim_everything_gives_empty(self):
+        assert len(ValueMultiset([1.0, 2.0]).trim(1, 1)) == 0
+
+    def test_trim_too_much_raises(self):
+        with pytest.raises(ValueError, match="cannot trim"):
+            ValueMultiset([1.0, 2.0]).trim(2, 1)
+
+    def test_trim_negative_raises(self):
+        with pytest.raises(ValueError):
+            ValueMultiset([1.0]).trim(-1, 0)
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert ValueMultiset([1.0, 2.0, 3.0]).mean() == 2.0
+
+    def test_mean_uses_fsum(self):
+        values = [0.1] * 10
+        assert ValueMultiset(values).mean() == pytest.approx(0.1)
+
+    def test_median_odd(self):
+        assert ValueMultiset([3.0, 1.0, 2.0]).median() == 2.0
+
+    def test_median_even(self):
+        assert ValueMultiset([1.0, 2.0, 3.0, 4.0]).median() == 2.5
+
+    def test_midpoint(self):
+        assert ValueMultiset([0.0, 0.2, 1.0]).midpoint() == 0.5
+
+    def test_select_indices(self):
+        ms = ValueMultiset([0.0, 1.0, 2.0, 3.0])
+        assert ms.select_indices([0, 3]).values == (0.0, 3.0)
+
+
+class TestInterval:
+    def test_width(self):
+        assert Interval(1.0, 3.0).width == 2.0
+
+    def test_degenerate(self):
+        interval = Interval.degenerate(2.0)
+        assert interval.low == interval.high == 2.0
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError, match="empty interval"):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_contains(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(1.0001)
+
+    def test_contains_with_tolerance(self):
+        assert Interval(0.0, 1.0).contains(1.0001, tolerance=0.001)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 1.0).contains_interval(Interval(0.2, 0.8))
+        assert not Interval(0.0, 1.0).contains_interval(Interval(0.2, 1.2))
+
+    def test_intersect(self):
+        assert Interval(0.0, 1.0).intersect(Interval(0.5, 2.0)) == Interval(0.5, 1.0)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_hull(self):
+        assert Interval(0.0, 1.0).hull(Interval(2.0, 3.0)) == Interval(0.0, 3.0)
+
+    def test_midpoint(self):
+        assert Interval(1.0, 3.0).midpoint() == 2.0
+
+    def test_equality(self):
+        assert Interval(0.0, 1.0) == Interval(0.0, 1.0)
+        assert Interval(0.0, 1.0) != Interval(0.0, 2.0)
+
+
+class TestMultisetProperties:
+    @given(st.lists(finite_floats, min_size=1))
+    def test_sorted_invariant(self, values):
+        ms = ValueMultiset(values)
+        assert list(ms) == sorted(values)
+
+    @given(st.lists(finite_floats, min_size=1))
+    def test_diameter_nonnegative(self, values):
+        assert ValueMultiset(values).diameter() >= 0.0
+
+    @given(st.lists(finite_floats, min_size=1))
+    def test_mean_within_range(self, values):
+        ms = ValueMultiset(values)
+        interval = ms.range()
+        assert interval.contains(ms.mean(), tolerance=1e-6 * (1 + interval.width))
+
+    @given(st.lists(finite_floats, min_size=1))
+    def test_median_within_range(self, values):
+        ms = ValueMultiset(values)
+        assert ms.range().contains(ms.median())
+
+    @given(st.lists(finite_floats, min_size=3), st.integers(0, 3))
+    def test_trim_shrinks_range(self, values, tau):
+        ms = ValueMultiset(values)
+        if 2 * tau >= len(ms):
+            return
+        trimmed = ms.trim(tau, tau)
+        assert trimmed.min() >= ms.min()
+        assert trimmed.max() <= ms.max()
+        assert len(trimmed) == len(ms) - 2 * tau
+
+    @given(st.lists(finite_floats, min_size=1), finite_floats)
+    def test_add_then_remove_roundtrip(self, values, extra):
+        ms = ValueMultiset(values)
+        assert ms.add(extra).remove(extra) == ms
+
+    @given(st.lists(finite_floats))
+    def test_union_commutes(self, values):
+        a = ValueMultiset(values[: len(values) // 2])
+        b = ValueMultiset(values[len(values) // 2 :])
+        assert a.union(b) == b.union(a)
+
+    @given(st.lists(finite_floats, min_size=1))
+    def test_count_total(self, values):
+        ms = ValueMultiset(values)
+        assert sum(ms.count(v) for v in set(values)) == len(values)

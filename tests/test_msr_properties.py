@@ -1,0 +1,162 @@
+"""Property-based tests of the MSR correctness properties P1 and P2.
+
+Hypothesis builds adversarial round views directly: a multiset ``U`` of
+correct values shared by two receivers plus per-receiver bad values
+(at most ``tau``, of which a common subset models symmetric faults).
+P1 and P2 (paper Section 5.1) must hold for every MSR instance whenever
+the view respects the trim precondition -- this is the algebraic heart
+of Theorem 2, checked over thousands of generated cases.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.msr import (
+    ValueMultiset,
+    dolev_et_al,
+    fault_tolerant_average,
+    fault_tolerant_midpoint,
+    median_trim,
+)
+
+#: Every implemented instance satisfies P1 (range validity).
+FACTORIES = (
+    fault_tolerant_midpoint,
+    fault_tolerant_average,
+    dolev_et_al,
+    median_trim,
+)
+
+#: Only the convergent MSR selections guarantee P2; the exact median
+#: (median_trim) provably does not -- see
+#: test_median_trim_violates_p2_with_balanced_camps below.
+CONVERGENT_FACTORIES = (
+    fault_tolerant_midpoint,
+    fault_tolerant_average,
+    dolev_et_al,
+)
+
+values = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+@st.composite
+def adversarial_views(draw):
+    """Two receivers' views sharing correct values and symmetric lies.
+
+    Returns ``(tau, asymmetric_count, U, view_i, view_j)`` with
+    ``|view| > 3*asym + 2*sym`` so the mixed-mode precondition holds
+    with ``a = asym`` and ``s = sym``.
+    """
+    asym = draw(st.integers(min_value=0, max_value=3))
+    sym = draw(st.integers(min_value=0, max_value=3))
+    tau = asym + sym
+    correct_count = draw(
+        st.integers(min_value=2 * asym + sym + 1, max_value=2 * asym + sym + 8)
+    )
+    correct = draw(
+        st.lists(values, min_size=correct_count, max_size=correct_count)
+    )
+    symmetric = draw(st.lists(values, min_size=sym, max_size=sym))
+    bad_i = draw(st.lists(values, min_size=asym, max_size=asym))
+    bad_j = draw(st.lists(values, min_size=asym, max_size=asym))
+    u = ValueMultiset(correct)
+    view_i = ValueMultiset(correct + symmetric + bad_i)
+    view_j = ValueMultiset(correct + symmetric + bad_j)
+    return tau, asym, u, view_i, view_j
+
+
+@settings(max_examples=200)
+@given(adversarial_views())
+def test_p1_result_within_correct_range(view_case):
+    """P1: every computed value lies in rho(U), for every instance."""
+    tau, _asym, u, view_i, _view_j = view_case
+    interval = u.range()
+    for factory in FACTORIES:
+        fn = factory(tau)
+        result = fn(view_i)
+        assert interval.contains(result, tolerance=1e-9), (
+            f"{fn.name}: {result} escaped [{interval.low}, {interval.high}]"
+        )
+
+
+@settings(max_examples=200)
+@given(adversarial_views())
+def test_p2_results_closer_than_correct_diameter(view_case):
+    """P2: two receivers' results differ by strictly less than delta(U)."""
+    tau, asym, u, view_i, view_j = view_case
+    delta = u.diameter()
+    for factory in CONVERGENT_FACTORIES:
+        fn = factory(tau)
+        gap = abs(fn(view_i) - fn(view_j))
+        if delta == 0.0:
+            assert gap <= 1e-9, f"{fn.name}: diverged from agreeing senders"
+        elif asym == 0:
+            assert gap <= 1e-9, f"{fn.name}: identical views must agree"
+        else:
+            # Strictness with margin: the derivations bound the gap by
+            # a/(a+1) * delta for FTA and delta/2 for FTM/Dolev.
+            assert gap <= delta * asym / (asym + 1) + 1e-9, (
+                f"{fn.name}: gap {gap} vs delta {delta}"
+            )
+
+
+def test_median_trim_violates_p2_with_balanced_camps():
+    """The exact median is not a convergent MSR selection.
+
+    Balanced camps {0,0,1,1} plus one asymmetric fault: the receiver
+    fed a 0 computes median 0, the receiver fed a 1 computes median 1
+    -- the gap *equals* delta(U), so the diameter cannot shrink.  This
+    is why the Stolz-Wattenhofer median algorithm the paper cites needs
+    machinery beyond MSR (a King phase).
+    """
+    fn = median_trim(1)
+    u = [0.0, 0.0, 1.0, 1.0]
+    view_low = ValueMultiset(u + [0.0])
+    view_high = ValueMultiset(u + [1.0])
+    gap = abs(fn(view_low) - fn(view_high))
+    delta = ValueMultiset(u).diameter()
+    assert gap == delta == 1.0
+
+
+@settings(max_examples=200)
+@given(adversarial_views())
+def test_symmetric_only_views_agree_exactly(view_case):
+    """With no asymmetric lies the two views coincide, hence results do."""
+    tau, asym, _u, view_i, view_j = view_case
+    if asym != 0:
+        return
+    assert view_i == view_j
+    for factory in FACTORIES:
+        fn = factory(tau)
+        assert fn(view_i) == fn(view_j)
+
+
+@settings(max_examples=150)
+@given(
+    st.lists(values, min_size=1, max_size=12),
+    st.integers(min_value=0, max_value=3),
+)
+def test_fixpoint_on_unanimous_correct_values(correct_value_list, tau):
+    """All-equal correct values with <= tau lies still yield that value."""
+    base = correct_value_list[0]
+    view = ValueMultiset([base] * (2 * tau + 1) + correct_value_list[:0])
+    for factory in FACTORIES:
+        fn = factory(tau)
+        assert fn(view) == base
+
+
+@settings(max_examples=150)
+@given(st.lists(values, min_size=3, max_size=15), st.integers(0, 2))
+def test_monotone_under_translation(correct, tau):
+    """MSR functions commute with translation (affine equivariance)."""
+    if len(correct) < 2 * tau + 1:
+        return
+    shift = 17.5
+    view = ValueMultiset(correct)
+    shifted = ValueMultiset([v + shift for v in correct])
+    for factory in FACTORIES:
+        fn = factory(tau)
+        assert fn(shifted) == pytest.approx(fn(view) + shift, abs=1e-6)

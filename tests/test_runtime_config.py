@@ -1,0 +1,143 @@
+"""Tests for configuration validation, protocol and rng utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import Adversary, MobileModel, StaticFaultAssignment
+from repro.msr import ValueMultiset, make_algorithm
+from repro.runtime import (
+    FixedRounds,
+    MobileFaultSetup,
+    MSRVotingProtocol,
+    SimulationConfig,
+    StaticMixedSetup,
+    derive_rng,
+    spawn_seeds,
+)
+
+
+def minimal_config(**overrides):
+    defaults = dict(
+        n=5,
+        f=1,
+        initial_values=(0.0, 0.25, 0.5, 0.75, 1.0),
+        algorithm=make_algorithm("ftm", 1),
+        setup=MobileFaultSetup(model=MobileModel.GARAY, adversary=Adversary()),
+        termination=FixedRounds(5),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_valid_config_builds(self):
+        config = minimal_config()
+        assert config.meets_bound()
+        assert config.required_n() == 5
+
+    def test_value_count_must_match_n(self):
+        with pytest.raises(ValueError, match="initial values"):
+            minimal_config(initial_values=(0.0, 1.0))
+
+    def test_below_bound_rejected_by_default(self):
+        with pytest.raises(ValueError, match="below the resilience bound"):
+            minimal_config(n=4, initial_values=(0.0, 0.3, 0.6, 1.0))
+
+    def test_below_bound_allowed_when_ignored(self):
+        config = minimal_config(
+            n=4, initial_values=(0.0, 0.3, 0.6, 1.0), bound_check="ignore"
+        )
+        assert not config.meets_bound()
+        assert "BELOW BOUND" in config.describe()
+
+    def test_warn_mode_allows_below_bound(self):
+        config = minimal_config(
+            n=4, initial_values=(0.0, 0.3, 0.6, 1.0), bound_check="warn"
+        )
+        assert not config.meets_bound()
+
+    def test_invalid_bound_check_rejected(self):
+        with pytest.raises(ValueError, match="bound_check"):
+            minimal_config(bound_check="whatever")
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            minimal_config(epsilon=0.0)
+
+    def test_nonpositive_max_rounds_rejected(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            minimal_config(max_rounds=0)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError, match="f must"):
+            minimal_config(f=-1)
+
+    def test_static_setup_bound(self):
+        assignment = StaticFaultAssignment.first_processes(asymmetric=2)
+        setup = StaticMixedSetup(assignment=assignment, adversary=Adversary())
+        config = SimulationConfig(
+            n=7,
+            f=2,
+            initial_values=tuple(i / 6 for i in range(7)),
+            algorithm=make_algorithm("ftm", 2),
+            setup=setup,
+            termination=FixedRounds(5),
+        )
+        assert config.required_n() == 7
+
+    def test_static_assignment_out_of_range_rejected(self):
+        assignment = StaticFaultAssignment.first_processes(asymmetric=4)
+        setup = StaticMixedSetup(assignment=assignment, adversary=Adversary())
+        with pytest.raises(ValueError):
+            SimulationConfig(
+                n=3,
+                f=4,
+                initial_values=(0.0, 0.5, 1.0),
+                algorithm=make_algorithm("ftm", 4),
+                setup=setup,
+                termination=FixedRounds(5),
+                bound_check="ignore",
+            )
+
+    def test_describe_includes_key_fields(self):
+        text = minimal_config(seed=17).describe()
+        assert "n=5" in text and "seed=17" in text and "M1" in text
+
+
+class TestProtocol:
+    def test_correct_process_sends_its_value(self):
+        protocol = MSRVotingProtocol(make_algorithm("ftm", 1))
+        assert protocol.send_value(0, 0.7, aware_cured=False) == 0.7
+
+    def test_aware_cured_stays_silent(self):
+        # The paper's modified send phase: "if (cured) nop".
+        protocol = MSRVotingProtocol(make_algorithm("ftm", 1))
+        assert protocol.send_value(0, 0.7, aware_cured=True) is None
+
+    def test_compute_applies_msr(self):
+        protocol = MSRVotingProtocol(make_algorithm("ftm", 1))
+        app = protocol.compute(0, ValueMultiset([0.0, 0.4, 0.6, 1.0, 5.0]))
+        # reduced = {0.4, 0.6, 1.0} -> midpoint (0.4 + 1.0) / 2
+        assert app.result == pytest.approx(0.7)
+
+
+class TestRng:
+    def test_derive_is_deterministic(self):
+        assert derive_rng(7, "x").random() == derive_rng(7, "x").random()
+
+    def test_streams_are_independent(self):
+        assert derive_rng(7, "a").random() != derive_rng(7, "b").random()
+
+    def test_seed_matters(self):
+        assert derive_rng(1, "a").random() != derive_rng(2, "a").random()
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(3, 4, "sweep") == spawn_seeds(3, 4, "sweep")
+
+    def test_spawn_seeds_count(self):
+        assert len(spawn_seeds(3, 10)) == 10
+
+    def test_spawn_seeds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(3, -1)

@@ -1,0 +1,216 @@
+"""Tests for the fault controllers: the executable model semantics.
+
+These tests pin the per-round fault plans -- who is faulty/cured at the
+send phase, where corruption lands, how M4's move-with-message timing
+differs -- which is where the paper's Section 3 semantics live.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import (
+    Adversary,
+    FaultClass,
+    FixedValue,
+    MobileModel,
+    RoundRobinWalk,
+    ScriptedMovement,
+    SplitAttack,
+    StaticAgents,
+    StaticFaultAssignment,
+)
+from repro.runtime.controllers import MobileFaultController, StaticMixedController
+
+
+def controller_for(model, n=7, f=1, movement=None, values=None):
+    adversary = Adversary(
+        movement=movement if movement is not None else RoundRobinWalk(),
+        values=values if values is not None else SplitAttack(),
+    )
+    return MobileFaultController(n=n, f=f, model=model, adversary=adversary)
+
+
+def plan_rounds(controller, count, n=7):
+    values = {pid: pid / max(1, n - 1) for pid in range(n)}
+    rng = random.Random(0)
+    plans = []
+    for round_index in range(count):
+        plan = controller.plan_round(round_index, values, rng)
+        plans.append(plan)
+        # Emulate value evolution irrelevantly; plans only need shapes.
+    return plans
+
+
+class TestRoundStartMovementModels:
+    @pytest.mark.parametrize("model", [MobileModel.GARAY, MobileModel.BONNET, MobileModel.SASAKI])
+    def test_round0_has_no_cured(self, model):
+        plan = plan_rounds(controller_for(model), 1)[0]
+        assert plan.cured_at_send == frozenset()
+        assert plan.faulty_at_send == frozenset({0})
+
+    @pytest.mark.parametrize("model", [MobileModel.GARAY, MobileModel.BONNET, MobileModel.SASAKI])
+    def test_movement_creates_cured(self, model):
+        plans = plan_rounds(controller_for(model), 2)
+        assert plans[1].faulty_at_send == frozenset({1})
+        assert plans[1].cured_at_send == frozenset({0})
+
+    @pytest.mark.parametrize("model", [MobileModel.GARAY, MobileModel.BONNET, MobileModel.SASAKI])
+    def test_positions_after_equal_send_positions(self, model):
+        plans = plan_rounds(controller_for(model), 3)
+        for plan in plans:
+            assert plan.positions_after == plan.faulty_at_send
+
+    def test_cured_memory_corrupted_on_departure(self):
+        controller = controller_for(MobileModel.BONNET, values=FixedValue(99.0))
+        plans = plan_rounds(controller, 2)
+        assert plans[1].memory_corruptions == {0: 99.0}
+
+    def test_garay_cured_has_no_send_override(self):
+        plans = plan_rounds(controller_for(MobileModel.GARAY), 2)
+        cured = next(iter(plans[1].cured_at_send))
+        assert cured not in plans[1].send_overrides
+
+    def test_bonnet_cured_has_no_send_override(self):
+        # M2 cured processes broadcast their (corrupted) state through
+        # the normal protocol path -- no override.
+        plans = plan_rounds(controller_for(MobileModel.BONNET), 2)
+        cured = next(iter(plans[1].cured_at_send))
+        assert cured not in plans[1].send_overrides
+
+    def test_sasaki_cured_gets_planted_queue(self):
+        plans = plan_rounds(controller_for(MobileModel.SASAKI), 2)
+        cured = next(iter(plans[1].cured_at_send))
+        assert cured in plans[1].send_overrides
+        assert set(plans[1].send_overrides[cured]) == set(range(7))
+
+    def test_faulty_send_overrides_cover_all_recipients(self):
+        plans = plan_rounds(controller_for(MobileModel.GARAY), 1)
+        assert set(plans[0].send_overrides[0]) == set(range(7))
+
+    def test_compute_corruption_hits_current_hosts(self):
+        plans = plan_rounds(controller_for(MobileModel.GARAY), 2)
+        assert set(plans[0].compute_corruptions) == {0}
+        assert set(plans[1].compute_corruptions) == {1}
+
+    def test_stationary_agents_make_no_cured(self):
+        controller = controller_for(MobileModel.BONNET, movement=StaticAgents())
+        plans = plan_rounds(controller, 3)
+        for plan in plans:
+            assert plan.cured_at_send == frozenset()
+            assert plan.faulty_at_send == frozenset({0})
+
+
+class TestBuhrmanModel:
+    def test_never_cured_at_send(self):
+        controller = controller_for(MobileModel.BUHRMAN)
+        for plan in plan_rounds(controller, 4):
+            assert plan.cured_at_send == frozenset()
+
+    def test_agents_move_after_send(self):
+        controller = controller_for(MobileModel.BUHRMAN)
+        plans = plan_rounds(controller, 3)
+        # Round r's senders are round r-1's positions_after.
+        assert plans[0].faulty_at_send == frozenset({0})
+        assert plans[0].positions_after == frozenset({1})
+        assert plans[1].faulty_at_send == frozenset({1})
+        assert plans[1].positions_after == frozenset({2})
+
+    def test_compute_corruption_hits_next_hosts(self):
+        controller = controller_for(MobileModel.BUHRMAN)
+        plans = plan_rounds(controller, 2)
+        assert set(plans[0].compute_corruptions) == {1}
+        assert set(plans[1].compute_corruptions) == {2}
+
+    def test_vacated_host_computes_normally(self):
+        controller = controller_for(MobileModel.BUHRMAN)
+        plans = plan_rounds(controller, 2)
+        # Host 0 sent Byzantine messages in round 0 but must compute
+        # normally (cured-aware during the computation phase).
+        assert 0 not in plans[0].compute_corruptions
+
+    def test_no_memory_corruptions(self):
+        controller = controller_for(MobileModel.BUHRMAN)
+        for plan in plan_rounds(controller, 3):
+            assert not plan.memory_corruptions
+
+
+class TestControllerValidation:
+    def test_zero_faults_yields_empty_plans(self):
+        controller = controller_for(MobileModel.GARAY, f=0)
+        plan = plan_rounds(controller, 1)[0]
+        assert plan.faulty_at_send == frozenset()
+        assert not plan.send_overrides
+
+    def test_too_many_agent_positions_rejected(self):
+        bad_movement = ScriptedMovement([[0], [0, 1, 2]])
+        controller = controller_for(MobileModel.GARAY, movement=bad_movement)
+        values = {pid: 0.0 for pid in range(7)}
+        rng = random.Random(0)
+        controller.plan_round(0, values, rng)
+        with pytest.raises(ValueError, match="agents"):
+            controller.plan_round(1, values, rng)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MobileFaultController(n=0, f=0, model=MobileModel.GARAY, adversary=Adversary())
+        with pytest.raises(ValueError):
+            MobileFaultController(n=3, f=4, model=MobileModel.GARAY, adversary=Adversary())
+
+    def test_positions_property_requires_planning(self):
+        controller = controller_for(MobileModel.GARAY)
+        with pytest.raises(RuntimeError):
+            _ = controller.positions
+
+
+class TestStaticMixedController:
+    def make(self, a=1, s=1, b=1, n=8):
+        assignment = StaticFaultAssignment.first_processes(a, s, b)
+        return StaticMixedController(
+            n=n, assignment=assignment, adversary=Adversary(values=SplitAttack())
+        )
+
+    def test_benign_forced_silent(self):
+        controller = self.make()
+        plan = controller.plan_round(0, {pid: 0.0 for pid in range(8)}, random.Random(0))
+        assert plan.forced_silent == frozenset({2})
+
+    def test_symmetric_sends_identical_values(self):
+        controller = self.make()
+        plan = controller.plan_round(
+            0, {pid: pid / 7 for pid in range(8)}, random.Random(0)
+        )
+        outbox = plan.send_overrides[1]
+        assert len(set(outbox.values())) == 1
+
+    def test_asymmetric_can_diverge(self):
+        controller = self.make()
+        plan = controller.plan_round(
+            0, {pid: pid / 7 for pid in range(8)}, random.Random(0)
+        )
+        outbox = plan.send_overrides[0]
+        assert len(set(outbox.values())) > 1
+
+    def test_same_faulty_every_round(self):
+        controller = self.make()
+        values = {pid: pid / 7 for pid in range(8)}
+        rng = random.Random(0)
+        plans = [controller.plan_round(r, values, rng) for r in range(3)]
+        for plan in plans:
+            assert plan.faulty_at_send == frozenset({0, 1, 2})
+            assert plan.cured_at_send == frozenset()
+
+    def test_static_classes_recorded(self):
+        controller = self.make()
+        plan = controller.plan_round(0, {pid: 0.0 for pid in range(8)}, random.Random(0))
+        assert plan.static_classes is not None
+        assert plan.static_classes[0] is FaultClass.ASYMMETRIC
+        assert plan.static_classes[1] is FaultClass.SYMMETRIC
+        assert plan.static_classes[2] is FaultClass.BENIGN
+
+    def test_assignment_validated_against_n(self):
+        assignment = StaticFaultAssignment({9: FaultClass.BENIGN})
+        with pytest.raises(ValueError):
+            StaticMixedController(n=4, assignment=assignment, adversary=Adversary())

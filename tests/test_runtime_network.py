@@ -1,0 +1,119 @@
+"""Tests for the synchronous network and round message mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import SynchronousNetwork
+
+
+class TestRoundLifecycle:
+    def test_begin_then_deliver(self):
+        net = SynchronousNetwork(3)
+        net.begin_round(0)
+        net.broadcast(0, 1.0)
+        net.broadcast(1, 2.0)
+        net.silent(2)
+        delivery = net.deliver()
+        assert delivery.round_index == 0
+        assert delivery.by_recipient[0] == {0: 1.0, 1: 2.0}
+        assert delivery.silent == frozenset({2})
+
+    def test_double_begin_rejected(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        with pytest.raises(RuntimeError, match="still open"):
+            net.begin_round(1)
+
+    def test_submit_outside_round_rejected(self):
+        net = SynchronousNetwork(2)
+        with pytest.raises(RuntimeError, match="begin_round"):
+            net.broadcast(0, 1.0)
+
+    def test_deliver_closes_round(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        net.deliver()
+        assert not net.round_open
+        net.begin_round(1)  # reusable afterwards
+        assert net.round_open
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            SynchronousNetwork(0)
+
+
+class TestReliability:
+    def test_every_submitted_message_delivered_once(self):
+        net = SynchronousNetwork(3)
+        net.begin_round(0)
+        net.submit(0, {1: 5.0, 2: 6.0})
+        net.broadcast(1, 7.0)
+        net.silent(2)
+        delivery = net.deliver()
+        assert delivery.by_recipient[1] == {0: 5.0, 1: 7.0}
+        assert delivery.by_recipient[2] == {0: 6.0, 1: 7.0}
+        # Process 0 addressed nobody 0; it only hears process 1.
+        assert delivery.by_recipient[0] == {1: 7.0}
+
+    def test_duplicate_send_rejected(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        net.broadcast(0, 1.0)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            net.broadcast(0, 2.0)
+
+    def test_silent_then_send_rejected(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        net.silent(0)
+        with pytest.raises(RuntimeError, match="duplicate"):
+            net.broadcast(0, 1.0)
+
+    def test_unsubmitted_senders_count_as_silent(self):
+        # Synchronous omission detection: not sending within the round
+        # is itself a detected omission.
+        net = SynchronousNetwork(3)
+        net.begin_round(0)
+        net.broadcast(0, 1.0)
+        delivery = net.deliver()
+        assert delivery.silent == frozenset({1, 2})
+
+    def test_invalid_recipient_rejected(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        with pytest.raises(ValueError, match="invalid recipients"):
+            net.submit(0, {5: 1.0})
+
+    def test_invalid_sender_rejected(self):
+        net = SynchronousNetwork(2)
+        net.begin_round(0)
+        with pytest.raises(ValueError, match="invalid sender"):
+            net.broadcast(7, 1.0)
+
+
+class TestDeliveryQueries:
+    def test_received_values_sender_sorted(self):
+        net = SynchronousNetwork(3)
+        net.begin_round(0)
+        net.broadcast(2, 9.0)
+        net.broadcast(0, 3.0)
+        net.silent(1)
+        delivery = net.deliver()
+        assert delivery.received_values(1) == (3.0, 9.0)
+
+    def test_senders_heard_by(self):
+        net = SynchronousNetwork(3)
+        net.begin_round(0)
+        net.broadcast(0, 1.0)
+        net.submit(1, {0: 2.0})
+        net.silent(2)
+        delivery = net.deliver()
+        assert delivery.senders_heard_by(0) == frozenset({0, 1})
+        assert delivery.senders_heard_by(2) == frozenset({0})
+
+    def test_self_delivery(self):
+        net = SynchronousNetwork(1)
+        net.begin_round(0)
+        net.broadcast(0, 4.0)
+        assert net.deliver().by_recipient[0] == {0: 4.0}

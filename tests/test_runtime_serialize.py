@@ -1,0 +1,111 @@
+"""Tests for trace serialization (JSON round-trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.specification import check_trace
+from repro.faults import Adversary, MobileModel, StaticFaultAssignment
+from repro.msr import make_algorithm
+from repro.runtime import (
+    FixedRounds,
+    SimulationConfig,
+    StaticMixedSetup,
+    dump_trace,
+    load_trace,
+    run_simulation,
+    trace_from_dict,
+    trace_to_dict,
+)
+from tests.helpers import run_mobile
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return run_mobile(MobileModel.BONNET, rounds=6, seed=9)
+
+
+class TestRoundTrip:
+    def test_scalar_fields(self, trace):
+        restored = load_trace(dump_trace(trace))
+        assert restored.n == trace.n
+        assert restored.f == trace.f
+        assert restored.model is trace.model
+        assert restored.algorithm_name == trace.algorithm_name
+        assert restored.epsilon == trace.epsilon
+        assert restored.terminated == trace.terminated
+
+    def test_decisions_and_inputs(self, trace):
+        restored = load_trace(dump_trace(trace))
+        assert restored.decisions == trace.decisions
+        assert dict(restored.initial_values) == dict(trace.initial_values)
+        assert restored.initially_nonfaulty == trace.initially_nonfaulty
+
+    def test_round_structure(self, trace):
+        restored = load_trace(dump_trace(trace))
+        assert len(restored.rounds) == len(trace.rounds)
+        for original, rebuilt in zip(trace.rounds, restored.rounds):
+            assert rebuilt.faulty_at_send == original.faulty_at_send
+            assert rebuilt.cured_at_send == original.cured_at_send
+            assert dict(rebuilt.values_after) == dict(original.values_after)
+            assert dict(rebuilt.sent) == {
+                pid: (None if o is None else dict(o))
+                for pid, o in original.sent.items()
+            }
+            assert dict(rebuilt.received) == dict(original.received)
+            assert {p: a.result for p, a in rebuilt.applications.items()} == {
+                p: a.result for p, a in original.applications.items()
+            }
+
+    def test_checkers_accept_restored_traces(self, trace):
+        restored = load_trace(dump_trace(trace))
+        original_verdict = check_trace(trace)
+        restored_verdict = check_trace(restored)
+        assert restored_verdict.satisfied == original_verdict.satisfied
+        assert bool(restored_verdict.validity) == bool(original_verdict.validity)
+        assert bool(restored_verdict.p1) == bool(original_verdict.p1)
+
+    def test_metrics_survive(self, trace):
+        restored = load_trace(dump_trace(trace))
+        assert restored.diameters() == trace.diameters()
+        assert restored.decision_diameter() == trace.decision_diameter()
+
+    def test_static_classes_roundtrip(self):
+        config = SimulationConfig(
+            n=4,
+            f=1,
+            initial_values=(0.0, 0.3, 0.6, 1.0),
+            algorithm=make_algorithm("ftm", 1),
+            setup=StaticMixedSetup(
+                assignment=StaticFaultAssignment.first_processes(asymmetric=1),
+                adversary=Adversary(),
+            ),
+            termination=FixedRounds(3),
+        )
+        trace = run_simulation(config)
+        restored = load_trace(dump_trace(trace))
+        assert restored.model is None
+        assert dict(restored.rounds[0].static_classes) == dict(
+            trace.rounds[0].static_classes
+        )
+
+
+class TestFormat:
+    def test_json_is_valid_and_versioned(self, trace):
+        payload = json.loads(dump_trace(trace))
+        assert payload["schema"] == 1
+        assert isinstance(payload["rounds"], list)
+
+    def test_indent_option(self, trace):
+        assert "\n" in dump_trace(trace, indent=2)
+
+    def test_unknown_schema_rejected(self, trace):
+        payload = trace_to_dict(trace)
+        payload["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            trace_from_dict(payload)
+
+    def test_deterministic_dump(self, trace):
+        assert dump_trace(trace) == dump_trace(trace)

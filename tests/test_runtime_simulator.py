@@ -1,0 +1,230 @@
+"""Tests for the synchronous simulator round mechanics and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import make_mobile_config, run_mobile
+from repro.faults import (
+    Adversary,
+    FixedValue,
+    MobileModel,
+    RoundRobinWalk,
+    SplitAttack,
+    StaticAgents,
+    StaticFaultAssignment,
+)
+from repro.msr import make_algorithm
+from repro.runtime import (
+    FixedRounds,
+    OracleDiameter,
+    SimulationConfig,
+    StaticMixedSetup,
+    SynchronousSimulator,
+    run_simulation,
+)
+
+
+class TestBasicExecution:
+    def test_runs_fixed_round_count(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=5)
+        assert trace.rounds_executed() == 5
+        assert trace.terminated
+
+    def test_decisions_cover_nonfaulty(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=5)
+        final = trace.final_round
+        assert set(trace.decisions) == set(final.nonfaulty_after)
+
+    def test_initially_nonfaulty_excludes_round0_hosts(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=3)
+        round0 = trace.rounds[0]
+        assert trace.initially_nonfaulty == (
+            frozenset(range(trace.n)) - round0.faulty_at_send
+        )
+
+    def test_fault_free_run_averages_in_one_round(self):
+        trace = run_mobile(
+            MobileModel.GARAY,
+            f=0,
+            n=4,
+            algorithm=make_algorithm("fta", 0),
+            rounds=1,
+            initial_values=(0.0, 1.0, 2.0, 3.0),
+        )
+        assert set(trace.decisions.values()) == {1.5}
+
+    def test_oracle_termination_stops_early(self):
+        config = make_mobile_config(MobileModel.GARAY, rounds=5)
+        config = SimulationConfig(
+            n=config.n,
+            f=config.f,
+            initial_values=config.initial_values,
+            algorithm=config.algorithm,
+            setup=config.setup,
+            termination=OracleDiameter(1e-3),
+            epsilon=1e-3,
+            seed=0,
+            max_rounds=100,
+        )
+        trace = run_simulation(config)
+        assert trace.terminated
+        assert trace.rounds_executed() < 100
+        assert trace.final_round.nonfaulty_diameter_after() <= 1e-3
+
+    def test_max_rounds_cap_reported_as_nontermination(self):
+        config = make_mobile_config(MobileModel.GARAY, rounds=50, max_rounds=3)
+        trace = run_simulation(config)
+        assert trace.rounds_executed() == 3
+        assert not trace.terminated
+
+
+class TestRoundRecords:
+    def test_sent_matrix_shape(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=2)
+        record = trace.rounds[0]
+        assert set(record.sent) == set(range(trace.n))
+        for outbox in record.sent.values():
+            assert outbox is None or set(outbox) == set(range(trace.n))
+
+    def test_m1_cured_is_silent_and_detected(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=3)
+        record = trace.rounds[1]
+        assert record.cured_at_send, "round-robin must produce a cured process"
+        for cured in record.cured_at_send:
+            assert record.sent[cured] is None
+            for pid, heard in record.heard.items():
+                assert cured not in heard
+
+    def test_m2_cured_broadcasts_corrupted_state(self):
+        config = make_mobile_config(
+            MobileModel.BONNET, values=FixedValue(123.0), rounds=3
+        )
+        trace = run_simulation(config)
+        record = trace.rounds[1]
+        assert record.cured_at_send
+        for cured in record.cured_at_send:
+            outbox = record.sent[cured]
+            assert set(outbox.values()) == {123.0}
+
+    def test_m3_cured_sends_divergent_queue(self):
+        trace = run_mobile(MobileModel.SASAKI, rounds=3)
+        record = trace.rounds[1]
+        assert record.cured_at_send
+        for cured in record.cured_at_send:
+            outbox = record.sent[cured]
+            assert len(set(outbox.values())) > 1
+
+    def test_m4_faulty_set_shifts_within_round(self):
+        trace = run_mobile(MobileModel.BUHRMAN, rounds=3)
+        for record in trace.rounds:
+            assert record.cured_at_send == frozenset()
+        assert trace.rounds[0].positions_after == trace.rounds[1].faulty_at_send
+
+    def test_received_excludes_silent_senders(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=3)
+        record = trace.rounds[1]
+        silent = {pid for pid, outbox in record.sent.items() if outbox is None}
+        expected_size = trace.n - len(silent)
+        for multiset in record.received.values():
+            assert len(multiset) == expected_size
+
+    def test_faulty_processes_do_not_compute(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=3)
+        for record in trace.rounds:
+            overlap = record.positions_after & set(record.applications)
+            assert not overlap
+
+    def test_cured_processes_do_compute(self):
+        # Lemma 5: cured processes execute the computation phase and
+        # return to correctness at round end.
+        trace = run_mobile(MobileModel.GARAY, rounds=4)
+        for record in trace.rounds:
+            for cured in record.cured_at_send:
+                assert cured in record.applications
+
+    def test_honest_sent_values_excludes_faulty_and_cured(self):
+        trace = run_mobile(MobileModel.BONNET, rounds=3)
+        record = trace.rounds[1]
+        u = record.honest_sent_values()
+        assert len(u) == trace.n - len(record.faulty_at_send) - len(
+            record.cured_at_send
+        )
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("movement", ["random", "round-robin"])
+    def test_same_seed_same_trace(self, movement):
+        import repro
+
+        a = repro.simulate(model="M2", f=1, movement=movement, attack="noise", seed=9, rounds=6)
+        b = repro.simulate(model="M2", f=1, movement=movement, attack="noise", seed=9, rounds=6)
+        assert a.decisions == b.decisions
+        for ra, rb in zip(a.rounds, b.rounds):
+            assert ra.values_after == rb.values_after
+            assert ra.faulty_at_send == rb.faulty_at_send
+
+    def test_different_seed_diverges(self):
+        import repro
+
+        a = repro.simulate(model="M2", f=1, movement="random", attack="noise", seed=1, rounds=6)
+        b = repro.simulate(model="M2", f=1, movement="random", attack="noise", seed=2, rounds=6)
+        patterns_a = [r.faulty_at_send for r in a.rounds]
+        patterns_b = [r.faulty_at_send for r in b.rounds]
+        assert patterns_a != patterns_b
+
+
+class TestStaticRuns:
+    def test_static_mixed_run(self):
+        assignment = StaticFaultAssignment.first_processes(asymmetric=1)
+        config = SimulationConfig(
+            n=4,
+            f=1,
+            initial_values=(0.5, 0.0, 0.5, 1.0),
+            algorithm=make_algorithm("ftm", 1),
+            setup=StaticMixedSetup(
+                assignment=assignment, adversary=Adversary(values=SplitAttack())
+            ),
+            termination=FixedRounds(10),
+        )
+        trace = run_simulation(config)
+        assert trace.model is None
+        assert trace.decision_diameter() <= 1e-2
+        record = trace.rounds[0]
+        assert record.static_classes is not None
+
+    def test_static_benign_only_converges_immediately(self):
+        assignment = StaticFaultAssignment.first_processes(benign=1)
+        config = SimulationConfig(
+            n=3,
+            f=1,
+            initial_values=(9.0, 0.0, 1.0),
+            algorithm=make_algorithm("fta", 0),
+            setup=StaticMixedSetup(assignment=assignment, adversary=Adversary()),
+            termination=FixedRounds(1),
+        )
+        trace = run_simulation(config)
+        assert set(trace.decisions.values()) == {0.5}
+
+
+class TestTraceQueries:
+    def test_diameters_starts_with_initial(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=4)
+        series = trace.diameters()
+        assert len(series) == 5
+        assert series[0] == trace.validity_interval().width
+
+    def test_contraction_factors_skip_zero_diameters(self):
+        trace = run_mobile(MobileModel.GARAY, rounds=10)
+        for factor in trace.contraction_factors():
+            assert factor >= 0.0
+
+    def test_empty_trace_final_round_raises(self):
+        config = make_mobile_config(MobileModel.GARAY)
+        simulator = SynchronousSimulator(config)
+        with pytest.raises(ValueError):
+            _ = simulator._trace.final_round
+
+    def test_summary_mentions_model(self):
+        trace = run_mobile(MobileModel.SASAKI, rounds=2)
+        assert "M3" in trace.summary()

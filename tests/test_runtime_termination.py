@@ -1,0 +1,105 @@
+"""Tests for termination rules and the round-count predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    EstimatedRounds,
+    FixedRounds,
+    OracleDiameter,
+    rounds_to_reach,
+)
+
+
+class TestRoundsToReach:
+    def test_basic_halving(self):
+        # 1.0 -> eps 0.1 at factor 0.5: 2^-4 = 0.0625 <= 0.1, 2^-3 no.
+        assert rounds_to_reach(1.0, 0.1, 0.5) == 4
+
+    def test_already_converged(self):
+        assert rounds_to_reach(0.05, 0.1, 0.5) == 0
+
+    def test_zero_contraction_takes_one_round(self):
+        assert rounds_to_reach(1.0, 0.1, 0.0) == 1
+
+    def test_no_convergence_raises(self):
+        with pytest.raises(ValueError, match="does not converge"):
+            rounds_to_reach(1.0, 0.1, 1.0)
+
+    def test_nonpositive_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            rounds_to_reach(1.0, 0.0, 0.5)
+
+    def test_result_is_sufficient(self):
+        for factor in (0.3, 0.5, 0.9):
+            for diameter in (1.0, 17.0):
+                rounds = rounds_to_reach(diameter, 1e-3, factor)
+                assert diameter * factor**rounds <= 1e-3
+
+
+class TestFixedRounds:
+    def test_stops_at_round_count(self):
+        rule = FixedRounds(3)
+        assert not rule.should_stop(0, 1.0, None)
+        assert not rule.should_stop(1, 1.0, None)
+        assert rule.should_stop(2, 1.0, None)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            FixedRounds(0)
+
+    def test_describe(self):
+        assert FixedRounds(5).describe() == "fixed(5)"
+
+
+class TestOracleDiameter:
+    def test_stops_when_diameter_reached(self):
+        rule = OracleDiameter(0.1)
+        assert not rule.should_stop(0, 0.5, None)
+        assert rule.should_stop(1, 0.05, None)
+
+    def test_min_rounds_respected(self):
+        rule = OracleDiameter(0.1, min_rounds=3)
+        assert not rule.should_stop(0, 0.0, None)
+        assert rule.should_stop(2, 0.0, None)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ValueError):
+            OracleDiameter(0.0)
+
+
+class TestEstimatedRounds:
+    def test_budget_from_first_exchange(self):
+        rule = EstimatedRounds(epsilon=0.1, contraction=0.5)
+        # Needs the first-round estimate before it can ever stop.
+        assert not rule.should_stop(0, 1.0, None)
+        # Spread 1.0 -> 4 shrink rounds + the already-executed one.
+        rule2 = EstimatedRounds(epsilon=0.1, contraction=0.5)
+        stops = [
+            rule2.should_stop(r, 1.0, 1.0) for r in range(6)
+        ]
+        assert stops == [False, False, False, False, True, True]
+
+    def test_budget_is_sticky(self):
+        rule = EstimatedRounds(epsilon=0.1, contraction=0.5)
+        rule.should_stop(0, 1.0, 1.0)
+        # Later (larger) estimates do not change the fixed budget.
+        assert rule.should_stop(4, 1.0, 1e9)
+
+    def test_byzantine_inflation_only_delays(self):
+        honest = EstimatedRounds(epsilon=0.1, contraction=0.5)
+        inflated = EstimatedRounds(epsilon=0.1, contraction=0.5)
+        honest_budget = next(
+            r for r in range(100) if honest.should_stop(r, 1.0, 1.0)
+        )
+        inflated_budget = next(
+            r for r in range(100) if inflated.should_stop(r, 1.0, 1000.0)
+        )
+        assert inflated_budget >= honest_budget
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EstimatedRounds(epsilon=0.0, contraction=0.5)
+        with pytest.raises(ValueError):
+            EstimatedRounds(epsilon=0.1, contraction=1.0)

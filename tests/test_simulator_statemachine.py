@@ -1,0 +1,100 @@
+"""Stateful property test: stepping the simulator preserves invariants.
+
+A hypothesis rule-based machine drives `SynchronousSimulator.step()`
+one round at a time (the way an interactive tool or a debugger would)
+and checks structural invariants after every round -- complementing the
+end-to-end property tests, which only look at completed traces.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.faults import ALL_MODELS, get_semantics
+from repro.msr.multiset import ValueMultiset
+from repro.runtime import SynchronousSimulator
+from tests.helpers import make_mobile_config
+
+
+class SimulatorMachine(RuleBasedStateMachine):
+    """Steps one simulation; every step must preserve the invariants."""
+
+    @initialize(
+        model=st.sampled_from(ALL_MODELS),
+        f=st.integers(min_value=1, max_value=2),
+        extra=st.integers(min_value=0, max_value=2),
+        seed=st.integers(min_value=0, max_value=999),
+        movement=st.sampled_from(["round-robin", "random", "static"]),
+    )
+    def setup(self, model, f, extra, seed, movement):
+        from repro.api import movement_strategy
+
+        n = get_semantics(model).required_n(f) + extra
+        config = make_mobile_config(
+            model,
+            f=f,
+            n=n,
+            movement=movement_strategy(movement),
+            rounds=1_000,
+            seed=seed,
+        )
+        self.simulator = SynchronousSimulator(config)
+        self.config = config
+        self.previous_diameter = None
+
+    @rule()
+    def step_one_round(self):
+        record = self.simulator.step()
+        self.latest = record
+
+    @invariant()
+    def fault_counts_bounded(self):
+        trace = self.simulator._trace
+        for record in trace.rounds:
+            assert len(record.faulty_at_send) <= self.config.f
+            assert len(record.cured_at_send) <= self.config.f
+            assert not (record.faulty_at_send & record.cured_at_send)
+
+    @invariant()
+    def occupied_processes_never_compute(self):
+        trace = self.simulator._trace
+        for record in trace.rounds:
+            assert not (record.positions_after & set(record.applications))
+
+    @invariant()
+    def diameter_never_expands(self):
+        trace = self.simulator._trace
+        if not trace.rounds:
+            return
+        series = trace.diameters()
+        for before, after in zip(series, series[1:]):
+            assert after <= before + 1e-9
+
+    @invariant()
+    def nonfaulty_values_stay_in_validity_range(self):
+        trace = self.simulator._trace
+        if not trace.rounds:
+            return
+        interval = trace.validity_interval()
+        final = trace.final_round
+        for value in final.nonfaulty_values_after().values():
+            assert interval.contains(value, tolerance=1e-9)
+
+    @invariant()
+    def received_multisets_are_consistent(self):
+        trace = self.simulator._trace
+        if not trace.rounds:
+            return
+        record = trace.rounds[-1]
+        silent = {pid for pid, outbox in record.sent.items() if outbox is None}
+        for pid, multiset in record.received.items():
+            assert isinstance(multiset, ValueMultiset)
+            assert len(multiset) == self.config.n - len(silent)
+
+
+SimulatorMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)
+TestSimulatorMachine = SimulatorMachine.TestCase
