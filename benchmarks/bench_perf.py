@@ -2,21 +2,28 @@
 
 Not a paper artefact -- a library health metric: rounds/second of the
 full simulation stack (fault planning, n^2 messaging, MSR computation,
-trace recording) as the system grows.
+trace recording) as the system grows, plus the two speedup axes of the
+sweep subsystem: the trace-lite fast path vs full traces, and parallel
+vs serial grid execution.
 """
 
 from __future__ import annotations
+
+import multiprocessing
+import os
+import time
 
 import pytest
 
 from repro.analysis import render_table
 from repro.api import mobile_config
 from repro.runtime import run_simulation
+from repro.sweep import GridSpec, run_sweep
 
 ROUNDS = 20
 
 
-def run_sized(n: int):
+def run_sized(n: int, trace_detail: str = "full"):
     f = max(1, (n - 1) // 6)
     config = mobile_config(
         model="M3",
@@ -28,7 +35,7 @@ def run_sized(n: int):
         rounds=ROUNDS,
         seed=0,
     )
-    return run_simulation(config)
+    return run_simulation(config, trace_detail=trace_detail)
 
 
 @pytest.mark.parametrize("n", [7, 13, 25, 49])
@@ -37,9 +44,116 @@ def test_simulation_throughput(benchmark, n):
     assert trace.rounds_executed() == ROUNDS
 
 
-def test_throughput_summary(benchmark, record_artifact):
-    import time
+def _best_of(repeats: int, fn, *args):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
 
+
+def test_lite_vs_full_speedup(benchmark, record_artifact):
+    """EXP-PERF-LITE: the trace-lite fast path on n >= 16 configs.
+
+    The acceptance bar is a >= 2x single-run speedup over full traces;
+    equivalence of decisions/diameters is asserted here and proven
+    exhaustively by tests/test_sweep_equivalence.py.
+    """
+
+    def measure():
+        rows = []
+        ratios = {}
+        for n in (16, 25, 33, 49):
+            full_trace = run_sized(n, "full")
+            lite_trace = run_sized(n, "lite")
+            assert full_trace.decisions == lite_trace.decisions
+            assert full_trace.diameters() == lite_trace.diameters()
+            full_s = _best_of(3, run_sized, n, "full")
+            lite_s = _best_of(3, run_sized, n, "lite")
+            ratios[n] = full_s / lite_s
+            rows.append(
+                [n, f"{full_s * 1e3:.1f}", f"{lite_s * 1e3:.1f}", f"{ratios[n]:.2f}x"]
+            )
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_artifact(
+        "perf_lite",
+        render_table(
+            ["n", "full ms", "lite ms", "speedup"],
+            rows,
+            title=f"EXP-PERF-LITE: trace-lite vs full traces ({ROUNDS} rounds, M3)",
+        ),
+    )
+    assert max(ratios.values()) >= 2.0, f"lite fast path too slow: {ratios}"
+    assert all(ratio >= 1.5 for ratio in ratios.values()), ratios
+
+
+def _sweep_grid_64() -> GridSpec:
+    """A 64-cell grid sized for the serial-vs-parallel datapoint.
+
+    Cells are deliberately heavy (n=33, 60 rounds) so serial wall time
+    is large against process-pool startup; a grid of trivial cells
+    would measure fork overhead, not the executor.
+    """
+    return GridSpec(
+        models=("M2", "M3"),
+        fs=(3,),
+        ns=(33,),
+        algorithms=("ftm",),
+        movements=("round-robin",),
+        attacks=("split", "outlier"),
+        seeds=tuple(range(16)),
+        rounds=60,
+    )
+
+
+def test_sweep_parallel_vs_serial(benchmark, record_artifact):
+    """EXP-PERF-SWEEP: 4-worker sweep vs serial on a 64-cell grid.
+
+    Bit-identical results are asserted unconditionally; the >= 2x
+    wall-clock bar only applies with >= 4 CPUs and fork-started workers
+    (a pool cannot beat serial on one core, and spawn-start platforms
+    pay a per-worker interpreter boot this grid is not sized against).
+    """
+    grid = _sweep_grid_64()
+    assert len(grid) == 64
+    cpus = os.cpu_count() or 1
+    fork_start = multiprocessing.get_start_method() == "fork"
+
+    def measure():
+        serial = run_sweep(grid, workers=1)
+        parallel = run_sweep(grid, workers=4)
+        assert parallel.cells == serial.cells
+        serial_s = _best_of(2, run_sweep, grid, 1)
+        parallel_s = _best_of(2, run_sweep, grid, 4)
+        return serial_s, parallel_s
+
+    serial_s, parallel_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = serial_s / parallel_s
+    record_artifact(
+        "perf_sweep",
+        render_table(
+            ["cells", "cpus", "serial ms", "4-worker ms", "speedup"],
+            [
+                [
+                    len(grid),
+                    cpus,
+                    f"{serial_s * 1e3:.1f}",
+                    f"{parallel_s * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                ]
+            ],
+            title="EXP-PERF-SWEEP: serial vs 4-worker sweep (64 cells, lite)",
+        ),
+    )
+    if cpus >= 4 and fork_start:
+        assert speedup >= 2.0, f"parallel sweep too slow: {speedup:.2f}x"
+
+
+def test_throughput_summary(benchmark, record_artifact):
     def measure():
         rows = []
         for n in (7, 13, 25, 49, 97):

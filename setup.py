@@ -1,11 +1,32 @@
-"""Legacy setup shim.
+"""Package metadata and installation.
 
 The offline environment ships setuptools without the ``wheel`` package,
-so PEP 660 editable installs fail; this shim lets ``pip install -e .``
-fall back to the classic ``setup.py develop`` path.  All metadata lives
-in pyproject.toml.
+so PEP 660 editable installs can fail; keeping the classic ``setup.py``
+path lets ``pip install -e .`` fall back to ``setup.py develop``.  The
+library itself is dependency-free; the ``[test]`` extra pins the test
+runner used by CI and the tier-1 command.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mobile-byzantine-agreement",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Approximate Agreement under Mobile Byzantine "
+        "Faults' (ICDCS 2016): models M1-M4, MSR algorithms, lower "
+        "bounds, experiments, and a parallel scenario-sweep engine."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[],
+    extras_require={
+        "test": ["pytest>=7.0,<9"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+        ],
+    },
+)

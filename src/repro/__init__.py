@@ -16,13 +16,14 @@ Quickstart::
     print(repro.check(trace))
 """
 
-from . import analysis, core, experiments, extensions, faults, msr, runtime
+from . import analysis, core, experiments, extensions, faults, msr, runtime, sweep
 from .api import (
     check,
     evenly_spread_values,
     mobile_config,
     movement_strategy,
     simulate,
+    sweep_grid,
     value_strategy,
 )
 
@@ -30,6 +31,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "simulate",
+    "sweep_grid",
     "check",
     "mobile_config",
     "movement_strategy",
@@ -42,5 +44,6 @@ __all__ = [
     "analysis",
     "experiments",
     "extensions",
+    "sweep",
     "__version__",
 ]

@@ -50,6 +50,7 @@ __all__ = [
     "value_strategy",
     "mobile_config",
     "simulate",
+    "sweep_grid",
     "check",
     "evenly_spread_values",
 ]
@@ -154,14 +155,77 @@ def mobile_config(
     )
 
 
-def simulate(config: SimulationConfig | None = None, **kwargs):
+def simulate(
+    config: SimulationConfig | None = None,
+    trace_detail: str = "full",
+    **kwargs,
+):
     """Run a simulation; keyword arguments build a config via
-    :func:`mobile_config` when none is given."""
+    :func:`mobile_config` when none is given.
+
+    ``trace_detail="lite"`` takes the simulator's fast path and returns
+    a :class:`~repro.runtime.trace.LiteTrace` (identical decisions and
+    diameters, no per-round message matrices).
+    """
     if config is None:
         config = mobile_config(**kwargs)
     elif kwargs:
-        raise TypeError("pass either a config or keyword arguments, not both")
-    return run_simulation(config)
+        offending = ", ".join(sorted(kwargs))
+        raise TypeError(
+            "simulate() takes either a config or keyword arguments, not "
+            f"both (got a config plus: {offending})"
+        )
+    return run_simulation(config, trace_detail=trace_detail)
+
+
+def sweep_grid(
+    models="M1",
+    fs=1,
+    ns=None,
+    algorithms="ftm",
+    movements="round-robin",
+    attacks="split",
+    epsilons=1e-3,
+    seeds=4,
+    rounds: int | None = None,
+    max_rounds: int = 1_000,
+    workers: int = 1,
+    trace_detail: str = "lite",
+    chunk_size: int | None = None,
+):
+    """Run a scenario sweep over the cartesian product of the axes.
+
+    Every axis accepts a scalar or a sequence; ``seeds`` additionally
+    accepts an integer ``K`` meaning seeds ``0..K-1``.  ``workers > 1``
+    distributes cells over a process pool; ``trace_detail`` selects the
+    simulator path (the default trace-lite fast path is bit-identical
+    on decisions and diameters).  Returns a
+    :class:`~repro.sweep.SweepResult`.
+
+    >>> import repro
+    >>> result = repro.sweep_grid(models=("M1", "M2"), seeds=2)
+    >>> len(result)
+    4
+    """
+    from .sweep import GridSpec, run_sweep
+
+    if isinstance(seeds, int):
+        seeds = tuple(range(seeds))
+    grid = GridSpec(
+        models=models,
+        fs=fs,
+        ns=ns,
+        algorithms=algorithms,
+        movements=movements,
+        attacks=attacks,
+        epsilons=epsilons,
+        seeds=seeds,
+        rounds=rounds,
+        max_rounds=max_rounds,
+    )
+    return run_sweep(
+        grid, workers=workers, trace_detail=trace_detail, chunk_size=chunk_size
+    )
 
 
 def check(trace, epsilon: float | None = None) -> SpecVerdict:

@@ -4,6 +4,11 @@ Without arguments the full suite runs; with names, only the selected
 experiments.  ``--list`` shows the registry; ``--f`` and ``--seeds``
 re-parameterize the experiments that sweep over fault counts and seeds
 (unsupported options are ignored per experiment, with a notice).
+
+``repro-experiments sweep [options]`` enters the scenario-sweep engine
+instead: a cartesian grid over models/f/n/algorithms/movements/attacks/
+epsilons/seeds, executed serially or over worker processes on the
+trace-lite fast path, reported as summary tables and diameter series.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from collections.abc import Sequence
 from .base import ExperimentResult
 from .runner import EXPERIMENTS, render_report
 
-__all__ = ["main", "run_with_options"]
+__all__ = ["main", "run_with_options", "sweep_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,6 +30,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Regenerate the tables, theorems and figures of 'Approximate "
             "Agreement under Mobile Byzantine Faults' (ICDCS 2016)."
+        ),
+        epilog=(
+            "Use 'repro-experiments sweep --help' for the scenario-sweep "
+            "engine (grid execution over models/f/adversaries/seeds)."
         ),
     )
     parser.add_argument(
@@ -83,8 +92,106 @@ def run_with_options(
     return results
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep",
+        description=(
+            "Run a scenario sweep: the cartesian product of the given axes, "
+            "each cell one simulation, executed serially or across worker "
+            "processes on the trace-lite fast path."
+        ),
+    )
+    parser.add_argument("--models", nargs="+", default=["M1", "M2", "M3"])
+    parser.add_argument("--f", dest="fs", nargs="+", type=int, default=[1])
+    parser.add_argument(
+        "--n",
+        dest="ns",
+        nargs="+",
+        type=int,
+        default=None,
+        help="system sizes (default: each model's Table 2 minimum)",
+    )
+    parser.add_argument("--algorithms", nargs="+", default=["ftm"])
+    parser.add_argument("--movements", nargs="+", default=["round-robin"])
+    parser.add_argument("--attacks", nargs="+", default=["split"])
+    parser.add_argument("--epsilons", nargs="+", type=float, default=[1e-3])
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        metavar="K",
+        help="seeds 0..K-1 per configuration (default: 4)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="fixed round count (default: oracle epsilon termination)",
+    )
+    parser.add_argument("--max-rounds", type=int, default=1_000)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--detail",
+        choices=["full", "lite"],
+        default="lite",
+        help="trace detail; 'lite' is the fast path (default)",
+    )
+    parser.add_argument(
+        "--cells", action="store_true", help="also print the per-cell table"
+    )
+    parser.add_argument(
+        "--series", action="store_true", help="also print diameter trajectories"
+    )
+    return parser
+
+
+def sweep_main(argv: Sequence[str] | None = None) -> int:
+    """``sweep`` subcommand entry point; returns a process exit code."""
+    from ..analysis import render_series
+    from ..sweep import GridSpec, run_sweep
+
+    args = build_sweep_parser().parse_args(argv)
+    try:
+        grid = GridSpec(
+            models=args.models,
+            fs=args.fs,
+            ns=args.ns,
+            algorithms=args.algorithms,
+            movements=args.movements,
+            attacks=args.attacks,
+            epsilons=args.epsilons,
+            seeds=tuple(range(args.seeds)),
+            rounds=args.rounds,
+            max_rounds=args.max_rounds,
+        )
+        print(grid.describe())
+        result = run_sweep(grid, workers=args.workers, trace_detail=args.detail)
+    except (ValueError, TypeError) as exc:
+        print(f"sweep error: {exc}", file=sys.stderr)
+        return 2
+    if args.cells:
+        print(result.cell_table())
+        print()
+    print(result.summary_table())
+    if args.series:
+        print()
+        print(render_series(result.diameter_series(), title="mean diameter"))
+    for cell in result.errors():
+        print(f"ERROR {cell.spec.describe()}: {cell.error}")
+    return 0 if result.all_satisfied else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:

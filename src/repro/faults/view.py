@@ -62,13 +62,20 @@ class AdversaryView:
 
         Falls back to the range over *all* values when no process is
         correct (only possible in deliberately degenerate tests).
+
+        The view is an immutable snapshot, so the interval is computed
+        once and cached: strategies query it per message, which made it
+        the hottest call of a whole simulation before caching.
         """
+        cached = self.__dict__.get("_correct_range")
+        if cached is not None:
+            return cached
         source = self.correct_values or self.values
         if not source:
             raise ValueError("adversary view contains no process values")
-        lows = min(source.values())
-        highs = max(source.values())
-        return Interval(lows, highs)
+        interval = Interval(min(source.values()), max(source.values()))
+        object.__setattr__(self, "_correct_range", interval)
+        return interval
 
     def correct_midpoint(self) -> float:
         """Midpoint of the correct range; the split point of attacks."""

@@ -96,6 +96,20 @@ class MSRFunction:
             received=received, reduced=reduced, selected=selected, result=result
         )
 
+    def apply_value(self, received: ValueMultiset) -> float:
+        """Apply the function returning only the result.
+
+        Numerically identical to ``apply(received).result``; skips the
+        :class:`MSRApplication` snapshot for trace-lite hot loops.
+        """
+        if len(received) == 0:
+            raise ValueError(
+                f"{self.name}: received multiset is empty; a voting process "
+                "always hears at least itself, so this indicates a broken "
+                "simulation setup"
+            )
+        return self.combiner(self.selection(self.reduction(received)))
+
     def apply_checked(
         self, received: ValueMultiset, nonfaulty_range: Interval
     ) -> MSRApplication:

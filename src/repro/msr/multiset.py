@@ -32,7 +32,7 @@ class Interval:
     algebra used by the convergence analysis.
     """
 
-    __slots__ = ("low", "high")
+    __slots__ = ("low", "high", "_midpoint")
 
     def __init__(self, low: float, high: float) -> None:
         if math.isnan(low) or math.isnan(high):
@@ -41,6 +41,7 @@ class Interval:
             raise ValueError(f"empty interval: low={low!r} > high={high!r}")
         self.low = float(low)
         self.high = float(high)
+        self._midpoint: float | None = None
 
     @classmethod
     def degenerate(cls, value: float) -> "Interval":
@@ -80,8 +81,14 @@ class Interval:
         return Interval(min(self.low, other.low), max(self.high, other.high))
 
     def midpoint(self) -> float:
-        """Return the centre of the interval."""
-        return (self.low + self.high) / 2.0
+        """Return the centre of the interval (computed once, cached).
+
+        Strategies query the midpoint per attack message, making this
+        one of the hottest calls of a simulation.
+        """
+        if self._midpoint is None:
+            self._midpoint = (self.low + self.high) / 2.0
+        return self._midpoint
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Interval):
@@ -128,6 +135,19 @@ class ValueMultiset:
         """Build from an already-sorted sequence (skips the sort)."""
         instance = cls.__new__(cls)
         instance._values = tuple(float(v) for v in values)
+        return instance
+
+    @classmethod
+    def from_trusted_floats(cls, values: Sequence[float]) -> "ValueMultiset":
+        """Build from values known to be sorted, finite ``float`` objects.
+
+        Skips conversion and NaN screening entirely; the simulator's
+        trace-lite hot loop uses this for multisets assembled from
+        already-validated process values (adversary outputs pass the
+        controller's finiteness gate, honest values are MSR results).
+        """
+        instance = cls.__new__(cls)
+        instance._values = tuple(values)
         return instance
 
     # -- basic protocol --------------------------------------------------------
@@ -204,7 +224,7 @@ class ValueMultiset:
         if math.isnan(value):
             raise ValueError("multiset values must not be NaN")
         index = bisect.bisect_left(self._values, value)
-        return ValueMultiset.from_sorted(
+        return ValueMultiset.from_trusted_floats(
             self._values[:index] + (value,) + self._values[index:]
         )
 
@@ -214,7 +234,7 @@ class ValueMultiset:
         index = bisect.bisect_left(self._values, value)
         if index >= len(self._values) or self._values[index] != value:
             raise KeyError(f"value {value!r} not in multiset")
-        return ValueMultiset.from_sorted(
+        return ValueMultiset.from_trusted_floats(
             self._values[:index] + self._values[index + 1 :]
         )
 
@@ -238,14 +258,14 @@ class ValueMultiset:
                 f"multiset of size {len(self._values)}"
             )
         end = len(self._values) - high_count
-        return ValueMultiset.from_sorted(self._values[low_count:end])
+        return ValueMultiset.from_trusted_floats(self._values[low_count:end])
 
     def select_indices(self, indices: Sequence[int]) -> "ValueMultiset":
         """Return the sub-multiset at the given sorted positions."""
         picked = [self._values[i] for i in indices]
         if any(picked[i] > picked[i + 1] for i in range(len(picked) - 1)):
             picked.sort()
-        return ValueMultiset.from_sorted(picked)
+        return ValueMultiset.from_trusted_floats(picked)
 
     def mean(self) -> float:
         """Arithmetic mean of the values; raises on an empty multiset."""

@@ -79,7 +79,7 @@ class SelectExtremes(Selection):
         self._require_nonempty(multiset)
         if len(multiset) == 1:
             return multiset
-        return ValueMultiset.from_sorted((multiset.min(), multiset.max()))
+        return ValueMultiset.from_trusted_floats((multiset.min(), multiset.max()))
 
     def describe(self) -> str:
         return "extremes (min, max)"

@@ -17,7 +17,7 @@ from .network import Message, RoundDelivery, SynchronousNetwork
 from .protocol import MSRVotingProtocol, VotingProtocol
 from .rng import derive_rng, spawn_seeds
 from .serialize import dump_trace, load_trace, trace_from_dict, trace_to_dict
-from .simulator import SynchronousSimulator, run_simulation
+from .simulator import SynchronousSimulator, TraceDetail, run_simulation
 from .termination import (
     EstimatedRounds,
     FixedRounds,
@@ -25,7 +25,7 @@ from .termination import (
     TerminationRule,
     rounds_to_reach,
 )
-from .trace import RoundRecord, Trace
+from .trace import LiteTrace, RoundRecord, Trace
 
 __all__ = [
     "SimulationConfig",
@@ -47,8 +47,10 @@ __all__ = [
     "rounds_to_reach",
     "SynchronousSimulator",
     "run_simulation",
+    "TraceDetail",
     "RoundRecord",
     "Trace",
+    "LiteTrace",
     "derive_rng",
     "spawn_seeds",
     "trace_to_dict",

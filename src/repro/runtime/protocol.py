@@ -34,6 +34,14 @@ class VotingProtocol(ABC):
     def compute(self, pid: int, received: ValueMultiset) -> MSRApplication:
         """Computation phase: derive the next voted value from ``received``."""
 
+    def compute_value(self, pid: int, received: ValueMultiset) -> float:
+        """Result-only computation phase for trace-lite hot loops.
+
+        Must be numerically identical to ``compute(pid, received).result``;
+        the default delegates, subclasses may skip the snapshot.
+        """
+        return self.compute(pid, received).result
+
 
 class MSRVotingProtocol(VotingProtocol):
     """The MSR voting protocol with the M1 cured-silence guard."""
@@ -51,6 +59,9 @@ class MSRVotingProtocol(VotingProtocol):
 
     def compute(self, pid: int, received: ValueMultiset) -> MSRApplication:
         return self.function.apply(received)
+
+    def compute_value(self, pid: int, received: ValueMultiset) -> float:
+        return self.function.apply_value(received)
 
     def __repr__(self) -> str:
         return f"MSRVotingProtocol({self.function.name})"

@@ -23,7 +23,7 @@ from ..faults.mixed_mode import FaultClass
 from ..faults.models import MobileModel
 from ..msr.base import MSRApplication
 from ..msr.multiset import ValueMultiset
-from .trace import RoundRecord, Trace
+from .trace import LiteTrace, RoundRecord, Trace
 
 __all__ = [
     "trace_to_dict",
@@ -38,7 +38,17 @@ SCHEMA_VERSION = 1
 
 
 def trace_to_dict(trace: Trace) -> dict[str, Any]:
-    """Convert a trace to a JSON-compatible dictionary."""
+    """Convert a trace to a JSON-compatible dictionary.
+
+    Only full traces serialize: a :class:`LiteTrace` deliberately drops
+    the per-round records this format archives, so it is rejected
+    eagerly rather than failing deep inside JSON encoding.
+    """
+    if isinstance(trace, LiteTrace):
+        raise TypeError(
+            "lite traces cannot be serialized (per-round records were "
+            "not kept); rerun with trace_detail='full' to archive the run"
+        )
     return {
         "schema": SCHEMA_VERSION,
         "n": trace.n,

@@ -20,12 +20,25 @@ One round proceeds as:
    the correct state (Lemma 5).
 
 The simulator is deterministic: a config (including its seed) fully
-determines the produced :class:`~repro.runtime.trace.Trace`.
+determines the produced trace.
+
+Two levels of trace detail are supported.  ``trace_detail="full"`` (the
+default) records everything the checkers and mapping experiments need:
+message matrices, per-process multisets, MSR applications.  For large
+scenario sweeps that only consume decisions and diameters,
+``trace_detail="lite"`` executes the *same* value dynamics -- the
+adversary RNG stream, fault plans, multisets and MSR arithmetic are
+identical operation-for-operation -- but skips every per-round snapshot
+(``sent``/``received``/``heard``/``applications``), bypasses the
+network's bookkeeping, and returns a compact
+:class:`~repro.runtime.trace.LiteTrace`.  Decisions, round counts and
+diameter trajectories are bit-identical between the two modes.
 """
 
 from __future__ import annotations
 
 from types import MappingProxyType
+from typing import Literal
 
 from ..msr.base import MSRApplication
 from ..msr.multiset import ValueMultiset
@@ -39,22 +52,33 @@ from .controllers import (
 from .network import SynchronousNetwork
 from .protocol import MSRVotingProtocol, VotingProtocol
 from .rng import derive_rng
-from .trace import RoundRecord, Trace
+from .trace import LiteTrace, RoundRecord, Trace
 
-__all__ = ["SynchronousSimulator", "run_simulation"]
+__all__ = ["SynchronousSimulator", "run_simulation", "TraceDetail"]
+
+TraceDetail = Literal["full", "lite"]
 
 
-def run_simulation(config: SimulationConfig) -> Trace:
+def run_simulation(
+    config: SimulationConfig, trace_detail: TraceDetail = "full"
+) -> Trace | LiteTrace:
     """Build a simulator from ``config``, run it to completion."""
-    return SynchronousSimulator(config).run()
+    return SynchronousSimulator(config, trace_detail=trace_detail).run()
 
 
 class SynchronousSimulator:
     """Drives one configured computation to its decision."""
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self, config: SimulationConfig, trace_detail: TraceDetail = "full"
+    ) -> None:
         config.validate()
+        if trace_detail not in ("full", "lite"):
+            raise ValueError(
+                f"trace_detail must be 'full' or 'lite', got {trace_detail!r}"
+            )
         self.config = config
+        self.trace_detail: TraceDetail = trace_detail
         self.protocol: VotingProtocol = MSRVotingProtocol(config.algorithm)
         self.network = SynchronousNetwork(config.n)
         self.controller = self._build_controller(config)
@@ -65,12 +89,14 @@ class SynchronousSimulator:
         self._round_index = 0
         self._first_round_received_diameter: float | None = None
         self._cured_aware = self._model_cured_aware(config)
-        self._trace = self._new_trace(config)
+        self._trace = self._new_trace(config) if trace_detail == "full" else None
 
     # -- public API -----------------------------------------------------------
 
-    def run(self) -> Trace:
+    def run(self) -> Trace | LiteTrace:
         """Execute rounds until the termination rule fires (or the cap)."""
+        if self.trace_detail == "lite":
+            return self._run_lite()
         terminated = False
         for _ in range(self.config.max_rounds):
             record = self.step()
@@ -87,7 +113,12 @@ class SynchronousSimulator:
         return self._trace
 
     def step(self) -> RoundRecord:
-        """Execute a single synchronous round and record it."""
+        """Execute a single synchronous round and record it (full mode)."""
+        if self.trace_detail != "full":
+            raise RuntimeError(
+                "step() requires trace_detail='full'; the lite fast path "
+                "does not materialize RoundRecords"
+            )
         plan = self.controller.plan_round(
             self._round_index, dict(self._values), self._adversary_rng
         )
@@ -145,6 +176,128 @@ class SynchronousSimulator:
         self._round_index += 1
         return record
 
+    # -- the trace-lite fast path ----------------------------------------------
+
+    def _run_lite(self) -> LiteTrace:
+        """Run to completion recording only extents and decisions.
+
+        The value dynamics are identical to the full path: the fault
+        plan (and its RNG consumption), the per-recipient multisets and
+        the MSR arithmetic match operation-for-operation.  Only the
+        recording differs -- no message matrices, no MSR application
+        snapshots, no mapping-proxy wrappers -- and the message exchange
+        skips the network object's n^2 dictionary bookkeeping in favour
+        of one shared broadcast list per round.
+        """
+        n = self.config.n
+        termination = self.config.termination
+        terminated = False
+        extents: list[tuple[float, float] | None] = []
+        initially_nonfaulty = frozenset(range(n))
+        positions_after: frozenset[int] = frozenset()
+
+        for _ in range(self.config.max_rounds):
+            round_index = self._round_index
+            plan = self.controller.plan_round(
+                round_index, dict(self._values), self._adversary_rng
+            )
+            for pid, corrupted in plan.memory_corruptions.items():
+                self._values[pid] = corrupted
+
+            broadcasts = self._broadcast_values_lite(plan)
+            broadcasts.sort()
+            overrides = plan.send_overrides
+            override_outboxes = list(overrides.values()) if overrides else None
+            compute_corruptions = plan.compute_corruptions
+            first_round = round_index == 0
+            max_received_diameter = 0.0
+            values = self._values
+            compute_value = self.protocol.compute_value
+            wrap = ValueMultiset.from_trusted_floats
+            for pid in range(n):
+                if pid in compute_corruptions:
+                    continue
+                inbox_values = broadcasts
+                if override_outboxes is not None:
+                    inbox_values = list(broadcasts)
+                    for outbox in override_outboxes:
+                        if pid in outbox:
+                            inbox_values.append(float(outbox[pid]))
+                    inbox_values.sort()
+                multiset = wrap(inbox_values)
+                values[pid] = compute_value(pid, multiset)
+                if first_round:
+                    diameter = multiset.diameter()
+                    if diameter > max_received_diameter:
+                        max_received_diameter = diameter
+            for pid, garbage in compute_corruptions.items():
+                self._values[pid] = garbage
+
+            if first_round:
+                self._first_round_received_diameter = max_received_diameter
+                initially_nonfaulty = frozenset(range(n)) - plan.faulty_at_send
+
+            positions_after = plan.positions_after
+            low = high = None
+            for pid, value in self._values.items():
+                if pid in positions_after:
+                    continue
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
+            extents.append(None if low is None else (low, high))
+            nonfaulty_diameter = 0.0 if low is None else high - low
+
+            self._round_index += 1
+            if termination.should_stop(
+                round_index,
+                nonfaulty_diameter,
+                self._first_round_received_diameter,
+            ):
+                terminated = True
+                break
+
+        decisions = {
+            pid: self._values[pid]
+            for pid in sorted(frozenset(range(n)) - positions_after)
+        }
+        return LiteTrace(
+            n=n,
+            f=self.config.f,
+            model=self._setup_model(self.config),
+            algorithm_name=self.config.algorithm.name,
+            epsilon=self.config.epsilon,
+            initial_values=MappingProxyType(
+                {pid: float(v) for pid, v in enumerate(self.config.initial_values)}
+            ),
+            initially_nonfaulty=initially_nonfaulty,
+            round_extents=tuple(extents),
+            decisions=decisions,
+            terminated=terminated,
+            controller_description=(
+                f"{self.controller.describe()} | {self.config.describe()} "
+                "| trace_detail=lite"
+            ),
+        )
+
+    def _broadcast_values_lite(self, plan: RoundPlan) -> list[float]:
+        """Values broadcast by processes following the protocol's send rule.
+
+        Override/forced-silent processes are excluded -- their traffic
+        is read straight from the plan's per-recipient maps during the
+        receive phase.
+        """
+        broadcasts: list[float] = []
+        for pid in range(self.config.n):
+            if pid in plan.send_overrides or pid in plan.forced_silent:
+                continue
+            aware_cured = self._cured_aware and pid in plan.cured_at_send
+            value = self.protocol.send_value(pid, self._values[pid], aware_cured)
+            if value is not None:
+                broadcasts.append(value)
+        return broadcasts
+
     # -- phases ----------------------------------------------------------------
 
     def _send_phase(self, plan: RoundPlan) -> dict[int, dict[int, float] | None]:
@@ -198,12 +351,16 @@ class SynchronousSimulator:
             return get_semantics(config.setup.model).cured_aware
         return False
 
-    def _new_trace(self, config: SimulationConfig) -> Trace:
-        model = (
+    @staticmethod
+    def _setup_model(config: SimulationConfig):
+        return (
             config.setup.model
             if isinstance(config.setup, MobileFaultSetup)
             else None
         )
+
+    def _new_trace(self, config: SimulationConfig) -> Trace:
+        model = self._setup_model(config)
         # initially_nonfaulty is provisional until round 0 runs and the
         # initial agent placement becomes known; step() then fixes it.
         return Trace(

@@ -1,0 +1,27 @@
+"""Scenario sweeps: grid specification, chunked execution, aggregation.
+
+The paper's tables quantify over families of runs; this subsystem
+executes such families.  Declare a family as a :class:`GridSpec`
+(cartesian product over model, f, n, algorithm, movement, attack,
+epsilon and seed axes), run it with :func:`run_sweep` -- serially or
+over ``multiprocessing`` workers, on full traces or the trace-lite fast
+path -- and aggregate the :class:`SweepResult` into the harness's
+tables and series.
+
+>>> from repro.sweep import GridSpec, run_sweep
+>>> result = run_sweep(GridSpec(models=("M1", "M2"), seeds=range(4)))
+>>> print(result.summary_table())  # doctest: +SKIP
+"""
+
+from .aggregate import SweepResult
+from .engine import CellResult, run_cell, run_sweep
+from .grid import CellSpec, GridSpec
+
+__all__ = [
+    "CellSpec",
+    "GridSpec",
+    "CellResult",
+    "SweepResult",
+    "run_cell",
+    "run_sweep",
+]

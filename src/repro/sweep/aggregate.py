@@ -1,0 +1,149 @@
+"""Sweep aggregation into the harness's tables and series types.
+
+A :class:`SweepResult` is the ordered collection of per-cell outcomes;
+its methods reduce the grid back into the shapes the rest of the
+harness speaks: :func:`repro.analysis.render_table` tables (per-cell
+and grouped summaries) and :class:`repro.analysis.Series` diameter
+trajectories (the "figures" of the terminal harness).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..analysis import Series, render_table, summarize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .engine import CellResult
+
+__all__ = ["SweepResult"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Every cell outcome of one sweep, sorted by cell key."""
+
+    cells: tuple["CellResult", ...]
+    trace_detail: str = "lite"
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self) -> Iterator["CellResult"]:
+        return iter(self.cells)
+
+    # -- lookups ----------------------------------------------------------------
+
+    def by_key(self) -> dict[tuple, "CellResult"]:
+        """Index the results by cell key (the join key across sweeps)."""
+        return {cell.key: cell for cell in self.cells}
+
+    def errors(self) -> tuple["CellResult", ...]:
+        """Cells that could not run (e.g. below the resilience bound)."""
+        return tuple(cell for cell in self.cells if cell.error is not None)
+
+    def satisfied_count(self) -> int:
+        """Number of cells whose run met the headline specification."""
+        return sum(1 for cell in self.cells if cell.satisfied)
+
+    @property
+    def all_satisfied(self) -> bool:
+        """Whether every cell ran and met the headline specification."""
+        return bool(self.cells) and self.satisfied_count() == len(self.cells)
+
+    # -- tables -----------------------------------------------------------------
+
+    def cell_table(self, title: str | None = None) -> str:
+        """Per-cell table: one row per grid point."""
+        rows = []
+        for cell in self.cells:
+            if cell.error is not None:
+                rows.append(
+                    [cell.spec.describe(), "-", "-", "-", f"error: {cell.error[:60]}"]
+                )
+                continue
+            rows.append(
+                [
+                    cell.spec.describe(),
+                    cell.rounds,
+                    cell.decision_diameter,
+                    cell.terminated,
+                    "ok" if cell.satisfied else "VIOLATED",
+                ]
+            )
+        return render_table(
+            ["cell", "rounds", "decision diam", "terminated", "spec"],
+            rows,
+            title=title or f"Sweep cells ({self.trace_detail} traces)",
+        )
+
+    def summary_rows(self) -> list[list[object]]:
+        """One row per (model, algorithm) group with aggregate stats."""
+        groups: dict[tuple[str, str], list["CellResult"]] = {}
+        for cell in self.cells:
+            if cell.error is not None:
+                continue
+            groups.setdefault((cell.spec.model, cell.spec.algorithm), []).append(cell)
+        rows: list[list[object]] = []
+        for (model, algorithm), members in sorted(groups.items()):
+            rounds = summarize(float(cell.rounds) for cell in members)
+            diameters = summarize(cell.decision_diameter for cell in members)
+            ok = sum(1 for cell in members if cell.satisfied)
+            rows.append(
+                [
+                    model,
+                    algorithm,
+                    len(members),
+                    f"{ok}/{len(members)}",
+                    rounds.render(),
+                    diameters.mean,
+                ]
+            )
+        return rows
+
+    def summary_table(self, title: str | None = None) -> str:
+        """Grouped summary table; the headline output of a sweep."""
+        suffix = ""
+        if self.errors():
+            suffix = f" ({len(self.errors())} cells failed to run)"
+        return render_table(
+            [
+                "model",
+                "alg",
+                "cells",
+                "spec ok",
+                "rounds min/med/p95/max",
+                "mean decision diam",
+            ],
+            self.summary_rows(),
+            title=(title or f"Sweep summary over {len(self.cells)} cells") + suffix,
+        )
+
+    # -- series -----------------------------------------------------------------
+
+    def diameter_series(self) -> list[Series]:
+        """Mean non-faulty diameter trajectory per (model, algorithm).
+
+        Trajectories of different lengths are averaged over the cells
+        still running at each round, mirroring how the convergence
+        experiments aggregate over seeds.
+        """
+        groups: dict[tuple[str, str], list[tuple[float, ...]]] = {}
+        for cell in self.cells:
+            if cell.error is None and cell.diameters:
+                groups.setdefault(
+                    (cell.spec.model, cell.spec.algorithm), []
+                ).append(cell.diameters)
+        series = []
+        for (model, algorithm), trajectories in sorted(groups.items()):
+            length = max(len(t) for t in trajectories)
+            means = []
+            for index in range(length):
+                points = [t[index] for t in trajectories if index < len(t)]
+                means.append(math.fsum(points) / len(points))
+            series.append(Series.of(f"{model}/{algorithm}", means))
+        return series

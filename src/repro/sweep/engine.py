@@ -1,0 +1,150 @@
+"""Chunked sweep execution: serial or across ``multiprocessing`` workers.
+
+Each grid cell is executed by the module-level :func:`run_cell` (module
+level so it pickles), which materializes the cell's config, runs the
+simulator -- by default on the trace-lite fast path -- and condenses
+the outcome into a :class:`CellResult` of plain primitives.
+
+Determinism contract: a cell's result is a pure function of the cell.
+Every stochastic component draws from ``derive_rng(seed, ...)`` streams
+seeded by stable strings, so worker processes reproduce bit-identical
+results regardless of start method, worker count, chunking or
+scheduling order.  :func:`run_sweep` additionally sorts results by cell
+key, making the aggregate independent of completion order.  The
+determinism and equivalence test suites assert both properties.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from collections.abc import Iterable
+from dataclasses import dataclass
+from functools import partial
+
+from ..core.specification import check_trace
+from ..runtime.simulator import TraceDetail, run_simulation
+from .aggregate import SweepResult
+from .grid import CellSpec, GridSpec
+
+__all__ = ["CellResult", "run_cell", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The condensed, picklable outcome of one grid cell.
+
+    ``error`` is set (and every other payload field zeroed) when the
+    cell could not run at all -- e.g. an explicit ``n`` below the
+    model's resilience bound.
+    """
+
+    spec: CellSpec
+    decisions: tuple[tuple[int, float], ...]
+    rounds: int
+    terminated: bool
+    decision_diameter: float
+    #: Non-faulty diameter trajectory: initial, then after each round.
+    diameters: tuple[float, ...]
+    termination_ok: bool
+    agreement_ok: bool
+    validity_ok: bool
+    #: Per-round invariant verdicts; ``None`` when not evaluated
+    #: (lite traces carry no message records to check them against).
+    p1_ok: bool | None = None
+    p2_ok: bool | None = None
+    error: str | None = None
+
+    @property
+    def key(self) -> tuple:
+        return self.spec.key
+
+    @property
+    def satisfied(self) -> bool:
+        """The headline specification verdict of the cell's run."""
+        return (
+            self.error is None
+            and self.termination_ok
+            and self.agreement_ok
+            and self.validity_ok
+        )
+
+
+def run_cell(cell: CellSpec, trace_detail: TraceDetail = "lite") -> CellResult:
+    """Execute one cell and condense its outcome.
+
+    Runs in worker processes during parallel sweeps; everything it
+    touches must be importable and picklable.
+    """
+    try:
+        config = cell.to_config()
+    except (ValueError, KeyError) as exc:
+        return CellResult(
+            spec=cell,
+            decisions=(),
+            rounds=0,
+            terminated=False,
+            decision_diameter=0.0,
+            diameters=(),
+            termination_ok=False,
+            agreement_ok=False,
+            validity_ok=False,
+            error=str(exc),
+        )
+    trace = run_simulation(config, trace_detail=trace_detail)
+    verdict = check_trace(trace)
+    return CellResult(
+        spec=cell,
+        decisions=tuple(sorted(trace.decisions.items())),
+        rounds=trace.rounds_executed(),
+        terminated=trace.terminated,
+        decision_diameter=trace.decision_diameter(),
+        diameters=tuple(trace.diameters()),
+        termination_ok=verdict.termination.holds,
+        agreement_ok=verdict.epsilon_agreement.holds,
+        validity_ok=verdict.validity.holds,
+        p1_ok=None if verdict.p1.skipped else verdict.p1.holds,
+        p2_ok=None if verdict.p2.skipped else verdict.p2.holds,
+    )
+
+
+def run_sweep(
+    grid: GridSpec | Iterable[CellSpec],
+    workers: int = 1,
+    trace_detail: TraceDetail = "lite",
+    chunk_size: int | None = None,
+) -> SweepResult:
+    """Run every cell of ``grid``, serially or across worker processes.
+
+    ``workers <= 1`` runs in-process.  With more workers the cells are
+    distributed over a ``multiprocessing`` pool in chunks
+    (``chunk_size`` defaults to ~4 chunks per worker, balancing
+    scheduling overhead against stragglers).  Results are identical in
+    both modes and sorted by cell key, so the returned
+    :class:`SweepResult` is independent of the execution strategy.
+    """
+    if trace_detail not in ("full", "lite"):
+        raise ValueError(
+            f"trace_detail must be 'full' or 'lite', got {trace_detail!r}"
+        )
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    cells = list(grid.cells()) if isinstance(grid, GridSpec) else list(grid)
+    seen: set[tuple] = set()
+    for cell in cells:
+        if cell.key in seen:
+            raise ValueError(f"duplicate grid cell: {cell.describe()}")
+        seen.add(cell.key)
+    runner = partial(run_cell, trace_detail=trace_detail)
+    if workers <= 1 or len(cells) <= 1:
+        results = [runner(cell) for cell in cells]
+    else:
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(cells) / (workers * 4)))
+        with multiprocessing.Pool(processes=workers) as pool:
+            results = pool.map(runner, cells, chunksize=chunk_size)
+    return SweepResult(
+        cells=tuple(sorted(results, key=lambda result: result.key)),
+        trace_detail=trace_detail,
+        workers=max(1, workers),
+    )

@@ -1,0 +1,203 @@
+"""Declarative scenario grids: the cartesian product of run families.
+
+The paper's claims (Tables 1-2, per-model convergence rates) quantify
+over *families* of executions -- every model, every admissible fault
+count, every adversary, many seeds.  A :class:`GridSpec` captures such
+a family declaratively as the cartesian product of its axes; each point
+of the product is a :class:`CellSpec`, a fully-primitive (and therefore
+picklable and hashable) description of one simulation run.
+
+Cells deliberately hold only short names and numbers -- never strategy
+or algorithm objects -- so a grid can be shipped to worker processes
+and each cell rebuilt independently via
+:func:`repro.api.mobile_config`.  The cell's ``seed`` feeds the
+``derive_rng`` stream derivation, which makes every cell's execution a
+pure function of the cell alone: results never depend on which worker
+ran it, or in which order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, fields
+from itertools import product
+
+__all__ = ["CellSpec", "GridSpec"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One point of a sweep grid: a complete, primitive run description.
+
+    ``n=None`` means "the model's Table 2 minimum for ``f``", resolved
+    when the cell is materialized into a config.
+    """
+
+    model: str
+    f: int
+    n: int | None
+    algorithm: str
+    movement: str
+    attack: str
+    epsilon: float
+    seed: int
+    rounds: int | None = None
+    max_rounds: int = 1_000
+
+    @property
+    def key(self) -> tuple:
+        """Stable, sortable identity of the cell within any grid.
+
+        Covers every field (``None`` sentinels mapped to sortable
+        ints): hand-built cell lists may legitimately differ only in
+        round budget, and such cells must not collide.
+        """
+        return (
+            self.model,
+            self.f,
+            self.n if self.n is not None else 0,
+            self.algorithm,
+            self.movement,
+            self.attack,
+            self.epsilon,
+            self.seed,
+            self.rounds if self.rounds is not None else -1,
+            self.max_rounds,
+        )
+
+    def to_config(self):
+        """Materialize the validated :class:`SimulationConfig`.
+
+        Raises :class:`ValueError` when the cell lies below the model's
+        resilience bound (an explicit ``n`` can undercut Table 2).
+        """
+        from ..api import mobile_config
+
+        return mobile_config(
+            model=self.model,
+            f=self.f,
+            n=self.n,
+            algorithm=self.algorithm,
+            movement=self.movement,
+            attack=self.attack,
+            epsilon=self.epsilon,
+            seed=self.seed,
+            rounds=self.rounds,
+            max_rounds=self.max_rounds,
+        )
+
+    def describe(self) -> str:
+        """Compact one-line cell label for tables and error messages."""
+        n = "min" if self.n is None else str(self.n)
+        return (
+            f"{self.model} f={self.f} n={n} {self.algorithm} "
+            f"{self.movement}/{self.attack} eps={self.epsilon:g} "
+            f"seed={self.seed}"
+        )
+
+
+def _as_tuple(values, name: str) -> tuple:
+    """Normalize an axis: scalars become 1-tuples, sequences tuples."""
+    if values is None:
+        return (None,)
+    if isinstance(values, (str, int, float)):
+        return (values,)
+    if isinstance(values, Sequence):
+        normalized = tuple(values)
+        if not normalized:
+            raise ValueError(f"grid axis {name!r} must not be empty")
+        return normalized
+    raise TypeError(f"grid axis {name!r}: expected scalar or sequence, got {values!r}")
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A declarative scenario family: the product of its axes.
+
+    Every axis accepts either a scalar or a sequence; scalars are
+    normalized to singleton axes at construction.  The one exception is
+    ``seeds``, which rejects a bare integer: ``seeds=16`` would be
+    ambiguous between "the single seed 16" and the seed *count* that
+    :func:`repro.api.sweep_grid` expands to ``range(16)`` -- pass the
+    sequence you mean.  ``cells()`` yields the cartesian product in a
+    deterministic order (axes vary rightmost-fastest, like
+    :func:`itertools.product`).
+    """
+
+    models: tuple[str, ...] = ("M1", "M2", "M3")
+    fs: tuple[int, ...] = (1,)
+    ns: tuple[int | None, ...] = (None,)
+    algorithms: tuple[str, ...] = ("ftm",)
+    movements: tuple[str, ...] = ("round-robin",)
+    attacks: tuple[str, ...] = ("split",)
+    epsilons: tuple[float, ...] = (1e-3,)
+    seeds: tuple[int, ...] = (0,)
+    rounds: int | None = None
+    max_rounds: int = 1_000
+
+    def __post_init__(self) -> None:
+        if isinstance(self.seeds, int):
+            raise TypeError(
+                f"GridSpec(seeds={self.seeds}) is ambiguous: pass the "
+                f"sequence you mean, e.g. range({self.seeds}) for that "
+                f"many seeds or ({self.seeds},) for that single seed "
+                "(repro.sweep_grid(seeds=K) expands K to range(K))"
+            )
+        for axis in (
+            "models",
+            "fs",
+            "ns",
+            "algorithms",
+            "movements",
+            "attacks",
+            "epsilons",
+            "seeds",
+        ):
+            object.__setattr__(self, axis, _as_tuple(getattr(self, axis), axis))
+
+    def __len__(self) -> int:
+        return (
+            len(self.models)
+            * len(self.fs)
+            * len(self.ns)
+            * len(self.algorithms)
+            * len(self.movements)
+            * len(self.attacks)
+            * len(self.epsilons)
+            * len(self.seeds)
+        )
+
+    def cells(self) -> Iterator[CellSpec]:
+        """Yield every cell of the product, deterministically ordered."""
+        for model, f, n, algorithm, movement, attack, epsilon, seed in product(
+            self.models,
+            self.fs,
+            self.ns,
+            self.algorithms,
+            self.movements,
+            self.attacks,
+            self.epsilons,
+            self.seeds,
+        ):
+            yield CellSpec(
+                model=model,
+                f=f,
+                n=n,
+                algorithm=algorithm,
+                movement=movement,
+                attack=attack,
+                epsilon=epsilon,
+                seed=seed,
+                rounds=self.rounds,
+                max_rounds=self.max_rounds,
+            )
+
+    def describe(self) -> str:
+        """Axis-by-axis summary, e.g. for CLI banners."""
+        parts = []
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if isinstance(value, tuple):
+                rendered = ",".join("min" if v is None else str(v) for v in value)
+                parts.append(f"{spec_field.name}=[{rendered}]")
+        return f"{len(self)} cells: " + " ".join(parts)

@@ -13,6 +13,7 @@ from repro.runtime import (
     SimulationConfig,
     run_simulation,
 )
+from repro.sweep import GridSpec
 
 
 def make_mobile_config(
@@ -67,3 +68,22 @@ def run_mobile(model, **kwargs):
 def multiset(*values):
     """Shorthand multiset constructor for test bodies."""
     return ValueMultiset(values)
+
+
+def small_grid(seeds=2, rounds=6):
+    """The canonical tiny sweep grid shared by tests and benchmarks.
+
+    3 models x 2 algorithms x 2 attacks x ``seeds`` seeds (24 cells at
+    the default), each cell at its model's minimum ``n`` with a fixed
+    round budget, so the whole grid runs in well under a second.
+    """
+    return GridSpec(
+        models=("M1", "M2", "M3"),
+        fs=(1,),
+        algorithms=("ftm", "fta"),
+        movements=("round-robin",),
+        attacks=("split", "outlier"),
+        epsilons=(1e-3,),
+        seeds=tuple(range(seeds)),
+        rounds=rounds,
+    )

@@ -95,6 +95,20 @@ class TestSimulateAndCheck:
         with pytest.raises(TypeError):
             repro.simulate(config, model="M2")
 
+    def test_simulate_mixed_usage_error_names_offending_kwargs(self):
+        config = mobile_config(model="M1", rounds=4)
+        with pytest.raises(TypeError, match=r"seed"):
+            repro.simulate(config, seed=3)
+        with pytest.raises(TypeError, match=r"model, seed"):
+            repro.simulate(config, seed=3, model="M2")
+
+    def test_simulate_lite_detail_returns_lite_trace(self):
+        from repro.runtime import LiteTrace
+
+        trace = repro.simulate(model="M1", rounds=4, trace_detail="lite")
+        assert isinstance(trace, LiteTrace)
+        assert trace.rounds_executed() == 4
+
     def test_check_returns_verdict(self):
         trace = repro.simulate(model="M1", seed=0)
         verdict = repro.check(trace)
@@ -105,3 +119,29 @@ class TestSimulateAndCheck:
 
     def test_algorithm_registry_reachable(self):
         assert isinstance(make_algorithm("median-trim", 1), MSRFunction)
+
+
+class TestSweepGrid:
+    def test_scalar_axes_and_integer_seeds(self):
+        result = repro.sweep_grid(models="M1", seeds=3, rounds=5)
+        assert len(result) == 3
+        assert all(cell.spec.model == "M1" for cell in result)
+        assert {cell.spec.seed for cell in result} == {0, 1, 2}
+
+    def test_sequence_axes_build_the_product(self):
+        result = repro.sweep_grid(
+            models=("M1", "M2"), attacks=("split", "outlier"), seeds=2, rounds=5
+        )
+        assert len(result) == 8
+
+    def test_results_feed_analysis_tables(self):
+        result = repro.sweep_grid(models=("M1", "M2"), seeds=2, rounds=5)
+        table = result.summary_table()
+        assert "M1" in table and "M2" in table
+
+    def test_parallel_matches_serial(self):
+        serial = repro.sweep_grid(models=("M1", "M2"), seeds=2, rounds=5)
+        parallel = repro.sweep_grid(
+            models=("M1", "M2"), seeds=2, rounds=5, workers=2
+        )
+        assert serial.cells == parallel.cells
