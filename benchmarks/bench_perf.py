@@ -18,7 +18,7 @@ import pytest
 from repro.analysis import render_table
 from repro.api import mobile_config
 from repro.runtime import run_simulation
-from repro.sweep import GridSpec, run_sweep
+from repro.sweep import CellStore, GridSpec, ShardedBackend, merge_shards, run_sweep
 
 ROUNDS = 20
 
@@ -151,6 +151,92 @@ def test_sweep_parallel_vs_serial(benchmark, record_artifact):
     )
     if cpus >= 4 and fork_start:
         assert speedup >= 2.0, f"parallel sweep too slow: {speedup:.2f}x"
+
+
+def test_cache_cold_vs_warm(benchmark, record_artifact, tmp_path):
+    """EXP-PERF-CACHE: the content-addressed cell cache on a 64-cell grid.
+
+    A cold sweep populates the store; the warm re-run must be
+    bit-identical and dramatically faster (it only decodes JSON).  The
+    acceptance bar is deliberately conservative (>= 3x) so slow
+    filesystems do not flake the benchmark.
+    """
+    grid = _sweep_grid_64()
+    store = CellStore(tmp_path / "cache")
+
+    def measure():
+        cold_start = time.perf_counter()
+        cold = run_sweep(grid, cache=store)
+        cold_s = time.perf_counter() - cold_start
+        assert store.misses == len(grid) and store.hits == 0
+        warm_start = time.perf_counter()
+        warm = run_sweep(grid, cache=store)
+        warm_s = time.perf_counter() - warm_start
+        assert store.hits == len(grid)
+        assert warm == cold
+        return cold_s, warm_s
+
+    cold_s, warm_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = cold_s / warm_s
+    record_artifact(
+        "perf_cache",
+        render_table(
+            ["cells", "cold ms", "warm ms", "speedup"],
+            [
+                [
+                    len(grid),
+                    f"{cold_s * 1e3:.1f}",
+                    f"{warm_s * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                ]
+            ],
+            title="EXP-PERF-CACHE: cold vs warm cell cache (64 cells, lite)",
+        ),
+    )
+    assert speedup >= 3.0, f"warm cache too slow: {speedup:.2f}x"
+
+
+def test_shard_merge_matches_serial(benchmark, record_artifact, tmp_path):
+    """EXP-PERF-SHARD: 4-shard spill + merge vs one serial sweep.
+
+    Shards are the multi-host building block; run in-process here, the
+    datapoint is the spill/merge overhead on top of the pure cell work.
+    Bit-identity of the merged result is asserted unconditionally.
+    """
+    grid = _sweep_grid_64()
+    spill = tmp_path / "shards"
+
+    def measure():
+        serial_start = time.perf_counter()
+        serial = run_sweep(grid, workers=1)
+        serial_s = time.perf_counter() - serial_start
+        shard_start = time.perf_counter()
+        for index in range(4):
+            run_sweep(grid, backend=ShardedBackend(index, 4, spill))
+        merged = merge_shards(spill)
+        shard_s = time.perf_counter() - shard_start
+        assert merged == serial
+        return serial_s, shard_s
+
+    serial_s, shard_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_artifact(
+        "perf_shard",
+        render_table(
+            ["cells", "shards", "serial ms", "shard+merge ms", "overhead"],
+            [
+                [
+                    len(grid),
+                    4,
+                    f"{serial_s * 1e3:.1f}",
+                    f"{shard_s * 1e3:.1f}",
+                    f"{shard_s / serial_s:.2f}x",
+                ]
+            ],
+            title="EXP-PERF-SHARD: sharded spill/merge vs serial (64 cells)",
+        ),
+    )
+    # Spill + merge is bookkeeping; it must stay within 2x of pure work.
+    assert shard_s <= serial_s * 2.0, f"shard overhead too high: {shard_s / serial_s:.2f}x"
 
 
 def test_throughput_summary(benchmark, record_artifact):

@@ -1,6 +1,12 @@
 """Analysis utilities: trace metrics, table and series rendering."""
 
-from .metrics import ConvergenceStats, convergence_stats, rounds_until
+from .metrics import (
+    ConvergenceStats,
+    convergence_stats,
+    first_round_within,
+    rounds_until,
+    trajectory_stats,
+)
 from .series import Series, render_series, sparkline
 from .stats import SummaryStats, percentile, summarize
 from .tables import format_cell, render_table
@@ -8,7 +14,9 @@ from .tables import format_cell, render_table
 __all__ = [
     "ConvergenceStats",
     "convergence_stats",
+    "trajectory_stats",
     "rounds_until",
+    "first_round_within",
     "Series",
     "render_series",
     "sparkline",

@@ -11,7 +11,13 @@ from dataclasses import dataclass
 
 from ..runtime.trace import Trace
 
-__all__ = ["ConvergenceStats", "convergence_stats", "rounds_until"]
+__all__ = [
+    "ConvergenceStats",
+    "convergence_stats",
+    "trajectory_stats",
+    "rounds_until",
+    "first_round_within",
+]
 
 
 @dataclass(frozen=True)
@@ -51,10 +57,24 @@ class ConvergenceStats:
         return None
 
 
-def convergence_stats(trace: Trace) -> ConvergenceStats:
-    """Compute convergence statistics for a completed trace."""
-    trajectory = tuple(trace.diameters())
-    factors = trace.contraction_factors()
+def trajectory_stats(
+    trajectory, rounds: int | None = None
+) -> ConvergenceStats:
+    """Convergence statistics from a diameter trajectory alone.
+
+    The trajectory (initial diameter, then one entry per round) fully
+    determines every statistic except the executed round count, which
+    defaults to ``len(trajectory) - 1`` and can be overridden when the
+    caller knows it (condensed sweep cells carry it explicitly).
+    """
+    trajectory = tuple(trajectory)
+    if not trajectory:
+        raise ValueError("trajectory must not be empty")
+    factors = [
+        after / before
+        for before, after in zip(trajectory, trajectory[1:])
+        if before > 0
+    ]
     worst = max(factors, default=0.0)
     shrinking = [factor for factor in factors if 0.0 < factor]
     if shrinking:
@@ -67,11 +87,16 @@ def convergence_stats(trace: Trace) -> ConvergenceStats:
     return ConvergenceStats(
         initial_diameter=trajectory[0],
         final_diameter=trajectory[-1],
-        rounds=trace.rounds_executed(),
+        rounds=len(trajectory) - 1 if rounds is None else rounds,
         worst_factor=worst,
         mean_factor=mean,
         trajectory=trajectory,
     )
+
+
+def convergence_stats(trace: Trace) -> ConvergenceStats:
+    """Compute convergence statistics for a completed trace."""
+    return trajectory_stats(trace.diameters(), rounds=trace.rounds_executed())
 
 
 def rounds_until(trace: Trace, epsilon: float) -> int | None:
@@ -80,7 +105,11 @@ def rounds_until(trace: Trace, epsilon: float) -> int | None:
     Round 0 counts as 1 executed round; returns 0 when the initial
     values already agree, ``None`` when the trace never got there.
     """
-    series = trace.diameters()
+    return first_round_within(trace.diameters(), epsilon)
+
+
+def first_round_within(series, epsilon: float) -> int | None:
+    """:func:`rounds_until` on a bare diameter trajectory."""
     for index, diameter in enumerate(series):
         if diameter <= epsilon:
             return index

@@ -192,6 +192,9 @@ def sweep_grid(
     workers: int = 1,
     trace_detail: str = "lite",
     chunk_size: int | None = None,
+    backend=None,
+    cache=None,
+    probe: str | None = None,
 ):
     """Run a scenario sweep over the cartesian product of the axes.
 
@@ -199,7 +202,12 @@ def sweep_grid(
     accepts an integer ``K`` meaning seeds ``0..K-1``.  ``workers > 1``
     distributes cells over a process pool; ``trace_detail`` selects the
     simulator path (the default trace-lite fast path is bit-identical
-    on decisions and diameters).  Returns a
+    on decisions and diameters).  ``backend`` overrides the execution
+    strategy (a :class:`~repro.sweep.SweepBackend` instance or one of
+    ``"serial"`` / ``"multiprocessing"``), ``cache`` -- a directory
+    path or :class:`~repro.sweep.CellStore` -- memoizes per-cell
+    results on disk, and ``probe`` names a registered trace probe whose
+    output lands in each cell's ``extras``.  Returns a
     :class:`~repro.sweep.SweepResult`.
 
     >>> import repro
@@ -224,7 +232,13 @@ def sweep_grid(
         max_rounds=max_rounds,
     )
     return run_sweep(
-        grid, workers=workers, trace_detail=trace_detail, chunk_size=chunk_size
+        grid,
+        workers=workers,
+        trace_detail=trace_detail,
+        chunk_size=chunk_size,
+        backend=backend,
+        cache=cache,
+        probe=probe,
     )
 
 

@@ -3,12 +3,17 @@
 Without arguments the full suite runs; with names, only the selected
 experiments.  ``--list`` shows the registry; ``--f`` and ``--seeds``
 re-parameterize the experiments that sweep over fault counts and seeds
-(unsupported options are ignored per experiment, with a notice).
+(unsupported options are ignored per experiment, with a notice);
+``--workers`` and ``--cache-dir`` are forwarded to every experiment
+that rides the sweep engine, parallelizing and memoizing their runs.
 
 ``repro-experiments sweep [options]`` enters the scenario-sweep engine
 instead: a cartesian grid over models/f/n/algorithms/movements/attacks/
-epsilons/seeds, executed serially or over worker processes on the
-trace-lite fast path, reported as summary tables and diameter series.
+epsilons/seeds, executed through a pluggable backend -- serially, over
+worker processes, or as one deterministic shard of a multi-host run
+(``--backend sharded --shard I/N``) -- optionally against a
+content-addressed cell cache (``--cache-dir``), reported as summary
+tables and diameter series.
 """
 
 from __future__ import annotations
@@ -60,17 +65,38 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="number of seeds per configuration (seeds 0..K-1)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "worker processes for sweep-based experiments "
+            "(results are identical to serial runs)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cell-cache directory for sweep-based experiments",
+    )
     return parser
 
 
 def run_with_options(
-    names: Sequence[str], f: int | None = None, seeds: int | None = None
+    names: Sequence[str],
+    f: int | None = None,
+    seeds: int | None = None,
+    workers: int | None = None,
+    cache=None,
 ) -> list[ExperimentResult]:
-    """Run experiments, forwarding ``f``/``seeds`` where supported.
+    """Run experiments, forwarding options where supported.
 
     Experiments expose different parameter spellings (``f`` vs
     ``fault_counts``; ``seeds`` as an explicit tuple); this adapter
     inspects each runner's signature and forwards what fits.
+    ``workers``/``cache`` reach every sweep-based experiment.
     """
     results = []
     for name in names:
@@ -88,6 +114,10 @@ def run_with_options(
                 kwargs["fault_counts"] = (f,)
         if seeds is not None and "seeds" in parameters:
             kwargs["seeds"] = tuple(range(seeds))
+        if workers is not None and "workers" in parameters:
+            kwargs["workers"] = workers
+        if cache is not None and "cache" in parameters:
+            kwargs["cache"] = cache
         results.append(runner(**kwargs))
     return results
 
@@ -97,8 +127,9 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         prog="repro-experiments sweep",
         description=(
             "Run a scenario sweep: the cartesian product of the given axes, "
-            "each cell one simulation, executed serially or across worker "
-            "processes on the trace-lite fast path."
+            "each cell one simulation, executed serially, across worker "
+            "processes, or as one deterministic shard of a multi-host run, "
+            "on the trace-lite fast path."
         ),
     )
     parser.add_argument("--models", nargs="+", default=["M1", "M2", "M3"])
@@ -142,6 +173,45 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="trace detail; 'lite' is the fast path (default)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "multiprocessing", "sharded"],
+        default=None,
+        help=(
+            "execution backend (default: serial, or multiprocessing when "
+            "--workers > 1); 'sharded' requires --shard"
+        ),
+    )
+    parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "run shard I of N (0-based) of the grid and spill its results; "
+            "every invocation sharing --spill-dir computes a disjoint "
+            "subset, and the last one to finish reports the merged sweep"
+        ),
+    )
+    parser.add_argument(
+        "--spill-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared directory for shard spill files (default: "
+            "<cache-dir>/shards/<grid fingerprint> when --cache-dir is "
+            "given, so different grids never mix spill files)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed cell cache: results are looked up before "
+            "executing and written through after, so re-runs of "
+            "overlapping grids are near-free and interrupted sweeps resume"
+        ),
+    )
+    parser.add_argument(
         "--cells", action="store_true", help="also print the per-cell table"
     )
     parser.add_argument(
@@ -150,12 +220,25 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    """Parse ``I/N`` into a (shard_index, shard_count) pair."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        return int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects I/N (e.g. 0/4), got {text!r}"
+        ) from None
+
+
 def sweep_main(argv: Sequence[str] | None = None) -> int:
     """``sweep`` subcommand entry point; returns a process exit code."""
     from ..analysis import render_series
-    from ..sweep import GridSpec, run_sweep
+    from ..sweep import CellStore, GridSpec, ShardedBackend, run_sweep
+    from ..sweep.backends import grid_fingerprint
 
     args = build_sweep_parser().parse_args(argv)
+    store = CellStore(args.cache_dir) if args.cache_dir else None
     try:
         grid = GridSpec(
             models=args.models,
@@ -169,11 +252,46 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             rounds=args.rounds,
             max_rounds=args.max_rounds,
         )
+        backend = args.backend
+        if args.shard is not None and backend not in (None, "sharded"):
+            raise ValueError(
+                f"--shard contradicts --backend {backend}; sharding is "
+                "its own backend (drop --backend or use --backend sharded)"
+            )
+        if args.shard is not None or backend == "sharded":
+            if args.shard is None:
+                raise ValueError("--backend sharded requires --shard I/N")
+            shard_index, shard_count = _parse_shard(args.shard)
+            spill_dir = args.spill_dir
+            if spill_dir is None and args.cache_dir is not None:
+                # Scope the default by grid content: the cache dir is
+                # safely shared across grids, spill files are not.
+                fingerprint = grid_fingerprint(list(grid.cells()))
+                spill_dir = f"{args.cache_dir}/shards/{fingerprint[:12]}"
+            if spill_dir is None:
+                raise ValueError(
+                    "sharded sweeps need --spill-dir (or --cache-dir, whose "
+                    "'shards/<grid fingerprint>' subdirectory is used)"
+                )
+            backend = ShardedBackend(
+                shard_index, shard_count, spill_dir, workers=args.workers
+            )
         print(grid.describe())
-        result = run_sweep(grid, workers=args.workers, trace_detail=args.detail)
+        result = run_sweep(
+            grid,
+            workers=args.workers,
+            trace_detail=args.detail,
+            backend=backend,
+            cache=store,
+        )
     except (ValueError, TypeError) as exc:
         print(f"sweep error: {exc}", file=sys.stderr)
         return 2
+    if not result.complete:
+        print(
+            f"shard {args.shard}: {len(result)} cells done; sibling shards "
+            "outstanding (re-run the merge once all spill files exist)"
+        )
     if args.cells:
         print(result.cell_table())
         print()
@@ -181,8 +299,14 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
     if args.series:
         print()
         print(render_series(result.diameter_series(), title="mean diameter"))
+    if store is not None:
+        print(f"cache: {store.stats()} ({store.root})")
     for cell in result.errors():
         print(f"ERROR {cell.spec.describe()}: {cell.error}")
+    if not result.complete:
+        # A partial shard succeeded if its own cells did -- vacuously
+        # so when the shard owns no cells (shard_count > grid size).
+        return 0 if all(cell.satisfied for cell in result.cells) else 1
     return 0 if result.all_satisfied else 1
 
 
@@ -198,7 +322,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(name)
         return 0
     names = args.experiments if args.experiments else list(EXPERIMENTS)
-    results = run_with_options(names, f=args.f, seeds=args.seeds)
+    results = run_with_options(
+        names,
+        f=args.f,
+        seeds=args.seeds,
+        workers=args.workers,
+        cache=args.cache_dir,
+    )
     print(render_report(results))
     return 0 if all(result.ok for result in results) else 1
 

@@ -6,21 +6,28 @@ paper would show: the non-faulty diameter per round, for every model
 and algorithm, against the worst-case contraction predicted by
 :mod:`repro.core.convergence`.  Measured per-round factors must never
 exceed the prediction.
+
+The model x algorithm x movement family is declared as a
+:class:`~repro.sweep.GridSpec` and executed through
+:func:`repro.sweep.run_sweep` on the trace-lite fast path (diameter
+trajectories are bit-identical to full traces), inheriting parallelism
+and caching.
 """
 
 from __future__ import annotations
 
-from ..analysis.metrics import convergence_stats, rounds_until
+from ..analysis.metrics import first_round_within, trajectory_stats
 from ..analysis.series import Series, render_series
-from ..api import mobile_config
 from ..core.convergence import mobile_contraction
+from ..core.mapping import msr_trim_parameter
 from ..faults.models import ALL_MODELS, get_semantics
 from ..msr.registry import DEFAULT_ALGORITHMS, make_algorithm
-from ..core.mapping import msr_trim_parameter
-from ..runtime.simulator import run_simulation
+from ..sweep import CellSpec, GridSpec, run_sweep
 from .base import ExperimentResult
 
 __all__ = ["run_convergence"]
+
+_MOVEMENTS = ("round-robin", "target-extremes", "static")
 
 
 def run_convergence(
@@ -28,6 +35,8 @@ def run_convergence(
     rounds: int = 20,
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
     epsilon: float = 1e-3,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Measure convergence trajectories for every model and algorithm."""
     result = ExperimentResult(
@@ -43,6 +52,17 @@ def run_convergence(
             f"rounds to eps={epsilon:g}",
         ],
     )
+    grid = GridSpec(
+        models=tuple(model.value for model in ALL_MODELS),
+        fs=f,
+        ns=None,
+        algorithms=tuple(algorithms),
+        movements=_MOVEMENTS,
+        attacks="split",
+        seeds=(5,),
+        rounds=rounds,
+    )
+    by_key = run_sweep(grid, workers=workers, cache=cache).by_key()
     series_blocks: list[Series] = []
     for model in ALL_MODELS:
         semantics = get_semantics(model)
@@ -53,23 +73,25 @@ def run_convergence(
             worst_measured = 0.0
             trajectory = None
             reach = None
-            for movement in ("round-robin", "target-extremes", "static"):
-                config = mobile_config(
-                    model=model,
-                    f=f,
-                    n=n,
-                    algorithm=make_algorithm(name, msr_trim_parameter(model, f)),
-                    movement=movement,
-                    attack="split",
-                    rounds=rounds,
-                    seed=5,
-                )
-                trace = run_simulation(config)
-                stats = convergence_stats(trace)
+            for movement in _MOVEMENTS:
+                cell = by_key[
+                    CellSpec(
+                        model=model.value,
+                        f=f,
+                        n=None,
+                        algorithm=name,
+                        movement=movement,
+                        attack="split",
+                        epsilon=1e-3,
+                        seed=5,
+                        rounds=rounds,
+                    ).key
+                ]
+                stats = trajectory_stats(cell.diameters, rounds=cell.rounds)
                 if stats.worst_factor >= worst_measured:
                     worst_measured = stats.worst_factor
                     trajectory = stats.trajectory
-                    reach = rounds_until(trace, epsilon)
+                    reach = first_round_within(cell.diameters, epsilon)
             within = worst_measured <= predicted.factor + 1e-9
             if not within:
                 result.fail(

@@ -7,20 +7,19 @@ for a grid of ``(a, s, b)`` mixes, the spec holds at
 MSR at ``n = 3a + 2s + b`` (when ``a >= 1``; with no asymmetric faults
 every receiver sees the same multiset, and the failure mode at the
 bound is the reduction running out of values instead).
+
+Both sides of every mix are declared as sweep cells
+(``scenario="static-mixed"`` at the bound, ``scenario="mixed-stall"``
+below it) and executed through one :func:`repro.sweep.run_sweep` call,
+inheriting parallelism and caching.
 """
 
 from __future__ import annotations
 
-from ..analysis.metrics import convergence_stats
-from ..api import evenly_spread_values
-from ..core.specification import check_trace
-from ..faults.adversary import Adversary
-from ..faults.mixed_mode import MixedModeCounts, StaticFaultAssignment
-from ..faults.value_strategies import SplitAttack
-from ..msr.registry import make_algorithm
-from ..runtime.config import SimulationConfig, StaticMixedSetup
-from ..runtime.simulator import run_simulation
-from ..runtime.termination import FixedRounds
+from ..analysis.metrics import trajectory_stats
+from ..faults.mixed_mode import MixedModeCounts
+from ..sweep import CellSpec, run_sweep
+from ..sweep.scenarios import mixed_stall_config
 from .base import ExperimentResult
 
 __all__ = ["run_mixed_mode", "mixed_stall_config"]
@@ -38,7 +37,55 @@ _GRID: tuple[tuple[int, int, int], ...] = (
 )
 
 
-def run_mixed_mode(rounds: int = 30) -> ExperimentResult:
+def _sufficient_cell(counts: MixedModeCounts, n: int, rounds: int) -> CellSpec:
+    return CellSpec(
+        model="static",
+        f=counts.total,
+        n=n,
+        algorithm="ftm",
+        movement="static",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=rounds,
+        scenario="static-mixed",
+        params={
+            "a": counts.asymmetric,
+            "s": counts.symmetric,
+            "b": counts.benign,
+        },
+    )
+
+
+def _stall_cell(counts: MixedModeCounts, rounds: int) -> CellSpec:
+    return CellSpec(
+        model="static",
+        f=counts.total,
+        n=None,
+        algorithm="ftm",
+        movement="static",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=rounds,
+        scenario="mixed-stall",
+        params={
+            "a": counts.asymmetric,
+            "s": counts.symmetric,
+            "b": counts.benign,
+        },
+    )
+
+
+def _needs_stall_run(counts: MixedModeCounts) -> bool:
+    """Whether the below-bound outcome requires a simulation at all."""
+    n = counts.min_processes() - 1
+    return n - counts.benign >= 2 * counts.trim_parameter + 1
+
+
+def run_mixed_mode(
+    rounds: int = 30, workers: int = 1, cache=None
+) -> ExperimentResult:
     """Validate ``n > 3a + 2s + b`` across the fault-mix grid."""
     result = ExperimentResult(
         exp_id="EXP-MM",
@@ -50,17 +97,25 @@ def run_mixed_mode(rounds: int = 30) -> ExperimentResult:
             "outcome at bound n - 1",
         ],
     )
-    for a, s, b in _GRID:
-        counts = MixedModeCounts(asymmetric=a, symmetric=s, benign=b)
+    mixes = [MixedModeCounts(a, s, b) for a, s, b in _GRID]
+    cells = [
+        _sufficient_cell(counts, counts.min_processes(), rounds)
+        for counts in mixes
+    ] + [_stall_cell(counts, rounds) for counts in mixes if _needs_stall_run(counts)]
+    by_key = run_sweep(cells, workers=workers, cache=cache).by_key()
+
+    for counts in mixes:
         min_n = counts.min_processes()
+        cell = by_key[_sufficient_cell(counts, min_n, rounds).key]
+        if not cell.satisfied:
+            result.fail(
+                f"(a,s,b)=({counts.asymmetric},{counts.symmetric},"
+                f"{counts.benign}) n={min_n}: "
+                f"{cell.error or 'spec violated'}"
+            )
 
-        trace = run_simulation(_sufficient_config(counts, min_n, rounds))
-        verdict = check_trace(trace)
-        if not verdict.satisfied:
-            result.fail(f"(a,s,b)=({a},{s},{b}) n={min_n}: {verdict}")
-
-        outcome = _below_bound_outcome(counts, min_n - 1, rounds, result)
-        result.add_row(str(counts), min_n, verdict.satisfied, outcome)
+        outcome = _below_bound_outcome(by_key, counts, min_n - 1, rounds, result)
+        result.add_row(str(counts), min_n, cell.satisfied, outcome)
     result.add_note(
         "below the bound: camp-split stalls MSR when a >= 1; with a = 0 "
         "the reduction itself runs out of values (n - b <= 2*tau)"
@@ -68,67 +123,13 @@ def run_mixed_mode(rounds: int = 30) -> ExperimentResult:
     return result
 
 
-def _sufficient_config(
-    counts: MixedModeCounts, n: int, rounds: int
-) -> SimulationConfig:
-    assignment = StaticFaultAssignment.first_processes(
-        asymmetric=counts.asymmetric,
-        symmetric=counts.symmetric,
-        benign=counts.benign,
-    )
-    return SimulationConfig(
-        n=n,
-        f=counts.total,
-        initial_values=evenly_spread_values(n),
-        algorithm=make_algorithm("ftm", counts.trim_parameter),
-        setup=StaticMixedSetup(
-            assignment=assignment, adversary=Adversary(values=SplitAttack())
-        ),
-        termination=FixedRounds(rounds),
-    )
-
-
-def mixed_stall_config(counts: MixedModeCounts, rounds: int = 20) -> SimulationConfig:
-    """The camp-split adversary at exactly ``n = 3a + 2s + b``.
-
-    Layout (requires ``a >= 1``): the low camp holds ``a + s`` correct
-    processes at 0, the high camp ``a`` correct processes at 1; the
-    symmetric faults broadcast 1, the asymmetric ones send 0 to the low
-    camp and 1 to the high camp.  Each camp's reduced multiset is then
-    unanimous at its own value, freezing the diameter.
-    """
-    if counts.asymmetric < 1:
-        raise ValueError("the camp-split stall needs at least one asymmetric fault")
-    a, s, b = counts.asymmetric, counts.symmetric, counts.benign
-    n = 3 * a + 2 * s + b
-    assignment = StaticFaultAssignment.first_processes(
-        asymmetric=a, symmetric=s, benign=b
-    )
-    initial = [0.0] * n
-    high_camp_start = (a + s + b) + (a + s)
-    for pid in range(high_camp_start, n):
-        initial[pid] = 1.0
-    return SimulationConfig(
-        n=n,
-        f=counts.total,
-        initial_values=tuple(initial),
-        algorithm=make_algorithm("ftm", counts.trim_parameter),
-        setup=StaticMixedSetup(
-            assignment=assignment, adversary=Adversary(values=SplitAttack())
-        ),
-        termination=FixedRounds(rounds),
-        bound_check="ignore",
-    )
-
-
 def _below_bound_outcome(
-    counts: MixedModeCounts, n: int, rounds: int, result: ExperimentResult
+    by_key, counts: MixedModeCounts, n: int, rounds: int, result: ExperimentResult
 ) -> str:
-    tau = counts.trim_parameter
-    if n - counts.benign < 2 * tau + 1:
+    if not _needs_stall_run(counts):
         return "reduction impossible"
-    trace = run_simulation(mixed_stall_config(counts, rounds))
-    stats = convergence_stats(trace)
+    cell = by_key[_stall_cell(counts, rounds).key]
+    stats = trajectory_stats(cell.diameters, rounds=cell.rounds)
     stalled = stats.stalled_from() is not None and stats.final_diameter > 0
     if not stalled:
         result.fail(

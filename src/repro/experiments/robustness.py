@@ -9,20 +9,23 @@ reports the distribution of rounds-to-epsilon.  Assertions:
 * every single run satisfies the full specification;
 * the distribution's maximum stays within the worst-case round budget
   predicted by :func:`repro.core.convergence.predicted_rounds`.
+
+The per-model adversary draws are materialized into an explicit cell
+list (the movement/attack axes are seed-coupled, so this is a cell
+family rather than a cartesian grid) and executed through one
+:func:`repro.sweep.run_sweep` call, inheriting parallelism and caching.
 """
 
 from __future__ import annotations
 
-from ..analysis.metrics import rounds_until
+from ..analysis.metrics import first_round_within
 from ..analysis.stats import summarize
-from ..api import mobile_config
 from ..core.convergence import predicted_rounds
 from ..core.mapping import msr_trim_parameter
-from ..core.specification import check_trace
 from ..faults.models import ALL_MODELS, get_semantics
 from ..msr.registry import make_algorithm
 from ..runtime.rng import derive_rng
-from ..runtime.simulator import run_simulation
+from ..sweep import CellSpec, run_sweep
 from .base import ExperimentResult
 
 __all__ = ["run_robustness"]
@@ -32,7 +35,36 @@ _ATTACKS = ("split", "outlier", "noise", "echo", "oscillating", "inertia")
 _EPSILON = 1e-3
 
 
-def run_robustness(f: int = 1, samples: int = 40) -> ExperimentResult:
+def _drawn_cells(model, f: int, samples: int, budget: int) -> list[CellSpec]:
+    """The model's seeded adversary draws as sweep cells.
+
+    The picker stream is derived from stable keys, so the same
+    ``(model, f, samples)`` always yields the same cell family.
+    """
+    picker = derive_rng(1234, "robustness", model.value, f)
+    cells = []
+    for seed in range(samples):
+        movement = picker.choice(_MOVEMENTS)
+        attack = picker.choice(_ATTACKS)
+        cells.append(
+            CellSpec(
+                model=model.value,
+                f=f,
+                n=None,
+                algorithm="ftm",
+                movement=movement,
+                attack=attack,
+                epsilon=_EPSILON,
+                seed=seed,
+                max_rounds=budget + 10,
+            )
+        )
+    return cells
+
+
+def run_robustness(
+    f: int = 1, samples: int = 40, workers: int = 1, cache=None
+) -> ExperimentResult:
     """Run the robustness profile with ``samples`` seeds per model."""
     if samples < 1:
         raise ValueError("samples must be positive")
@@ -52,43 +84,42 @@ def run_robustness(f: int = 1, samples: int = 40) -> ExperimentResult:
             "spec failures",
         ],
     )
+    budgets: dict = {}
+    families: dict = {}
     for model in ALL_MODELS:
         semantics = get_semantics(model)
         n = semantics.required_n(f)
         algorithm = make_algorithm("ftm", msr_trim_parameter(model, f))
-        budget = predicted_rounds(
+        budgets[model] = predicted_rounds(
             algorithm, model, n, f, initial_diameter=1.0, epsilon=_EPSILON
         )
+        families[model] = _drawn_cells(model, f, samples, budgets[model])
+    sweep = run_sweep(
+        [cell for family in families.values() for cell in family],
+        workers=workers,
+        cache=cache,
+    )
+    by_key = sweep.by_key()
 
-        picker = derive_rng(1234, "robustness", model.value, f)
+    for model in ALL_MODELS:
+        semantics = get_semantics(model)
+        n = semantics.required_n(f)
+        budget = budgets[model]
         rounds: list[float] = []
         failures = 0
-        for seed in range(samples):
-            movement = picker.choice(_MOVEMENTS)
-            attack = picker.choice(_ATTACKS)
-            config = mobile_config(
-                model=model,
-                f=f,
-                n=n,
-                algorithm="ftm",
-                movement=movement,
-                attack=attack,
-                epsilon=_EPSILON,
-                seed=seed,
-                max_rounds=budget + 10,
-            )
-            trace = run_simulation(config)
-            verdict = check_trace(trace)
-            if not verdict.satisfied:
+        for seed, spec in enumerate(families[model]):
+            cell = by_key[spec.key]
+            if not cell.satisfied:
                 failures += 1
                 result.fail(
-                    f"{model.value} seed={seed} {movement}/{attack}: {verdict}"
+                    f"{model.value} seed={seed} {spec.movement}/{spec.attack}: "
+                    f"{cell.error or 'spec violated'}"
                 )
-            reached = rounds_until(trace, _EPSILON)
+            reached = first_round_within(cell.diameters, _EPSILON)
             if reached is None:
                 failures += 1
                 result.fail(
-                    f"{model.value} seed={seed} {movement}/{attack}: "
+                    f"{model.value} seed={seed} {spec.movement}/{spec.attack}: "
                     "never reached epsilon"
                 )
             else:

@@ -8,30 +8,65 @@ whose agents may simply stay put), while models M1-M3 at the same ``n``
 cannot even instantiate their MSR reduction -- and remain breakable all
 the way up to their own bounds, where the stall adversaries of EXP-LB
 operate.
+
+All runs are declared as sweep cells -- the static baseline as a
+``scenario="static-mixed"`` cell, the bound scan as ``scenario="stall"``
+cells over the ``extra`` axis -- and executed through one
+:func:`repro.sweep.run_sweep` call, inheriting parallelism and caching.
 """
 
 from __future__ import annotations
 
-from ..analysis.metrics import convergence_stats
+from ..analysis.metrics import trajectory_stats
 from ..core.bounds import required_processes, static_byzantine_min_processes
-from ..core.lower_bounds import stall_configuration
 from ..core.mapping import msr_trim_parameter
-from ..core.specification import check_trace
-from ..faults.adversary import Adversary
-from ..faults.mixed_mode import StaticFaultAssignment
 from ..faults.models import ALL_MODELS, MobileModel
-from ..faults.value_strategies import SplitAttack
-from ..msr.registry import make_algorithm
-from ..runtime.config import SimulationConfig, StaticMixedSetup
-from ..runtime.simulator import run_simulation
-from ..runtime.termination import FixedRounds
-from ..api import evenly_spread_values
+from ..sweep import CellSpec, run_sweep
 from .base import ExperimentResult
 
 __all__ = ["run_static_vs_mobile"]
 
+#: The bound scan checks ``extra`` processes above ``n_Mi - 1``; capped
+#: two above the bound to keep runtimes tight (the cap itself is
+#: asserted against Table 2 by the experiment).
+_EXTRA_RANGE = range(0, 3)
 
-def run_static_vs_mobile(f: int = 1, rounds: int = 40) -> ExperimentResult:
+
+def _static_cell(f: int, n: int, rounds: int) -> CellSpec:
+    return CellSpec(
+        model="static",
+        f=f,
+        n=n,
+        algorithm="ftm",
+        movement="static",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=rounds,
+        scenario="static-mixed",
+        params={"a": f},
+    )
+
+
+def _stall_cell(model: MobileModel, f: int, rounds: int, extra: int) -> CellSpec:
+    return CellSpec(
+        model=model.value,
+        f=f,
+        n=None,
+        algorithm="ftm",
+        movement="alternating-pools",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=rounds,
+        scenario="stall",
+        params={"extra": extra},
+    )
+
+
+def run_static_vs_mobile(
+    f: int = 1, rounds: int = 40, workers: int = 1, cache=None
+) -> ExperimentResult:
     """Contrast static and mobile replica requirements empirically."""
     result = ExperimentResult(
         exp_id="EXP-F2",
@@ -45,24 +80,32 @@ def run_static_vs_mobile(f: int = 1, rounds: int = 40) -> ExperimentResult:
         ],
     )
     static_n = static_byzantine_min_processes(f)
+    cells = [_static_cell(f, static_n, rounds)] + [
+        _stall_cell(model, f, rounds, extra)
+        for model in ALL_MODELS
+        for extra in _EXTRA_RANGE
+    ]
+    by_key = run_sweep(cells, workers=workers, cache=cache).by_key()
 
     # Static Byzantine baseline: a = f asymmetric faults, forever.
-    static_trace = run_simulation(_static_config(f, static_n, rounds))
-    static_verdict = check_trace(static_trace)
-    if not static_verdict.satisfied:
-        result.fail(f"static Byzantine at n={static_n} should converge: {static_verdict}")
+    static_cell = by_key[_static_cell(f, static_n, rounds).key]
+    if not static_cell.satisfied:
+        result.fail(
+            f"static Byzantine at n={static_n} should converge: "
+            f"{static_cell.error or 'spec violated'}"
+        )
     result.add_row(
         "static Byzantine (mixed-mode, a=f)",
         "n > 3f",
         static_n,
-        "converges" if static_verdict.satisfied else "FAILS",
+        "converges" if static_cell.satisfied else "FAILS",
         static_n,
     )
 
     for model in ALL_MODELS:
         bound_n = required_processes(model, f)
         outcome = _outcome_at(model, f, static_n, rounds)
-        min_n = _minimum_working_n(model, f, rounds)
+        min_n = _minimum_working_n(by_key, model, f, rounds)
         if min_n != bound_n:
             result.fail(
                 f"{model.value}: empirical minimum n {min_n} != Table 2 "
@@ -83,20 +126,6 @@ def run_static_vs_mobile(f: int = 1, rounds: int = 40) -> ExperimentResult:
     return result
 
 
-def _static_config(f: int, n: int, rounds: int) -> SimulationConfig:
-    assignment = StaticFaultAssignment.first_processes(asymmetric=f)
-    return SimulationConfig(
-        n=n,
-        f=f,
-        initial_values=evenly_spread_values(n),
-        algorithm=make_algorithm("ftm", f),
-        setup=StaticMixedSetup(
-            assignment=assignment, adversary=Adversary(values=SplitAttack())
-        ),
-        termination=FixedRounds(rounds),
-    )
-
-
 def _outcome_at(model: MobileModel, f: int, n: int, rounds: int) -> str:
     """What happens to a mobile model at the static bound's n."""
     bound_n = required_processes(model, f)
@@ -110,24 +139,18 @@ def _outcome_at(model: MobileModel, f: int, n: int, rounds: int) -> str:
     return "breakable (below bound)"
 
 
-def _minimum_working_n(model: MobileModel, f: int, rounds: int) -> int:
+def _minimum_working_n(by_key, model: MobileModel, f: int, rounds: int) -> int:
     """Smallest n at which the stall adversary no longer wins.
 
     Scans upward from the bound value: at ``extra = 0`` the adversary
     stalls; the first ``extra`` where the spec holds is the empirical
-    minimum.  The scan is capped two processes above the bound to keep
-    runtimes tight; the cap itself is asserted against Table 2.
+    minimum.
     """
-    function = make_algorithm("ftm", msr_trim_parameter(model, f))
     base_n = required_processes(model, f) - 1
-    for extra in range(0, 3):
-        config = stall_configuration(
-            model, f, function, rounds=rounds, extra_processes=extra
-        )
-        trace = run_simulation(config)
-        stats = convergence_stats(trace)
-        verdict = check_trace(trace, epsilon=1e-3)
-        converged = stats.final_diameter <= 1e-3 and verdict.validity
+    for extra in _EXTRA_RANGE:
+        cell = by_key[_stall_cell(model, f, rounds, extra).key]
+        stats = trajectory_stats(cell.diameters, rounds=cell.rounds)
+        converged = stats.final_diameter <= 1e-3 and cell.validity_ok
         if converged:
             return base_n + extra
-    return base_n + 3
+    return base_n + len(_EXTRA_RANGE)

@@ -7,22 +7,46 @@ matrix, then compare the observed class against the paper's Table 1.
 Faulty processes must always classify as asymmetric, and M4 must never
 exhibit a cured process at send time (Lemma 4); the per-round cured
 count must respect Corollary 1 (``<= f``).
+
+The runs themselves are declared as sweep cells and executed through
+:func:`repro.sweep.run_sweep` with the ``send-classification`` probe,
+so the experiment inherits the engine's parallelism and cell caching.
 """
 
 from __future__ import annotations
 
-from ..api import mobile_config
 from ..core.equivalence import cured_fault_class
-from ..core.mapping import classify_cured_processes, classify_send_behavior
 from ..faults.mixed_mode import FaultClass
 from ..faults.models import ALL_MODELS, get_semantics
-from ..runtime.simulator import run_simulation
+from ..sweep import CellSpec, run_sweep
 from .base import ExperimentResult
 
 __all__ = ["run_table1"]
 
 
-def run_table1(fault_counts: tuple[int, ...] = (1, 2), rounds: int = 8) -> ExperimentResult:
+def _cell(model, f: int, rounds: int) -> CellSpec:
+    # The outlier attack sends per-recipient values that differ even
+    # once the correct range collapses, so the behavioural
+    # classification stays sharp over every round.
+    return CellSpec(
+        model=model.value,
+        f=f,
+        n=None,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="outlier",
+        epsilon=1e-3,
+        seed=11 * f,
+        rounds=rounds,
+    )
+
+
+def run_table1(
+    fault_counts: tuple[int, ...] = (1, 2),
+    rounds: int = 8,
+    workers: int = 1,
+    cache=None,
+) -> ExperimentResult:
     """Run the Table 1 reproduction."""
     result = ExperimentResult(
         exp_id="EXP-T1",
@@ -37,38 +61,38 @@ def run_table1(fault_counts: tuple[int, ...] = (1, 2), rounds: int = 8) -> Exper
             "match",
         ],
     )
+    cells = [
+        _cell(model, f, rounds) for model in ALL_MODELS for f in fault_counts
+    ]
+    sweep = run_sweep(
+        cells,
+        workers=workers,
+        trace_detail="full",
+        probe="send-classification",
+        cache=cache,
+    )
+    by_key = sweep.by_key()
     for model in ALL_MODELS:
         semantics = get_semantics(model)
         expected = cured_fault_class(model)
         expected_name = expected.value if expected else "none at send"
         for f in fault_counts:
-            # The outlier attack sends per-recipient values that differ
-            # even once the correct range collapses, so the behavioural
-            # classification stays sharp over every round.
-            config = mobile_config(
-                model=model,
-                f=f,
-                movement="round-robin",
-                attack="outlier",
-                rounds=rounds,
-                seed=11 * f,
-            )
-            trace = run_simulation(config)
-            faulty_classes: set[FaultClass] = set()
-            cured_classes: set[FaultClass] = set()
-            max_cured = 0
-            for record in trace.rounds:
-                max_cured = max(max_cured, len(record.cured_at_send))
-                for pid in record.faulty_at_send:
-                    faulty_classes.add(classify_send_behavior(record, pid))
-                cured_classes.update(classify_cured_processes(record).values())
+            cell = by_key[_cell(model, f, rounds).key]
+            extras = cell.extras_dict()
+            faulty_classes = {
+                FaultClass(value) for value in extras["faulty_classes"]
+            }
+            cured_classes = {
+                FaultClass(value) for value in extras["cured_classes"]
+            }
+            max_cured = extras["max_cured"]
 
             observed_cured = (
-                ", ".join(sorted(cls.value for cls in cured_classes))
+                ", ".join(extras["cured_classes"])
                 if cured_classes
                 else "none at send"
             )
-            observed_faulty = ", ".join(sorted(cls.value for cls in faulty_classes))
+            observed_faulty = ", ".join(extras["faulty_classes"])
             match = _matches(expected, cured_classes, faulty_classes, max_cured, f)
             if not match:
                 result.fail(

@@ -11,19 +11,21 @@ Three pieces of evidence per model:
 * **necessity** -- at ``n = n_Mi - 1`` (i.e. ``n = coefficient*f``) the
   sustained stall adversary freezes the diameter of every MSR instance,
   and the E1/E2/E3 triple shows *no* algorithm can succeed.
+
+The sufficiency grid and the stall runs are declared as one sweep
+(``ns=None`` resolves each model's Table 2 minimum; the stall runs are
+``scenario="stall"`` cells) and executed through
+:func:`repro.sweep.run_sweep`, inheriting parallelism and caching.
 """
 
 from __future__ import annotations
 
-from ..analysis.metrics import convergence_stats
-from ..api import mobile_config
-from ..core.bounds import table2_rows
-from ..core.lower_bounds import lower_bound_scenario, stall_configuration
-from ..core.mapping import msr_trim_parameter
-from ..core.specification import check_trace
+from ..analysis.metrics import trajectory_stats
+from ..core.bounds import required_processes, table2_rows
+from ..core.lower_bounds import lower_bound_scenario
 from ..faults.models import get_semantics
-from ..msr.registry import DEFAULT_ALGORITHMS, make_algorithm
-from ..runtime.simulator import run_simulation
+from ..msr.registry import DEFAULT_ALGORITHMS
+from ..sweep import CellSpec, GridSpec, run_sweep
 from .base import ExperimentResult
 
 __all__ = ["run_table2"]
@@ -32,10 +34,41 @@ _MOVEMENTS = ("static", "round-robin", "random", "target-extremes")
 _ATTACKS = ("split", "outlier", "noise")
 
 
+def _sufficiency_cell(model, f, algorithm, movement, attack, seed) -> CellSpec:
+    return CellSpec(
+        model=model.value,
+        f=f,
+        n=None,
+        algorithm=algorithm,
+        movement=movement,
+        attack=attack,
+        epsilon=1e-3,
+        seed=seed,
+        max_rounds=200,
+    )
+
+
+def _stall_cell(model, f: int, algorithm: str) -> CellSpec:
+    return CellSpec(
+        model=model.value,
+        f=f,
+        n=None,
+        algorithm=algorithm,
+        movement="alternating-pools",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=20,
+        scenario="stall",
+    )
+
+
 def run_table2(
     f: int = 1,
     seeds: tuple[int, ...] = (0, 1),
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    workers: int = 1,
+    cache=None,
 ) -> ExperimentResult:
     """Run the Table 2 reproduction for a given ``f``."""
     result = ExperimentResult(
@@ -51,12 +84,32 @@ def run_table2(
             "impossible at n_Mi - 1",
         ],
     )
-    for row in table2_rows(f):
+    rows = table2_rows(f)
+    grid = GridSpec(
+        models=tuple(row.model.value for row in rows),
+        fs=f,
+        ns=None,
+        algorithms=tuple(algorithms),
+        movements=_MOVEMENTS,
+        attacks=_ATTACKS,
+        seeds=tuple(seeds),
+        max_rounds=200,
+    )
+    cells = list(grid.cells()) + [
+        _stall_cell(row.model, f, algorithm)
+        for row in rows
+        for algorithm in algorithms
+    ]
+    by_key = run_sweep(cells, workers=workers, cache=cache).by_key()
+
+    for row in rows:
         semantics = get_semantics(row.model)
         min_n = semantics.required_n(f)
 
-        sufficient = _verify_sufficiency(row.model, f, min_n, seeds, algorithms, result)
-        stalls = _verify_stalls(row.model, f, algorithms, result)
+        sufficient = _verify_sufficiency(
+            by_key, row.model, f, min_n, seeds, algorithms, result
+        )
+        stalls = _verify_stalls(by_key, row.model, f, algorithms, result)
         scenario = lower_bound_scenario(row.model, f)
         verification = scenario.verify()
         if not verification.proves_impossibility:
@@ -82,7 +135,7 @@ def run_table2(
 
 
 def _verify_sufficiency(
-    model, f: int, n: int, seeds, algorithms, result: ExperimentResult
+    by_key, model, f: int, n: int, seeds, algorithms, result: ExperimentResult
 ) -> bool:
     """All runs at the minimum sufficient ``n`` must satisfy the spec."""
     all_ok = True
@@ -90,40 +143,50 @@ def _verify_sufficiency(
         for movement in _MOVEMENTS:
             for attack in _ATTACKS:
                 for seed in seeds:
-                    config = mobile_config(
-                        model=model,
-                        f=f,
-                        n=n,
-                        algorithm=algorithm,
-                        movement=movement,
-                        attack=attack,
-                        seed=seed,
-                        max_rounds=200,
-                    )
-                    trace = run_simulation(config)
-                    verdict = check_trace(trace)
-                    if not verdict.satisfied:
+                    cell = by_key[
+                        _sufficiency_cell(
+                            model, f, algorithm, movement, attack, seed
+                        ).key
+                    ]
+                    if not cell.satisfied:
                         all_ok = False
                         result.fail(
                             f"{model} n={n} f={f} {algorithm}/{movement}/"
-                            f"{attack}/seed={seed}: {verdict}"
+                            f"{attack}/seed={seed}: {_failure_summary(cell)}"
                         )
     return all_ok
 
 
-def _verify_stalls(model, f: int, algorithms, result: ExperimentResult) -> bool:
+def _verify_stalls(
+    by_key, model, f: int, algorithms, result: ExperimentResult
+) -> bool:
     """Every MSR instance must stall under the bound-tight adversary."""
     all_stalled = True
     for algorithm in algorithms:
-        function = make_algorithm(algorithm, msr_trim_parameter(model, f))
-        config = stall_configuration(model, f, function, rounds=20)
-        trace = run_simulation(config)
-        stats = convergence_stats(trace)
+        cell = by_key[_stall_cell(model, f, algorithm).key]
+        stats = trajectory_stats(cell.diameters, rounds=cell.rounds)
         stalled = stats.stalled_from() is not None and stats.final_diameter > 0
         if not stalled:
             all_stalled = False
             result.fail(
-                f"{model} f={f} {algorithm}: expected stall at n={config.n}, "
+                f"{model} f={f} {algorithm}: expected stall at "
+                f"n={required_processes(model, f) - 1}, "
                 f"got trajectory {stats.trajectory[:6]}..."
             )
     return all_stalled
+
+
+def _failure_summary(cell) -> str:
+    """Compact violation description of a condensed cell result."""
+    if cell.error is not None:
+        return f"error: {cell.error}"
+    broken = [
+        name
+        for name, ok in (
+            ("Termination", cell.termination_ok),
+            ("eps-Agreement", cell.agreement_ok),
+            ("Validity", cell.validity_ok),
+        )
+        if not ok
+    ]
+    return "VIOLATED: " + ", ".join(broken)

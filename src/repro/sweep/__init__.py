@@ -1,12 +1,15 @@
-"""Scenario sweeps: grid specification, chunked execution, aggregation.
+"""Scenario sweeps: grids, pluggable backends, cell cache, aggregation.
 
 The paper's tables quantify over families of runs; this subsystem
 executes such families.  Declare a family as a :class:`GridSpec`
 (cartesian product over model, f, n, algorithm, movement, attack,
-epsilon and seed axes), run it with :func:`run_sweep` -- serially or
-over ``multiprocessing`` workers, on full traces or the trace-lite fast
-path -- and aggregate the :class:`SweepResult` into the harness's
-tables and series.
+epsilon and seed axes) or as an explicit list of :class:`CellSpec`
+cells (including static-mixed and lower-bound *scenarios*), run it
+with :func:`run_sweep` -- through a pluggable
+:class:`~repro.sweep.backends.SweepBackend` (serial, multiprocessing,
+or deterministic shards across hosts), against an optional
+content-addressed :class:`CellStore` cell cache -- and aggregate the
+:class:`SweepResult` into the harness's tables and series.
 
 >>> from repro.sweep import GridSpec, run_sweep
 >>> result = run_sweep(GridSpec(models=("M1", "M2"), seeds=range(4)))
@@ -14,8 +17,18 @@ tables and series.
 """
 
 from .aggregate import SweepResult
+from .backends import (
+    MultiprocessingBackend,
+    SerialBackend,
+    ShardedBackend,
+    SweepBackend,
+    merge_shards,
+)
+from .cache import SWEEP_SCHEMA_VERSION, CellStore
 from .engine import CellResult, run_cell, run_sweep
 from .grid import CellSpec, GridSpec
+from .probes import Probe, get_probe, register_probe
+from .scenarios import build_cell_config, mixed_stall_config, register_scenario
 
 __all__ = [
     "CellSpec",
@@ -24,4 +37,17 @@ __all__ = [
     "SweepResult",
     "run_cell",
     "run_sweep",
+    "SweepBackend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "ShardedBackend",
+    "merge_shards",
+    "CellStore",
+    "SWEEP_SCHEMA_VERSION",
+    "Probe",
+    "get_probe",
+    "register_probe",
+    "build_cell_config",
+    "mixed_stall_config",
+    "register_scenario",
 ]

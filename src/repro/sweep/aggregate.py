@@ -24,11 +24,17 @@ __all__ = ["SweepResult"]
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Every cell outcome of one sweep, sorted by cell key."""
+    """Every cell outcome of one sweep, sorted by cell key.
+
+    ``complete`` is ``False`` only for the partial result of one shard
+    of a sharded sweep whose sibling shards are still outstanding (see
+    :class:`repro.sweep.backends.ShardedBackend`).
+    """
 
     cells: tuple["CellResult", ...]
     trace_detail: str = "lite"
     workers: int = 1
+    complete: bool = True
 
     def __len__(self) -> int:
         return len(self.cells)

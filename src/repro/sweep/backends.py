@@ -1,0 +1,359 @@
+"""Pluggable sweep execution backends.
+
+PR 1 hardcoded two execution strategies inside ``run_sweep``; this
+module extracts them behind one small interface so the engine no longer
+cares *how* cells run.  A backend answers three questions:
+
+* :meth:`SweepBackend.select` -- which cells of the grid does this
+  invocation own?  (All of them, except for sharded execution.)
+* :meth:`SweepBackend.execute` -- how do the owned, uncached cells run?
+* :meth:`SweepBackend.finalize` -- how do the results become a
+  :class:`~repro.sweep.aggregate.SweepResult`?
+
+Determinism contract: backends never change *what* a cell computes --
+each cell runs through the same runner callable -- only where and when.
+The engine sorts results by cell key, so any backend yields the same
+:class:`SweepResult` for the same grid.
+
+:class:`ShardedBackend` is the distribution building block: invocation
+``k`` of ``N`` owns the cells whose rank in key order is ``k mod N``,
+spills its finished shard to a shared directory, and -- once every
+shard file is present -- merges them into the one bit-identical
+result a serial run would have produced.  Shards can run in any order,
+on any host that shares the spill directory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import re
+from collections.abc import Callable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .aggregate import SweepResult
+from .cache import (
+    SWEEP_SCHEMA_VERSION,
+    result_from_dict,
+    result_to_dict,
+    spec_to_dict,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .engine import CellResult
+    from .grid import CellSpec
+
+__all__ = [
+    "SweepBackend",
+    "SerialBackend",
+    "MultiprocessingBackend",
+    "ShardedBackend",
+    "grid_fingerprint",
+    "merge_shards",
+]
+
+CellRunner = Callable[["CellSpec"], "CellResult"]
+
+_SHARD_FILE = re.compile(r"^shard-(\d{4})-of-(\d{4})\.json$")
+
+
+def grid_fingerprint(cells: Sequence["CellSpec"]) -> str:
+    """A stable content hash of a whole grid (order-independent).
+
+    Recorded in every shard spill file so a merge can prove all shards
+    were cut from the same grid -- stale spill files from an earlier
+    sweep of a *different* grid must never merge silently.  Callers
+    driving multi-host sweeps can also use it to derive a per-grid
+    spill directory (the CLI's default when only ``--cache-dir`` is
+    given).
+    """
+    import hashlib
+    import json as _json
+
+    canonical = _json.dumps(
+        sorted(
+            _json.dumps(spec_to_dict(cell), sort_keys=True, separators=(",", ":"))
+            for cell in cells
+        ),
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _sorted_result(
+    results: Sequence["CellResult"], trace_detail: str, workers: int
+) -> SweepResult:
+    return SweepResult(
+        cells=tuple(sorted(results, key=lambda result: result.key)),
+        trace_detail=trace_detail,
+        workers=workers,
+    )
+
+
+class SweepBackend:
+    """Base execution strategy; subclasses override :meth:`execute`.
+
+    ``workers`` is the parallelism the backend reports into
+    ``SweepResult.workers`` (1 for serial execution).
+    """
+
+    workers: int = 1
+
+    def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
+        """The subset of the grid this invocation executes."""
+        return cells
+
+    def execute(
+        self, cells: Sequence["CellSpec"], runner: CellRunner
+    ) -> list["CellResult"]:
+        raise NotImplementedError
+
+    def finalize(
+        self,
+        results: Sequence["CellResult"],
+        trace_detail: str,
+        probe: str | None = None,
+    ) -> SweepResult:
+        """Assemble the sweep result from this invocation's results."""
+        return _sorted_result(results, trace_detail, self.workers)
+
+
+class SerialBackend(SweepBackend):
+    """In-process execution, one cell after another."""
+
+    def execute(
+        self, cells: Sequence["CellSpec"], runner: CellRunner
+    ) -> list["CellResult"]:
+        return [runner(cell) for cell in cells]
+
+
+class MultiprocessingBackend(SweepBackend):
+    """Chunked execution across a local ``multiprocessing`` pool.
+
+    ``chunk_size`` defaults to ~4 chunks per worker, balancing
+    scheduling overhead against stragglers.  Grids of one cell (or a
+    single worker) run inline -- a pool cannot help there.
+    """
+
+    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def execute(
+        self, cells: Sequence["CellSpec"], runner: CellRunner
+    ) -> list["CellResult"]:
+        if self.workers <= 1 or len(cells) <= 1:
+            return [runner(cell) for cell in cells]
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = max(1, math.ceil(len(cells) / (self.workers * 4)))
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            return pool.map(runner, cells, chunksize=chunk_size)
+
+
+class ShardedBackend(SweepBackend):
+    """Deterministic grid partitioning for multi-invocation sweeps.
+
+    Invocation ``shard_index`` of ``shard_count`` owns every cell whose
+    rank in the grid's key order is congruent to ``shard_index`` modulo
+    ``shard_count`` -- a pure function of the grid, independent of cell
+    order or cache state, so concurrent invocations never overlap.  The
+    owned cells run through ``inner`` (serial by default, a
+    :class:`MultiprocessingBackend` when ``workers > 1``), the shard's
+    results spill to ``spill_dir/shard-IIII-of-NNNN.json``, and
+    :meth:`finalize` returns the merged full-grid result once all
+    shards are present -- or a partial result (``complete=False``)
+    holding only this shard's cells while siblings are outstanding.
+    """
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        spill_dir: str | Path,
+        workers: int = 1,
+        chunk_size: int | None = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be at least 1, got {shard_count}")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index must be in [0, {shard_count}), got {shard_index}"
+            )
+        if shard_count > 9999:
+            raise ValueError(
+                f"shard_count must be at most 9999, got {shard_count}"
+            )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.spill_dir = Path(spill_dir)
+        self.workers = workers
+        self._grid_fingerprint: str | None = None
+        self._grid_size: int | None = None
+        self._inner: SweepBackend = (
+            MultiprocessingBackend(workers, chunk_size)
+            if workers > 1
+            else SerialBackend()
+        )
+
+    def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
+        # The full grid's identity is stamped into the spill file so a
+        # merge can refuse shards cut from a different grid.
+        self._grid_fingerprint = grid_fingerprint(cells)
+        self._grid_size = len(cells)
+        ordered = sorted(cells, key=lambda cell: cell.key)
+        return [
+            cell
+            for rank, cell in enumerate(ordered)
+            if rank % self.shard_count == self.shard_index
+        ]
+
+    def execute(
+        self, cells: Sequence["CellSpec"], runner: CellRunner
+    ) -> list["CellResult"]:
+        return self._inner.execute(cells, runner)
+
+    def shard_path(self, shard_index: int | None = None) -> Path:
+        index = self.shard_index if shard_index is None else shard_index
+        return self.spill_dir / (
+            f"shard-{index:04d}-of-{self.shard_count:04d}.json"
+        )
+
+    def finalize(
+        self,
+        results: Sequence["CellResult"],
+        trace_detail: str,
+        probe: str | None = None,
+    ) -> SweepResult:
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "trace_detail": trace_detail,
+            "probe": probe,
+            "grid": self._grid_fingerprint,
+            "grid_size": self._grid_size,
+            "results": [result_to_dict(result) for result in results],
+        }
+        path = self.shard_path()
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+        missing = [
+            index
+            for index in range(self.shard_count)
+            if not self.shard_path(index).exists()
+        ]
+        if missing:
+            partial = _sorted_result(results, trace_detail, self.workers)
+            return SweepResult(
+                cells=partial.cells,
+                trace_detail=trace_detail,
+                workers=self.workers,
+                complete=False,
+            )
+        return merge_shards(self.spill_dir)
+
+
+def _require_agreement(shards: dict[int, dict], field: str, label: str):
+    """All shards must agree on ``field``; mixed values name examples."""
+    values = {index: payload.get(field) for index, payload in shards.items()}
+    distinct = sorted(set(values.values()), key=repr)
+    if len(distinct) > 1:
+        examples = {
+            value: min(i for i, v in values.items() if v == value)
+            for value in distinct
+        }
+        rendered = " vs ".join(
+            f"{value!r} (shard {examples[value]})" for value in distinct
+        )
+        raise ValueError(f"cannot merge shards with mixed {label}: {rendered}")
+    return distinct[0]
+
+
+def merge_shards(spill_dir: str | Path) -> SweepResult:
+    """Merge a directory of shard spill files into one sweep result.
+
+    Validates the shard family before trusting it: every index of the
+    announced ``shard_count`` must be present exactly once, and all
+    shards must agree on ``shard_count``, schema version,
+    ``trace_detail``, probe and the grid they were cut from (each
+    mismatch is rejected naming both sides) -- so stale spill files
+    left over from a sweep of a different grid, shard count or probe
+    can never merge silently.  No cell may appear in two shards, and
+    the merged cell count must cover the recorded grid.  The result is
+    bit-identical to a serial :func:`~repro.sweep.engine.run_sweep`
+    over the same grid.
+    """
+    spill_dir = Path(spill_dir)
+    payloads: list[dict] = []
+    for path in sorted(spill_dir.iterdir()) if spill_dir.is_dir() else []:
+        match = _SHARD_FILE.match(path.name)
+        if not match:
+            continue
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != SWEEP_SCHEMA_VERSION:
+            raise ValueError(
+                f"shard file {path.name} has schema "
+                f"{payload.get('schema')!r}; this build reads "
+                f"{SWEEP_SCHEMA_VERSION}"
+            )
+        payloads.append(payload)
+    if not payloads:
+        raise ValueError(f"no shard files found in {spill_dir}")
+
+    shard_counts = {payload["shard_count"] for payload in payloads}
+    if len(shard_counts) > 1:
+        raise ValueError(
+            f"shard files in {spill_dir} disagree on shard_count: "
+            f"{sorted(shard_counts)} (stale spill files from an earlier "
+            "sweep? use a fresh spill directory per grid)"
+        )
+    shard_count = shard_counts.pop()
+    shards: dict[int, dict] = {}
+    for payload in payloads:
+        index = payload["shard_index"]
+        if index in shards:
+            raise ValueError(
+                f"shard index {index} appears in multiple files in "
+                f"{spill_dir} (stale spill files from an earlier sweep?)"
+            )
+        shards[index] = payload
+    missing = sorted(set(range(shard_count)) - set(shards))
+    if missing:
+        raise ValueError(
+            f"incomplete shard family in {spill_dir}: missing shard(s) "
+            f"{missing} of {shard_count}"
+        )
+
+    trace_detail = _require_agreement(shards, "trace_detail", "trace details")
+    _require_agreement(shards, "probe", "probes")
+    _require_agreement(shards, "grid", "grids")
+    grid_size = _require_agreement(shards, "grid_size", "grid sizes")
+
+    results: list["CellResult"] = []
+    seen: set[tuple] = set()
+    for index in range(shard_count):
+        for entry in shards[index]["results"]:
+            result = result_from_dict(entry)
+            if result.key in seen:
+                raise ValueError(
+                    f"cell {result.spec.describe()} appears in multiple shards"
+                )
+            seen.add(result.key)
+            results.append(result)
+    if grid_size is not None and len(results) != grid_size:
+        raise ValueError(
+            f"shard family in {spill_dir} covers {len(results)} cells but "
+            f"records a grid of {grid_size}"
+        )
+    return _sorted_result(results, trace_detail, workers=1)

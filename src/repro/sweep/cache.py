@@ -1,0 +1,240 @@
+"""Content-addressed cell cache: memoize sweep cells on disk.
+
+PR 1's determinism contract makes every cell's result a pure function
+of ``(CellSpec, trace_detail, probe)`` under a fixed code schema.  The
+:class:`CellStore` exploits that: results are stored one-file-per-cell
+under a key that is the SHA-256 of the canonical JSON encoding of
+exactly those inputs plus :data:`SWEEP_SCHEMA_VERSION`.  Any backend
+consults the store before executing a cell and writes through after,
+which makes overlapping grids near-free to re-run and interrupted
+sweeps resumable -- and lets independently computed shards merge
+through a shared store.
+
+Layout::
+
+    <root>/v<SWEEP_SCHEMA_VERSION>/<first two key hex chars>/<key>.json
+
+Bump :data:`SWEEP_SCHEMA_VERSION` whenever the serialized layout *or*
+the simulation semantics change: old entries then simply miss (they
+live under the old version directory) instead of poisoning new runs.
+
+Robustness contract: a corrupted, truncated or foreign cache entry is
+*never* trusted -- :meth:`CellStore.load` re-decodes the stored spec
+and compares it field-by-field against the requested one, and treats
+any decoding failure as a miss, so the worst a bad entry can cause is
+a re-execution.
+
+Floats survive the JSON round-trip bit-exactly (Python encodes them
+via ``repr``, the shortest representation that round-trips), so cached
+results compare equal to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .engine import CellResult
+    from .grid import CellSpec
+
+__all__ = [
+    "SWEEP_SCHEMA_VERSION",
+    "CellStore",
+    "result_to_dict",
+    "result_from_dict",
+    "spec_to_dict",
+    "spec_from_dict",
+]
+
+#: Bumped whenever the serialized cell layout or simulation semantics
+#: change incompatibly; doubles as the cache directory version.
+SWEEP_SCHEMA_VERSION = 1
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively convert JSON lists back into the tuples cells use."""
+    if isinstance(value, list):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+def spec_to_dict(spec: "CellSpec") -> dict[str, Any]:
+    """Encode a cell spec as JSON-compatible primitives."""
+    return {
+        "model": spec.model,
+        "f": spec.f,
+        "n": spec.n,
+        "algorithm": spec.algorithm,
+        "movement": spec.movement,
+        "attack": spec.attack,
+        "epsilon": spec.epsilon,
+        "seed": spec.seed,
+        "rounds": spec.rounds,
+        "max_rounds": spec.max_rounds,
+        "scenario": spec.scenario,
+        "params": [[name, value] for name, value in spec.params],
+    }
+
+
+def spec_from_dict(payload: dict[str, Any]) -> "CellSpec":
+    """Rebuild a cell spec from :func:`spec_to_dict` output."""
+    from .grid import CellSpec
+
+    return CellSpec(
+        model=payload["model"],
+        f=payload["f"],
+        n=payload["n"],
+        algorithm=payload["algorithm"],
+        movement=payload["movement"],
+        attack=payload["attack"],
+        epsilon=payload["epsilon"],
+        seed=payload["seed"],
+        rounds=payload["rounds"],
+        max_rounds=payload["max_rounds"],
+        scenario=payload["scenario"],
+        params=tuple((name, _freeze(value)) for name, value in payload["params"]),
+    )
+
+
+def result_to_dict(result: "CellResult") -> dict[str, Any]:
+    """Encode a cell result as JSON-compatible primitives."""
+    return {
+        "spec": spec_to_dict(result.spec),
+        "decisions": [[pid, value] for pid, value in result.decisions],
+        "rounds": result.rounds,
+        "terminated": result.terminated,
+        "decision_diameter": result.decision_diameter,
+        "diameters": list(result.diameters),
+        "termination_ok": result.termination_ok,
+        "agreement_ok": result.agreement_ok,
+        "validity_ok": result.validity_ok,
+        "p1_ok": result.p1_ok,
+        "p2_ok": result.p2_ok,
+        "error": result.error,
+        "extras": [[name, value] for name, value in result.extras],
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> "CellResult":
+    """Rebuild a cell result from :func:`result_to_dict` output."""
+    from .engine import CellResult
+
+    return CellResult(
+        spec=spec_from_dict(payload["spec"]),
+        decisions=tuple(
+            (int(pid), float(value)) for pid, value in payload["decisions"]
+        ),
+        rounds=payload["rounds"],
+        terminated=payload["terminated"],
+        decision_diameter=payload["decision_diameter"],
+        diameters=tuple(payload["diameters"]),
+        termination_ok=payload["termination_ok"],
+        agreement_ok=payload["agreement_ok"],
+        validity_ok=payload["validity_ok"],
+        p1_ok=payload["p1_ok"],
+        p2_ok=payload["p2_ok"],
+        error=payload["error"],
+        extras=tuple(
+            (name, _freeze(value)) for name, value in payload["extras"]
+        ),
+    )
+
+
+@dataclass
+class CellStore:
+    """A content-addressed on-disk store of cell results.
+
+    Cheap to construct and picklable (it carries only the root path),
+    so worker processes can write through during parallel execution.
+    The ``hits``/``misses`` counters track lookups made through *this*
+    instance -- the parent process's view of a sweep's cache traffic.
+    """
+
+    root: Path
+    hits: int = field(default=0, compare=False)
+    misses: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- keys -------------------------------------------------------------------
+
+    def cell_key(
+        self, spec: "CellSpec", trace_detail: str, probe: str | None = None
+    ) -> str:
+        """The content hash addressing one cell's result."""
+        payload = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "trace_detail": trace_detail,
+            "probe": probe,
+            "spec": spec_to_dict(spec),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def path_for(
+        self, spec: "CellSpec", trace_detail: str, probe: str | None = None
+    ) -> Path:
+        key = self.cell_key(spec, trace_detail, probe)
+        return self.root / f"v{SWEEP_SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    # -- lookups ----------------------------------------------------------------
+
+    def load(
+        self, spec: "CellSpec", trace_detail: str, probe: str | None = None
+    ) -> "CellResult | None":
+        """Return the cached result, or ``None`` on any doubt.
+
+        Missing, truncated, corrupted or mismatching entries all count
+        as misses; the caller re-executes the cell and overwrites.
+        """
+        path = self.path_for(spec, trace_detail, probe)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if payload.get("schema") != SWEEP_SCHEMA_VERSION:
+                return None
+            if payload.get("trace_detail") != trace_detail:
+                return None
+            if payload.get("probe") != probe:
+                return None
+            result = result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        if result.spec != spec:
+            return None
+        return result
+
+    def save(
+        self, result: "CellResult", trace_detail: str, probe: str | None = None
+    ) -> Path:
+        """Write a result through to the store (atomic per entry)."""
+        path = self.path_for(result.spec, trace_detail, probe)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "trace_detail": trace_detail,
+            "probe": probe,
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def record(self, hit: bool) -> None:
+        """Count one lookup outcome."""
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def stats(self) -> str:
+        """Human-readable counter summary for CLI banners."""
+        return f"{self.hits} hits, {self.misses} misses"

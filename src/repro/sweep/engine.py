@@ -1,31 +1,42 @@
-"""Chunked sweep execution: serial or across ``multiprocessing`` workers.
+"""Sweep orchestration: cells in, cached/backed execution, result out.
 
 Each grid cell is executed by the module-level :func:`run_cell` (module
-level so it pickles), which materializes the cell's config, runs the
-simulator -- by default on the trace-lite fast path -- and condenses
-the outcome into a :class:`CellResult` of plain primitives.
+level so it pickles), which materializes the cell's config through its
+scenario, runs the simulator -- by default on the trace-lite fast path
+-- and condenses the outcome into a :class:`CellResult` of plain
+primitives, optionally augmented by a named probe.
+
+:func:`run_sweep` itself no longer knows how cells run: execution is
+delegated to a pluggable :class:`~repro.sweep.backends.SweepBackend`
+(serial, multiprocessing pool, or deterministic shards for fanning a
+grid across hosts), and every backend consults an optional
+content-addressed :class:`~repro.sweep.cache.CellStore` before
+executing a cell and writes through after.
 
 Determinism contract: a cell's result is a pure function of the cell.
 Every stochastic component draws from ``derive_rng(seed, ...)`` streams
 seeded by stable strings, so worker processes reproduce bit-identical
-results regardless of start method, worker count, chunking or
-scheduling order.  :func:`run_sweep` additionally sorts results by cell
-key, making the aggregate independent of completion order.  The
-determinism and equivalence test suites assert both properties.
+results regardless of start method, worker count, chunking, scheduling
+order, shard assignment or cache state.  :func:`run_sweep` additionally
+sorts results by cell key, making the aggregate independent of the
+execution strategy.  The determinism, backend and cache test suites
+assert these properties.
 """
 
 from __future__ import annotations
 
-import math
-import multiprocessing
 from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import partial
+from pathlib import Path
 
 from ..core.specification import check_trace
 from ..runtime.simulator import TraceDetail, run_simulation
 from .aggregate import SweepResult
+from .backends import MultiprocessingBackend, SerialBackend, SweepBackend
+from .cache import CellStore
 from .grid import CellSpec, GridSpec
+from .probes import get_probe
 
 __all__ = ["CellResult", "run_cell", "run_sweep"]
 
@@ -53,6 +64,9 @@ class CellResult:
     #: (lite traces carry no message records to check them against).
     p1_ok: bool | None = None
     p2_ok: bool | None = None
+    #: Probe output: ``(name, value)`` pairs of primitives (see
+    #: :mod:`repro.sweep.probes`); empty when no probe ran.
+    extras: tuple[tuple[str, object], ...] = ()
     error: str | None = None
 
     @property
@@ -69,13 +83,24 @@ class CellResult:
             and self.validity_ok
         )
 
+    def extras_dict(self) -> dict[str, object]:
+        """The probe output as a plain dictionary."""
+        return dict(self.extras)
 
-def run_cell(cell: CellSpec, trace_detail: TraceDetail = "lite") -> CellResult:
+
+def run_cell(
+    cell: CellSpec,
+    trace_detail: TraceDetail = "lite",
+    probe: str | None = None,
+) -> CellResult:
     """Execute one cell and condense its outcome.
 
     Runs in worker processes during parallel sweeps; everything it
-    touches must be importable and picklable.
+    touches must be importable and picklable.  ``probe`` names a
+    registered :class:`~repro.sweep.probes.Probe` whose output lands in
+    ``CellResult.extras``.
     """
+    probe_spec = get_probe(probe) if probe is not None else None
     try:
         config = cell.to_config()
     except (ValueError, KeyError) as exc:
@@ -93,6 +118,7 @@ def run_cell(cell: CellSpec, trace_detail: TraceDetail = "lite") -> CellResult:
         )
     trace = run_simulation(config, trace_detail=trace_detail)
     verdict = check_trace(trace)
+    extras = tuple(probe_spec.extract(trace)) if probe_spec is not None else ()
     return CellResult(
         spec=cell,
         decisions=tuple(sorted(trace.decisions.items())),
@@ -105,7 +131,54 @@ def run_cell(cell: CellSpec, trace_detail: TraceDetail = "lite") -> CellResult:
         validity_ok=verdict.validity.holds,
         p1_ok=None if verdict.p1.skipped else verdict.p1.holds,
         p2_ok=None if verdict.p2.skipped else verdict.p2.holds,
+        extras=extras,
     )
+
+
+def _run_cell_cached(
+    cell: CellSpec,
+    trace_detail: TraceDetail = "lite",
+    probe: str | None = None,
+    store: CellStore | None = None,
+) -> CellResult:
+    """Cache-through cell runner (module level so it pickles).
+
+    The double-check against the store matters: workers of concurrent
+    shard invocations may have produced the cell since the parent
+    filtered its misses, and writing through here (not in the parent)
+    is what makes interrupted sweeps resumable.
+    """
+    cached = store.load(cell, trace_detail, probe)
+    if cached is not None:
+        return cached
+    result = run_cell(cell, trace_detail=trace_detail, probe=probe)
+    store.save(result, trace_detail, probe)
+    return result
+
+
+def _resolve_backend(
+    backend: SweepBackend | str | None, workers: int, chunk_size: int | None
+) -> SweepBackend:
+    if backend is None:
+        if workers <= 1:
+            return SerialBackend()
+        return MultiprocessingBackend(workers, chunk_size)
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "multiprocessing":
+            return MultiprocessingBackend(max(workers, 1), chunk_size)
+        if backend == "sharded":
+            raise ValueError(
+                "the sharded backend needs shard parameters; pass a "
+                "repro.sweep.ShardedBackend(shard_index, shard_count, "
+                "spill_dir) instance (CLI: --backend sharded --shard I/N)"
+            )
+        raise ValueError(
+            f"unknown backend {backend!r}; known: serial, multiprocessing, "
+            "sharded"
+        )
+    return backend
 
 
 def run_sweep(
@@ -113,15 +186,24 @@ def run_sweep(
     workers: int = 1,
     trace_detail: TraceDetail = "lite",
     chunk_size: int | None = None,
+    backend: SweepBackend | str | None = None,
+    cache: CellStore | str | Path | None = None,
+    probe: str | None = None,
 ) -> SweepResult:
-    """Run every cell of ``grid``, serially or across worker processes.
+    """Run every cell of ``grid`` through a backend, via the cell cache.
 
-    ``workers <= 1`` runs in-process.  With more workers the cells are
-    distributed over a ``multiprocessing`` pool in chunks
-    (``chunk_size`` defaults to ~4 chunks per worker, balancing
-    scheduling overhead against stragglers).  Results are identical in
-    both modes and sorted by cell key, so the returned
-    :class:`SweepResult` is independent of the execution strategy.
+    ``workers <= 1`` runs in-process; more workers distribute cells
+    over a ``multiprocessing`` pool in chunks (``chunk_size`` defaults
+    to ~4 chunks per worker).  ``backend`` overrides that default
+    resolution with any :class:`~repro.sweep.backends.SweepBackend`
+    (including :class:`~repro.sweep.backends.ShardedBackend` for
+    multi-invocation sweeps) or one of the names ``"serial"`` /
+    ``"multiprocessing"``.  ``cache`` -- a
+    :class:`~repro.sweep.cache.CellStore` or a directory path -- is
+    consulted before executing each cell and written through after.
+    Results are identical for every backend, worker count and cache
+    state, and sorted by cell key, so the returned
+    :class:`SweepResult` depends only on the grid.
     """
     if trace_detail not in ("full", "lite"):
         raise ValueError(
@@ -129,22 +211,44 @@ def run_sweep(
         )
     if workers < 0:
         raise ValueError(f"workers must be non-negative, got {workers}")
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if probe is not None:
+        probe_spec = get_probe(probe)
+        if probe_spec.requires_full and trace_detail != "full":
+            raise ValueError(
+                f"probe {probe!r} reads per-round message records and "
+                f"needs trace_detail='full', got {trace_detail!r}"
+            )
     cells = list(grid.cells()) if isinstance(grid, GridSpec) else list(grid)
     seen: set[tuple] = set()
     for cell in cells:
         if cell.key in seen:
             raise ValueError(f"duplicate grid cell: {cell.describe()}")
         seen.add(cell.key)
-    runner = partial(run_cell, trace_detail=trace_detail)
-    if workers <= 1 or len(cells) <= 1:
-        results = [runner(cell) for cell in cells]
+
+    resolved = _resolve_backend(backend, workers, chunk_size)
+    store = CellStore(cache) if isinstance(cache, (str, Path)) else cache
+    selected = resolved.select(cells)
+
+    if store is None:
+        runner = partial(run_cell, trace_detail=trace_detail, probe=probe)
+        results = resolved.execute(selected, runner)
     else:
-        if chunk_size is None:
-            chunk_size = max(1, math.ceil(len(cells) / (workers * 4)))
-        with multiprocessing.Pool(processes=workers) as pool:
-            results = pool.map(runner, cells, chunksize=chunk_size)
-    return SweepResult(
-        cells=tuple(sorted(results, key=lambda result: result.key)),
-        trace_detail=trace_detail,
-        workers=max(1, workers),
-    )
+        runner = partial(
+            _run_cell_cached,
+            trace_detail=trace_detail,
+            probe=probe,
+            store=store,
+        )
+        hits: list[CellResult] = []
+        missing: list[CellSpec] = []
+        for cell in selected:
+            cached = store.load(cell, trace_detail, probe)
+            store.record(cached is not None)
+            if cached is not None:
+                hits.append(cached)
+            else:
+                missing.append(cell)
+        results = hits + resolved.execute(missing, runner)
+    return resolved.finalize(results, trace_detail, probe)

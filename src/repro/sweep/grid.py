@@ -18,7 +18,7 @@ ran it, or in which order.
 
 from __future__ import annotations
 
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, fields
 from itertools import product
 
@@ -31,6 +31,16 @@ class CellSpec:
 
     ``n=None`` means "the model's Table 2 minimum for ``f``", resolved
     when the cell is materialized into a config.
+
+    ``scenario`` selects the config builder (see
+    :mod:`repro.sweep.scenarios`): the default ``"mobile"`` is the
+    :func:`repro.api.mobile_config` family; ``"static-mixed"``,
+    ``"stall"`` and ``"mixed-stall"`` describe the static-substrate and
+    lower-bound configurations the experiments sweep over.  Scenario
+    parameters beyond the shared fields (e.g. ``(a, s, b)`` counts)
+    travel in ``params``, a sorted tuple of ``(name, value)`` pairs so
+    the cell stays hashable and picklable; a mapping passed at
+    construction is normalized automatically.
     """
 
     model: str
@@ -43,6 +53,19 @@ class CellSpec:
     seed: int
     rounds: int | None = None
     max_rounds: int = 1_000
+    scenario: str = "mobile"
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        pairs = (
+            self.params.items()
+            if isinstance(self.params, Mapping)
+            else self.params
+        )
+        # Sorted in both forms: semantically identical cells must share
+        # one key (and one cache hash) however their params were spelt.
+        normalized = tuple(sorted((str(name), value) for name, value in pairs))
+        object.__setattr__(self, "params", normalized)
 
     @property
     def key(self) -> tuple:
@@ -63,36 +86,36 @@ class CellSpec:
             self.seed,
             self.rounds if self.rounds is not None else -1,
             self.max_rounds,
+            self.scenario,
+            self.params,
         )
+
+    def params_dict(self) -> dict[str, object]:
+        """The scenario parameters as a plain dictionary."""
+        return dict(self.params)
 
     def to_config(self):
         """Materialize the validated :class:`SimulationConfig`.
 
         Raises :class:`ValueError` when the cell lies below the model's
-        resilience bound (an explicit ``n`` can undercut Table 2).
+        resilience bound (an explicit ``n`` can undercut Table 2), or
+        when the cell's scenario rejects its parameters.
         """
-        from ..api import mobile_config
+        from .scenarios import build_cell_config
 
-        return mobile_config(
-            model=self.model,
-            f=self.f,
-            n=self.n,
-            algorithm=self.algorithm,
-            movement=self.movement,
-            attack=self.attack,
-            epsilon=self.epsilon,
-            seed=self.seed,
-            rounds=self.rounds,
-            max_rounds=self.max_rounds,
-        )
+        return build_cell_config(self)
 
     def describe(self) -> str:
         """Compact one-line cell label for tables and error messages."""
         n = "min" if self.n is None else str(self.n)
+        prefix = "" if self.scenario == "mobile" else f"[{self.scenario}] "
+        suffix = "".join(
+            f" {name}={value}" for name, value in self.params
+        )
         return (
-            f"{self.model} f={self.f} n={n} {self.algorithm} "
+            f"{prefix}{self.model} f={self.f} n={n} {self.algorithm} "
             f"{self.movement}/{self.attack} eps={self.epsilon:g} "
-            f"seed={self.seed}"
+            f"seed={self.seed}{suffix}"
         )
 
 

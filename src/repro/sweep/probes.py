@@ -1,0 +1,96 @@
+"""Named per-cell probes: extra metrics condensed from the trace.
+
+A :class:`~repro.sweep.engine.CellResult` deliberately carries only the
+universal outcome of a run.  Some sweeps need more -- e.g. the Table 1
+experiment classifies every cured process's observable send behaviour
+from the full message matrix.  A *probe* is a named, registered
+function from the finished trace to a tuple of ``(key, value)`` pairs
+of primitives; :func:`repro.sweep.engine.run_cell` applies it after the
+simulation and stores the pairs in ``CellResult.extras``.
+
+Probes are addressed by name (not by function object) so cells remain
+picklable, worker processes can resolve them by import, and the cell
+cache can fold the probe into its content hash.  A probe registered
+from user code must therefore live in a module the workers import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Probe", "get_probe", "register_probe", "PROBES"]
+
+#: Extras payload: a sorted-stable tuple of (name, primitive) pairs.
+Extras = tuple[tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class Probe:
+    """A registered trace probe.
+
+    ``requires_full`` marks probes that read per-round message records
+    and therefore cannot run on the trace-lite fast path; the engine
+    rejects such probe/detail combinations up front.
+    """
+
+    name: str
+    extract: Callable[[object], Extras]
+    requires_full: bool = False
+
+
+def _send_classification(trace) -> Extras:
+    """Classify faulty and cured send behaviour over every round.
+
+    The Table 1 probe: per-round cured counts plus the observable fault
+    class (silent / symmetric / asymmetric) of every faulty and cured
+    process, computed from the message matrix alone.
+    """
+    from ..core.mapping import classify_cured_processes, classify_send_behavior
+
+    faulty_classes: set[str] = set()
+    cured_classes: set[str] = set()
+    max_cured = 0
+    for record in trace.rounds:
+        max_cured = max(max_cured, len(record.cured_at_send))
+        for pid in record.faulty_at_send:
+            faulty_classes.add(classify_send_behavior(record, pid).value)
+        cured_classes.update(
+            cls.value for cls in classify_cured_processes(record).values()
+        )
+    return (
+        ("cured_classes", tuple(sorted(cured_classes))),
+        ("faulty_classes", tuple(sorted(faulty_classes))),
+        ("max_cured", max_cured),
+    )
+
+
+PROBES: dict[str, Probe] = {
+    "send-classification": Probe(
+        name="send-classification",
+        extract=_send_classification,
+        requires_full=True,
+    ),
+}
+
+
+def register_probe(
+    name: str, extract: Callable[[object], Extras], requires_full: bool = False
+) -> None:
+    """Register a custom probe under ``name``.
+
+    For parallel or sharded sweeps the registration must happen at
+    import time of a module worker processes also import.
+    """
+    if name in PROBES:
+        raise ValueError(f"probe {name!r} is already registered")
+    PROBES[name] = Probe(name=name, extract=extract, requires_full=requires_full)
+
+
+def get_probe(name: str) -> Probe:
+    """Resolve a probe by name with a helpful error."""
+    try:
+        return PROBES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROBES))
+        raise KeyError(f"unknown probe {name!r}; known: {known}") from None

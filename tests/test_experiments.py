@@ -151,3 +151,42 @@ class TestCli:
         assert main(["table1"]) == 0
         captured = capsys.readouterr()
         assert "EXP-T1" in captured.out
+
+    def test_cli_forwards_workers_and_cache(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        argv = ["table1", "--workers", "2", "--cache-dir", str(tmp_path / "c")]
+        assert main(argv) == 0
+        assert main(argv) == 0  # warm pass through the same cache
+        assert "EXP-T1" in capsys.readouterr().out
+
+    def test_sweep_cli_empty_shard_succeeds(self, capsys, tmp_path):
+        # A shard owning no cells (shard_count > grid size) is a valid
+        # member of a fixed-size worker fan and must not exit nonzero.
+        from repro.experiments.cli import main
+
+        code = main(
+            ["sweep", "--models", "M1", "--seeds", "2", "--rounds", "5",
+             "--shard", "5/8", "--spill-dir", str(tmp_path)]
+        )
+        assert code == 0
+
+    def test_sweep_cli_cache_dir_scopes_spills_per_grid(self, tmp_path):
+        # Two different grids sharded through one cache dir must not
+        # mix spill families (the default spill dir is grid-scoped).
+        from repro.experiments.cli import main
+
+        cache = str(tmp_path / "cache")
+        base = ["--rounds", "5", "--shard", "0/1", "--cache-dir", cache]
+        assert main(["sweep", "--models", "M1", "--seeds", "2"] + base) == 0
+        assert main(["sweep", "--models", "M2", "--seeds", "3"] + base) == 0
+
+    def test_sweep_cli_rejects_contradictory_backend_and_shard(self, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            ["sweep", "--models", "M1", "--shard", "0/2",
+             "--backend", "multiprocessing", "--spill-dir", "unused"]
+        )
+        assert code == 2
+        assert "contradicts" in capsys.readouterr().err

@@ -18,7 +18,7 @@ from repro.core.lower_bounds import (
 )
 from repro.core.mapping import msr_trim_parameter
 from repro.experiments.base import ExperimentResult
-from repro.experiments.table2 import _verify_stalls
+from repro.experiments.table2 import _stall_cell, _verify_stalls
 from repro.faults import MobileModel
 from repro.msr import make_algorithm
 
@@ -109,8 +109,11 @@ class TestTable2DetectsNonStalls:
         # caught.  We simulate the mistake by checking that the helper
         # reports success for real stalls and that a converging model
         # patched in via extra processes flips the result.
+        from repro.sweep import run_sweep
+
         result = ExperimentResult("X", "probe", ["a"])
-        ok = _verify_stalls(MobileModel.GARAY, 1, ("ftm",), result)
+        by_key = run_sweep([_stall_cell(MobileModel.GARAY, 1, "ftm")]).by_key()
+        ok = _verify_stalls(by_key, MobileModel.GARAY, 1, ("ftm",), result)
         assert ok and result.ok
 
     def test_experiment_result_mismatch_rendering(self):

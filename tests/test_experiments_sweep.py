@@ -1,0 +1,67 @@
+"""Re-based experiments: sweep-path reports are byte-identical.
+
+PR 2 re-based the grid-shaped experiments onto ``GridSpec`` +
+``run_sweep``.  The acceptance bar is that this is *only* an execution
+change: every report rendered through the sweep path must be
+byte-identical to the pre-refactor render (captured in
+``tests/golden/`` from the seed implementation, default parameters),
+for any worker count and cache state.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    run_convergence,
+    run_mixed_mode,
+    run_robustness,
+    run_static_vs_mobile,
+    run_table1,
+    run_table2,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "convergence": run_convergence,
+    "static_vs_mobile": run_static_vs_mobile,
+    "mixed_mode": run_mixed_mode,
+    "robustness": run_robustness,
+}
+
+
+def golden(name: str) -> str:
+    return (GOLDEN_DIR / f"{name}.txt").read_text()
+
+
+class TestByteIdenticalReports:
+    @pytest.mark.parametrize("name", sorted(RUNNERS))
+    def test_serial_render_matches_pre_refactor_golden(self, name):
+        result = RUNNERS[name]()
+        assert result.ok, result.render()
+        assert result.render() == golden(name)
+
+    @pytest.mark.parametrize("name", ["table1", "table2", "static_vs_mobile"])
+    def test_parallel_render_matches_golden(self, name):
+        assert RUNNERS[name](workers=2).render() == golden(name)
+
+
+class TestExperimentsThroughCache:
+    @pytest.mark.parametrize("name", ["table1", "static_vs_mobile"])
+    def test_warm_cache_render_is_identical(self, name, tmp_path):
+        from repro.sweep import CellStore
+
+        store = CellStore(tmp_path / "cache")
+        cold = RUNNERS[name](cache=store)
+        assert store.misses > 0 and store.hits == 0
+        warm = RUNNERS[name](cache=store)
+        assert store.hits > 0
+        assert cold.render() == warm.render() == golden(name)
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        assert run_table1(cache=tmp_path / "c").render() == golden("table1")

@@ -1,0 +1,240 @@
+"""Backend-layer tests: every execution strategy yields the same sweep.
+
+The backend contract is that a backend chooses *where and when* cells
+run, never *what* they compute: serial, multiprocessing and sharded
+execution of the same grid must produce bit-identical
+:class:`~repro.sweep.SweepResult` aggregates.  The sharded backend
+additionally owns a deterministic grid partition and a spill-file merge
+whose validation (missing shards, mixed trace details, foreign counts)
+these tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.helpers import small_grid
+
+from repro.sweep import (
+    MultiprocessingBackend,
+    SerialBackend,
+    ShardedBackend,
+    merge_shards,
+    run_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return small_grid()
+
+
+@pytest.fixture(scope="module")
+def reference(grid):
+    return run_sweep(grid, workers=1)
+
+
+class TestBackendEquivalence:
+    def test_serial_backend_matches_default(self, grid, reference):
+        result = run_sweep(grid, backend=SerialBackend())
+        assert result == reference
+
+    def test_serial_backend_by_name(self, grid, reference):
+        assert run_sweep(grid, backend="serial") == reference
+
+    def test_multiprocessing_backend_matches_serial(self, grid, reference):
+        result = run_sweep(grid, backend=MultiprocessingBackend(workers=2))
+        assert result.cells == reference.cells
+        assert result.summary_table() == reference.summary_table()
+
+    def test_multiprocessing_backend_by_name(self, grid, reference):
+        result = run_sweep(grid, workers=2, backend="multiprocessing")
+        assert result.cells == reference.cells
+
+    def test_unknown_backend_name_rejected(self, grid):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_sweep(grid, backend="quantum")
+
+    def test_sharded_by_name_needs_parameters(self, grid):
+        with pytest.raises(ValueError, match="shard parameters"):
+            run_sweep(grid, backend="sharded")
+
+
+class TestChunkSizeValidation:
+    @pytest.mark.parametrize("chunk_size", [0, -1, -100])
+    def test_run_sweep_rejects_nonpositive_chunk_size(self, grid, chunk_size):
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            run_sweep(grid, workers=2, chunk_size=chunk_size)
+
+    def test_backend_constructor_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size must be positive"):
+            MultiprocessingBackend(workers=2, chunk_size=0)
+
+    def test_backend_constructor_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers must be at least 1"):
+            MultiprocessingBackend(workers=0)
+
+    def test_explicit_positive_chunk_size_is_accepted(self, grid, reference):
+        result = run_sweep(grid, workers=2, chunk_size=3)
+        assert result.cells == reference.cells
+
+
+class TestShardPartition:
+    def test_shards_partition_the_grid(self, grid, tmp_path):
+        cells = list(grid.cells())
+        seen = []
+        for index in range(3):
+            backend = ShardedBackend(index, 3, tmp_path)
+            seen.extend(cell.key for cell in backend.select(cells))
+        assert sorted(seen) == sorted(cell.key for cell in cells)
+        assert len(seen) == len(set(seen))
+
+    def test_partition_is_independent_of_cell_order(self, grid, tmp_path):
+        cells = list(grid.cells())
+        backend = ShardedBackend(1, 3, tmp_path)
+        shuffled = list(reversed(cells))
+        assert backend.select(cells) == backend.select(shuffled)
+
+    @pytest.mark.parametrize(
+        "index,count", [(-1, 3), (3, 3), (7, 3), (0, 0), (0, -2)]
+    )
+    def test_invalid_shard_parameters_rejected(self, index, count, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedBackend(index, count, tmp_path)
+
+
+class TestShardedExecution:
+    def test_any_shard_order_merges_to_the_serial_result(
+        self, grid, reference, tmp_path
+    ):
+        spill = tmp_path / "spill"
+        last = None
+        for index in (2, 0, 1):
+            last = run_sweep(grid, backend=ShardedBackend(index, 3, spill))
+        # The last shard to finish sees every spill file and reports
+        # the merged whole, bit-identical to the serial sweep.
+        assert last == reference
+        assert merge_shards(spill) == reference
+
+    def test_incomplete_family_returns_partial_result(self, grid, tmp_path):
+        result = run_sweep(grid, backend=ShardedBackend(0, 3, tmp_path))
+        assert not result.complete
+        assert 0 < len(result) < len(grid)
+
+    def test_sharded_with_inner_workers_matches(self, grid, reference, tmp_path):
+        spill = tmp_path / "spill"
+        for index in range(3):
+            last = run_sweep(
+                grid, backend=ShardedBackend(index, 3, spill, workers=2)
+            )
+        assert last.cells == reference.cells
+
+
+class TestMergeValidation:
+    def _spill_all(self, grid, spill, trace_detail="lite"):
+        for index in range(3):
+            run_sweep(
+                grid,
+                backend=ShardedBackend(index, 3, spill),
+                trace_detail=trace_detail,
+            )
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no shard files"):
+            merge_shards(tmp_path)
+
+    def test_missing_shard_named(self, grid, tmp_path):
+        self._spill_all(grid, tmp_path)
+        (tmp_path / "shard-0001-of-0003.json").unlink()
+        with pytest.raises(ValueError, match=r"missing shard\(s\) \[1\]"):
+            merge_shards(tmp_path)
+
+    def test_mixed_trace_detail_names_both(self, grid, tmp_path):
+        self._spill_all(grid, tmp_path)
+        path = tmp_path / "shard-0001-of-0003.json"
+        payload = json.loads(path.read_text())
+        payload["trace_detail"] = "full"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError) as excinfo:
+            merge_shards(tmp_path)
+        message = str(excinfo.value)
+        assert "mixed trace details" in message
+        assert "'full'" in message and "'lite'" in message
+
+    def test_disagreeing_shard_count_rejected(self, grid, tmp_path):
+        self._spill_all(grid, tmp_path)
+        rogue = tmp_path / "shard-0003-of-0004.json"
+        payload = json.loads((tmp_path / "shard-0000-of-0003.json").read_text())
+        payload["shard_count"] = 4
+        payload["shard_index"] = 3
+        rogue.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="disagree on shard_count"):
+            merge_shards(tmp_path)
+
+    def test_duplicate_shard_index_rejected(self, grid, tmp_path):
+        # A payload whose index disagrees with its filename (truncated
+        # copy, hand edit) duplicates a sibling's index.
+        self._spill_all(grid, tmp_path)
+        path = tmp_path / "shard-0002-of-0003.json"
+        payload = json.loads(path.read_text())
+        payload["shard_index"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="multiple files"):
+            merge_shards(tmp_path)
+
+    def test_stale_family_of_other_count_never_merges(self, grid, tmp_path):
+        # A finished 3-shard sweep leaves its spill files behind; a new
+        # 2-shard sweep of a smaller grid lands in the same directory.
+        # The stale family must fail the merge loudly, not win it.
+        self._spill_all(grid, tmp_path)
+        smaller = [cell for cell in grid.cells() if cell.seed == 0]
+        run_sweep(smaller, backend=ShardedBackend(0, 2, tmp_path))
+        with pytest.raises(ValueError, match="disagree on shard_count"):
+            run_sweep(smaller, backend=ShardedBackend(1, 2, tmp_path))
+
+    def test_stale_shard_of_other_grid_never_merges(self, grid, tmp_path):
+        # Same shard count, different grid: one fresh shard over a
+        # stale sibling must be caught by the grid fingerprint.
+        cells = list(grid.cells())
+        for index in range(2):
+            run_sweep(cells, backend=ShardedBackend(index, 2, tmp_path))
+        other = [cell for cell in cells if cell.seed == 0]
+        with pytest.raises(ValueError, match="mixed grids"):
+            run_sweep(other, backend=ShardedBackend(0, 2, tmp_path))
+
+    def test_mixed_probe_shards_rejected(self, grid, tmp_path):
+        cells = [next(iter(grid.cells()))]
+        probed = [cells[0]]
+        run_sweep(
+            probed,
+            backend=ShardedBackend(0, 2, tmp_path),
+            trace_detail="full",
+            probe="send-classification",
+        )
+        with pytest.raises(ValueError, match="mixed probes"):
+            run_sweep(
+                probed,
+                backend=ShardedBackend(1, 2, tmp_path),
+                trace_detail="full",
+            )
+
+    def test_foreign_schema_rejected(self, grid, tmp_path):
+        self._spill_all(grid, tmp_path)
+        path = tmp_path / "shard-0002-of-0003.json"
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema"):
+            merge_shards(tmp_path)
+
+    def test_duplicate_cell_across_shards_rejected(self, grid, tmp_path):
+        self._spill_all(grid, tmp_path)
+        source = json.loads((tmp_path / "shard-0000-of-0003.json").read_text())
+        target_path = tmp_path / "shard-0001-of-0003.json"
+        target = json.loads(target_path.read_text())
+        target["results"].append(source["results"][0])
+        target_path.write_text(json.dumps(target))
+        with pytest.raises(ValueError, match="multiple shards"):
+            merge_shards(tmp_path)

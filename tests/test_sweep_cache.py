@@ -1,0 +1,204 @@
+"""Cell-cache tests: warm results bit-identical, bad entries distrusted.
+
+The cache contract has three legs, all asserted here: (1) a warm-cache
+sweep is bit-identical to the cold run that populated it; (2) the
+content hash covers everything a result depends on -- spec fields,
+trace detail, probe -- so any change misses instead of aliasing; (3) a
+corrupted, truncated or foreign entry is never trusted: it reads as a
+miss and the cell re-executes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import small_grid
+
+from repro.sweep import CellStore, run_cell, run_sweep
+from repro.sweep.cache import result_from_dict, result_to_dict
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return small_grid()
+
+
+@pytest.fixture(scope="module")
+def reference(grid):
+    return run_sweep(grid, workers=1)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return CellStore(tmp_path / "cache")
+
+
+def _a_cell(grid):
+    return next(iter(grid.cells()))
+
+
+class TestWarmEqualsCold:
+    def test_warm_sweep_is_bit_identical(self, grid, reference, store):
+        cold = run_sweep(grid, cache=store)
+        assert store.hits == 0 and store.misses == len(grid)
+        warm = run_sweep(grid, cache=store)
+        assert store.hits == len(grid)
+        assert warm == cold == reference
+        assert warm.summary_table() == reference.summary_table()
+        assert warm.cell_table() == reference.cell_table()
+        assert warm.diameter_series() == reference.diameter_series()
+
+    def test_cache_accepts_plain_directory_path(self, grid, reference, tmp_path):
+        run_sweep(grid, cache=tmp_path / "c")
+        assert run_sweep(grid, cache=str(tmp_path / "c")) == reference
+
+    def test_parallel_sweep_through_cache_matches(self, grid, reference, store):
+        cold = run_sweep(grid, workers=2, cache=store)
+        warm = run_sweep(grid, workers=2, cache=store)
+        assert cold.cells == warm.cells == reference.cells
+
+    def test_overlapping_grid_reuses_the_overlap(self, grid, store):
+        run_sweep(grid, cache=store)
+        store.hits = store.misses = 0
+        wider = list(grid.cells()) + [
+            cell for cell in small_grid(seeds=3).cells() if cell.seed == 2
+        ]
+        result = run_sweep(wider, cache=store)
+        assert store.hits == len(grid)
+        assert store.misses == len(wider) - len(grid)
+        assert len(result) == len(wider)
+
+    def test_prepopulated_cells_are_not_reexecuted(self, grid, store):
+        cells = list(grid.cells())
+        for cell in cells[::2]:
+            store.save(run_cell(cell), "lite")
+        result = run_sweep(grid, cache=store)
+        assert store.hits == len(cells[::2])
+        assert store.misses == len(cells) - len(cells[::2])
+        assert result == run_sweep(grid)
+
+
+class TestKeyCoverage:
+    def test_key_changes_with_spec(self, grid, store):
+        from dataclasses import replace
+
+        cell = _a_cell(grid)
+        changed = [
+            replace(cell, seed=cell.seed + 101),
+            replace(cell, epsilon=5e-4),
+            replace(cell, scenario="stall"),
+            replace(cell, params=(("extra", 1),)),
+        ]
+        keys = {store.cell_key(cell, "lite")}
+        keys.update(store.cell_key(other, "lite") for other in changed)
+        assert len(keys) == len(changed) + 1
+
+    def test_key_changes_with_trace_detail(self, grid, store):
+        cell = _a_cell(grid)
+        assert store.cell_key(cell, "lite") != store.cell_key(cell, "full")
+
+    def test_key_changes_with_probe(self, grid, store):
+        cell = _a_cell(grid)
+        assert store.cell_key(cell, "full") != store.cell_key(
+            cell, "full", "send-classification"
+        )
+
+    def test_detail_mismatch_is_a_miss(self, grid, store):
+        cell = _a_cell(grid)
+        store.save(run_cell(cell, trace_detail="lite"), "lite")
+        assert store.load(cell, "full") is None
+        assert store.load(cell, "lite") is not None
+
+
+class TestUntrustedEntries:
+    def test_corrupted_entry_is_reexecuted(self, grid, store):
+        cell = _a_cell(grid)
+        expected = run_cell(cell)
+        path = store.save(expected, "lite")
+        path.write_text("{ this is not json")
+        assert store.load(cell, "lite") is None
+        result = run_sweep([cell], cache=store)
+        assert result.cells[0] == expected
+        # The write-through repaired the entry.
+        assert store.load(cell, "lite") == expected
+
+    def test_truncated_entry_is_reexecuted(self, grid, store):
+        cell = _a_cell(grid)
+        path = store.save(run_cell(cell), "lite")
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert store.load(cell, "lite") is None
+
+    def test_entry_for_another_spec_is_rejected(self, grid, store):
+        cells = list(grid.cells())
+        impostor = run_cell(cells[1])
+        path = store.path_for(cells[0], "lite")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        import json
+
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "trace_detail": "lite",
+                    "probe": None,
+                    "result": result_to_dict(impostor),
+                }
+            )
+        )
+        assert store.load(cells[0], "lite") is None
+
+    def test_missing_entry_is_a_miss(self, grid, store):
+        assert store.load(_a_cell(grid), "lite") is None
+
+
+class TestResultRoundTrip:
+    def test_round_trip_is_exact(self, grid):
+        for cell in grid.cells():
+            result = run_cell(cell)
+            assert result_from_dict(result_to_dict(result)) == result
+
+    def test_round_trip_preserves_extras_and_error(self, grid):
+        from repro.sweep import CellSpec
+
+        probed = run_cell(
+            _a_cell(grid), trace_detail="full", probe="send-classification"
+        )
+        assert probed.extras
+        assert result_from_dict(result_to_dict(probed)) == probed
+
+        bad = CellSpec(
+            model="M3",
+            f=2,
+            n=5,
+            algorithm="ftm",
+            movement="round-robin",
+            attack="split",
+            epsilon=1e-3,
+            seed=0,
+        )
+        errored = run_cell(bad)
+        assert errored.error is not None
+        assert result_from_dict(result_to_dict(errored)) == errored
+
+
+class TestProbeCaching:
+    def test_probed_results_cache_under_their_own_key(self, grid, store):
+        cell = _a_cell(grid)
+        probed = run_sweep(
+            [cell],
+            trace_detail="full",
+            probe="send-classification",
+            cache=store,
+        )
+        assert store.misses == 1
+        plain = run_sweep([cell], trace_detail="full", cache=store)
+        assert store.misses == 2  # the probe-less run did not alias
+        warm = run_sweep(
+            [cell],
+            trace_detail="full",
+            probe="send-classification",
+            cache=store,
+        )
+        assert store.hits == 1
+        assert warm.cells == probed.cells
+        assert plain.cells[0].extras == ()

@@ -1,0 +1,186 @@
+"""Scenario and probe tests: cells beyond the mobile config family.
+
+A ``CellSpec`` now names a scenario; these tests assert each built-in
+scenario materializes exactly the configuration the experiments used to
+hand-build, that scenario parameter errors condense into the cell's
+``error`` field (never crash a sweep), and that the probe registry
+enforces its trace-detail requirements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lower_bounds import stall_configuration
+from repro.core.mapping import msr_trim_parameter
+from repro.faults.mixed_mode import MixedModeCounts
+from repro.msr.registry import make_algorithm
+from repro.runtime.simulator import run_simulation
+from repro.sweep import CellSpec, mixed_stall_config, run_cell, run_sweep
+from repro.sweep.probes import get_probe, register_probe
+from repro.sweep.scenarios import register_scenario
+
+
+def _cell(**overrides) -> CellSpec:
+    base = dict(
+        model="M1",
+        f=1,
+        n=None,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        epsilon=1e-3,
+        seed=0,
+        rounds=10,
+    )
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+class TestStallScenario:
+    def test_matches_direct_stall_configuration(self):
+        cell = _cell(scenario="stall", rounds=20, params={"extra": 1})
+        function = make_algorithm("ftm", msr_trim_parameter("M1", 1))
+        direct = run_simulation(
+            stall_configuration("M1", 1, function, rounds=20, extra_processes=1)
+        )
+        result = run_cell(cell)
+        assert result.error is None
+        assert result.diameters == tuple(direct.diameters())
+        assert result.decisions == tuple(sorted(direct.decisions.items()))
+
+    def test_missing_rounds_becomes_cell_error(self):
+        result = run_cell(_cell(scenario="stall", rounds=None))
+        assert result.error is not None
+        assert "round budget" in result.error
+
+
+class TestStaticMixedScenario:
+    def test_matches_direct_mixed_mode_config(self):
+        counts = MixedModeCounts(asymmetric=1, symmetric=1, benign=0)
+        cell = _cell(
+            model="static",
+            f=counts.total,
+            n=counts.min_processes(),
+            movement="static",
+            rounds=30,
+            scenario="static-mixed",
+            params={"a": 1, "s": 1, "b": 0},
+        )
+        result = run_cell(cell)
+        assert result.error is None
+        assert result.satisfied
+
+    def test_missing_n_becomes_cell_error(self):
+        result = run_cell(
+            _cell(scenario="static-mixed", f=1, params={"a": 1})
+        )
+        assert result.error is not None
+        assert "explicit n" in result.error
+
+    def test_count_mismatch_becomes_cell_error(self):
+        result = run_cell(
+            _cell(scenario="static-mixed", f=3, n=5, params={"a": 1})
+        )
+        assert result.error is not None
+        assert "disagrees" in result.error
+
+
+class TestMixedStallScenario:
+    def test_matches_direct_mixed_stall_config(self):
+        counts = MixedModeCounts(asymmetric=1)
+        cell = _cell(
+            model="static",
+            f=1,
+            rounds=20,
+            scenario="mixed-stall",
+            params={"a": 1},
+        )
+        direct = run_simulation(mixed_stall_config(counts, rounds=20))
+        result = run_cell(cell)
+        assert result.error is None
+        assert result.diameters == tuple(direct.diameters())
+
+    def test_no_asymmetric_fault_becomes_cell_error(self):
+        result = run_cell(
+            _cell(
+                model="static",
+                f=1,
+                rounds=20,
+                scenario="mixed-stall",
+                params={"s": 1},
+            )
+        )
+        assert result.error is not None
+        assert "asymmetric" in result.error
+
+
+class TestScenarioRegistry:
+    def test_unknown_scenario_becomes_cell_error(self):
+        result = run_cell(_cell(scenario="warp-drive"))
+        assert result.error is not None
+        assert "unknown cell scenario" in result.error
+        assert "mobile" in result.error
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario("mobile", lambda spec: None)
+
+    def test_scenario_cells_coexist_in_one_sweep(self):
+        cells = [
+            _cell(seed=0),
+            _cell(seed=0, scenario="stall", rounds=20,
+                  movement="alternating-pools"),
+        ]
+        result = run_sweep(cells)
+        assert len(result) == 2
+        assert not result.errors()
+
+
+class TestCellSpecParams:
+    def test_mapping_params_are_normalized_sorted(self):
+        cell = _cell(params={"b": 2, "a": 1})
+        assert cell.params == (("a", 1), ("b", 2))
+
+    def test_tuple_params_are_normalized_sorted(self):
+        # Semantically identical cells must share one key (and one
+        # cache hash) however their params were spelt.
+        from_tuple = _cell(params=(("b", 2), ("a", 1)))
+        from_mapping = _cell(params={"a": 1, "b": 2})
+        assert from_tuple == from_mapping
+        assert from_tuple.key == from_mapping.key
+
+    def test_params_participate_in_key_and_describe(self):
+        plain = _cell(scenario="stall", rounds=20)
+        extra = _cell(scenario="stall", rounds=20, params={"extra": 1})
+        assert plain.key != extra.key
+        assert "extra=1" in extra.describe()
+        assert "[stall]" in extra.describe()
+
+    def test_mobile_describe_is_unprefixed(self):
+        assert _cell().describe().startswith("M1 ")
+
+
+class TestProbes:
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(KeyError, match="unknown probe"):
+            run_cell(_cell(), probe="nope")
+
+    def test_probe_requiring_full_rejected_on_lite(self):
+        with pytest.raises(ValueError, match="trace_detail='full'"):
+            run_sweep([_cell()], probe="send-classification")
+
+    def test_probe_extras_land_on_the_result(self):
+        result = run_cell(
+            _cell(), trace_detail="full", probe="send-classification"
+        )
+        extras = result.extras_dict()
+        assert set(extras) == {"cured_classes", "faulty_classes", "max_cured"}
+        assert extras["max_cured"] <= 1
+
+    def test_duplicate_probe_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_probe("send-classification", lambda trace: ())
+
+    def test_get_probe_resolves(self):
+        assert get_probe("send-classification").requires_full
