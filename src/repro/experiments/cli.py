@@ -167,6 +167,17 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results are identical)",
     )
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "run cells in in-worker batches of B sharing one round "
+            "kernel; recommended for grids of cheap cells, where "
+            "per-cell dispatch would dominate (results are identical)"
+        ),
+    )
+    parser.add_argument(
         "--detail",
         choices=["full", "lite"],
         default="lite",
@@ -274,7 +285,11 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
                     "'shards/<grid fingerprint>' subdirectory is used)"
                 )
             backend = ShardedBackend(
-                shard_index, shard_count, spill_dir, workers=args.workers
+                shard_index,
+                shard_count,
+                spill_dir,
+                workers=args.workers,
+                batch_size=args.batch_size,
             )
         print(grid.describe())
         result = run_sweep(
@@ -283,6 +298,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             trace_detail=args.detail,
             backend=backend,
             cache=store,
+            batch_size=args.batch_size,
         )
     except (ValueError, TypeError) as exc:
         print(f"sweep error: {exc}", file=sys.stderr)

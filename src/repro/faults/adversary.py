@@ -11,6 +11,7 @@ moments.
 from __future__ import annotations
 
 import random
+from collections.abc import Iterable
 
 from .movement import MovementStrategy, StaticAgents
 from .value_strategies import SplitAttack, ValueStrategy
@@ -48,6 +49,26 @@ class Adversary:
         """Message a faulty ``sender`` sends to ``recipient`` (None = symmetric)."""
         return self.values.attack_message(view, sender, recipient)
 
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        """A faulty ``sender``'s whole per-recipient outbox in one call.
+
+        Bit-identical to calling :meth:`attack_message` per recipient in
+        order (see :meth:`ValueStrategy.attack_outbox`); the fault
+        controllers use this batch form on their hot path.  A subclass
+        that overrides the per-message :meth:`attack_message` is still
+        honoured: the batch form detects the override and loops through
+        it.
+        """
+        if type(self).attack_message is not Adversary.attack_message:
+            attack = self.attack_message
+            return {
+                recipient: attack(view, sender, recipient)
+                for recipient in recipients
+            }
+        return self.values.attack_outbox(view, sender, recipients)
+
     def departure_value(self, view: AdversaryView, pid: int) -> float:
         """Memory contents the agent leaves behind when departing ``pid``."""
         return self.values.departure_value(view, pid)
@@ -57,6 +78,35 @@ class Adversary:
     ) -> float:
         """M3 planted-queue message from cured ``sender`` to ``recipient``."""
         return self.values.planted_message(view, sender, recipient)
+
+    def planted_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        """A cured ``sender``'s whole M3 planted queue in one call."""
+        if type(self).planted_message is not Adversary.planted_message:
+            planted = self.planted_message
+            return {
+                recipient: planted(view, sender, recipient)
+                for recipient in recipients
+            }
+        return self.values.planted_outbox(view, sender, recipients)
+
+    @property
+    def shares_round_outboxes(self) -> bool:
+        """Whether one outbox per round serves every sender.
+
+        True when the value strategy declares itself sender-agnostic
+        (see :attr:`ValueStrategy.sender_agnostic`) and no subclass
+        re-routed the per-message hooks.  Fault controllers then build
+        each round's attack (and planted) outbox once and share the
+        mapping across all faulty (cured) processes -- the values are
+        identical by the sender-agnostic contract.
+        """
+        return (
+            self.values.sender_agnostic
+            and type(self).attack_message is Adversary.attack_message
+            and type(self).planted_message is Adversary.planted_message
+        )
 
     def corrupted_compute(self, view: AdversaryView, pid: int) -> float:
         """State an occupied process's computation phase ends with."""

@@ -23,6 +23,7 @@ view's seeded ``rng``), so simulations replay exactly.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Iterable
 
 from .view import AdversaryView
 
@@ -41,11 +42,61 @@ __all__ = [
 class ValueStrategy(ABC):
     """Base class for Byzantine value choices."""
 
+    #: Whether this strategy's attack/planted messages depend only on
+    #: the view and the recipient -- never on the *sender* -- and
+    #: consume no per-call randomness.  When True, every faulty sender
+    #: of a round emits the same outbox, so the fault controller builds
+    #: it once and shares it across all agents (the round-planning hot
+    #: path is O(n) instead of O(n*f) for such strategies).  Strategies
+    #: that read ``sender`` or draw from ``view.rng`` per message must
+    #: leave this False.
+    sender_agnostic: bool = False
+
     @abstractmethod
     def attack_message(
         self, view: AdversaryView, sender: int, recipient: int | None
     ) -> float:
         """Value a faulty ``sender`` sends to ``recipient`` (None = to all)."""
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        """The whole per-recipient outbox of a faulty ``sender``.
+
+        Semantically exactly ``{q: attack_message(view, sender, q) for q
+        in recipients}`` -- same values, same recipient order, same rng
+        consumption -- but overridable as one batch so the fault
+        controller's hot path (every agent emits ``n`` messages per
+        round) skips the per-message call chain.  Concrete strategies
+        override this with a fused loop; any override MUST stay
+        bit-identical to the per-message form, which the strategy test
+        suite asserts.
+        """
+        attack = self.attack_message
+        return {
+            recipient: attack(view, sender, recipient)
+            for recipient in recipients
+        }
+
+    def planted_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        """The whole M3 planted queue of a cured ``sender``.
+
+        Batch counterpart of :meth:`planted_message` with the same
+        bit-identity contract as :meth:`attack_outbox`.  When
+        :meth:`planted_message` is not overridden it delegates
+        per-message to :meth:`attack_message`, so the batch form can
+        reuse :meth:`attack_outbox` wholesale; strategies that *do*
+        customize the planted queue fall back to the per-message loop.
+        """
+        if type(self).planted_message is ValueStrategy.planted_message:
+            return self.attack_outbox(view, sender, recipients)
+        planted = self.planted_message
+        return {
+            recipient: planted(view, sender, recipient)
+            for recipient in recipients
+        }
 
     def departure_value(self, view: AdversaryView, pid: int) -> float:
         """Memory value the agent leaves behind on departure from ``pid``.
@@ -80,6 +131,8 @@ class ValueStrategy(ABC):
 class FixedValue(ValueStrategy):
     """Always say the same constant -- the simplest symmetric lie."""
 
+    sender_agnostic = True
+
     def __init__(self, value: float) -> None:
         self.value = float(value)
 
@@ -87,6 +140,11 @@ class FixedValue(ValueStrategy):
         self, view: AdversaryView, sender: int, recipient: int | None
     ) -> float:
         return self.value
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        return dict.fromkeys(recipients, self.value)
 
     def describe(self) -> str:
         return f"fixed({self.value:g})"
@@ -108,6 +166,8 @@ class SplitAttack(ValueStrategy):
     scenarios with a fixed [0, 1] input range).
     """
 
+    sender_agnostic = True
+
     def __init__(self, low: float | None = None, high: float | None = None) -> None:
         self.low = low
         self.high = high
@@ -128,6 +188,25 @@ class SplitAttack(ValueStrategy):
             return low if recipient % 2 == 0 else high
         return low if recipient_value <= interval.midpoint() else high
 
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        interval = view.correct_range()
+        low = interval.low if self.low is None else self.low
+        high = interval.high if self.high is None else self.high
+        midpoint = interval.midpoint()
+        values = view.values
+        outbox = {}
+        for recipient in recipients:
+            recipient_value = values.get(recipient)
+            if recipient_value is None:
+                outbox[recipient] = low if recipient % 2 == 0 else high
+            else:
+                outbox[recipient] = (
+                    low if recipient_value <= midpoint else high
+                )
+        return outbox
+
     def describe(self) -> str:
         if self.low is None and self.high is None:
             return "split(range)"
@@ -142,6 +221,8 @@ class OutlierAttack(ValueStrategy):
     sign alternates with the recipient id so both ends are attacked.
     """
 
+    sender_agnostic = True
+
     def __init__(self, magnitude: float = 1e6) -> None:
         if magnitude <= 0:
             raise ValueError("magnitude must be positive")
@@ -154,6 +235,17 @@ class OutlierAttack(ValueStrategy):
         if recipient is None or recipient % 2 == 0:
             return interval.high + self.magnitude
         return interval.low - self.magnitude
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        interval = view.correct_range()
+        above = interval.high + self.magnitude
+        below = interval.low - self.magnitude
+        return {
+            recipient: above if recipient % 2 == 0 else below
+            for recipient in recipients
+        }
 
     def describe(self) -> str:
         return f"outlier({self.magnitude:g})"
@@ -193,10 +285,17 @@ class EchoCorrect(ValueStrategy):
     worst-case adversaries, not averages.
     """
 
+    sender_agnostic = True
+
     def attack_message(
         self, view: AdversaryView, sender: int, recipient: int | None
     ) -> float:
         return view.correct_midpoint()
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        return dict.fromkeys(recipients, view.correct_midpoint())
 
     def describe(self) -> str:
         return "echo-correct"
@@ -214,11 +313,20 @@ class OscillatingAttack(ValueStrategy):
     moving agents.
     """
 
+    sender_agnostic = True
+
     def attack_message(
         self, view: AdversaryView, sender: int, recipient: int | None
     ) -> float:
         interval = view.correct_range()
         return interval.low if view.round_index % 2 == 0 else interval.high
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        interval = view.correct_range()
+        value = interval.low if view.round_index % 2 == 0 else interval.high
+        return dict.fromkeys(recipients, value)
 
     def describe(self) -> str:
         return "oscillating"
@@ -237,6 +345,8 @@ class InertiaAttack(ValueStrategy):
     never flag them).
     """
 
+    sender_agnostic = True
+
     def attack_message(
         self, view: AdversaryView, sender: int, recipient: int | None
     ) -> float:
@@ -249,6 +359,21 @@ class InertiaAttack(ValueStrategy):
         # faulty processes must not leak outliers through this path.
         interval = view.correct_range()
         return min(max(value, interval.low), interval.high)
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        interval = view.correct_range()
+        low, high = interval.low, interval.high
+        midpoint = interval.midpoint()
+        values = view.values
+        outbox = {}
+        for recipient in recipients:
+            value = values.get(recipient)
+            outbox[recipient] = (
+                midpoint if value is None else min(max(value, low), high)
+            )
+        return outbox
 
     def describe(self) -> str:
         return "inertia"

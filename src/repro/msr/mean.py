@@ -8,7 +8,9 @@ algorithm description strings stay faithful to the construction.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from .multiset import ValueMultiset
 
@@ -26,6 +28,17 @@ class Combiner(ABC):
     def describe(self) -> str:
         """A short human-readable description used in tables and repr."""
 
+    def flat_combine(self, selected: Sequence[float]) -> float:
+        """Combine a sorted, non-empty flat sequence of selected values.
+
+        The flat counterpart of :meth:`__call__` for the round kernel's
+        hot path; must be bit-identical to wrapping ``selected`` in a
+        :class:`ValueMultiset` and calling the combiner.  Combiners
+        without a flat form do not override this; the kernel detects
+        the absence and falls back wholesale.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -35,6 +48,11 @@ class ArithmeticMean(Combiner):
 
     def __call__(self, multiset: ValueMultiset) -> float:
         return multiset.mean()
+
+    def flat_combine(self, selected: Sequence[float]) -> float:
+        # math.fsum is exactly rounded, so this matches
+        # ValueMultiset.mean() bit for bit regardless of container.
+        return math.fsum(selected) / len(selected)
 
     def describe(self) -> str:
         return "arithmetic mean"
@@ -58,6 +76,12 @@ class MedianCombiner(Combiner):
 
     def __call__(self, multiset: ValueMultiset) -> float:
         return multiset.median()
+
+    def flat_combine(self, selected: Sequence[float]) -> float:
+        mid = len(selected) // 2
+        if len(selected) % 2 == 1:
+            return selected[mid]
+        return (selected[mid - 1] + selected[mid]) / 2.0
 
     def describe(self) -> str:
         return "median"

@@ -15,6 +15,8 @@ described, compared and registered by name.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import bisect_left, bisect_right
+from collections.abc import Sequence
 
 from .multiset import Interval, ValueMultiset
 
@@ -36,6 +38,24 @@ class Reduction(ABC):
     @abstractmethod
     def describe(self) -> str:
         """A short human-readable description used in tables and repr."""
+
+    def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
+        """Index bounds ``(lo, hi)`` of the reduced slice of ``values``.
+
+        The flat counterpart of :meth:`__call__` for the round kernel's
+        hot path: every reduction in this module keeps a *contiguous*
+        run of the sorted input, so the reduced multiset is fully
+        described by a half-open index range into the sorted array --
+        no :class:`ValueMultiset` needs to be materialized.  Returning
+        ``None`` signals "no flat answer for this input" (e.g. the
+        input is below the resilience bound) and sends the caller down
+        the object path, which raises the canonical error.
+
+        Reductions that do not keep a contiguous slice must not
+        override this; the kernel detects the absence of an override
+        and falls back to the object path wholesale.
+        """
+        raise NotImplementedError
 
     def minimum_input_size(self) -> int:
         """Smallest multiset size this reduction can be applied to."""
@@ -68,6 +88,11 @@ class TrimExtremes(Reduction):
             )
         return multiset.trim(self.tau, self.tau)
 
+    def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
+        if len(values) < 2 * self.tau + 1:
+            return None
+        return self.tau, len(values) - self.tau
+
     def minimum_input_size(self) -> int:
         return 2 * self.tau + 1
 
@@ -86,6 +111,9 @@ class IdentityReduction(Reduction):
 
     def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
         return multiset
+
+    def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
+        return 0, len(values)
 
     def describe(self) -> str:
         return "identity"
@@ -112,6 +140,14 @@ class TrimOutsideInterval(Reduction):
     def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
         kept = [v for v in multiset if self.interval.contains(v)]
         return ValueMultiset.from_sorted(kept)
+
+    def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
+        # The values inside a closed interval form a contiguous run of
+        # the sorted input.
+        return (
+            bisect_left(values, self.interval.low),
+            bisect_right(values, self.interval.high),
+        )
 
     def describe(self) -> str:
         return f"keep values in [{self.interval.low:g}, {self.interval.high:g}]"

@@ -15,6 +15,7 @@ give different convergence rates:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Sequence
 
 from .multiset import ValueMultiset
 
@@ -38,6 +39,24 @@ class Selection(ABC):
     def describe(self) -> str:
         """A short human-readable description used in tables and repr."""
 
+    def flat_select(
+        self, values: Sequence[float], lo: int, hi: int
+    ) -> Sequence[float]:
+        """Selected values from the reduced slice ``values[lo:hi]``.
+
+        The flat counterpart of :meth:`__call__` for the round kernel's
+        hot path: the reduction stage describes its output as an index
+        range into the sorted array, and the selection picks straight
+        from that range.  The returned sequence is sorted ascending
+        (selections pick by increasing index) and is never retained by
+        the caller, so a view into ``values`` is fine.  ``hi > lo`` is
+        the caller's responsibility -- empty reductions go down the
+        object path to raise the canonical error.  Selections without a
+        flat form simply do not override this; the kernel detects the
+        absence and falls back wholesale.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -56,6 +75,11 @@ class SelectAll(Selection):
     def __call__(self, multiset: ValueMultiset) -> ValueMultiset:
         self._require_nonempty(multiset)
         return multiset
+
+    def flat_select(
+        self, values: Sequence[float], lo: int, hi: int
+    ) -> Sequence[float]:
+        return values[lo:hi]
 
     def describe(self) -> str:
         return "all"
@@ -80,6 +104,13 @@ class SelectExtremes(Selection):
         if len(multiset) == 1:
             return multiset
         return ValueMultiset.from_trusted_floats((multiset.min(), multiset.max()))
+
+    def flat_select(
+        self, values: Sequence[float], lo: int, hi: int
+    ) -> Sequence[float]:
+        if hi - lo == 1:
+            return (values[lo],)
+        return (values[lo], values[hi - 1])
 
     def describe(self) -> str:
         return "extremes (min, max)"
@@ -116,6 +147,14 @@ class SelectEvery(Selection):
             indices.append(last)
         return multiset.select_indices(indices)
 
+    def flat_select(
+        self, values: Sequence[float], lo: int, hi: int
+    ) -> Sequence[float]:
+        picked = [values[index] for index in range(lo, hi, self.step)]
+        if self.include_last and (hi - lo - 1) % self.step != 0:
+            picked.append(values[hi - 1])
+        return picked
+
     def describe(self) -> str:
         suffix = " (+last)" if self.include_last else ""
         return f"every {self.step}-th{suffix}"
@@ -145,6 +184,14 @@ class SelectMedian(Selection):
         if len(multiset) % 2 == 1:
             return multiset.select_indices([mid])
         return multiset.select_indices([mid - 1, mid])
+
+    def flat_select(
+        self, values: Sequence[float], lo: int, hi: int
+    ) -> Sequence[float]:
+        mid = lo + (hi - lo) // 2
+        if (hi - lo) % 2 == 1:
+            return (values[mid],)
+        return (values[mid - 1], values[mid])
 
     def describe(self) -> str:
         return "median"

@@ -13,11 +13,17 @@ from .controllers import (
     RoundPlan,
     StaticMixedController,
 )
+from .kernel import RoundKernel, compile_msr, distinct_inbox_groups
 from .network import Message, RoundDelivery, SynchronousNetwork
 from .protocol import MSRVotingProtocol, VotingProtocol
 from .rng import derive_rng, spawn_seeds
 from .serialize import dump_trace, load_trace, trace_from_dict, trace_to_dict
-from .simulator import SynchronousSimulator, TraceDetail, run_simulation
+from .simulator import (
+    SynchronousSimulator,
+    TraceDetail,
+    run_simulation,
+    simulate_batch,
+)
 from .termination import (
     EstimatedRounds,
     FixedRounds,
@@ -47,6 +53,10 @@ __all__ = [
     "rounds_to_reach",
     "SynchronousSimulator",
     "run_simulation",
+    "simulate_batch",
+    "RoundKernel",
+    "compile_msr",
+    "distinct_inbox_groups",
     "TraceDetail",
     "RoundRecord",
     "Trace",

@@ -59,6 +59,15 @@ def _checked_value(value: float, context: str) -> float:
     return value
 
 
+def _float_outbox(outbox: dict[int, float]) -> dict[int, float]:
+    """Coerce every outbox entry to ``float``, preserving order.
+
+    Matches the per-message ``float(attack(...))`` coercion of the
+    pre-batch controllers, so strategies returning ints keep working.
+    """
+    return {recipient: float(value) for recipient, value in outbox.items()}
+
+
 def _checked_outbox(outbox: dict[int, float], context: str) -> dict[int, float]:
     """Validate a whole per-recipient map in one C-level pass.
 
@@ -216,25 +225,44 @@ class MobileFaultController(FaultController):
         attack_values.update(memory_corruptions)
         attack_view = self._view(round_index, attack_values, positions, cured, rng)
 
+        # Sender-agnostic strategies emit the same outbox from every
+        # agent, so one shared mapping per round serves all of them
+        # (the values would be identical anyway; sharing skips the
+        # rebuild per sender).
+        shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
-        attack = self.adversary.attack_message
+        attack_outbox = self.adversary.attack_outbox
         recipients = range(self.n)
+        shared_attack: Mapping[int, float] | None = None
         for pid in positions:
-            send_overrides[pid] = MappingProxyType(
-                _checked_outbox(
-                    {q: float(attack(attack_view, pid, q)) for q in recipients},
-                    f"attack message p{pid}",
-                )
-            )
-        if self.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
-            planted = self.adversary.planted_message
-            for pid in cured:
-                send_overrides[pid] = MappingProxyType(
+            if shared_attack is None:
+                shared_attack = MappingProxyType(
                     _checked_outbox(
-                        {q: float(planted(attack_view, pid, q)) for q in recipients},
-                        f"planted message p{pid}",
+                        _float_outbox(
+                            attack_outbox(attack_view, pid, recipients)
+                        ),
+                        f"attack message p{pid}",
                     )
                 )
+            send_overrides[pid] = shared_attack
+            if not shared:
+                shared_attack = None
+        if self.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
+            planted_outbox = self.adversary.planted_outbox
+            shared_planted: Mapping[int, float] | None = None
+            for pid in cured:
+                if shared_planted is None:
+                    shared_planted = MappingProxyType(
+                        _checked_outbox(
+                            _float_outbox(
+                                planted_outbox(attack_view, pid, recipients)
+                            ),
+                            f"planted message p{pid}",
+                        )
+                    )
+                send_overrides[pid] = shared_planted
+                if not shared:
+                    shared_planted = None
 
         compute_corruptions = {
             pid: _checked_value(
@@ -264,17 +292,24 @@ class MobileFaultController(FaultController):
             hosts = self._positions
 
         attack_view = self._view(round_index, values, hosts, frozenset(), rng)
-        attack = self.adversary.attack_message
+        attack_outbox = self.adversary.attack_outbox
         recipients = range(self.n)
-        send_overrides = {
-            pid: MappingProxyType(
-                _checked_outbox(
-                    {q: float(attack(attack_view, pid, q)) for q in recipients},
-                    f"attack message p{pid}",
+        shared = self.adversary.shares_round_outboxes
+        send_overrides: dict[int, Mapping[int, float]] = {}
+        shared_attack: Mapping[int, float] | None = None
+        for pid in hosts:
+            if shared_attack is None:
+                shared_attack = MappingProxyType(
+                    _checked_outbox(
+                        _float_outbox(
+                            attack_outbox(attack_view, pid, recipients)
+                        ),
+                        f"attack message p{pid}",
+                    )
                 )
-            )
-            for pid in hosts
-        }
+            send_overrides[pid] = shared_attack
+            if not shared:
+                shared_attack = None
 
         # Agents ride the messages to their next hosts, whose computation
         # phase this round is under agent control.  Vacated hosts are
@@ -376,29 +411,41 @@ class StaticMixedController(FaultController):
             rng=rng,
         )
 
+        shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
         forced_silent: set[int] = set()
+        shared_symmetric: Mapping[int, float] | None = None
+        shared_asymmetric: Mapping[int, float] | None = None
         for pid, fault_class in self._classes.items():
             if fault_class is FaultClass.BENIGN:
                 forced_silent.add(pid)
             elif fault_class is FaultClass.SYMMETRIC:
-                value = _checked_value(
-                    self.adversary.attack_message(view, pid, None),
-                    f"symmetric message from p{pid}",
-                )
-                send_overrides[pid] = _frozen_mapping(
-                    {q: value for q in range(self.n)}
-                )
-            else:
-                send_overrides[pid] = MappingProxyType(
-                    _checked_outbox(
-                        {
-                            q: float(self.adversary.attack_message(view, pid, q))
-                            for q in range(self.n)
-                        },
-                        f"attack message p{pid}",
+                if shared_symmetric is None:
+                    value = _checked_value(
+                        self.adversary.attack_message(view, pid, None),
+                        f"symmetric message from p{pid}",
                     )
-                )
+                    shared_symmetric = _frozen_mapping(
+                        {q: value for q in range(self.n)}
+                    )
+                send_overrides[pid] = shared_symmetric
+                if not shared:
+                    shared_symmetric = None
+            else:
+                if shared_asymmetric is None:
+                    shared_asymmetric = MappingProxyType(
+                        _checked_outbox(
+                            _float_outbox(
+                                self.adversary.attack_outbox(
+                                    view, pid, range(self.n)
+                                )
+                            ),
+                            f"attack message p{pid}",
+                        )
+                    )
+                send_overrides[pid] = shared_asymmetric
+                if not shared:
+                    shared_asymmetric = None
 
         compute_corruptions = {
             pid: _checked_value(

@@ -1,0 +1,315 @@
+"""The round kernel: the trace-lite receive+compute hot path.
+
+Profiling the sweep engine (``results/perf.txt``) showed the lite path
+spending nearly all of its time in the per-round inner loop: ``n`` MSR
+evaluations, each allocating a :class:`~repro.msr.multiset.ValueMultiset`
+chain (received, reduced, selected) over a copy-sorted inbox list.  That
+cost is quadratic in ``n`` and collapses throughput at paper-scale
+system sizes.  This module rebuilds that loop around two observations:
+
+**Distinct inboxes.**  In the paper's model every correct process
+*broadcasts* one value per round, so all recipients share one broadcast
+multiset; only the per-recipient send overrides of faulty processes
+differentiate inboxes.  And the MSR function ``F(N) = mean(Sel(Red(N)))``
+is pid-independent (paper Section 4), so two recipients with the same
+effective inbox compute the same value.  The kernel therefore groups
+recipients by their override delta and evaluates once per *distinct
+inbox* -- ``O(1 + #distinct override deltas)`` MSR evaluations per round
+instead of ``O(n)``.  A symmetric attack yields one group; the classic
+split attack yields three (broadcast-only, low camp, high camp) no
+matter how large ``n`` grows.
+
+**Flat-array multiset math.**  Every reduction in :mod:`repro.msr`
+keeps a contiguous run of the sorted inbox, so ``Red`` is an index
+range, ``Sel`` picks straight from that range, and ``mean`` folds the
+picks -- no intermediate multiset objects.  The stage classes expose
+this as ``flat_bounds`` / ``flat_select`` / ``flat_combine`` hooks, and
+:func:`compile_msr` fuses them into one flat evaluator per algorithm.
+Override inboxes are assembled by ``bisect.insort`` into one reused
+buffer instead of copy-sorting the whole broadcast list per recipient.
+
+Both layers are bit-identical to the object path: ``math.fsum`` is
+exactly rounded (container-independent), selections pick by increasing
+index from a sorted array, and degenerate inputs (empty inbox, size
+below the resilience bound) fall back to the object path so canonical
+errors are raised verbatim.  The equivalence suite runs every scenario
+family with each layer toggled off to prove it.
+
+A :class:`RoundKernel` owns only reusable scratch state, so one
+instance can serve many simulations: ``simulate_batch`` and the sweep
+backends' ``batch_size`` run whole batches of cells on shared buffers.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections.abc import Callable, Mapping, Sequence
+
+from ..msr.base import MSRFunction
+from ..msr.mean import Combiner
+from ..msr.multiset import ValueMultiset
+from ..msr.reduce import Reduction
+from ..msr.select import Selection
+from .protocol import VotingProtocol
+
+__all__ = [
+    "RoundKernel",
+    "compile_msr",
+    "distinct_inbox_groups",
+    "inbox_key",
+]
+
+#: A compiled, pid-independent computation-phase evaluator: maps a
+#: sorted inbox (list or tuple of floats) to the next voted value.
+FlatEvaluator = Callable[[Sequence[float]], float]
+
+#: Sentinel marking "this override outbox does not target this pid" in
+#: grouping keys; distinct from every float.
+_MISSING = object()
+
+
+def _overrides_flat_hook(instance: object, base: type, name: str) -> bool:
+    """Whether ``instance``'s class provides its own flat hook."""
+    return getattr(type(instance), name) is not getattr(base, name)
+
+
+def compile_msr(function: MSRFunction) -> FlatEvaluator | None:
+    """Fuse an MSR function's stages into one flat evaluator.
+
+    Returns ``None`` when any stage lacks a flat hook (a custom
+    reduction/selection/combiner outside :mod:`repro.msr`); callers
+    then stay on the :meth:`~repro.msr.base.MSRFunction.apply_value`
+    object path.  The returned evaluator is bit-identical to
+    ``function.apply_value(ValueMultiset.from_trusted_floats(inbox))``
+    for every sorted inbox, including raised errors: degenerate inputs
+    are delegated to the object path verbatim.
+    """
+    reduction = function.reduction
+    selection = function.selection
+    combiner = function.combiner
+    if not (
+        _overrides_flat_hook(reduction, Reduction, "flat_bounds")
+        and _overrides_flat_hook(selection, Selection, "flat_select")
+        and _overrides_flat_hook(combiner, Combiner, "flat_combine")
+    ):
+        return None
+    flat_bounds = reduction.flat_bounds
+    flat_select = selection.flat_select
+    flat_combine = combiner.flat_combine
+    apply_value = function.apply_value
+    wrap = ValueMultiset.from_trusted_floats
+
+    def evaluate(inbox: Sequence[float]) -> float:
+        if inbox:
+            bounds = flat_bounds(inbox)
+            if bounds is not None:
+                lo, hi = bounds
+                if hi > lo:
+                    return flat_combine(flat_select(inbox, lo, hi))
+        # Empty inbox, below the resilience bound, or a reduction that
+        # emptied the multiset: take the object path so its canonical
+        # errors surface unchanged.
+        return apply_value(wrap(inbox))
+
+    return evaluate
+
+
+def inbox_key(
+    pid: int, override_outboxes: Sequence[Mapping[int, float]]
+) -> tuple[float, ...]:
+    """The override delta recipient ``pid`` sees, as a grouping key.
+
+    Two recipients receive the same effective inbox if and only if they
+    see the same shared broadcast list (always true) and the same
+    sequence of override values -- this tuple.  Outbox order is the
+    plan's iteration order, identical for every recipient of a round.
+    """
+    return tuple(
+        float(outbox[pid]) for outbox in override_outboxes if pid in outbox
+    )
+
+
+def distinct_inbox_groups(
+    n: int,
+    override_outboxes: Sequence[Mapping[int, float]] | None,
+    excluded: frozenset[int] | set[int] = frozenset(),
+) -> dict[tuple[float, ...], list[int]]:
+    """Group recipients ``0..n-1`` by their effective-inbox key.
+
+    ``excluded`` names recipients that skip the computation phase
+    (occupied processes).  Every pid in a group sees exactly the same
+    multiset during the receive phase; the kernel's grouped loop is the
+    single-pass equivalent of evaluating one representative per group.
+    Exposed for the property tests that pin down the grouping
+    invariant.
+    """
+    groups: dict[tuple[float, ...], list[int]] = {}
+    for pid in range(n):
+        if pid in excluded:
+            continue
+        key = inbox_key(pid, override_outboxes) if override_outboxes else ()
+        group = groups.get(key)
+        if group is None:
+            groups[key] = [pid]
+        else:
+            group.append(pid)
+    return groups
+
+
+class RoundKernel:
+    """Reusable engine for the lite computation phase of one round.
+
+    Holds only scratch state (the insort buffer), so a single instance
+    can be shared across rounds, simulations and whole sweep batches.
+    The two toggles exist for the equivalence suite: with both off the
+    kernel degrades to the pre-kernel per-recipient object path, which
+    the tests use as the in-tree reference implementation.
+
+    Parameters
+    ----------
+    group_inboxes:
+        Evaluate once per distinct effective inbox (requires the
+        protocol to declare ``pid_independent_compute``) instead of
+        once per recipient.
+    flat_msr:
+        Evaluate MSR functions through :func:`compile_msr`'s flat
+        evaluator instead of the ``ValueMultiset`` object path.
+    """
+
+    __slots__ = ("group_inboxes", "flat_msr", "_buffer")
+
+    def __init__(
+        self, *, group_inboxes: bool = True, flat_msr: bool = True
+    ) -> None:
+        self.group_inboxes = group_inboxes
+        self.flat_msr = flat_msr
+        self._buffer: list[float] = []
+
+    def prepare(self, protocol: VotingProtocol) -> FlatEvaluator | None:
+        """Resolve the flat evaluator for a run's protocol (or ``None``).
+
+        Called once per simulation, not per round: compilation is cheap
+        but not free, and the evaluator is immutable.
+        """
+        if not (self.flat_msr and protocol.pid_independent_compute):
+            return None
+        function = getattr(protocol, "function", None)
+        if not isinstance(function, MSRFunction):
+            return None
+        return compile_msr(function)
+
+    def compute_phase(
+        self,
+        protocol: VotingProtocol,
+        evaluate: FlatEvaluator | None,
+        n: int,
+        broadcasts: list[float],
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+        compute_corruptions: Mapping[int, float],
+        values: dict[int, float],
+        need_diameter: bool,
+    ) -> float:
+        """Run the receive+compute phase for every non-occupied process.
+
+        ``broadcasts`` is the round's sorted shared broadcast list;
+        ``override_outboxes`` the per-recipient override maps (or
+        ``None``); ``evaluate`` the evaluator from :meth:`prepare`.
+        Writes each computed value into ``values`` and returns the
+        maximum received-multiset diameter (0.0 unless
+        ``need_diameter``, which only the first round asks for).
+        """
+        grouped = self.group_inboxes and protocol.pid_independent_compute
+        compute_value = protocol.compute_value
+        wrap = ValueMultiset.from_trusted_floats
+        buffer = self._buffer
+        max_diameter = 0.0
+
+        if grouped:
+            # One evaluation per distinct inbox, fanned out to every
+            # recipient of the group in ascending pid order (so any
+            # evaluation error surfaces at the same pid as the
+            # per-recipient path).  Override maps are deduplicated by
+            # identity first: controllers share one outbox across all
+            # sender-agnostic agents, collapsing the per-recipient
+            # grouping key from ``f`` lookups to one.
+            unique: list[Mapping[int, float]] = []
+            slots: list[int] = []
+            if override_outboxes:
+                index_of: dict[int, int] = {}
+                for outbox in override_outboxes:
+                    index = index_of.get(id(outbox))
+                    if index is None:
+                        index = len(unique)
+                        index_of[id(outbox)] = index
+                        unique.append(outbox)
+                    slots.append(index)
+            single = unique[0] if len(unique) == 1 else None
+            cache: dict[tuple, tuple[float, float]] = {}
+            for pid in range(n):
+                if pid in compute_corruptions:
+                    continue
+                # The grouping key holds one entry per *unique* outbox;
+                # the slot list restores per-sender multiplicity when
+                # the inbox is materialized, so the key is exactly as
+                # discriminating as the full per-sender override tuple.
+                if single is not None:
+                    value = single.get(pid, _MISSING)
+                    key = (value if value is _MISSING else float(value),)
+                elif unique:
+                    key = tuple(
+                        value if value is _MISSING else float(value)
+                        for value in (
+                            outbox.get(pid, _MISSING) for outbox in unique
+                        )
+                    )
+                else:
+                    key = ()
+                hit = cache.get(key)
+                if hit is None:
+                    extras = [
+                        key[slot] for slot in slots
+                        if key[slot] is not _MISSING
+                    ]
+                    if extras:
+                        buffer[:] = broadcasts
+                        for value in extras:
+                            insort(buffer, value)
+                        inbox: Sequence[float] = buffer
+                    else:
+                        inbox = broadcasts
+                    result = (
+                        evaluate(inbox)
+                        if evaluate is not None
+                        else compute_value(pid, wrap(inbox))
+                    )
+                    diameter = inbox[-1] - inbox[0] if inbox else 0.0
+                    hit = (result, diameter)
+                    cache[key] = hit
+                values[pid] = hit[0]
+                if need_diameter and hit[1] > max_diameter:
+                    max_diameter = hit[1]
+            return max_diameter
+
+        # Per-recipient path: pid-dependent protocols, and the
+        # reference mode of the equivalence suite.
+        for pid in range(n):
+            if pid in compute_corruptions:
+                continue
+            if override_outboxes is not None:
+                buffer[:] = broadcasts
+                for outbox in override_outboxes:
+                    if pid in outbox:
+                        insort(buffer, float(outbox[pid]))
+                inbox = buffer
+            else:
+                inbox = broadcasts
+            values[pid] = (
+                evaluate(inbox)
+                if evaluate is not None
+                else compute_value(pid, wrap(inbox))
+            )
+            if need_diameter:
+                diameter = inbox[-1] - inbox[0] if inbox else 0.0
+                if diameter > max_diameter:
+                    max_diameter = diameter
+        return max_diameter

@@ -26,6 +26,13 @@ __all__ = ["VotingProtocol", "MSRVotingProtocol"]
 class VotingProtocol(ABC):
     """Abstract round behaviour of a non-faulty process."""
 
+    #: Whether :meth:`compute_value` depends only on the received
+    #: multiset, never on ``pid``.  The round kernel exploits this to
+    #: evaluate the computation phase once per *distinct inbox* instead
+    #: of once per process; protocols whose computation reads the
+    #: process identity must leave this ``False``.
+    pid_independent_compute: bool = False
+
     @abstractmethod
     def send_value(self, pid: int, value: float, aware_cured: bool) -> float | None:
         """Value to broadcast this round, or ``None`` to stay silent."""
@@ -45,6 +52,11 @@ class VotingProtocol(ABC):
 
 class MSRVotingProtocol(VotingProtocol):
     """The MSR voting protocol with the M1 cured-silence guard."""
+
+    # F_MSR(N) = mean(Sel(Red(N))) reads only the multiset (paper
+    # Section 4), which is what lets the kernel share one evaluation
+    # across every recipient of the same inbox.
+    pid_independent_compute = True
 
     def __init__(self, function: MSRFunction) -> None:
         self.function = function

@@ -37,6 +37,7 @@ diameter trajectories are bit-identical between the two modes.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from types import MappingProxyType
 from typing import Literal
 
@@ -49,28 +50,69 @@ from .controllers import (
     RoundPlan,
     StaticMixedController,
 )
+from .kernel import RoundKernel
 from .network import SynchronousNetwork
 from .protocol import MSRVotingProtocol, VotingProtocol
 from .rng import derive_rng
 from .trace import LiteTrace, RoundRecord, Trace
 
-__all__ = ["SynchronousSimulator", "run_simulation", "TraceDetail"]
+__all__ = [
+    "SynchronousSimulator",
+    "run_simulation",
+    "simulate_batch",
+    "TraceDetail",
+]
 
 TraceDetail = Literal["full", "lite"]
 
 
 def run_simulation(
-    config: SimulationConfig, trace_detail: TraceDetail = "full"
+    config: SimulationConfig,
+    trace_detail: TraceDetail = "full",
+    kernel: RoundKernel | None = None,
 ) -> Trace | LiteTrace:
-    """Build a simulator from ``config``, run it to completion."""
-    return SynchronousSimulator(config, trace_detail=trace_detail).run()
+    """Build a simulator from ``config``, run it to completion.
+
+    ``kernel`` optionally supplies a shared :class:`RoundKernel` so
+    callers running many lite simulations (sweep batches) reuse its
+    scratch buffers; omitted, each run gets a fresh one.
+    """
+    return SynchronousSimulator(
+        config, trace_detail=trace_detail, kernel=kernel
+    ).run()
+
+
+def simulate_batch(
+    configs: Iterable[SimulationConfig],
+    trace_detail: TraceDetail = "lite",
+    kernel: RoundKernel | None = None,
+) -> list[Trace | LiteTrace]:
+    """Run many configs through one shared round kernel.
+
+    The in-worker batching primitive of the sweep engine: one dispatch
+    runs every config back to back, so per-simulation buffers are
+    allocated once per batch instead of once per cell.  Results are
+    identical to running each config through :func:`run_simulation`
+    individually -- the kernel holds scratch state only, never
+    simulation state.
+    """
+    shared = kernel if kernel is not None else RoundKernel()
+    return [
+        SynchronousSimulator(
+            config, trace_detail=trace_detail, kernel=shared
+        ).run()
+        for config in configs
+    ]
 
 
 class SynchronousSimulator:
     """Drives one configured computation to its decision."""
 
     def __init__(
-        self, config: SimulationConfig, trace_detail: TraceDetail = "full"
+        self,
+        config: SimulationConfig,
+        trace_detail: TraceDetail = "full",
+        kernel: RoundKernel | None = None,
     ) -> None:
         config.validate()
         if trace_detail not in ("full", "lite"):
@@ -79,6 +121,7 @@ class SynchronousSimulator:
             )
         self.config = config
         self.trace_detail: TraceDetail = trace_detail
+        self.kernel = kernel if kernel is not None else RoundKernel()
         self.protocol: VotingProtocol = MSRVotingProtocol(config.algorithm)
         self.network = SynchronousNetwork(config.n)
         self.controller = self._build_controller(config)
@@ -187,7 +230,10 @@ class SynchronousSimulator:
         recording differs -- no message matrices, no MSR application
         snapshots, no mapping-proxy wrappers -- and the message exchange
         skips the network object's n^2 dictionary bookkeeping in favour
-        of one shared broadcast list per round.
+        of one shared broadcast list per round.  The receive+compute
+        inner loop is delegated to the :class:`RoundKernel`, which
+        evaluates the MSR function once per *distinct inbox* on flat
+        sorted arrays (see :mod:`repro.runtime.kernel`).
         """
         n = self.config.n
         termination = self.config.termination
@@ -195,6 +241,8 @@ class SynchronousSimulator:
         extents: list[tuple[float, float] | None] = []
         initially_nonfaulty = frozenset(range(n))
         positions_after: frozenset[int] = frozenset()
+        kernel = self.kernel
+        evaluate = kernel.prepare(self.protocol)
 
         for _ in range(self.config.max_rounds):
             round_index = self._round_index
@@ -210,26 +258,16 @@ class SynchronousSimulator:
             override_outboxes = list(overrides.values()) if overrides else None
             compute_corruptions = plan.compute_corruptions
             first_round = round_index == 0
-            max_received_diameter = 0.0
-            values = self._values
-            compute_value = self.protocol.compute_value
-            wrap = ValueMultiset.from_trusted_floats
-            for pid in range(n):
-                if pid in compute_corruptions:
-                    continue
-                inbox_values = broadcasts
-                if override_outboxes is not None:
-                    inbox_values = list(broadcasts)
-                    for outbox in override_outboxes:
-                        if pid in outbox:
-                            inbox_values.append(float(outbox[pid]))
-                    inbox_values.sort()
-                multiset = wrap(inbox_values)
-                values[pid] = compute_value(pid, multiset)
-                if first_round:
-                    diameter = multiset.diameter()
-                    if diameter > max_received_diameter:
-                        max_received_diameter = diameter
+            max_received_diameter = kernel.compute_phase(
+                self.protocol,
+                evaluate,
+                n,
+                broadcasts,
+                override_outboxes,
+                compute_corruptions,
+                self._values,
+                first_round,
+            )
             for pid, garbage in compute_corruptions.items():
                 self._values[pid] = garbage
 

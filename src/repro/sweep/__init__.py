@@ -25,7 +25,7 @@ from .backends import (
     merge_shards,
 )
 from .cache import SWEEP_SCHEMA_VERSION, CellStore
-from .engine import CellResult, run_cell, run_sweep
+from .engine import CellResult, run_cell, run_cell_batch, run_sweep
 from .grid import CellSpec, GridSpec
 from .probes import Probe, get_probe, register_probe
 from .scenarios import build_cell_config, mixed_stall_config, register_scenario
@@ -36,6 +36,7 @@ __all__ = [
     "CellResult",
     "SweepResult",
     "run_cell",
+    "run_cell_batch",
     "run_sweep",
     "SweepBackend",
     "SerialBackend",

@@ -56,6 +56,7 @@ __all__ = [
 ]
 
 CellRunner = Callable[["CellSpec"], "CellResult"]
+BatchRunner = Callable[[list["CellSpec"]], list["CellResult"]]
 
 _SHARD_FILE = re.compile(r"^shard-(\d{4})-of-(\d{4})\.json$")
 
@@ -97,10 +98,16 @@ class SweepBackend:
     """Base execution strategy; subclasses override :meth:`execute`.
 
     ``workers`` is the parallelism the backend reports into
-    ``SweepResult.workers`` (1 for serial execution).
+    ``SweepResult.workers`` (1 for serial execution).  ``batch_size``
+    switches the engine to :meth:`execute_batch`: cells are grouped
+    into batches of that size and each batch runs as *one* dispatch
+    through a shared round kernel (see
+    :func:`~repro.sweep.engine.run_cell_batch`), which amortizes
+    process dispatch and buffer setup over many cheap cells.
     """
 
     workers: int = 1
+    batch_size: int | None = None
 
     def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
         """The subset of the grid this invocation executes."""
@@ -110,6 +117,23 @@ class SweepBackend:
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
         raise NotImplementedError
+
+    def execute_batch(
+        self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
+    ) -> list["CellResult"]:
+        """Run the cells in batches of :attr:`batch_size` in-process.
+
+        The default executes each batch serially; pooled backends
+        override this to dispatch whole batches to workers.  Results
+        are bit-identical to per-cell :meth:`execute` -- batching only
+        changes how work is packaged.
+        """
+        size = self.batch_size or len(cells) or 1
+        return [
+            result
+            for start in range(0, len(cells), size)
+            for result in batch_runner(list(cells[start : start + size]))
+        ]
 
     def finalize(
         self,
@@ -136,15 +160,27 @@ class MultiprocessingBackend(SweepBackend):
     ``chunk_size`` defaults to ~4 chunks per worker, balancing
     scheduling overhead against stragglers.  Grids of one cell (or a
     single worker) run inline -- a pool cannot help there.
+    ``batch_size`` dispatches whole in-worker batches instead of
+    single cells: each batch is one pool task running ``batch_size``
+    cells on a shared round kernel, the fix for grids whose cells are
+    too cheap to amortize per-cell dispatch.
     """
 
-    def __init__(self, workers: int, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        chunk_size: int | None = None,
+        batch_size: int | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.batch_size = batch_size
 
     def execute(
         self, cells: Sequence["CellSpec"], runner: CellRunner
@@ -156,6 +192,25 @@ class MultiprocessingBackend(SweepBackend):
             chunk_size = max(1, math.ceil(len(cells) / (self.workers * 4)))
         with multiprocessing.Pool(processes=self.workers) as pool:
             return pool.map(runner, cells, chunksize=chunk_size)
+
+    def execute_batch(
+        self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
+    ) -> list["CellResult"]:
+        size = self.batch_size or len(cells) or 1
+        batches = [
+            list(cells[start : start + size])
+            for start in range(0, len(cells), size)
+        ]
+        if self.workers <= 1 or len(batches) <= 1:
+            return [
+                result for batch in batches for result in batch_runner(batch)
+            ]
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            return [
+                result
+                for batch_results in pool.map(batch_runner, batches, chunksize=1)
+                for result in batch_results
+            ]
 
 
 class ShardedBackend(SweepBackend):
@@ -180,6 +235,7 @@ class ShardedBackend(SweepBackend):
         spill_dir: str | Path,
         workers: int = 1,
         chunk_size: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         if shard_count < 1:
             raise ValueError(f"shard_count must be at least 1, got {shard_count}")
@@ -191,17 +247,21 @@ class ShardedBackend(SweepBackend):
             raise ValueError(
                 f"shard_count must be at most 9999, got {shard_count}"
             )
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.shard_index = shard_index
         self.shard_count = shard_count
         self.spill_dir = Path(spill_dir)
         self.workers = workers
+        self.batch_size = batch_size
         self._grid_fingerprint: str | None = None
         self._grid_size: int | None = None
         self._inner: SweepBackend = (
-            MultiprocessingBackend(workers, chunk_size)
+            MultiprocessingBackend(workers, chunk_size, batch_size)
             if workers > 1
             else SerialBackend()
         )
+        self._inner.batch_size = batch_size
 
     def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
         # The full grid's identity is stamped into the spill file so a
@@ -219,6 +279,11 @@ class ShardedBackend(SweepBackend):
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
         return self._inner.execute(cells, runner)
+
+    def execute_batch(
+        self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
+    ) -> list["CellResult"]:
+        return self._inner.execute_batch(cells, batch_runner)
 
     def shard_path(self, shard_index: int | None = None) -> Path:
         index = self.shard_index if shard_index is None else shard_index

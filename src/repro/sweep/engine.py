@@ -31,6 +31,7 @@ from functools import partial
 from pathlib import Path
 
 from ..core.specification import check_trace
+from ..runtime.kernel import RoundKernel
 from ..runtime.simulator import TraceDetail, run_simulation
 from .aggregate import SweepResult
 from .backends import MultiprocessingBackend, SerialBackend, SweepBackend
@@ -38,7 +39,7 @@ from .cache import CellStore
 from .grid import CellSpec, GridSpec
 from .probes import get_probe
 
-__all__ = ["CellResult", "run_cell", "run_sweep"]
+__all__ = ["CellResult", "run_cell", "run_cell_batch", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -92,13 +93,16 @@ def run_cell(
     cell: CellSpec,
     trace_detail: TraceDetail = "lite",
     probe: str | None = None,
+    kernel: RoundKernel | None = None,
 ) -> CellResult:
     """Execute one cell and condense its outcome.
 
     Runs in worker processes during parallel sweeps; everything it
     touches must be importable and picklable.  ``probe`` names a
     registered :class:`~repro.sweep.probes.Probe` whose output lands in
-    ``CellResult.extras``.
+    ``CellResult.extras``.  ``kernel`` optionally shares one
+    :class:`~repro.runtime.kernel.RoundKernel` across the cells of a
+    batch (results are identical with or without it).
     """
     probe_spec = get_probe(probe) if probe is not None else None
     try:
@@ -116,7 +120,7 @@ def run_cell(
             validity_ok=False,
             error=str(exc),
         )
-    trace = run_simulation(config, trace_detail=trace_detail)
+    trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
     verdict = check_trace(trace)
     extras = tuple(probe_spec.extract(trace)) if probe_spec is not None else ()
     return CellResult(
@@ -140,6 +144,7 @@ def _run_cell_cached(
     trace_detail: TraceDetail = "lite",
     probe: str | None = None,
     store: CellStore | None = None,
+    kernel: RoundKernel | None = None,
 ) -> CellResult:
     """Cache-through cell runner (module level so it pickles).
 
@@ -151,23 +156,64 @@ def _run_cell_cached(
     cached = store.load(cell, trace_detail, probe)
     if cached is not None:
         return cached
-    result = run_cell(cell, trace_detail=trace_detail, probe=probe)
+    result = run_cell(cell, trace_detail=trace_detail, probe=probe, kernel=kernel)
     store.save(result, trace_detail, probe)
     return result
 
 
+def run_cell_batch(
+    cells: list[CellSpec],
+    trace_detail: TraceDetail = "lite",
+    probe: str | None = None,
+    store: CellStore | None = None,
+) -> list[CellResult]:
+    """Execute a batch of cells in-process through one shared kernel.
+
+    The unit of work of batched backends (module level so it pickles):
+    one dispatch runs many cells back to back, reusing the round
+    kernel's scratch buffers and amortizing process dispatch overhead
+    over the whole batch.  Results are bit-identical to per-cell
+    execution -- the kernel carries no simulation state between cells.
+    """
+    kernel = RoundKernel()
+    if store is None:
+        return [
+            run_cell(cell, trace_detail=trace_detail, probe=probe, kernel=kernel)
+            for cell in cells
+        ]
+    return [
+        _run_cell_cached(
+            cell,
+            trace_detail=trace_detail,
+            probe=probe,
+            store=store,
+            kernel=kernel,
+        )
+        for cell in cells
+    ]
+
+
 def _resolve_backend(
-    backend: SweepBackend | str | None, workers: int, chunk_size: int | None
+    backend: SweepBackend | str | None,
+    workers: int,
+    chunk_size: int | None,
+    batch_size: int | None = None,
 ) -> SweepBackend:
     if backend is None:
-        if workers <= 1:
+        if workers <= 1 and batch_size is None:
             return SerialBackend()
-        return MultiprocessingBackend(workers, chunk_size)
+        if workers <= 1:
+            serial = SerialBackend()
+            serial.batch_size = batch_size
+            return serial
+        return MultiprocessingBackend(workers, chunk_size, batch_size)
     if isinstance(backend, str):
         if backend == "serial":
-            return SerialBackend()
+            serial = SerialBackend()
+            serial.batch_size = batch_size
+            return serial
         if backend == "multiprocessing":
-            return MultiprocessingBackend(max(workers, 1), chunk_size)
+            return MultiprocessingBackend(max(workers, 1), chunk_size, batch_size)
         if backend == "sharded":
             raise ValueError(
                 "the sharded backend needs shard parameters; pass a "
@@ -189,6 +235,7 @@ def run_sweep(
     backend: SweepBackend | str | None = None,
     cache: CellStore | str | Path | None = None,
     probe: str | None = None,
+    batch_size: int | None = None,
 ) -> SweepResult:
     """Run every cell of ``grid`` through a backend, via the cell cache.
 
@@ -201,9 +248,14 @@ def run_sweep(
     ``"multiprocessing"``.  ``cache`` -- a
     :class:`~repro.sweep.cache.CellStore` or a directory path -- is
     consulted before executing each cell and written through after.
-    Results are identical for every backend, worker count and cache
-    state, and sorted by cell key, so the returned
-    :class:`SweepResult` depends only on the grid.
+    ``batch_size`` switches execution to in-worker batches: one
+    dispatch runs that many cells through a shared round kernel, which
+    amortizes process dispatch on grids of cheap cells (see
+    :func:`run_cell_batch`); when an explicit backend *instance* is
+    passed, the instance's own ``batch_size`` attribute governs
+    batching instead.  Results are identical for every backend,
+    worker count, batch size and cache state, and sorted by cell key,
+    so the returned :class:`SweepResult` depends only on the grid.
     """
     if trace_detail not in ("full", "lite"):
         raise ValueError(
@@ -213,6 +265,8 @@ def run_sweep(
         raise ValueError(f"workers must be non-negative, got {workers}")
     if chunk_size is not None and chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if batch_size is not None and batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
     if probe is not None:
         probe_spec = get_probe(probe)
         if probe_spec.requires_full and trace_detail != "full":
@@ -227,16 +281,30 @@ def run_sweep(
             raise ValueError(f"duplicate grid cell: {cell.describe()}")
         seen.add(cell.key)
 
-    resolved = _resolve_backend(backend, workers, chunk_size)
+    resolved = _resolve_backend(backend, workers, chunk_size, batch_size)
     store = CellStore(cache) if isinstance(cache, (str, Path)) else cache
     selected = resolved.select(cells)
 
+    batched = getattr(resolved, "batch_size", None) is not None
     if store is None:
         runner = partial(run_cell, trace_detail=trace_detail, probe=probe)
-        results = resolved.execute(selected, runner)
+        batch_runner = partial(
+            run_cell_batch, trace_detail=trace_detail, probe=probe
+        )
+        results = (
+            resolved.execute_batch(selected, batch_runner)
+            if batched
+            else resolved.execute(selected, runner)
+        )
     else:
         runner = partial(
             _run_cell_cached,
+            trace_detail=trace_detail,
+            probe=probe,
+            store=store,
+        )
+        batch_runner = partial(
+            run_cell_batch,
             trace_detail=trace_detail,
             probe=probe,
             store=store,
@@ -250,5 +318,9 @@ def run_sweep(
                 hits.append(cached)
             else:
                 missing.append(cell)
-        results = hits + resolved.execute(missing, runner)
+        results = hits + (
+            resolved.execute_batch(missing, batch_runner)
+            if batched
+            else resolved.execute(missing, runner)
+        )
     return resolved.finalize(results, trace_detail, probe)

@@ -1,0 +1,405 @@
+"""The round kernel: equivalence, grouping and flat-math guarantees.
+
+The trace-lite hot path now runs through
+:class:`repro.runtime.kernel.RoundKernel`, which layers two
+optimizations over the per-recipient reference loop: distinct-inbox
+memoization and flat-array MSR evaluation.  Both must be *bit-identical*
+to the reference; this suite proves it three ways:
+
+* **scenario equivalence** -- every scenario family (mobile M1-M4,
+  static-mixed, stall, mixed-stall), every algorithm, and adversaries
+  with per-recipient send overrides and forced-silent processes, run
+  with each kernel layer toggled on and off, asserting identical
+  ``LiteTrace`` fields (and against the full-trace path);
+* **grouping property** -- randomized override patterns never let the
+  distinct-inbox grouping merge two recipients whose effective inboxes
+  differ;
+* **flat-math units** -- :func:`repro.runtime.kernel.compile_msr`
+  agrees with ``MSRFunction.apply_value`` on randomized multisets for
+  every registered algorithm, including error behaviour on degenerate
+  inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.helpers import make_mobile_config, small_grid
+
+from repro.faults.value_strategies import (
+    EchoCorrect,
+    FixedValue,
+    InertiaAttack,
+    OscillatingAttack,
+    OutlierAttack,
+    RandomNoise,
+    SplitAttack,
+)
+from repro.faults.view import AdversaryView
+from repro.msr.multiset import ValueMultiset
+from repro.msr.registry import make_algorithm
+from repro.runtime import (
+    RoundKernel,
+    compile_msr,
+    distinct_inbox_groups,
+    run_simulation,
+    simulate_batch,
+)
+from repro.runtime.kernel import inbox_key
+from repro.runtime.simulator import SynchronousSimulator
+from repro.sweep import CellSpec, run_cell
+
+KERNEL_MODES = [
+    pytest.param(dict(group_inboxes=False, flat_msr=False), id="reference"),
+    pytest.param(dict(group_inboxes=True, flat_msr=False), id="grouped"),
+    pytest.param(dict(group_inboxes=False, flat_msr=True), id="flat"),
+    pytest.param(dict(group_inboxes=True, flat_msr=True), id="grouped+flat"),
+]
+
+
+def _lite(config, **kernel_options):
+    simulator = SynchronousSimulator(
+        config, trace_detail="lite", kernel=RoundKernel(**kernel_options)
+    )
+    return simulator.run()
+
+
+def _assert_identical(trace, reference):
+    assert trace.round_extents == reference.round_extents
+    assert trace.decisions == reference.decisions
+    assert trace.initially_nonfaulty == reference.initially_nonfaulty
+    assert trace.terminated == reference.terminated
+    # Equality on floats tolerates -0.0 vs 0.0; reprs do not.
+    assert repr(trace.round_extents) == repr(reference.round_extents)
+    assert repr(sorted(trace.decisions.items())) == repr(
+        sorted(reference.decisions.items())
+    )
+
+
+def _scenario_cells():
+    """One cell per scenario family, with override-heavy adversaries."""
+    base = dict(
+        model="M1",
+        f=1,
+        n=None,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        epsilon=1e-3,
+        seed=3,
+        rounds=8,
+    )
+    cells = []
+    for model in ("M1", "M2", "M3", "M4"):
+        for attack in ("split", "outlier"):
+            cells.append(
+                CellSpec(**{**base, "model": model, "attack": attack})
+            )
+    # Static mixed: asymmetric (per-recipient overrides), symmetric
+    # (shared override) and benign (forced-silent) faults all at once.
+    cells.append(
+        CellSpec(
+            **{
+                **base,
+                "model": "static",
+                "f": 3,
+                "n": 12,
+                "scenario": "static-mixed",
+                "params": {"a": 1, "s": 1, "b": 1},
+            }
+        )
+    )
+    cells.append(CellSpec(**{**base, "scenario": "stall", "rounds": 12}))
+    cells.append(
+        CellSpec(
+            **{
+                **base,
+                "model": "static",
+                "f": 2,
+                "n": None,
+                "scenario": "mixed-stall",
+                "params": {"a": 1, "s": 1, "b": 0},
+            }
+        )
+    )
+    return cells
+
+
+class TestScenarioEquivalence:
+    """Kernel modes agree bit-for-bit across the whole scenario axis."""
+
+    @pytest.mark.parametrize(
+        "cell", _scenario_cells(), ids=lambda cell: cell.describe()
+    )
+    @pytest.mark.parametrize("options", KERNEL_MODES[1:])
+    def test_lite_traces_bit_identical(self, cell, options):
+        config = cell.to_config()
+        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        trace = _lite(config, **options)
+        _assert_identical(trace, reference)
+
+    @pytest.mark.parametrize(
+        "cell", _scenario_cells(), ids=lambda cell: cell.describe()
+    )
+    def test_matches_full_path(self, cell):
+        config = cell.to_config()
+        full = run_simulation(config, "full")
+        lite = run_simulation(config, "lite")
+        assert lite.decisions == full.decisions
+        assert lite.diameters() == full.diameters()
+        assert lite.rounds_executed() == full.rounds_executed()
+
+    @pytest.mark.parametrize("algorithm", ["ftm", "fta", "dolev", "median-trim"])
+    @pytest.mark.parametrize("options", KERNEL_MODES[1:])
+    def test_every_algorithm(self, algorithm, options):
+        config = make_mobile_config(
+            "M3", f=2, algorithm=algorithm, rounds=10, seed=1
+        )
+        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        _assert_identical(_lite(config, **options), reference)
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            SplitAttack(),
+            OutlierAttack(),
+            InertiaAttack(),
+            RandomNoise(),
+            FixedValue(0.25),
+            EchoCorrect(),
+            OscillatingAttack(),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_every_strategy(self, strategy):
+        config = make_mobile_config("M2", f=2, values=strategy, rounds=10, seed=7)
+        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        _assert_identical(_lite(config), reference)
+
+    def test_forced_silent_and_overrides_mixed(self):
+        """Static-mixed combines silence, shared and per-pid overrides."""
+        cell = CellSpec(
+            model="static",
+            f=4,
+            n=14,
+            algorithm="fta",
+            movement="static",
+            attack="split",
+            epsilon=1e-3,
+            seed=11,
+            rounds=9,
+            scenario="static-mixed",
+            params={"a": 2, "s": 1, "b": 1},
+        )
+        config = cell.to_config()
+        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        _assert_identical(_lite(config), reference)
+        full = run_simulation(config, "full")
+        assert full.decisions == _lite(config).decisions
+
+
+class TestOutboxBatchEquivalence:
+    """Batch outbox hooks reproduce the per-message calls exactly."""
+
+    def _view(self, n=9, seed=4):
+        rng = random.Random(seed)
+        values = {pid: rng.uniform(-2.0, 3.0) for pid in range(n)}
+        positions = frozenset({1, 5})
+        correct = {
+            pid: value
+            for pid, value in values.items()
+            if pid not in positions
+        }
+        return AdversaryView(
+            round_index=3,
+            n=n,
+            f=2,
+            values=values,
+            positions=positions,
+            cured=frozenset(),
+            correct_values=correct,
+            rng=rng,
+        )
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            SplitAttack(),
+            SplitAttack(low=0.0, high=1.0),
+            OutlierAttack(),
+            InertiaAttack(),
+            FixedValue(2.5),
+            EchoCorrect(),
+            OscillatingAttack(),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_attack_outbox_matches_per_message(self, strategy):
+        view = self._view()
+        recipients = range(view.n)
+        batch = strategy.attack_outbox(view, 1, recipients)
+        per_message = {
+            q: strategy.attack_message(view, 1, q) for q in recipients
+        }
+        assert batch == per_message
+        assert list(batch) == list(per_message)
+        assert all(type(v) is float for v in batch.values())
+
+    def test_random_noise_not_sender_agnostic(self):
+        # RandomNoise draws per message; sharing one outbox across
+        # senders would change the rng stream.
+        assert RandomNoise().sender_agnostic is False
+        assert SplitAttack().sender_agnostic is True
+
+    def test_planted_outbox_defaults_to_attack(self):
+        view = self._view()
+        strategy = SplitAttack()
+        assert strategy.planted_outbox(view, 2, range(view.n)) == (
+            strategy.attack_outbox(view, 2, range(view.n))
+        )
+
+
+class TestDistinctInboxGrouping:
+    """The grouping never merges pids with different effective inboxes."""
+
+    def _random_outboxes(self, rng, n):
+        """A random mix of full, partial and shared override maps."""
+        outboxes = []
+        for _ in range(rng.randrange(0, 4)):
+            choice = rng.random()
+            if choice < 0.4:
+                # Full outbox with few distinct values (adversary camps).
+                camp = [rng.uniform(-1, 1) for _ in range(rng.randrange(1, 3))]
+                outbox = {q: rng.choice(camp) for q in range(n)}
+            elif choice < 0.7:
+                # Partial outbox: only some recipients targeted.
+                targeted = rng.sample(range(n), rng.randrange(0, n))
+                outbox = {q: rng.uniform(-1, 1) for q in targeted}
+            else:
+                # Shared object, appended twice (aliasing like the
+                # controllers' shared round outboxes).
+                value = rng.uniform(-1, 1)
+                outbox = {q: value for q in range(n)}
+                outboxes.append(outbox)
+            outboxes.append(outbox)
+        return outboxes
+
+    def test_groups_partition_by_effective_inbox(self):
+        rng = random.Random(2024)
+        for _ in range(200):
+            n = rng.randrange(1, 12)
+            outboxes = self._random_outboxes(rng, n)
+            excluded = frozenset(rng.sample(range(n), rng.randrange(0, n)))
+            groups = distinct_inbox_groups(n, outboxes or None, excluded)
+            seen: set[int] = set()
+            for key, pids in groups.items():
+                # Within a group every pid sees the same override delta.
+                expected = inbox_key(pids[0], outboxes)
+                for pid in pids:
+                    assert inbox_key(pid, outboxes) == expected
+                    assert pid not in excluded
+                seen.update(pids)
+            assert seen == set(range(n)) - excluded
+            # Across groups the deltas differ: no merge of distinct
+            # inboxes, no split of identical ones.
+            keys = [inbox_key(pids[0], outboxes) for pids in groups.values()]
+            assert len(set(keys)) == len(keys)
+
+    def test_grouped_kernel_matches_reference_on_random_plans(self):
+        """End to end: random adversaries through both kernel modes."""
+        for seed in range(6):
+            config = make_mobile_config(
+                "M3", f=3, values=RandomNoise(), rounds=8, seed=seed
+            )
+            reference = _lite(config, group_inboxes=False, flat_msr=False)
+            _assert_identical(_lite(config), reference)
+
+
+class TestCompileMSR:
+    """Flat evaluators agree with apply_value bit for bit."""
+
+    ALGORITHMS = [
+        ("ftm", 2),
+        ("fta", 2),
+        ("dolev", 2),
+        ("median-trim", 2),
+        ("ftm", 0),
+        ("fta", 0),
+    ]
+
+    @pytest.mark.parametrize("name,tau", ALGORITHMS)
+    def test_matches_apply_value(self, name, tau):
+        function = make_algorithm(name, tau)
+        evaluate = compile_msr(function)
+        assert evaluate is not None
+        rng = random.Random(99)
+        for trial in range(300):
+            size = rng.randrange(2 * tau + 1, 2 * tau + 12)
+            values = sorted(rng.uniform(-5, 5) for _ in range(size))
+            expected = function.apply_value(
+                ValueMultiset.from_trusted_floats(values)
+            )
+            assert repr(evaluate(values)) == repr(expected)
+
+    def test_empty_inbox_raises_canonical_error(self):
+        function = make_algorithm("ftm", 1)
+        evaluate = compile_msr(function)
+        with pytest.raises(ValueError, match="empty"):
+            evaluate([])
+
+    def test_below_bound_raises_canonical_error(self):
+        function = make_algorithm("ftm", 2)
+        evaluate = compile_msr(function)
+        with pytest.raises(ValueError, match="resilience bound"):
+            evaluate([1.0, 2.0, 3.0])
+
+    def test_unknown_stage_returns_none(self):
+        from repro.msr.base import MSRFunction
+        from repro.msr.reduce import TrimExtremes
+        from repro.msr.select import SelectAll
+
+        class NoFlatSelection(SelectAll.__bases__[0]):  # Selection
+            def __call__(self, multiset):
+                return multiset
+
+            def describe(self):
+                return "no-flat"
+
+        function = MSRFunction(
+            reduction=TrimExtremes(1),
+            selection=NoFlatSelection(),
+            name="NoFlat",
+        )
+        assert compile_msr(function) is None
+
+
+class TestBatchSimulation:
+    """simulate_batch shares one kernel without cross-run leakage."""
+
+    def test_matches_individual_runs(self):
+        configs = [
+            make_mobile_config("M2", f=1, rounds=6, seed=seed)
+            for seed in range(5)
+        ]
+        individual = [run_simulation(c, "lite") for c in configs]
+        batched = simulate_batch(configs)
+        for one, many in zip(individual, batched):
+            _assert_identical(many, one)
+
+    def test_mixed_sizes_share_kernel(self):
+        kernel = RoundKernel()
+        configs = [
+            make_mobile_config("M1", f=1, rounds=5, seed=0),
+            make_mobile_config("M3", f=2, rounds=7, seed=1),
+            make_mobile_config("M1", f=1, rounds=5, seed=0),
+        ]
+        first, second, repeat = simulate_batch(configs, kernel=kernel)
+        _assert_identical(repeat, first)
+        assert second.n != first.n
+
+    def test_run_cell_accepts_shared_kernel(self):
+        cell = next(iter(small_grid().cells()))
+        kernel = RoundKernel()
+        assert run_cell(cell, kernel=kernel) == run_cell(cell)

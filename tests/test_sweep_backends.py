@@ -238,3 +238,47 @@ class TestMergeValidation:
         target_path.write_text(json.dumps(target))
         with pytest.raises(ValueError, match="multiple shards"):
             merge_shards(tmp_path)
+
+
+class TestBatchedExecution:
+    """batch_size changes work packaging, never results."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3, 7, 100])
+    def test_serial_batches_bit_identical(self, grid, reference, batch_size):
+        assert run_sweep(grid, batch_size=batch_size) == reference
+
+    def test_pooled_batches_bit_identical(self, grid, reference):
+        result = run_sweep(grid, workers=2, batch_size=4)
+        assert result.cells == reference.cells
+        assert result.workers == 2
+
+    def test_backend_instance_batches(self, grid, reference):
+        backend = MultiprocessingBackend(2, batch_size=5)
+        assert run_sweep(grid, backend=backend).cells == reference.cells
+
+    def test_sharded_batches_merge_identically(self, grid, reference, tmp_path):
+        for index in range(3):
+            merged = run_sweep(
+                grid,
+                backend=ShardedBackend(index, 3, tmp_path, batch_size=4),
+            )
+        assert merged == reference
+
+    def test_batched_sweep_with_cache_writes_through(self, grid, reference, tmp_path):
+        from repro.sweep import CellStore
+
+        store = CellStore(tmp_path / "cache")
+        cold = run_sweep(grid, batch_size=4, cache=store)
+        assert cold == reference
+        assert store.misses == len(list(grid.cells()))
+        warm = run_sweep(grid, batch_size=4, cache=store)
+        assert warm == reference
+        assert store.hits == len(list(grid.cells()))
+
+    def test_invalid_batch_size_rejected(self, grid):
+        with pytest.raises(ValueError, match="batch_size"):
+            run_sweep(grid, batch_size=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            MultiprocessingBackend(2, batch_size=-1)
+        with pytest.raises(ValueError, match="batch_size"):
+            ShardedBackend(0, 2, "unused", batch_size=0)
