@@ -1,0 +1,34 @@
+"""Benchmark: the algorithm-families head-to-head experiment (EXP-FAM).
+
+Regenerates the Bonomi-vs-Tseng comparison at paper scale through the
+sweep engine, asserts it reproduced (all cells satisfy the
+specification, the M1 control rows are identical between families) and
+writes the rendered table to ``results/family_comparison.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.family_comparison import run_family_comparison
+
+
+def test_family_comparison(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        run_family_comparison, rounds=1, iterations=1
+    )
+    record_artifact("family_comparison", result.render())
+    assert result.ok, result.notes
+    # The experiment's reason to exist: the Tseng filter must beat the
+    # memoryless protocol on at least one M2 adversary (it masks the
+    # unaware cured broadcasts M2 is defined by).
+    rows = {
+        (model, attack, family): rounds
+        for model, attack, _alg, family, rounds, *_ in result.rows
+    }
+    faster = [
+        attack
+        for (model, attack, family), rounds in rows.items()
+        if model == "M2"
+        and family == "tseng"
+        and rounds < rows[("M2", attack, "bonomi")]
+    ]
+    assert faster, f"tseng never beat bonomi on M2: {rows}"

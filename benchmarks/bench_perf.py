@@ -107,6 +107,157 @@ def test_lite_vs_full_speedup(benchmark, record_artifact, record_bench):
     assert all(ratio >= 1.5 for ratio in ratios.values()), ratios
 
 
+def run_family_sized(n: int, f: int, family: str, model: str = "M1"):
+    """One lite run of ``family`` at the M1-minimum sizes of the ledger."""
+    config = mobile_config(
+        model=model,
+        f=f,
+        n=n,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        rounds=ROUNDS,
+        seed=0,
+        family=family,
+    )
+    return run_simulation(config, trace_detail="lite")
+
+
+def test_family_throughput(benchmark, record_artifact, record_bench):
+    """EXP-PERF-FAM: lite throughput per algorithm family.
+
+    The Tseng family's consistency filter adds carried state and a
+    per-sender claim check to every round; this pins how much of the
+    kernel-era throughput that costs.  The committed numbers back the
+    CI perf-smoke gate for the family.
+    """
+
+    def measure():
+        rows = []
+        rps: dict[str, dict[str, float]] = {"bonomi": {}, "tseng": {}}
+        for f, n in ((12, 49), (24, 97)):
+            per_family = {}
+            for family in ("bonomi", "tseng"):
+                lite_s = _best_of(3, run_family_sized, n, f, family)
+                per_family[family] = lite_s
+                rps[family][str(n)] = ROUNDS / lite_s
+            rows.append(
+                [
+                    n,
+                    f,
+                    f"{ROUNDS / per_family['bonomi']:.0f}",
+                    f"{ROUNDS / per_family['tseng']:.0f}",
+                    f"{per_family['tseng'] / per_family['bonomi']:.2f}x",
+                ]
+            )
+        return rows, rps
+
+    rows, rps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_artifact(
+        "perf_families",
+        render_table(
+            ["n", "f", "bonomi r/s", "tseng r/s", "tseng cost"],
+            rows,
+            title=(
+                f"EXP-PERF-FAM: lite rounds/sec per algorithm family "
+                f"(M1, {ROUNDS} rounds)"
+            ),
+        ),
+    )
+    record_bench(
+        "throughput_families",
+        {
+            "rounds": ROUNDS,
+            "model": "M1",
+            "bonomi_lite_rounds_per_sec": {
+                k: round(v, 1) for k, v in rps["bonomi"].items()
+            },
+            "tseng_lite_rounds_per_sec": {
+                k: round(v, 1) for k, v in rps["tseng"].items()
+            },
+        },
+    )
+    # The stateful family must stay within one order of magnitude of
+    # the scalar kernel path (it shares the flat MSR fold and the
+    # distinct-inbox grouping; only the claim bookkeeping is extra).
+    assert all(
+        rps["tseng"][key] * 10 >= rps["bonomi"][key] for key in rps["tseng"]
+    ), rps
+
+
+def test_recipient_camps(benchmark, record_artifact, record_bench):
+    """EXP-PERF-CAMPS: recipient-class planning vs materialized outboxes.
+
+    The crossfire attack is sender-dependent, so without camps every
+    agent materializes its own n-entry outbox per round -- the O(n*f)
+    floor the ROADMAP called out.  Camp planning shares one recipient
+    partition per round and O(#camps) values per sender; the kernel
+    then groups recipients by camp index.  Results are bit-identical;
+    the datapoint records the collapse.
+    """
+    from repro.faults.value_strategies import CrossfireAttack
+
+    class DictCrossfire(CrossfireAttack):
+        """The same attack with camp planning disabled (the 'before')."""
+
+        def attack_camps(self, view, sender):
+            return None
+
+    def run_attack(attack):
+        config = mobile_config(
+            model="M1",
+            f=96,
+            n=385,
+            algorithm="ftm",
+            movement="round-robin",
+            attack=attack,
+            rounds=ROUNDS,
+            seed=0,
+        )
+        return run_simulation(config, trace_detail="lite")
+
+    def measure():
+        camps_trace = run_attack(CrossfireAttack())
+        dict_trace = run_attack(DictCrossfire())
+        assert camps_trace.decisions == dict_trace.decisions
+        assert camps_trace.diameters() == dict_trace.diameters()
+        camps_s = _best_of(3, run_attack, CrossfireAttack())
+        dict_s = _best_of(3, run_attack, DictCrossfire())
+        return camps_s, dict_s
+
+    camps_s, dict_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = dict_s / camps_s
+    record_artifact(
+        "perf_camps",
+        render_table(
+            ["outbox planning", "rounds/sec", "total ms"],
+            [
+                ["per-recipient dicts", f"{ROUNDS / dict_s:.0f}", f"{dict_s * 1e3:.1f}"],
+                ["recipient camps", f"{ROUNDS / camps_s:.0f}", f"{camps_s * 1e3:.1f}"],
+            ],
+            title=(
+                "EXP-PERF-CAMPS: sender-dependent crossfire attack at "
+                f"n=385, f=96 (M1, {ROUNDS} rounds) -- camps {speedup:.1f}x"
+            ),
+        ),
+    )
+    record_bench(
+        "recipient_camps",
+        {
+            "rounds": ROUNDS,
+            "model": "M1",
+            "n": 385,
+            "f": 96,
+            "attack": "crossfire",
+            "dict_outbox_rounds_per_sec": round(ROUNDS / dict_s, 1),
+            "camps_rounds_per_sec": round(ROUNDS / camps_s, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    # The whole point: collapsing the O(n*f) contract must show up.
+    assert speedup >= 2.0, f"camps planning only {speedup:.2f}x faster"
+
+
 def _sweep_grid_64() -> GridSpec:
     """A 64-cell grid sized for the serial-vs-parallel datapoint.
 

@@ -31,6 +31,7 @@ from .faults.movement import (
     TargetExtremes,
 )
 from .faults.value_strategies import (
+    CrossfireAttack,
     EchoCorrect,
     InertiaAttack,
     OscillatingAttack,
@@ -69,6 +70,7 @@ _ATTACKS = {
     "echo": EchoCorrect,
     "oscillating": OscillatingAttack,
     "inertia": InertiaAttack,
+    "crossfire": CrossfireAttack,
 }
 
 
@@ -118,6 +120,7 @@ def mobile_config(
     max_rounds: int = 1_000,
     termination: TerminationRule | None = None,
     bound_check: str = "error",
+    family: str = "bonomi",
 ) -> SimulationConfig:
     """Assemble a mobile-Byzantine simulation configuration.
 
@@ -125,7 +128,11 @@ def mobile_config(
     parameter is derived from the model and ``f`` (Table 1), initial
     values are spread over ``[0, 1]``, and the run stops when the true
     non-faulty diameter reaches ``epsilon`` (oracle termination) unless
-    ``rounds`` or ``termination`` overrides it.
+    ``rounds`` or ``termination`` overrides it.  ``family`` selects the
+    protocol-level algorithm family (see
+    :mod:`repro.runtime.families`): ``"bonomi"`` is the source paper's
+    MSR voting protocol, ``"tseng"`` the improved algorithm of
+    arXiv:1707.07659.
     """
     semantics = get_semantics(model)
     if n is None:
@@ -152,6 +159,7 @@ def mobile_config(
         seed=seed,
         max_rounds=max_rounds,
         bound_check=bound_check,  # type: ignore[arg-type]
+        family=family,
     )
 
 
@@ -189,6 +197,7 @@ def sweep_grid(
     seeds=4,
     rounds: int | None = None,
     max_rounds: int = 1_000,
+    families="bonomi",
     workers: int = 1,
     trace_detail: str = "lite",
     chunk_size: int | None = None,
@@ -199,14 +208,18 @@ def sweep_grid(
     """Run a scenario sweep over the cartesian product of the axes.
 
     Every axis accepts a scalar or a sequence; ``seeds`` additionally
-    accepts an integer ``K`` meaning seeds ``0..K-1``.  ``workers > 1``
+    accepts an integer ``K`` meaning seeds ``0..K-1``.  ``families``
+    sweeps protocol-level algorithm families (``"bonomi"``,
+    ``"tseng"``; see :mod:`repro.runtime.families`) against otherwise
+    identical cells.  ``workers > 1``
     distributes cells over a process pool; ``trace_detail`` selects the
     simulator path (the default trace-lite fast path is bit-identical
     on decisions and diameters).  ``backend`` overrides the execution
     strategy (a :class:`~repro.sweep.SweepBackend` instance or one of
     ``"serial"`` / ``"multiprocessing"``), ``cache`` -- a directory
     path or :class:`~repro.sweep.CellStore` -- memoizes per-cell
-    results on disk, and ``probe`` names a registered trace probe whose
+    results on disk, and ``probe`` names a registered trace probe (or a
+    ``"module:attr"`` entry point) whose
     output lands in each cell's ``extras``.  Returns a
     :class:`~repro.sweep.SweepResult`.
 
@@ -230,6 +243,7 @@ def sweep_grid(
         seeds=seeds,
         rounds=rounds,
         max_rounds=max_rounds,
+        families=families,
     )
     return run_sweep(
         grid,

@@ -26,7 +26,7 @@ from collections.abc import Sequence
 from .base import ExperimentResult
 from .runner import EXPERIMENTS, render_report
 
-__all__ = ["main", "run_with_options", "sweep_main"]
+__all__ = ["main", "run_with_options", "sweep_main", "cache_gc_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of seeds per configuration (seeds 0..K-1)",
     )
     parser.add_argument(
+        "--families",
+        nargs="+",
+        default=None,
+        metavar="FAM",
+        help=(
+            "protocol families for experiments that compare algorithm "
+            "families (e.g. 'families'): bonomi, tseng"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -90,6 +100,7 @@ def run_with_options(
     seeds: int | None = None,
     workers: int | None = None,
     cache=None,
+    families: Sequence[str] | None = None,
 ) -> list[ExperimentResult]:
     """Run experiments, forwarding options where supported.
 
@@ -118,6 +129,8 @@ def run_with_options(
             kwargs["workers"] = workers
         if cache is not None and "cache" in parameters:
             kwargs["cache"] = cache
+        if families is not None and "families" in parameters:
+            kwargs["families"] = tuple(families)
         results.append(runner(**kwargs))
     return results
 
@@ -143,6 +156,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         help="system sizes (default: each model's Table 2 minimum)",
     )
     parser.add_argument("--algorithms", nargs="+", default=["ftm"])
+    parser.add_argument(
+        "--families",
+        nargs="+",
+        default=["bonomi"],
+        help=(
+            "protocol families to sweep (bonomi, tseng); every other "
+            "axis is crossed with each family, so e.g. "
+            "'--families bonomi tseng' runs head-to-head comparisons"
+        ),
+    )
     parser.add_argument("--movements", nargs="+", default=["round-robin"])
     parser.add_argument("--attacks", nargs="+", default=["split"])
     parser.add_argument("--epsilons", nargs="+", type=float, default=[1e-3])
@@ -223,12 +246,82 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--probe",
+        default=None,
+        metavar="NAME",
+        help=(
+            "attach a trace probe to every cell: a registered name "
+            "(e.g. send-classification) or an importable entry point "
+            "'package.module:attribute' -- shards and workers resolve "
+            "it by import, nothing is pickled"
+        ),
+    )
+    parser.add_argument(
         "--cells", action="store_true", help="also print the per-cell table"
     )
     parser.add_argument(
         "--series", action="store_true", help="also print diameter trajectories"
     )
     return parser
+
+
+def build_cache_gc_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep cache-gc",
+        description=(
+            "Evict stale entries from a long-lived cell-cache directory: "
+            "entries under superseded schema versions, entries older than "
+            "a cutoff, and orphaned temp files from interrupted writes."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the CellStore root to compact",
+    )
+    parser.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help=(
+            "also evict entries last written more than DAYS days ago "
+            "(default: keep all current-schema entries)"
+        ),
+    )
+    parser.add_argument(
+        "--keep-schema",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="V",
+        help=(
+            "schema versions to keep (default: only the current "
+            "version; older versions can never be read again)"
+        ),
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    return parser
+
+
+def cache_gc_main(argv: Sequence[str] | None = None) -> int:
+    """``sweep cache-gc`` subcommand entry point."""
+    from ..sweep import CellStore
+
+    args = build_cache_gc_parser().parse_args(argv)
+    store = CellStore(args.cache_dir)
+    report = store.gc(
+        older_than=None if args.older_than is None else args.older_than * 86_400,
+        keep_versions=None if args.keep_schema is None else set(args.keep_schema),
+        dry_run=args.dry_run,
+    )
+    print(f"{report.describe()} ({store.root})")
+    return 0
 
 
 def _parse_shard(text: str) -> tuple[int, int]:
@@ -262,6 +355,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             seeds=tuple(range(args.seeds)),
             rounds=args.rounds,
             max_rounds=args.max_rounds,
+            families=args.families,
         )
         backend = args.backend
         if args.shard is not None and backend not in (None, "sharded"):
@@ -299,9 +393,13 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             backend=backend,
             cache=store,
             batch_size=args.batch_size,
+            probe=args.probe,
         )
-    except (ValueError, TypeError) as exc:
-        print(f"sweep error: {exc}", file=sys.stderr)
+    except (ValueError, TypeError, KeyError) as exc:
+        # KeyError: unknown probe / family / algorithm names surface
+        # here with their "known: ..." guidance.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"sweep error: {message}", file=sys.stderr)
         return 2
     if not result.complete:
         print(
@@ -331,6 +429,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
+        if argv[1:2] == ["cache-gc"]:
+            return cache_gc_main(list(argv[2:]))
         return sweep_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:
@@ -344,6 +444,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seeds=args.seeds,
         workers=args.workers,
         cache=args.cache_dir,
+        families=args.families,
     )
     print(render_report(results))
     return 0 if all(result.ok for result in results) else 1

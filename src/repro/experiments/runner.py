@@ -12,6 +12,7 @@ from collections.abc import Callable, Sequence
 from .base import ExperimentResult
 from .convergence_exp import run_convergence
 from .equivalence_exp import run_equivalence
+from .family_comparison import run_family_comparison
 from .lower_bounds_exp import run_lower_bounds
 from .mixed_mode_exp import run_mixed_mode
 from .robustness import run_robustness
@@ -33,6 +34,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "static-vs-mobile": run_static_vs_mobile,
     "mixed-mode": run_mixed_mode,
     "robustness": run_robustness,
+    "families": run_family_comparison,
 }
 
 

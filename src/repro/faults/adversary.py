@@ -69,6 +69,20 @@ class Adversary:
             }
         return self.values.attack_outbox(view, sender, recipients)
 
+    def attack_camps(self, view: AdversaryView, sender: int):
+        """The sender's outbox as recipient camps, or ``None``.
+
+        A subclass that re-routes either the per-message or the batch
+        hook opts out of camp planning -- the underlying strategy's
+        camps could silently disagree with the override.
+        """
+        if (
+            type(self).attack_message is not Adversary.attack_message
+            or type(self).attack_outbox is not Adversary.attack_outbox
+        ):
+            return None
+        return self.values.attack_camps(view, sender)
+
     def departure_value(self, view: AdversaryView, pid: int) -> float:
         """Memory contents the agent leaves behind when departing ``pid``."""
         return self.values.departure_value(view, pid)

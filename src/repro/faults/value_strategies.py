@@ -22,13 +22,17 @@ view's seeded ``rng``), so simulations replay exactly.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
 
 from .view import AdversaryView
 
 __all__ = [
     "ValueStrategy",
+    "RecipientCamps",
+    "CampOutbox",
     "FixedValue",
     "SplitAttack",
     "OutlierAttack",
@@ -36,7 +40,133 @@ __all__ = [
     "EchoCorrect",
     "OscillatingAttack",
     "InertiaAttack",
+    "CrossfireAttack",
 ]
+
+
+@dataclass(frozen=True)
+class RecipientCamps:
+    """A per-recipient outbox compressed to value camps.
+
+    Many attacks partition the recipients into a handful of *camps*
+    that each receive one value (the split attack's low/high halves,
+    the outlier attack's parity sides).  Materializing such an outbox
+    as an ``n``-entry dict per sender makes fault planning ``O(n * f)``
+    for sender-dependent strategies; declaring the camps instead costs
+    one shared ``assignment`` per round plus ``O(#camps)`` values per
+    sender, and lets the round kernel group recipients by camp index
+    directly (see :class:`CampOutbox`).
+
+    Attributes
+    ----------
+    values:
+        One float per camp (finite; validated at the controller
+        boundary like every adversary output).
+    assignment:
+        Camp index per recipient, length ``n``.  Strategies share one
+        assignment tuple across all senders of a round via
+        :meth:`~repro.faults.view.AdversaryView.memo`; the kernel
+        detects the sharing by identity.
+    """
+
+    values: tuple[float, ...]
+    assignment: tuple[int, ...]
+
+    def validate(self, n: int, context: str) -> "RecipientCamps":
+        """Full structural checks at the controller boundary."""
+        self.validate_values(context)
+        self.validate_assignment(n, context)
+        return self
+
+    def validate_values(self, context: str) -> None:
+        """O(#camps) per-sender check: every camp value is a finite real."""
+        for value in self.values:
+            if not math.isfinite(value):
+                raise ValueError(
+                    f"adversary produced non-finite value {value!r} "
+                    f"({context}); value strategies must return finite reals"
+                )
+
+    def validate_assignment(self, n: int, context: str) -> bool:
+        """O(n) shape check: length ``n``, indices within ``values``.
+
+        A malformed camp index would otherwise surface rounds later as
+        a bare ``IndexError`` inside the kernel's fold.  Senders share
+        one assignment tuple per round, so controllers memoize this
+        scan per round on the adversary view instead of paying it per
+        sender.
+        """
+        if len(self.assignment) != n:
+            raise ValueError(
+                f"recipient camps ({context}): assignment covers "
+                f"{len(self.assignment)} recipients, expected {n}"
+            )
+        if self.assignment and not (
+            0 <= min(self.assignment) and max(self.assignment) < len(self.values)
+        ):
+            raise ValueError(
+                f"recipient camps ({context}): assignment references camp "
+                f"indices outside the {len(self.values)} declared values"
+            )
+        return True
+
+
+class CampOutbox(Mapping):
+    """A read-only ``recipient -> value`` Mapping backed by camps.
+
+    Drop-in replacement for the per-recipient outbox dicts carried in
+    :class:`~repro.runtime.controllers.RoundPlan.send_overrides`: same
+    keys (every recipient), same values, same iteration order -- but
+    O(#camps) storage per sender and O(1) construction once the shared
+    assignment exists.  The round kernel special-cases it to use the
+    camp index itself as the distinct-inbox grouping key.
+    """
+
+    __slots__ = ("camp_values", "assignment")
+
+    def __init__(self, camps: RecipientCamps) -> None:
+        # Named camp_values (not values): a Mapping's .values() method
+        # must stay callable.
+        self.camp_values: Sequence[float] = tuple(
+            float(value) for value in camps.values
+        )
+        self.assignment: Sequence[int] = camps.assignment
+
+    def __getitem__(self, pid: int) -> float:
+        if isinstance(pid, int) and 0 <= pid < len(self.assignment):
+            try:
+                return self.camp_values[self.assignment[pid]]
+            except IndexError:
+                # Unvalidated camps with an out-of-range index: keep
+                # the Mapping contract (KeyError, never IndexError).
+                raise KeyError(pid) from None
+        raise KeyError(pid)
+
+    def get(self, pid: int, default=None):
+        if isinstance(pid, int) and 0 <= pid < len(self.assignment):
+            try:
+                return self.camp_values[self.assignment[pid]]
+            except IndexError:
+                # Unvalidated camps with an out-of-range index: .get
+                # never raises (Mapping contract); validate() is the
+                # integrity boundary.
+                return default
+        return default
+
+    def __contains__(self, pid: object) -> bool:
+        return isinstance(pid, int) and 0 <= pid < len(self.assignment)
+
+    def __iter__(self):
+        return iter(range(len(self.assignment)))
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __repr__(self) -> str:
+        return (
+            f"CampOutbox({len(self.camp_values)} camps, "
+            f"{len(self.assignment)} recipients)"
+        )
 
 
 class ValueStrategy(ABC):
@@ -77,6 +207,25 @@ class ValueStrategy(ABC):
             recipient: attack(view, sender, recipient)
             for recipient in recipients
         }
+
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        """Declare this sender's outbox as recipient camps, if possible.
+
+        Must describe exactly the mapping :meth:`attack_outbox` would
+        produce over ``range(view.n)`` -- same values for every
+        recipient (the strategy test-suite asserts the equivalence).
+        Returning ``None`` (the default) keeps the materialized-outbox
+        contract.  Strategies whose camps share one recipient
+        partition across senders should memoize the assignment on the
+        view (``view.memo``) so fault planning costs ``O(n + f *
+        #camps)`` per round instead of ``O(n * f)``.
+
+        Strategies that consume per-message randomness or send
+        recipient-unique values cannot declare camps.
+        """
+        return None
 
     def planted_outbox(
         self, view: AdversaryView, sender: int, recipients: Iterable[int]
@@ -128,6 +277,41 @@ class ValueStrategy(ABC):
         return f"{type(self).__name__}()"
 
 
+def _zero_assignment(view: AdversaryView) -> tuple[int, ...]:
+    """The single-camp assignment (everybody camp 0), shared per round."""
+    return view.memo("camps-zero", lambda: (0,) * view.n)
+
+
+def _parity_assignment(view: AdversaryView) -> tuple[int, ...]:
+    """Camp by recipient-id parity (even -> 0, odd -> 1), shared per round."""
+    return view.memo(
+        "camps-parity", lambda: tuple(pid % 2 for pid in range(view.n))
+    )
+
+
+def _split_assignment(view: AdversaryView) -> tuple[int, ...]:
+    """The bisection partition: camp 0 at/below the correct midpoint.
+
+    Recipients with unknown state (not in ``view.values``) fall back to
+    id parity, mirroring :meth:`SplitAttack.attack_message` exactly.
+    Shared across every sender of the round via the view memo.
+    """
+
+    def build() -> tuple[int, ...]:
+        midpoint = view.correct_range().midpoint()
+        values = view.values
+        assignment = []
+        for pid in range(view.n):
+            value = values.get(pid)
+            if value is None:
+                assignment.append(pid % 2)
+            else:
+                assignment.append(0 if value <= midpoint else 1)
+        return tuple(assignment)
+
+    return view.memo("camps-split", build)
+
+
 class FixedValue(ValueStrategy):
     """Always say the same constant -- the simplest symmetric lie."""
 
@@ -145,6 +329,13 @@ class FixedValue(ValueStrategy):
         self, view: AdversaryView, sender: int, recipients: Iterable[int]
     ) -> dict[int, float]:
         return dict.fromkeys(recipients, self.value)
+
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        return RecipientCamps(
+            values=(self.value,), assignment=_zero_assignment(view)
+        )
 
     def describe(self) -> str:
         return f"fixed({self.value:g})"
@@ -207,6 +398,16 @@ class SplitAttack(ValueStrategy):
                 )
         return outbox
 
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        interval = view.correct_range()
+        low = interval.low if self.low is None else self.low
+        high = interval.high if self.high is None else self.high
+        return RecipientCamps(
+            values=(low, high), assignment=_split_assignment(view)
+        )
+
     def describe(self) -> str:
         if self.low is None and self.high is None:
             return "split(range)"
@@ -246,6 +447,15 @@ class OutlierAttack(ValueStrategy):
             recipient: above if recipient % 2 == 0 else below
             for recipient in recipients
         }
+
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        interval = view.correct_range()
+        return RecipientCamps(
+            values=(interval.high + self.magnitude, interval.low - self.magnitude),
+            assignment=_parity_assignment(view),
+        )
 
     def describe(self) -> str:
         return f"outlier({self.magnitude:g})"
@@ -297,6 +507,13 @@ class EchoCorrect(ValueStrategy):
     ) -> dict[int, float]:
         return dict.fromkeys(recipients, view.correct_midpoint())
 
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        return RecipientCamps(
+            values=(view.correct_midpoint(),), assignment=_zero_assignment(view)
+        )
+
     def describe(self) -> str:
         return "echo-correct"
 
@@ -327,6 +544,15 @@ class OscillatingAttack(ValueStrategy):
         interval = view.correct_range()
         value = interval.low if view.round_index % 2 == 0 else interval.high
         return dict.fromkeys(recipients, value)
+
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        interval = view.correct_range()
+        value = interval.low if view.round_index % 2 == 0 else interval.high
+        return RecipientCamps(
+            values=(value,), assignment=_zero_assignment(view)
+        )
 
     def describe(self) -> str:
         return "oscillating"
@@ -377,3 +603,73 @@ class InertiaAttack(ValueStrategy):
 
     def describe(self) -> str:
         return "inertia"
+
+
+class CrossfireAttack(ValueStrategy):
+    """A *sender-dependent* split: agents push the camps in opposite
+    directions.
+
+    Even-indexed agents behave like the classic split attack (low camp
+    hears the minimum, high camp the maximum); odd-indexed agents
+    invert it, feeding each camp the opposite extreme.  Each recipient
+    thus hears *both* extremes from the attacking coalition, which
+    stresses the reduction from both sides simultaneously while every
+    sender's outbox differs -- the worst case for the fault planner's
+    ``O(n * f)`` outbox contract and therefore the reference workload
+    for recipient-class (camp) planning: the camp *partition* is shared
+    by all senders, only the two camp values swap per sender.
+    """
+
+    sender_agnostic = False
+
+    def attack_message(
+        self, view: AdversaryView, sender: int, recipient: int | None
+    ) -> float:
+        interval = view.correct_range()
+        low, high = interval.low, interval.high
+        if recipient is None:
+            # Symmetric variant (departures, static symmetric faults):
+            # each agent commits to its own extreme.
+            return high if sender % 2 == 0 else low
+        recipient_value = view.values.get(recipient)
+        if recipient_value is None:
+            low_camp = recipient % 2 == 0
+        else:
+            low_camp = recipient_value <= interval.midpoint()
+        if sender % 2 == 0:
+            return low if low_camp else high
+        return high if low_camp else low
+
+    def attack_outbox(
+        self, view: AdversaryView, sender: int, recipients: Iterable[int]
+    ) -> dict[int, float]:
+        interval = view.correct_range()
+        low, high = interval.low, interval.high
+        if sender % 2 == 0:
+            to_low_camp, to_high_camp = low, high
+        else:
+            to_low_camp, to_high_camp = high, low
+        midpoint = interval.midpoint()
+        values = view.values
+        outbox = {}
+        for recipient in recipients:
+            recipient_value = values.get(recipient)
+            if recipient_value is None:
+                low_camp = recipient % 2 == 0
+            else:
+                low_camp = recipient_value <= midpoint
+            outbox[recipient] = to_low_camp if low_camp else to_high_camp
+        return outbox
+
+    def attack_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        interval = view.correct_range()
+        low, high = interval.low, interval.high
+        values = (low, high) if sender % 2 == 0 else (high, low)
+        return RecipientCamps(
+            values=values, assignment=_split_assignment(view)
+        )
+
+    def describe(self) -> str:
+        return "crossfire"

@@ -80,3 +80,21 @@ class AdversaryView:
     def correct_midpoint(self) -> float:
         """Midpoint of the correct range; the split point of attacks."""
         return self.correct_range().midpoint()
+
+    def memo(self, key: str, compute):
+        """Cache a per-round derived quantity on this (immutable) view.
+
+        Value strategies use this to share work across the senders of a
+        round -- e.g. the recipient-class assignment of a camp-declaring
+        strategy is computed once per view however many agents attack
+        (see :meth:`~repro.faults.value_strategies.ValueStrategy.attack_camps`).
+        The view is a frozen snapshot, so memoized values can never go
+        stale within it.
+        """
+        cache = self.__dict__.get("_memo")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_memo", cache)
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]

@@ -61,6 +61,19 @@ class Reduction(ABC):
         """Smallest multiset size this reduction can be applied to."""
         return 0
 
+    def reduced_by(self, masked: int) -> "Reduction | None":
+        """A variant of this reduction whose fault budget shrank by ``masked``.
+
+        Protocol families that *prove* some adversarial values absent
+        from a multiset (e.g. the Tseng family's cross-round
+        consistency filter) may trim correspondingly less: each masked
+        value is one untrustworthy extreme the budget no longer has to
+        cover.  Returning ``None`` (the default) says the reduction has
+        no notion of a fault budget; callers must then keep the full
+        reduction and compensate differently.
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -95,6 +108,11 @@ class TrimExtremes(Reduction):
 
     def minimum_input_size(self) -> int:
         return 2 * self.tau + 1
+
+    def reduced_by(self, masked: int) -> "TrimExtremes":
+        if masked < 0:
+            raise ValueError(f"masked count must be non-negative, got {masked}")
+        return TrimExtremes(max(self.tau - masked, 0))
 
     def describe(self) -> str:
         return f"trim {self.tau} from each end"

@@ -13,9 +13,17 @@ from .controllers import (
     RoundPlan,
     StaticMixedController,
 )
+from .families import (
+    BonomiFamily,
+    ProtocolFamily,
+    family_names,
+    get_family,
+    register_family,
+)
 from .kernel import RoundKernel, compile_msr, distinct_inbox_groups
 from .network import Message, RoundDelivery, SynchronousNetwork
-from .protocol import MSRVotingProtocol, VotingProtocol
+from .protocol import MSRVotingProtocol, StatefulRoundProtocol, VotingProtocol
+from .tseng import TsengFamily, TsengProtocol
 from .rng import derive_rng, spawn_seeds
 from .serialize import dump_trace, load_trace, trace_from_dict, trace_to_dict
 from .simulator import (
@@ -46,6 +54,14 @@ __all__ = [
     "RoundDelivery",
     "VotingProtocol",
     "MSRVotingProtocol",
+    "StatefulRoundProtocol",
+    "ProtocolFamily",
+    "BonomiFamily",
+    "TsengFamily",
+    "TsengProtocol",
+    "register_family",
+    "get_family",
+    "family_names",
     "TerminationRule",
     "FixedRounds",
     "OracleDiameter",

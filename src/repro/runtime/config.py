@@ -17,6 +17,7 @@ from ..faults.adversary import Adversary
 from ..faults.mixed_mode import StaticFaultAssignment
 from ..faults.models import MobileModel, get_semantics
 from ..msr.base import MSRFunction
+from .families import DEFAULT_FAMILY
 from .termination import FixedRounds, TerminationRule
 
 __all__ = ["MobileFaultSetup", "StaticMixedSetup", "SimulationConfig"]
@@ -71,6 +72,12 @@ class SimulationConfig:
     #: "warn" records the violation in the trace description,
     #: "ignore" is for deliberate below-bound experiments.
     bound_check: BoundCheck = "error"
+    #: Protocol family executing the run (see
+    #: :mod:`repro.runtime.families`): ``"bonomi"`` is the source
+    #: paper's MSR voting protocol, ``"tseng"`` the improved
+    #: mobile-fault algorithm of arXiv:1707.07659.  The resilience
+    #: bound is the *family's* requirement for the configured setup.
+    family: str = DEFAULT_FAMILY
 
     def __post_init__(self) -> None:
         self.validate()
@@ -91,6 +98,11 @@ class SimulationConfig:
             raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
         if self.bound_check not in ("error", "warn", "ignore"):
             raise ValueError(f"invalid bound_check {self.bound_check!r}")
+        try:
+            self.protocol_family()
+        except KeyError as exc:
+            # args[0], not str(exc): str() of a KeyError re-quotes it.
+            raise ValueError(exc.args[0]) from None
         if isinstance(self.setup, StaticMixedSetup):
             self.setup.assignment.validate_for(self.n)
         if self.bound_check == "error" and not self.meets_bound():
@@ -101,19 +113,35 @@ class SimulationConfig:
                 "(lower-bound experiments do this deliberately)"
             )
 
+    def protocol_family(self):
+        """Resolve the configured :class:`~repro.runtime.families.ProtocolFamily`."""
+        # Imported lazily: families may import runtime modules that in
+        # turn import this one.
+        from .families import get_family
+
+        return get_family(self.family)
+
     def required_n(self) -> int:
-        """Minimum ``n`` the theory requires for this setup."""
-        return self.setup.min_processes(self.f)
+        """Minimum ``n`` the theory requires for this setup and family."""
+        return self.protocol_family().min_processes(self.setup, self.f)
 
     def meets_bound(self) -> bool:
         """Whether this configuration satisfies the resilience bound."""
         return self.n >= self.required_n()
 
     def describe(self) -> str:
-        """One-line config summary recorded in traces."""
+        """One-line config summary recorded in traces.
+
+        The family tag is emitted only off the default so descriptions
+        (and the golden reports embedding them) of pre-family configs
+        are byte-identical.
+        """
         bound_note = "" if self.meets_bound() else " [BELOW BOUND]"
+        family_note = (
+            "" if self.family == DEFAULT_FAMILY else f" family={self.family}"
+        )
         return (
             f"n={self.n} f={self.f} {self.setup.describe()} "
             f"alg={self.algorithm.name} term={self.termination.describe()} "
-            f"seed={self.seed}{bound_note}"
+            f"seed={self.seed}{family_note}{bound_note}"
         )

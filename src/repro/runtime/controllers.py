@@ -29,6 +29,7 @@ from typing import Mapping
 from ..faults.adversary import Adversary
 from ..faults.mixed_mode import FaultClass, StaticFaultAssignment
 from ..faults.models import CuredSendBehavior, MobileModel, ModelSemantics, get_semantics
+from ..faults.value_strategies import CampOutbox
 from ..faults.view import AdversaryView
 
 __all__ = [
@@ -80,6 +81,39 @@ def _checked_outbox(outbox: dict[int, float], context: str) -> dict[int, float]:
         for recipient, value in outbox.items():
             _checked_value(value, f"{context}->p{recipient}")
     return outbox
+
+
+def _attack_override(
+    adversary: Adversary, view: AdversaryView, sender: int, n: int
+) -> Mapping[int, float]:
+    """One faulty sender's override map, via camps when declared.
+
+    Camp-declaring strategies (see
+    :meth:`~repro.faults.value_strategies.ValueStrategy.attack_camps`)
+    skip the ``n``-entry dict entirely: validation is O(#camps), the
+    shared assignment is built once per round, and the round kernel
+    groups recipients by camp index.  The mapping is value-identical to
+    the materialized outbox either way -- the strategy suite asserts it.
+    """
+    camps = adversary.attack_camps(view, sender)
+    if camps is not None:
+        context = f"attack camps p{sender}"
+        camps.validate_values(context)
+        # The assignment tuple is shared across the senders of a round
+        # (strategies memoize it on the view), so its O(n) shape scan
+        # runs once per round, not once per sender.  The id is stable
+        # for the round: the tuple stays alive in the plan's outboxes.
+        view.memo(
+            ("camps-assignment-ok", id(camps.assignment), len(camps.values)),
+            lambda: camps.validate_assignment(n, context),
+        )
+        return CampOutbox(camps)
+    return MappingProxyType(
+        _checked_outbox(
+            _float_outbox(adversary.attack_outbox(view, sender, range(n))),
+            f"attack message p{sender}",
+        )
+    )
 
 
 @dataclass(frozen=True)
@@ -231,18 +265,12 @@ class MobileFaultController(FaultController):
         # rebuild per sender).
         shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
-        attack_outbox = self.adversary.attack_outbox
         recipients = range(self.n)
         shared_attack: Mapping[int, float] | None = None
         for pid in positions:
             if shared_attack is None:
-                shared_attack = MappingProxyType(
-                    _checked_outbox(
-                        _float_outbox(
-                            attack_outbox(attack_view, pid, recipients)
-                        ),
-                        f"attack message p{pid}",
-                    )
+                shared_attack = _attack_override(
+                    self.adversary, attack_view, pid, self.n
                 )
             send_overrides[pid] = shared_attack
             if not shared:
@@ -292,20 +320,13 @@ class MobileFaultController(FaultController):
             hosts = self._positions
 
         attack_view = self._view(round_index, values, hosts, frozenset(), rng)
-        attack_outbox = self.adversary.attack_outbox
-        recipients = range(self.n)
         shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
         shared_attack: Mapping[int, float] | None = None
         for pid in hosts:
             if shared_attack is None:
-                shared_attack = MappingProxyType(
-                    _checked_outbox(
-                        _float_outbox(
-                            attack_outbox(attack_view, pid, recipients)
-                        ),
-                        f"attack message p{pid}",
-                    )
+                shared_attack = _attack_override(
+                    self.adversary, attack_view, pid, self.n
                 )
             send_overrides[pid] = shared_attack
             if not shared:
@@ -433,15 +454,8 @@ class StaticMixedController(FaultController):
                     shared_symmetric = None
             else:
                 if shared_asymmetric is None:
-                    shared_asymmetric = MappingProxyType(
-                        _checked_outbox(
-                            _float_outbox(
-                                self.adversary.attack_outbox(
-                                    view, pid, range(self.n)
-                                )
-                            ),
-                            f"attack message p{pid}",
-                        )
+                    shared_asymmetric = _attack_override(
+                        self.adversary, view, pid, self.n
                     )
                 send_overrides[pid] = shared_asymmetric
                 if not shared:

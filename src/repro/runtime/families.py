@@ -1,0 +1,179 @@
+"""Algorithm families: the registry of protocol-level algorithms.
+
+The reproduction started as a single-paper harness: one protocol shape
+(the MSR voting protocol of Bonomi et al., arXiv:1604.03871) hard-wired
+into the simulator, the kernel and the sweep layers.  A *protocol
+family* abstracts that shape away: each family owns
+
+* how a run's per-node state is structured and carried across rounds,
+* the message structure exchanged each round (scalar or multi-value),
+* its round schedule (when termination may be evaluated),
+* its resilience requirement (which may differ from the fault model's
+  Table 2 bound), and
+* its convergence prediction for the comparison experiments.
+
+Families are registered by short name and referenced from
+:class:`~repro.runtime.config.SimulationConfig` (``family=``), the
+sweep grid (``families=`` axis on :class:`~repro.sweep.grid.GridSpec`)
+and the CLI, which makes "run the same scenario under two algorithms
+and compare" a first-class sweep axis.
+
+Two families ship in-tree:
+
+``bonomi``
+    The source paper's MSR voting protocol.  Builds the exact
+    :class:`~repro.runtime.protocol.MSRVotingProtocol` the simulator
+    always used, so runs are bit-identical to the pre-family code.
+``tseng``
+    Tseng's improved mobile-fault approximate consensus algorithm
+    (arXiv:1707.07659); see :mod:`repro.runtime.tseng`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from .protocol import MSRVotingProtocol, StatefulRoundProtocol, VotingProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids module cycles
+    from .config import MobileFaultSetup, SimulationConfig, StaticMixedSetup
+
+__all__ = [
+    "ProtocolFamily",
+    "BonomiFamily",
+    "register_family",
+    "get_family",
+    "family_names",
+    "DEFAULT_FAMILY",
+]
+
+#: The family every config runs unless told otherwise: the source paper.
+DEFAULT_FAMILY = "bonomi"
+
+
+class ProtocolFamily(ABC):
+    """One protocol-level algorithm family.
+
+    A family is a stateless singleton: per-run state lives in the
+    protocol object :meth:`build_protocol` returns, never in the family
+    itself (families are shared across worker processes and runs).
+    """
+
+    #: Registry name; also the value of ``SimulationConfig.family``.
+    name: str = "?"
+
+    @abstractmethod
+    def build_protocol(
+        self, config: "SimulationConfig"
+    ) -> VotingProtocol | StatefulRoundProtocol:
+        """Build the per-run protocol instance for ``config``.
+
+        Returning a :class:`VotingProtocol` selects the scalar
+        simulator paths (full-trace recorder + round-kernel fast path);
+        returning a :class:`StatefulRoundProtocol` selects the
+        multi-round stateful driver.
+        """
+
+    def min_processes(
+        self, setup: "MobileFaultSetup | StaticMixedSetup", f: int
+    ) -> int:
+        """Resilience requirement of this family under ``setup``.
+
+        Defaults to the fault model's own bound (Table 2 for mobile
+        setups); families with tighter or looser requirements override.
+        """
+        return setup.min_processes(f)
+
+    def decision_ready(self, round_index: int) -> bool:
+        """Round-schedule hook: may termination fire after this round?
+
+        Families whose protocol phases span several communication
+        rounds return ``False`` mid-phase so the termination rule is
+        only consulted at phase boundaries.  Every simulator driver
+        (full, lite, stateful) checks it; both in-tree families run one
+        phase per round.  ``max_rounds`` still caps the run regardless,
+        so a buggy always-``False`` schedule cannot loop forever.
+        """
+        return True
+
+    def predicted_contraction(self, config: "SimulationConfig") -> float | None:
+        """Worst-case per-round diameter contraction factor, if known."""
+        return None
+
+    def describe(self) -> str:
+        """Short description for tables and CLI banners."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class BonomiFamily(ProtocolFamily):
+    """The source paper's family: the scalar MSR voting protocol.
+
+    ``build_protocol`` constructs exactly the object the pre-family
+    simulator constructed, so the re-based path is bit-identical to the
+    original -- the golden-report and equivalence suites assert it.
+    """
+
+    name = "bonomi"
+
+    def build_protocol(self, config: "SimulationConfig") -> VotingProtocol:
+        return MSRVotingProtocol(config.algorithm)
+
+    def predicted_contraction(self, config: "SimulationConfig") -> float | None:
+        from ..core.convergence import mobile_contraction
+        from .config import MobileFaultSetup
+
+        if not isinstance(config.setup, MobileFaultSetup):
+            return None
+        return mobile_contraction(
+            config.algorithm, config.setup.model, config.n, config.f
+        ).factor
+
+    def describe(self) -> str:
+        return "bonomi (MSR voting, arXiv:1604.03871)"
+
+
+_REGISTRY: dict[str, ProtocolFamily] = {}
+
+
+def register_family(family: ProtocolFamily) -> None:
+    """Register a family under its ``name`` (case-insensitive).
+
+    Raises :class:`ValueError` on collisions to catch accidental
+    shadowing.  Families used in parallel sweeps must be registered at
+    import time of a module worker processes also import.
+    """
+    key = family.name.strip().lower()
+    if not key or key == "?":
+        raise ValueError(f"family {family!r} must declare a non-empty name")
+    if key in _REGISTRY:
+        raise ValueError(f"algorithm family {family.name!r} is already registered")
+    _REGISTRY[key] = family
+
+
+def get_family(name: str) -> ProtocolFamily:
+    """Resolve a family by name with a helpful error."""
+    key = name.strip().lower() if isinstance(name, str) else name
+    try:
+        return _REGISTRY[key]
+    except (KeyError, TypeError):
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown algorithm family {name!r}; known: {known}"
+        ) from None
+
+
+def family_names() -> Iterator[str]:
+    """Iterate over registered family names, sorted."""
+    return iter(sorted(_REGISTRY))
+
+
+register_family(BonomiFamily())
+
+# The Tseng family registers itself on import; importing it here makes
+# the registry complete for every process that imports the runtime.
+from . import tseng as _tseng  # noqa: E402,F401  (registration side effect)

@@ -50,6 +50,7 @@ from ..msr.mean import Combiner
 from ..msr.multiset import ValueMultiset
 from ..msr.reduce import Reduction
 from ..msr.select import Selection
+from ..faults.value_strategies import CampOutbox
 from .protocol import VotingProtocol
 
 __all__ = [
@@ -243,6 +244,43 @@ class RoundKernel:
                         index_of[id(outbox)] = index
                         unique.append(outbox)
                     slots.append(index)
+            # Camp-declared outboxes sharing one recipient partition
+            # (see repro.faults.value_strategies.CampOutbox) collapse
+            # the grouping key to the camp index itself: no per-unique
+            # probing, and #distinct inboxes == #camps by construction.
+            camp_assignment = None
+            camp_values: list[Sequence[float]] = []
+            if unique and all(type(u) is CampOutbox for u in unique):
+                assignment = unique[0].assignment
+                if all(u.assignment is assignment for u in unique[1:]):
+                    camp_assignment = assignment
+                    camp_values = [u.camp_values for u in unique]
+            if camp_assignment is not None:
+                camp_cache: dict[int, tuple[float, float]] = {}
+                for pid in range(n):
+                    if pid in compute_corruptions:
+                        continue
+                    camp = camp_assignment[pid]
+                    hit = camp_cache.get(camp)
+                    if hit is None:
+                        buffer[:] = broadcasts
+                        for index in slots:
+                            insort(buffer, camp_values[index][camp])
+                        result = (
+                            evaluate(buffer)
+                            if evaluate is not None
+                            else compute_value(
+                                pid, ValueMultiset.from_trusted_floats(buffer)
+                            )
+                        )
+                        diameter = buffer[-1] - buffer[0] if buffer else 0.0
+                        hit = (result, diameter)
+                        camp_cache[camp] = hit
+                    values[pid] = hit[0]
+                    if need_diameter and hit[1] > max_diameter:
+                        max_diameter = hit[1]
+                return max_diameter
+
             single = unique[0] if len(unique) == 1 else None
             cache: dict[tuple, tuple[float, float]] = {}
             for pid in range(n):

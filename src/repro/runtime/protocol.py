@@ -11,16 +11,40 @@ Paper Section 4: each round of an MSR convergent voting algorithm is
 The protocol object is the *tamper-proof code* of the failure model: it
 is immutable and shared by all processes; a mobile agent can corrupt a
 process's value (its state) but never this logic.
+
+Two protocol shapes exist:
+
+* :class:`VotingProtocol` -- the *scalar* shape of the source paper:
+  one float per node, one broadcast per round, no state beyond the
+  voted value.  The simulator's full-trace recorder, the specification
+  checker's per-round P1/P2 invariants and the round kernel's
+  distinct-inbox fast path are all built for this shape.
+* :class:`StatefulRoundProtocol` -- the *multi-round* shape introduced
+  by the algorithm-family abstraction (see
+  :mod:`repro.runtime.families`): a per-run object that owns per-node
+  state carried across rounds and exchanges multi-value messages.
+  Tseng's improved mobile-fault algorithm (arXiv:1707.07659) is the
+  first such family; its messages are ``(value, previous broadcast)``
+  pairs and its receive phase filters on cross-round consistency.
+
+Which shape a run uses is decided by the configured *protocol family*
+(:class:`~repro.runtime.families.ProtocolFamily`), never hard-coded in
+the simulator.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
 
 from ..msr.base import MSRApplication, MSRFunction
 from ..msr.multiset import ValueMultiset
 
-__all__ = ["VotingProtocol", "MSRVotingProtocol"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .controllers import RoundPlan
+    from .kernel import RoundKernel
+
+__all__ = ["VotingProtocol", "MSRVotingProtocol", "StatefulRoundProtocol"]
 
 
 class VotingProtocol(ABC):
@@ -77,3 +101,67 @@ class MSRVotingProtocol(VotingProtocol):
 
     def __repr__(self) -> str:
         return f"MSRVotingProtocol({self.function.name})"
+
+
+class StatefulRoundProtocol(ABC):
+    """A per-run protocol instance that owns per-node multi-round state.
+
+    Families whose messages are not a single float (or whose
+    computation reads state carried across rounds) implement this
+    interface instead of :class:`VotingProtocol`.  The simulator then
+    drives the run through :meth:`reset` / :meth:`run_round` on the
+    trace-lite path; the scalar full-trace recorder does not apply, so
+    ``trace_detail="full"`` is rejected with a clear error (a
+    multi-value trace recorder is a ROADMAP item).
+
+    The adversary layer stays *scalar*: fault controllers plan rounds
+    in terms of per-recipient float lies (see
+    :class:`~repro.runtime.controllers.RoundPlan`), and the family's
+    message codec expands each scalar into its message structure inside
+    :meth:`run_round`.  This keeps every existing
+    :class:`~repro.faults.value_strategies.ValueStrategy` applicable to
+    every family.
+    """
+
+    #: Family registry name this protocol instance belongs to.
+    family_name: str = "?"
+    #: Number of float components per message (1 = scalar).
+    message_arity: int = 1
+
+    @abstractmethod
+    def reset(self, kernel: "RoundKernel") -> None:
+        """(Re)initialize per-node state for a fresh run.
+
+        ``kernel`` supplies shared scratch buffers and the
+        ``group_inboxes`` / ``flat_msr`` evaluation toggles, which
+        stateful families honour exactly like the scalar kernel path
+        (the equivalence suites flip them to obtain the in-tree
+        reference implementation).
+        """
+
+    @abstractmethod
+    def start(self, initial_values) -> None:
+        """Load the run's round-0 estimates (called after :meth:`reset`)."""
+
+    @property
+    @abstractmethod
+    def values(self) -> dict[int, float]:
+        """Live representative vote per node (read-only by convention).
+
+        This is what fault controllers see as process "memory", what
+        diameters and decisions are computed from, and what termination
+        rules observe.
+        """
+
+    @abstractmethod
+    def run_round(
+        self, plan: "RoundPlan", cured_aware: bool, need_diameter: bool
+    ) -> float:
+        """Execute one synchronous round under ``plan``.
+
+        Applies the plan's memory corruptions, runs the family's
+        send/receive/compute phases (expanding scalar overrides through
+        the message codec), applies compute corruptions, and returns
+        the maximum received-inbox diameter (0.0 unless
+        ``need_diameter``, which only round 0 asks for).
+        """

@@ -50,9 +50,10 @@ from .controllers import (
     RoundPlan,
     StaticMixedController,
 )
+from .families import get_family
 from .kernel import RoundKernel
 from .network import SynchronousNetwork
-from .protocol import MSRVotingProtocol, VotingProtocol
+from .protocol import StatefulRoundProtocol, VotingProtocol
 from .rng import derive_rng
 from .trace import LiteTrace, RoundRecord, Trace
 
@@ -122,7 +123,24 @@ class SynchronousSimulator:
         self.config = config
         self.trace_detail: TraceDetail = trace_detail
         self.kernel = kernel if kernel is not None else RoundKernel()
-        self.protocol: VotingProtocol = MSRVotingProtocol(config.algorithm)
+        # The configured algorithm family decides the protocol shape:
+        # scalar VotingProtocols run the recorder/kernel paths below,
+        # StatefulRoundProtocols run the stateful driver.
+        self.family = get_family(config.family)
+        self.protocol: VotingProtocol | StatefulRoundProtocol = (
+            self.family.build_protocol(config)
+        )
+        if trace_detail == "full" and isinstance(
+            self.protocol, StatefulRoundProtocol
+        ):
+            raise ValueError(
+                f"trace_detail='full' is not supported by the "
+                f"{config.family!r} family: its messages are not scalar, "
+                "so the full-trace recorder and the per-round P1/P2 "
+                "checkers do not apply; run with trace_detail='lite' "
+                "(decisions, diameters and the headline specification "
+                "verdict are identical between the two modes)"
+            )
         self.network = SynchronousNetwork(config.n)
         self.controller = self._build_controller(config)
         self._adversary_rng = derive_rng(config.seed, "adversary")
@@ -138,12 +156,16 @@ class SynchronousSimulator:
 
     def run(self) -> Trace | LiteTrace:
         """Execute rounds until the termination rule fires (or the cap)."""
+        if isinstance(self.protocol, StatefulRoundProtocol):
+            return self._run_stateful()
         if self.trace_detail == "lite":
             return self._run_lite()
         terminated = False
         for _ in range(self.config.max_rounds):
             record = self.step()
-            if self.config.termination.should_stop(
+            if self.family.decision_ready(
+                record.round_index
+            ) and self.config.termination.should_stop(
                 record.round_index,
                 record.nonfaulty_diameter_after(),
                 self._first_round_received_diameter,
@@ -288,7 +310,7 @@ class SynchronousSimulator:
             nonfaulty_diameter = 0.0 if low is None else high - low
 
             self._round_index += 1
-            if termination.should_stop(
+            if self.family.decision_ready(round_index) and termination.should_stop(
                 round_index,
                 nonfaulty_diameter,
                 self._first_round_received_diameter,
@@ -335,6 +357,88 @@ class SynchronousSimulator:
             if value is not None:
                 broadcasts.append(value)
         return broadcasts
+
+    # -- the stateful multi-round driver ---------------------------------------
+
+    def _run_stateful(self) -> LiteTrace:
+        """Drive a :class:`StatefulRoundProtocol` family to its decision.
+
+        The shared round structure (fault planning, diameter and
+        termination bookkeeping) lives here; everything family-specific
+        -- message structure, carried state, the receive/compute fold
+        -- lives in the protocol's ``run_round``.  Fault controllers
+        observe the protocol's representative values, so every
+        adversary and movement strategy applies unchanged.
+        """
+        protocol = self.protocol
+        family = self.family
+        n = self.config.n
+        termination = self.config.termination
+        terminated = False
+        extents: list[tuple[float, float] | None] = []
+        initially_nonfaulty = frozenset(range(n))
+        positions_after: frozenset[int] = frozenset()
+
+        protocol.reset(self.kernel)
+        protocol.start(self.config.initial_values)
+        values = protocol.values
+
+        for _ in range(self.config.max_rounds):
+            round_index = self._round_index
+            plan = self.controller.plan_round(
+                round_index, dict(values), self._adversary_rng
+            )
+            first_round = round_index == 0
+            max_received_diameter = protocol.run_round(
+                plan, self._cured_aware, first_round
+            )
+            if first_round:
+                self._first_round_received_diameter = max_received_diameter
+                initially_nonfaulty = frozenset(range(n)) - plan.faulty_at_send
+
+            positions_after = plan.positions_after
+            low = high = None
+            for pid, value in values.items():
+                if pid in positions_after:
+                    continue
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
+            extents.append(None if low is None else (low, high))
+            nonfaulty_diameter = 0.0 if low is None else high - low
+
+            self._round_index += 1
+            if family.decision_ready(round_index) and termination.should_stop(
+                round_index,
+                nonfaulty_diameter,
+                self._first_round_received_diameter,
+            ):
+                terminated = True
+                break
+
+        decisions = {
+            pid: values[pid]
+            for pid in sorted(frozenset(range(n)) - positions_after)
+        }
+        return LiteTrace(
+            n=n,
+            f=self.config.f,
+            model=self._setup_model(self.config),
+            algorithm_name=self.config.algorithm.name,
+            epsilon=self.config.epsilon,
+            initial_values=MappingProxyType(
+                {pid: float(v) for pid, v in enumerate(self.config.initial_values)}
+            ),
+            initially_nonfaulty=initially_nonfaulty,
+            round_extents=tuple(extents),
+            decisions=decisions,
+            terminated=terminated,
+            controller_description=(
+                f"{self.controller.describe()} | {self.config.describe()} "
+                f"| trace_detail={self.trace_detail}"
+            ),
+        )
 
     # -- phases ----------------------------------------------------------------
 

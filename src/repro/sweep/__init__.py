@@ -24,7 +24,7 @@ from .backends import (
     SweepBackend,
     merge_shards,
 )
-from .cache import SWEEP_SCHEMA_VERSION, CellStore
+from .cache import SWEEP_SCHEMA_VERSION, CacheGCReport, CellStore
 from .engine import CellResult, run_cell, run_cell_batch, run_sweep
 from .grid import CellSpec, GridSpec
 from .probes import Probe, get_probe, register_probe
@@ -44,6 +44,7 @@ __all__ = [
     "ShardedBackend",
     "merge_shards",
     "CellStore",
+    "CacheGCReport",
     "SWEEP_SCHEMA_VERSION",
     "Probe",
     "get_probe",

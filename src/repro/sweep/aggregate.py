@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from ..analysis import Series, render_table, summarize
+from ..runtime.families import DEFAULT_FAMILY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     from .engine import CellResult
@@ -87,13 +88,28 @@ class SweepResult:
             title=title or f"Sweep cells ({self.trace_detail} traces)",
         )
 
+    @staticmethod
+    def _algorithm_label(spec) -> str:
+        """The summary grouping label: MSR function, tagged by family.
+
+        The default family stays untagged so single-family sweeps (and
+        the golden reports built from them) render exactly as before;
+        multi-family sweeps get one row/series per family instead of
+        silently averaging the comparison away.
+        """
+        if spec.family == DEFAULT_FAMILY:
+            return spec.algorithm
+        return f"{spec.family}:{spec.algorithm}"
+
     def summary_rows(self) -> list[list[object]]:
-        """One row per (model, algorithm) group with aggregate stats."""
+        """One row per (model, family-tagged algorithm) group."""
         groups: dict[tuple[str, str], list["CellResult"]] = {}
         for cell in self.cells:
             if cell.error is not None:
                 continue
-            groups.setdefault((cell.spec.model, cell.spec.algorithm), []).append(cell)
+            groups.setdefault(
+                (cell.spec.model, self._algorithm_label(cell.spec)), []
+            ).append(cell)
         rows: list[list[object]] = []
         for (model, algorithm), members in sorted(groups.items()):
             rounds = summarize(float(cell.rounds) for cell in members)
@@ -132,7 +148,8 @@ class SweepResult:
     # -- series -----------------------------------------------------------------
 
     def diameter_series(self) -> list[Series]:
-        """Mean non-faulty diameter trajectory per (model, algorithm).
+        """Mean non-faulty diameter trajectory per (model, family-tagged
+        algorithm) group.
 
         Trajectories of different lengths are averaged over the cells
         still running at each round, mirroring how the convergence
@@ -142,7 +159,7 @@ class SweepResult:
         for cell in self.cells:
             if cell.error is None and cell.diameters:
                 groups.setdefault(
-                    (cell.spec.model, cell.spec.algorithm), []
+                    (cell.spec.model, self._algorithm_label(cell.spec)), []
                 ).append(cell.diameters)
         series = []
         for (model, algorithm), trajectories in sorted(groups.items()):

@@ -38,12 +38,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..runtime.families import DEFAULT_FAMILY
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     from .engine import CellResult
     from .grid import CellSpec
 
 __all__ = [
     "SWEEP_SCHEMA_VERSION",
+    "CacheGCReport",
     "CellStore",
     "result_to_dict",
     "result_from_dict",
@@ -55,6 +58,28 @@ __all__ = [
 #: change incompatibly; doubles as the cache directory version.
 SWEEP_SCHEMA_VERSION = 1
 
+#: How old a ``.tmp.*`` file must be before :meth:`CellStore.gc` treats
+#: it as wreckage of an interrupted write rather than an in-flight one.
+_TMP_GRACE_SECONDS = 600.0
+
+
+@dataclass(frozen=True)
+class CacheGCReport:
+    """Outcome of one :meth:`CellStore.gc` pass."""
+
+    scanned: int
+    kept: int
+    removed: int
+    freed_bytes: int
+    dry_run: bool
+
+    def describe(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"cache-gc: scanned {self.scanned} entries, kept {self.kept}, "
+            f"{verb} {self.removed} ({self.freed_bytes / 1024:.1f} KiB)"
+        )
+
 
 def _freeze(value: Any) -> Any:
     """Recursively convert JSON lists back into the tuples cells use."""
@@ -64,8 +89,13 @@ def _freeze(value: Any) -> Any:
 
 
 def spec_to_dict(spec: "CellSpec") -> dict[str, Any]:
-    """Encode a cell spec as JSON-compatible primitives."""
-    return {
+    """Encode a cell spec as JSON-compatible primitives.
+
+    ``family`` is emitted only off its default: pre-family cells keep
+    their exact canonical encoding, so content hashes -- and therefore
+    every already-populated cache entry -- stay valid.
+    """
+    payload = {
         "model": spec.model,
         "f": spec.f,
         "n": spec.n,
@@ -79,6 +109,9 @@ def spec_to_dict(spec: "CellSpec") -> dict[str, Any]:
         "scenario": spec.scenario,
         "params": [[name, value] for name, value in spec.params],
     }
+    if spec.family != DEFAULT_FAMILY:
+        payload["family"] = spec.family
+    return payload
 
 
 def spec_from_dict(payload: dict[str, Any]) -> "CellSpec":
@@ -98,6 +131,7 @@ def spec_from_dict(payload: dict[str, Any]) -> "CellSpec":
         max_rounds=payload["max_rounds"],
         scenario=payload["scenario"],
         params=tuple((name, _freeze(value)) for name, value in payload["params"]),
+        family=payload.get("family", DEFAULT_FAMILY),
     )
 
 
@@ -225,6 +259,100 @@ class CellStore:
         tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
         os.replace(tmp, path)
         return path
+
+    # -- maintenance ------------------------------------------------------------
+
+    def gc(
+        self,
+        older_than: float | None = None,
+        keep_versions: "set[int] | None" = None,
+        dry_run: bool = False,
+        now: float | None = None,
+    ) -> "CacheGCReport":
+        """Evict stale entries from a long-lived store.
+
+        An entry is evicted when its schema version directory is not in
+        ``keep_versions`` (default: only the current
+        :data:`SWEEP_SCHEMA_VERSION` -- superseded versions can never be
+        read again and only waste disk), **or** when ``older_than`` is
+        given and the entry file was last written more than that many
+        seconds before ``now``.  Orphaned ``.tmp.*`` files from
+        interrupted atomic writes are evicted once they are older than
+        a short grace period (an atomic write is in-flight for
+        milliseconds; anything older is wreckage).  With
+        ``dry_run=True`` nothing is deleted; the report counts what
+        *would* go.  A missing or empty store is a no-op.
+
+        Concurrent sweeps are safe: the tmp grace period keeps gc away
+        from in-flight writes, and evicting a finished entry at worst
+        costs the next sweep a recomputation -- the store is a cache,
+        never the source of truth.
+        """
+        import time
+
+        if now is None:
+            now = time.time()
+        if keep_versions is None:
+            keep_versions = {SWEEP_SCHEMA_VERSION}
+        cutoff = None if older_than is None else now - older_than
+        scanned = kept = removed = 0
+        freed_bytes = 0
+        root = Path(self.root)
+        if not root.is_dir():
+            return CacheGCReport(0, 0, 0, 0, dry_run)
+
+        def evict(path: Path) -> None:
+            nonlocal removed, freed_bytes
+            removed += 1
+            try:
+                freed_bytes += path.stat().st_size
+                if not dry_run:
+                    path.unlink()
+            except OSError:
+                pass
+
+        for version_dir in sorted(root.glob("v*")):
+            if not version_dir.is_dir():
+                continue
+            try:
+                version = int(version_dir.name[1:])
+            except ValueError:
+                continue  # foreign directory: never touch it
+            stale_version = version not in keep_versions
+            for entry in sorted(version_dir.glob("*/*")):
+                if not entry.is_file():
+                    continue
+                scanned += 1
+                try:
+                    mtime = entry.stat().st_mtime
+                except OSError:
+                    continue
+                if ".tmp." in entry.name:
+                    # Grace period: a concurrent save() is between its
+                    # tmp write and os.replace for milliseconds at
+                    # most; never race it.
+                    if now - mtime > _TMP_GRACE_SECONDS:
+                        evict(entry)
+                    else:
+                        kept += 1
+                    continue
+                if stale_version or (cutoff is not None and mtime < cutoff):
+                    evict(entry)
+                else:
+                    kept += 1
+            if not dry_run:
+                # Prune now-empty shard/version directories.
+                for subdir in sorted(version_dir.glob("*")):
+                    if subdir.is_dir():
+                        try:
+                            subdir.rmdir()
+                        except OSError:
+                            pass
+                try:
+                    version_dir.rmdir()
+                except OSError:
+                    pass
+        return CacheGCReport(scanned, kept, removed, freed_bytes, dry_run)
 
     # -- bookkeeping ------------------------------------------------------------
 

@@ -22,6 +22,8 @@ from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, fields
 from itertools import product
 
+from ..runtime.families import DEFAULT_FAMILY
+
 __all__ = ["CellSpec", "GridSpec"]
 
 
@@ -41,6 +43,11 @@ class CellSpec:
     travel in ``params``, a sorted tuple of ``(name, value)`` pairs so
     the cell stays hashable and picklable; a mapping passed at
     construction is normalized automatically.
+
+    ``family`` names the protocol-level algorithm family executing the
+    cell (see :mod:`repro.runtime.families`) -- ``algorithm`` remains
+    the MSR function *within* the family, so ``families x algorithms``
+    sweeps compare protocol designs under identical folds.
     """
 
     model: str
@@ -55,6 +62,7 @@ class CellSpec:
     max_rounds: int = 1_000
     scenario: str = "mobile"
     params: tuple[tuple[str, object], ...] = ()
+    family: str = DEFAULT_FAMILY
 
     def __post_init__(self) -> None:
         pairs = (
@@ -88,6 +96,7 @@ class CellSpec:
             self.max_rounds,
             self.scenario,
             self.params,
+            self.family,
         )
 
     def params_dict(self) -> dict[str, object]:
@@ -112,10 +121,15 @@ class CellSpec:
         suffix = "".join(
             f" {name}={value}" for name, value in self.params
         )
+        # Family tag only off the default keeps pre-family cell tables
+        # (and the goldens embedding them) byte-identical.
+        family = (
+            "" if self.family == DEFAULT_FAMILY else f" fam={self.family}"
+        )
         return (
             f"{prefix}{self.model} f={self.f} n={n} {self.algorithm} "
             f"{self.movement}/{self.attack} eps={self.epsilon:g} "
-            f"seed={self.seed}{suffix}"
+            f"seed={self.seed}{family}{suffix}"
         )
 
 
@@ -157,6 +171,7 @@ class GridSpec:
     seeds: tuple[int, ...] = (0,)
     rounds: int | None = None
     max_rounds: int = 1_000
+    families: tuple[str, ...] = (DEFAULT_FAMILY,)
 
     def __post_init__(self) -> None:
         if isinstance(self.seeds, int):
@@ -175,6 +190,7 @@ class GridSpec:
             "attacks",
             "epsilons",
             "seeds",
+            "families",
         ):
             object.__setattr__(self, axis, _as_tuple(getattr(self, axis), axis))
 
@@ -188,32 +204,39 @@ class GridSpec:
             * len(self.attacks)
             * len(self.epsilons)
             * len(self.seeds)
+            * len(self.families)
         )
 
     def cells(self) -> Iterator[CellSpec]:
-        """Yield every cell of the product, deterministically ordered."""
-        for model, f, n, algorithm, movement, attack, epsilon, seed in product(
-            self.models,
-            self.fs,
-            self.ns,
-            self.algorithms,
-            self.movements,
-            self.attacks,
-            self.epsilons,
-            self.seeds,
-        ):
-            yield CellSpec(
-                model=model,
-                f=f,
-                n=n,
-                algorithm=algorithm,
-                movement=movement,
-                attack=attack,
-                epsilon=epsilon,
-                seed=seed,
-                rounds=self.rounds,
-                max_rounds=self.max_rounds,
-            )
+        """Yield every cell of the product, deterministically ordered.
+
+        ``families`` varies outermost so each family's cells stay
+        contiguous (single-family grids keep their pre-family order).
+        """
+        for family in self.families:
+            for model, f, n, algorithm, movement, attack, epsilon, seed in product(
+                self.models,
+                self.fs,
+                self.ns,
+                self.algorithms,
+                self.movements,
+                self.attacks,
+                self.epsilons,
+                self.seeds,
+            ):
+                yield CellSpec(
+                    model=model,
+                    f=f,
+                    n=n,
+                    algorithm=algorithm,
+                    movement=movement,
+                    attack=attack,
+                    epsilon=epsilon,
+                    seed=seed,
+                    rounds=self.rounds,
+                    max_rounds=self.max_rounds,
+                    family=family,
+                )
 
     def describe(self) -> str:
         """Axis-by-axis summary, e.g. for CLI banners."""

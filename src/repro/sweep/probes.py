@@ -10,12 +10,26 @@ simulation and stores the pairs in ``CellResult.extras``.
 
 Probes are addressed by name (not by function object) so cells remain
 picklable, worker processes can resolve them by import, and the cell
-cache can fold the probe into its content hash.  A probe registered
-from user code must therefore live in a module the workers import.
+cache can fold the probe into its content hash.
+
+Two address forms exist:
+
+* a *registered* name (``"send-classification"``) resolved against
+  :data:`PROBES` -- registration must happen at import time of a module
+  every worker imports;
+* an *entry-point* name (``"my_package.my_module:my_probe"``) that any
+  process -- including sharded invocations on other hosts and remote
+  workers that never ran the registering module -- resolves by
+  importing ``my_package.my_module`` and reading the ``my_probe``
+  attribute (a :class:`Probe` or a bare extract callable, optionally
+  tagged with a ``requires_full`` attribute).  Nothing is ever pickled:
+  the name is the whole wire format, so shipping a probe to a remote
+  backend is shipping a string.
 """
 
 from __future__ import annotations
 
+import importlib
 from dataclasses import dataclass
 from typing import Callable
 
@@ -87,10 +101,69 @@ def register_probe(
     PROBES[name] = Probe(name=name, extract=extract, requires_full=requires_full)
 
 
-def get_probe(name: str) -> Probe:
-    """Resolve a probe by name with a helpful error."""
+def decision_extent(trace) -> Extras:
+    """Min/max/spread of the decided values (lite-safe).
+
+    Doubles as the reference *entry-point* probe: address it from any
+    backend as ``"repro.sweep.probes:decision_extent"`` without
+    registering anything.
+    """
+    decisions = list(trace.decisions.values())
+    if not decisions:
+        return (("decision_count", 0),)
+    return (
+        ("decision_count", len(decisions)),
+        ("decision_max", max(decisions)),
+        ("decision_min", min(decisions)),
+    )
+
+
+def _resolve_entry_point(name: str) -> Probe:
+    """Import ``module:attr`` and adapt the target into a :class:`Probe`."""
+    module_name, _, attr = name.partition(":")
+    if not module_name or not attr:
+        raise KeyError(
+            f"malformed probe entry point {name!r}: expected "
+            "'package.module:attribute'"
+        )
     try:
-        return PROBES[name]
-    except KeyError:
-        known = ", ".join(sorted(PROBES))
-        raise KeyError(f"unknown probe {name!r}; known: {known}") from None
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise KeyError(
+            f"probe entry point {name!r}: cannot import module "
+            f"{module_name!r} ({exc}); the module must be installed on "
+            "every worker/shard host"
+        ) from None
+    try:
+        target = getattr(module, attr)
+    except AttributeError:
+        raise KeyError(
+            f"probe entry point {name!r}: module {module_name!r} has no "
+            f"attribute {attr!r}"
+        ) from None
+    if isinstance(target, Probe):
+        return target
+    if callable(target):
+        return Probe(
+            name=name,
+            extract=target,
+            requires_full=bool(getattr(target, "requires_full", False)),
+        )
+    raise KeyError(
+        f"probe entry point {name!r} resolves to {type(target).__name__}, "
+        "expected a Probe or a callable(trace) -> extras"
+    )
+
+
+def get_probe(name: str) -> Probe:
+    """Resolve a probe by registered name or ``module:attr`` entry point."""
+    probe = PROBES.get(name)
+    if probe is not None:
+        return probe
+    if ":" in name:
+        return _resolve_entry_point(name)
+    known = ", ".join(sorted(PROBES))
+    raise KeyError(
+        f"unknown probe {name!r}; known: {known} (or address an "
+        "importable probe as 'package.module:attribute')"
+    )

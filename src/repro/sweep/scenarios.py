@@ -112,6 +112,22 @@ def _counts_from(spec: "CellSpec") -> MixedModeCounts:
     return counts
 
 
+def _require_bonomi(spec: "CellSpec") -> None:
+    """Reject family axes on scenarios whose configs pin the protocol.
+
+    The lower-bound scenarios construct their adversary and population
+    to defeat the *Bonomi* voting protocol specifically; running them
+    under another family would demonstrate nothing about that family's
+    bound.
+    """
+    if spec.family != "bonomi":
+        raise ValueError(
+            f"scenario {spec.scenario!r} is defined for the 'bonomi' "
+            f"family only (its lower-bound construction targets the MSR "
+            f"voting protocol); got family={spec.family!r}"
+        )
+
+
 def _build_mobile(spec: "CellSpec") -> SimulationConfig:
     from ..api import mobile_config
 
@@ -126,6 +142,7 @@ def _build_mobile(spec: "CellSpec") -> SimulationConfig:
         seed=spec.seed,
         rounds=spec.rounds,
         max_rounds=spec.max_rounds,
+        family=spec.family,
     )
 
 
@@ -150,10 +167,12 @@ def _build_static_mixed(spec: "CellSpec") -> SimulationConfig:
             adversary=Adversary(values=value_strategy(spec.attack)),
         ),
         termination=FixedRounds(_require_rounds(spec)),
+        family=spec.family,
     )
 
 
 def _build_stall(spec: "CellSpec") -> SimulationConfig:
+    _require_bonomi(spec)
     semantics = get_semantics(spec.model)
     function = make_algorithm(
         spec.algorithm, msr_trim_parameter(semantics.model, spec.f)
@@ -169,6 +188,7 @@ def _build_stall(spec: "CellSpec") -> SimulationConfig:
 
 
 def _build_mixed_stall(spec: "CellSpec") -> SimulationConfig:
+    _require_bonomi(spec)
     return mixed_stall_config(_counts_from(spec), rounds=_require_rounds(spec))
 
 

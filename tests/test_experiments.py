@@ -120,6 +120,7 @@ class TestRunner:
             "static-vs-mobile",
             "mixed-mode",
             "robustness",
+            "families",
         }
 
     def test_run_named_unknown(self):

@@ -29,6 +29,8 @@ import pytest
 from tests.helpers import make_mobile_config, small_grid
 
 from repro.faults.value_strategies import (
+    CampOutbox,
+    CrossfireAttack,
     EchoCorrect,
     FixedValue,
     InertiaAttack,
@@ -93,7 +95,9 @@ def _scenario_cells():
     )
     cells = []
     for model in ("M1", "M2", "M3", "M4"):
-        for attack in ("split", "outlier"):
+        # crossfire exercises the camp-outbox grouping (sender-dependent
+        # overrides sharing one recipient partition).
+        for attack in ("split", "outlier", "crossfire"):
             cells.append(
                 CellSpec(**{**base, "model": model, "attack": attack})
             )
@@ -170,6 +174,7 @@ class TestScenarioEquivalence:
             FixedValue(0.25),
             EchoCorrect(),
             OscillatingAttack(),
+            CrossfireAttack(),
         ],
         ids=lambda s: s.describe(),
     )
@@ -233,6 +238,7 @@ class TestOutboxBatchEquivalence:
             FixedValue(2.5),
             EchoCorrect(),
             OscillatingAttack(),
+            CrossfireAttack(),
         ],
         ids=lambda s: s.describe(),
     )
@@ -403,3 +409,107 @@ class TestBatchSimulation:
         cell = next(iter(small_grid().cells()))
         kernel = RoundKernel()
         assert run_cell(cell, kernel=kernel) == run_cell(cell)
+
+
+class TestRecipientCamps:
+    """Camp-declared outboxes: Mapping fidelity and kernel grouping."""
+
+    def _view(self, n=11, seed=9):
+        rng = random.Random(seed)
+        values = {pid: rng.uniform(-1.0, 2.0) for pid in range(n)}
+        positions = frozenset({0, 4, 8})
+        correct = {
+            pid: value for pid, value in values.items() if pid not in positions
+        }
+        return AdversaryView(
+            round_index=2,
+            n=n,
+            f=3,
+            values=values,
+            positions=positions,
+            cured=frozenset(),
+            correct_values=correct,
+            rng=rng,
+        )
+
+    @pytest.mark.parametrize(
+        "strategy",
+        [
+            SplitAttack(),
+            SplitAttack(low=-1.0, high=3.0),
+            OutlierAttack(),
+            FixedValue(0.75),
+            EchoCorrect(),
+            OscillatingAttack(),
+            CrossfireAttack(),
+        ],
+        ids=lambda s: s.describe(),
+    )
+    def test_camps_match_outbox_for_every_sender(self, strategy):
+        view = self._view()
+        for sender in sorted(view.positions):
+            camps = strategy.attack_camps(view, sender)
+            assert camps is not None
+            outbox = CampOutbox(camps.validate(view.n, "test"))
+            materialized = strategy.attack_outbox(view, sender, range(view.n))
+            assert dict(outbox) == {
+                q: float(v) for q, v in materialized.items()
+            }
+            assert list(outbox) == list(range(view.n))
+            assert len(outbox) == view.n
+
+    def test_assignment_shared_across_senders(self):
+        # The whole point of camps: the recipient partition is computed
+        # once per round (memoized on the view), so sender-dependent
+        # strategies stop paying O(n) per sender.
+        view = self._view()
+        strategy = CrossfireAttack()
+        first = strategy.attack_camps(view, 0)
+        second = strategy.attack_camps(view, 1)
+        assert first.assignment is second.assignment
+        assert first.values != second.values  # direction swaps by parity
+
+    def test_camp_outbox_mapping_protocol(self):
+        view = self._view(n=5)
+        outbox = CampOutbox(SplitAttack().attack_camps(view, 0))
+        assert 4 in outbox and 5 not in outbox and -1 not in outbox
+        assert outbox.get(5) is None and outbox.get(5, 1.5) == 1.5
+        with pytest.raises(KeyError):
+            outbox[5]
+        assert set(outbox.keys()) == set(range(5))
+        assert len(list(outbox.values())) == 5
+        assert dict(outbox.items()) == dict(outbox)
+
+    def test_camps_reject_bad_shapes(self):
+        from repro.faults.value_strategies import RecipientCamps
+
+        with pytest.raises(ValueError, match="assignment covers"):
+            RecipientCamps((1.0,), (0, 0)).validate(3, "test")
+        with pytest.raises(ValueError, match="non-finite"):
+            RecipientCamps(
+                (float("nan"),), (0, 0, 0)
+            ).validate(3, "test")
+        with pytest.raises(ValueError, match="camp indices outside"):
+            RecipientCamps((1.0,), (0, 1, 0)).validate(3, "test")
+        with pytest.raises(ValueError, match="camp indices outside"):
+            RecipientCamps((1.0,), (0, -1, 0)).validate(3, "test")
+
+    def test_kernel_groups_by_camp_index(self):
+        """Camp grouping yields the same partition the generic key does."""
+        view = self._view()
+        strategies = [CrossfireAttack(), SplitAttack()]
+        outboxes = [
+            CampOutbox(s.attack_camps(view, sender).validate(view.n, "t"))
+            for sender, s in enumerate(strategies)
+        ]
+        groups = distinct_inbox_groups(view.n, outboxes)
+        # Every recipient of one group must share the exact override
+        # delta -- the grouping invariant the camp fast path relies on.
+        for key, pids in groups.items():
+            for pid in pids:
+                assert inbox_key(pid, outboxes) == key
+
+    def test_strategies_without_camps_stay_dict(self):
+        view = self._view()
+        assert InertiaAttack().attack_camps(view, 0) is None
+        assert RandomNoise().attack_camps(view, 0) is None

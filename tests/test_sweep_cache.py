@@ -202,3 +202,107 @@ class TestProbeCaching:
         assert store.hits == 1
         assert warm.cells == probed.cells
         assert plain.cells[0].extras == ()
+
+
+class TestCacheGC:
+    """Eviction/compaction of long-lived stores (sweep cache-gc)."""
+
+    def _populate(self, store, grid):
+        result = run_sweep(grid, cache=store)
+        assert store.misses > 0
+        return result
+
+    def test_noop_on_missing_store(self, tmp_path):
+        report = CellStore(tmp_path / "nothing").gc()
+        assert (report.scanned, report.removed) == (0, 0)
+
+    def test_keeps_current_schema_by_default(self, store, grid):
+        self._populate(store, grid)
+        report = store.gc()
+        assert report.removed == 0
+        assert report.kept == report.scanned > 0
+        # Everything still serves as a hit afterwards.
+        warm = CellStore(store.root)
+        run_sweep(grid, cache=warm)
+        assert warm.misses == 0
+
+    def test_evicts_superseded_schema_versions(self, store, grid):
+        from repro.sweep.cache import SWEEP_SCHEMA_VERSION
+
+        self._populate(store, grid)
+        old = store.root / "v0" / "ab"
+        old.mkdir(parents=True)
+        (old / "deadbeef.json").write_text("{}")
+        report = store.gc()
+        assert report.removed == 1
+        assert not (store.root / "v0").exists()
+        assert (store.root / f"v{SWEEP_SCHEMA_VERSION}").exists()
+
+    def test_age_cutoff(self, store, grid):
+        import os
+        import time
+
+        self._populate(store, grid)
+        entries = sorted(store.root.glob("v*/*/*.json"))
+        stale = entries[0]
+        ancient = time.time() - 10 * 86_400
+        os.utime(stale, (ancient, ancient))
+        report = store.gc(older_than=5 * 86_400)
+        assert report.removed == 1
+        assert not stale.exists()
+        assert report.kept == len(entries) - 1
+
+    def test_dry_run_deletes_nothing(self, store, grid):
+        self._populate(store, grid)
+        entries = sorted(store.root.glob("v*/*/*.json"))
+        report = store.gc(older_than=0, dry_run=True)
+        assert report.dry_run
+        assert report.removed == len(entries)
+        assert "would remove" in report.describe()
+        assert sorted(store.root.glob("v*/*/*.json")) == entries
+
+    def test_orphaned_tmp_files_evicted_after_grace(self, store, grid):
+        import os
+        import time
+
+        self._populate(store, grid)
+        shard_dir = next(iter(sorted(store.root.glob("v*/*/"))))
+        orphan = shard_dir / "abc.json.tmp.12345"
+        orphan.write_text("partial")
+        # Fresh tmp files may be an in-flight atomic write: spared.
+        report = store.gc()
+        assert orphan.exists()
+        assert report.removed == 0
+        # Past the grace period they are wreckage: evicted.
+        ancient = time.time() - 3_600
+        os.utime(orphan, (ancient, ancient))
+        report = store.gc()
+        assert not orphan.exists()
+        assert report.removed == 1
+
+    def test_foreign_directories_untouched(self, store, grid):
+        self._populate(store, grid)
+        foreign = store.root / "not-a-version"
+        foreign.mkdir()
+        (foreign / "keep.txt").write_text("mine")
+        store.gc(older_than=0)
+        assert (foreign / "keep.txt").exists()
+
+    def test_cli_subcommand(self, store, grid, capsys):
+        from repro.experiments.cli import main
+
+        self._populate(store, grid)
+        entries = len(list(store.root.glob("v*/*/*.json")))
+        code = main(
+            ["sweep", "cache-gc", "--cache-dir", str(store.root), "--dry-run",
+             "--older-than", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"would remove {entries}" in out
+        code = main(
+            ["sweep", "cache-gc", "--cache-dir", str(store.root),
+             "--older-than", "0"]
+        )
+        assert code == 0
+        assert not list(store.root.glob("v*/*/*.json"))

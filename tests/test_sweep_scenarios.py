@@ -184,3 +184,59 @@ class TestProbes:
 
     def test_get_probe_resolves(self):
         assert get_probe("send-classification").requires_full
+
+
+class TestEntryPointProbes:
+    """Probes addressed as 'module:attr' resolve by import, not pickle."""
+
+    def test_resolves_module_attribute(self):
+        probe = get_probe("repro.sweep.probes:decision_extent")
+        assert probe.name == "repro.sweep.probes:decision_extent"
+        assert probe.requires_full is False
+
+    def test_runs_through_run_cell_on_the_lite_path(self):
+        result = run_cell(_cell(), probe="repro.sweep.probes:decision_extent")
+        extras = result.extras_dict()
+        assert extras["decision_count"] == len(result.decisions)
+        assert extras["decision_min"] <= extras["decision_max"]
+
+    def test_runs_through_parallel_sweep(self):
+        # Worker processes resolve the probe by importing the module --
+        # nothing is pickled beyond the name string.
+        result = run_sweep(
+            [_cell(), _cell(seed=1)],
+            workers=2,
+            probe="repro.sweep.probes:decision_extent",
+        )
+        for cell in result.cells:
+            assert "decision_max" in cell.extras_dict()
+
+    def test_unimportable_module_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="cannot import module"):
+            get_probe("no.such.package:probe")
+
+    def test_missing_attribute_is_a_clear_error(self):
+        with pytest.raises(KeyError, match="has no attribute"):
+            get_probe("repro.sweep.probes:not_a_probe")
+
+    def test_non_callable_target_rejected(self):
+        with pytest.raises(KeyError, match="expected a Probe or a callable"):
+            get_probe("repro.sweep.probes:PROBES")
+
+    def test_malformed_entry_point_rejected(self):
+        with pytest.raises(KeyError, match="malformed probe entry point"):
+            get_probe("justamodule:")
+
+    def test_unregistered_name_mentions_entry_points(self):
+        with pytest.raises(KeyError, match="package.module:attribute"):
+            get_probe("definitely-not-registered")
+
+    def test_requires_full_attribute_honoured(self):
+        # _send_classification reads message matrices; addressed as an
+        # entry point it must still be rejected on the lite path once
+        # tagged.  The registered Probe object carries the flag; the
+        # bare function resolves with requires_full=False unless tagged.
+        probe = get_probe("repro.sweep.probes:_send_classification")
+        assert probe.requires_full is False  # bare callable, untagged
+        registered = get_probe("send-classification")
+        assert registered.requires_full is True
