@@ -185,6 +185,146 @@ def test_family_throughput(benchmark, record_artifact, record_bench):
     ), rps
 
 
+def run_witness_sized(n: int, f: int, topology: str = "ring:3"):
+    """One lite run of the witness family on a partial graph."""
+    config = mobile_config(
+        model="M1",
+        f=f,
+        n=n,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        rounds=ROUNDS,
+        seed=0,
+        family="witness",
+        topology=topology,
+    )
+    return run_simulation(config, trace_detail="lite")
+
+
+def test_witness_throughput(benchmark, record_artifact, record_bench):
+    """EXP-PERF-WITNESS: lite throughput of the partial-connectivity family.
+
+    The witness family gossips whole claim tables along a restricted
+    graph every round -- O(edges x claims) work where the scalar
+    kernel pays O(distinct inboxes).  This pins that cost at small n
+    on the ring lattice; the committed numbers back the CI perf-smoke
+    floor for the family.
+    """
+
+    def measure():
+        rows = []
+        rps: dict[str, float] = {}
+        for f, n in ((2, 25), (2, 49)):
+            lite_s = _best_of(3, run_witness_sized, n, f)
+            rps[str(n)] = ROUNDS / lite_s
+            rows.append([n, f, "ring:3", f"{ROUNDS / lite_s:.0f}", f"{lite_s * 1e3:.1f}"])
+        return rows, rps
+
+    rows, rps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record_artifact(
+        "perf_witness",
+        render_table(
+            ["n", "f", "topology", "lite r/s", "total ms"],
+            rows,
+            title=(
+                f"EXP-PERF-WITNESS: witness-family lite rounds/sec on the "
+                f"ring lattice (M1, {ROUNDS} rounds)"
+            ),
+        ),
+    )
+    record_bench(
+        "throughput_witness",
+        {
+            "rounds": ROUNDS,
+            "model": "M1",
+            "topology": "ring:3",
+            "witness_lite_rounds_per_sec": {
+                key: round(value, 1) for key, value in rps.items()
+            },
+        },
+    )
+    # Gossip on a sparse graph must stay usable at small n: three
+    # orders of magnitude below the scalar kernel would make the
+    # topology experiments impractical.
+    assert all(value >= 50 for value in rps.values()), rps
+
+
+def test_m3_planted_camps(benchmark, record_artifact, record_bench):
+    """EXP-PERF-M3-CAMPS: planted queues through recipient camps.
+
+    Model M3's cured processes send adversary-planted queues; before
+    this datapoint's change they were the last dict-materialized
+    outboxes (the ROADMAP's remaining O(n*f) planning item).  With the
+    round-robin walk all f agents move every round, so f planted
+    queues are built per round: camps collapse each from an n-entry
+    dict to O(#camps) values on the shared per-round assignment.
+    Results are bit-identical; the datapoint records the collapse.
+    """
+    from repro.faults.value_strategies import CrossfireAttack
+
+    class DictPlantedCrossfire(CrossfireAttack):
+        """Crossfire with planted-queue camps disabled (the 'before')."""
+
+        def planted_camps(self, view, sender):
+            return None
+
+    def run_attack(attack):
+        config = mobile_config(
+            model="M3",
+            f=32,
+            n=193,
+            algorithm="ftm",
+            movement="round-robin",
+            attack=attack,
+            rounds=ROUNDS,
+            seed=0,
+        )
+        return run_simulation(config, trace_detail="lite")
+
+    def measure():
+        camps_trace = run_attack(CrossfireAttack())
+        dict_trace = run_attack(DictPlantedCrossfire())
+        assert camps_trace.decisions == dict_trace.decisions
+        assert camps_trace.diameters() == dict_trace.diameters()
+        camps_s = _best_of(3, run_attack, CrossfireAttack())
+        dict_s = _best_of(3, run_attack, DictPlantedCrossfire())
+        return camps_s, dict_s
+
+    camps_s, dict_s = benchmark.pedantic(measure, rounds=1, iterations=1)
+    speedup = dict_s / camps_s
+    record_artifact(
+        "perf_m3_camps",
+        render_table(
+            ["planted-queue planning", "rounds/sec", "total ms"],
+            [
+                ["per-recipient dicts", f"{ROUNDS / dict_s:.0f}", f"{dict_s * 1e3:.1f}"],
+                ["recipient camps", f"{ROUNDS / camps_s:.0f}", f"{camps_s * 1e3:.1f}"],
+            ],
+            title=(
+                "EXP-PERF-M3-CAMPS: M3 planted queues, crossfire at "
+                f"n=193, f=32 ({ROUNDS} rounds) -- camps {speedup:.1f}x"
+            ),
+        ),
+    )
+    record_bench(
+        "m3_planted_camps",
+        {
+            "rounds": ROUNDS,
+            "model": "M3",
+            "n": 193,
+            "f": 32,
+            "attack": "crossfire",
+            "dict_outbox_rounds_per_sec": round(ROUNDS / dict_s, 1),
+            "camps_rounds_per_sec": round(ROUNDS / camps_s, 1),
+            "speedup": round(speedup, 2),
+        },
+    )
+    # The point of routing planted queues through camps: the O(n*f)
+    # dict materialization must measurably disappear.
+    assert speedup >= 1.5, f"planted camps only {speedup:.2f}x faster"
+
+
 def test_recipient_camps(benchmark, record_artifact, record_bench):
     """EXP-PERF-CAMPS: recipient-class planning vs materialized outboxes.
 

@@ -1,0 +1,29 @@
+"""Benchmark: the communication-topologies head-to-head (EXP-TOPO).
+
+Regenerates the witness-on-partial-graphs vs complete-graph-families
+comparison through the sweep engine, asserts it reproduced (every cell
+satisfies the specification; the witness family converges below
+epsilon on the non-complete graphs) and writes the rendered table to
+``results/topology_comparison.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.topology_comparison import run_topology_comparison
+
+
+def test_topology_comparison(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        run_topology_comparison, rounds=1, iterations=1
+    )
+    record_artifact("topology_comparison", result.render())
+    assert result.ok, result.notes
+    rows = {
+        (family, topology): mean_rounds
+        for family, topology, _deg, _diam, mean_rounds, *_ in result.rows
+    }
+    # The subsystem's reason to exist: the witness family must decide
+    # on graphs no complete-graph family can even be configured for --
+    # and pay the expected gossip-phase price for it.
+    assert rows[("witness", "ring:3")] > rows[("witness", "complete")]
+    assert rows[("witness", "random-regular:6:1")] > rows[("witness", "complete")]

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Approximate agreement on a ring: the witness family in action.
+
+The source paper's algorithms assume a complete communication graph --
+every process hears every other process each round.  This demo puts
+25 processes on a **ring lattice** (each node wired only to its 3
+nearest neighbors per side, degree 6 of a possible 24) and shows:
+
+1. the complete-graph families (``bonomi``, ``tseng``) cannot even be
+   *configured* for the ring -- validation rejects the combination
+   with an actionable error;
+2. the ``witness`` family (after Li, Hurfin & Wang, arXiv:1206.0089)
+   converges anyway, relaying values hop by hop through witness sets
+   and folding once per gossip phase (one phase = graph diameter
+   rounds);
+3. the price of locality: the same run on the complete graph decides
+   in 2 rounds, the ring pays a diameter-long phase per contraction.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/partial_connectivity_demo.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.topology import topology_from_spec
+
+N, F, TOPOLOGY = 25, 2, "ring:3"
+
+
+def main() -> None:
+    graph = topology_from_spec(TOPOLOGY, N)
+    print(f"communication graph: {graph.describe()}")
+    print(f"model M1, f={F} mobile agents, split adversary, eps=1e-3\n")
+
+    # 1. A complete-graph family cannot even be configured for this.
+    try:
+        repro.mobile_config(model="M1", f=F, n=N, topology=TOPOLOGY)
+    except ValueError as exc:
+        print(f"bonomi on the ring is rejected at validation time:\n  {exc}\n")
+
+    # 2. The witness family converges by relaying through witness sets.
+    for topology in (TOPOLOGY, "complete"):
+        config = repro.mobile_config(
+            model="M1",
+            f=F,
+            n=N,
+            family="witness",
+            topology=topology,
+            seed=1,
+            max_rounds=600,
+        )
+        trace = repro.simulate(config, trace_detail="lite")
+        verdict = repro.check(trace)
+        phase = max(1, int(config.resolve_topology().diameter()))
+        print(
+            f"witness on {topology:>8}: {trace.rounds_executed():3d} rounds "
+            f"({phase}-round gossip phases), decision extent "
+            f"{trace.decision_diameter():.2e}, "
+            f"spec {'OK' if verdict.satisfied else 'VIOLATED'}"
+        )
+
+    print(
+        "\nThe ring pays a diameter-long gossip phase per contraction -- "
+        "the price of hearing only 6 of 24 peers directly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,17 @@ Quickstart::
     print(repro.check(trace))
 """
 
-from . import analysis, core, experiments, extensions, faults, msr, runtime, sweep
+from . import (
+    analysis,
+    core,
+    experiments,
+    extensions,
+    faults,
+    msr,
+    runtime,
+    sweep,
+    topology,
+)
 from .api import (
     check,
     evenly_spread_values,
@@ -45,5 +55,6 @@ __all__ = [
     "experiments",
     "extensions",
     "sweep",
+    "topology",
     "__version__",
 ]

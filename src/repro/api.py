@@ -45,6 +45,7 @@ from .msr.registry import make_algorithm
 from .runtime.config import MobileFaultSetup, SimulationConfig
 from .runtime.simulator import run_simulation
 from .runtime.termination import FixedRounds, OracleDiameter, TerminationRule
+from .topology import DEFAULT_TOPOLOGY
 
 __all__ = [
     "movement_strategy",
@@ -121,6 +122,7 @@ def mobile_config(
     termination: TerminationRule | None = None,
     bound_check: str = "error",
     family: str = "bonomi",
+    topology: str = DEFAULT_TOPOLOGY,
 ) -> SimulationConfig:
     """Assemble a mobile-Byzantine simulation configuration.
 
@@ -132,7 +134,11 @@ def mobile_config(
     protocol-level algorithm family (see
     :mod:`repro.runtime.families`): ``"bonomi"`` is the source paper's
     MSR voting protocol, ``"tseng"`` the improved algorithm of
-    arXiv:1707.07659.
+    arXiv:1707.07659, ``"witness"`` the partial-connectivity relay
+    protocol of arXiv:1206.0089.  ``topology`` names the communication
+    graph (see :mod:`repro.topology`): the default ``"complete"`` is
+    the paper's full mesh; partially-connected specs like ``"ring:2"``
+    or ``"random-regular:4:7"`` need a relay-capable family.
     """
     semantics = get_semantics(model)
     if n is None:
@@ -160,6 +166,7 @@ def mobile_config(
         max_rounds=max_rounds,
         bound_check=bound_check,  # type: ignore[arg-type]
         family=family,
+        topology=topology,
     )
 
 
@@ -198,6 +205,7 @@ def sweep_grid(
     rounds: int | None = None,
     max_rounds: int = 1_000,
     families="bonomi",
+    topologies=DEFAULT_TOPOLOGY,
     workers: int = 1,
     trace_detail: str = "lite",
     chunk_size: int | None = None,
@@ -210,8 +218,14 @@ def sweep_grid(
     Every axis accepts a scalar or a sequence; ``seeds`` additionally
     accepts an integer ``K`` meaning seeds ``0..K-1``.  ``families``
     sweeps protocol-level algorithm families (``"bonomi"``,
-    ``"tseng"``; see :mod:`repro.runtime.families`) against otherwise
-    identical cells.  ``workers > 1``
+    ``"tseng"``, ``"witness"``; see :mod:`repro.runtime.families`) and
+    ``topologies`` sweeps communication graphs (``"complete"``,
+    ``"ring:2"``, ``"torus"``, ``"random-regular:4"``; see
+    :mod:`repro.topology`) against otherwise identical cells --
+    combinations a family rejects structurally (complete-graph
+    families on partial graphs) are pruned from the grid, so
+    head-to-head comparisons like witness-on-ring vs bonomi-on-complete
+    ride one grid.  ``workers > 1``
     distributes cells over a process pool; ``trace_detail`` selects the
     simulator path (the default trace-lite fast path is bit-identical
     on decisions and diameters).  ``backend`` overrides the execution
@@ -244,6 +258,7 @@ def sweep_grid(
         rounds=rounds,
         max_rounds=max_rounds,
         families=families,
+        topologies=topologies,
     )
     return run_sweep(
         grid,

@@ -14,8 +14,10 @@ from .robustness import run_robustness
 from .runner import EXPERIMENTS, render_report, run_all, run_named
 from .spec_exp import run_spec_battery
 from .static_vs_mobile import run_static_vs_mobile
+from .family_comparison import run_family_comparison
 from .table1 import run_table1
 from .table2 import run_table2
+from .topology_comparison import run_topology_comparison
 
 __all__ = [
     "ExperimentResult",
@@ -28,6 +30,8 @@ __all__ = [
     "run_static_vs_mobile",
     "run_mixed_mode",
     "run_robustness",
+    "run_family_comparison",
+    "run_topology_comparison",
     "mixed_stall_config",
     "EXPERIMENTS",
     "run_all",

@@ -161,9 +161,23 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=["bonomi"],
         help=(
-            "protocol families to sweep (bonomi, tseng); every other "
-            "axis is crossed with each family, so e.g. "
-            "'--families bonomi tseng' runs head-to-head comparisons"
+            "protocol families to sweep (bonomi, tseng, witness); every "
+            "other axis is crossed with each family, so e.g. "
+            "'--families bonomi tseng' runs head-to-head comparisons "
+            "(comma-separated lists are accepted too)"
+        ),
+    )
+    parser.add_argument(
+        "--topologies",
+        nargs="+",
+        default=["complete"],
+        help=(
+            "communication graphs to sweep, by spec (complete, ring:K, "
+            "torus[:RxC], random-regular:D[:SEED]); combinations a "
+            "family cannot run (complete-graph families on partial "
+            "graphs) are pruned from the grid, so '--topologies "
+            "complete,ring:2 --families bonomi,witness' compares "
+            "witness-on-ring against bonomi-on-complete in one sweep"
         ),
     )
     parser.add_argument("--movements", nargs="+", default=["round-robin"])
@@ -302,6 +316,18 @@ def build_cache_gc_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="B",
+        help=(
+            "cap the store at B bytes of current entries: after the "
+            "schema/age filters, the oldest surviving entries are "
+            "evicted until the total fits (size-based eviction for "
+            "long-lived caches on shared runners)"
+        ),
+    )
+    parser.add_argument(
         "--dry-run",
         action="store_true",
         help="report what would be evicted without deleting anything",
@@ -319,6 +345,7 @@ def cache_gc_main(argv: Sequence[str] | None = None) -> int:
         older_than=None if args.older_than is None else args.older_than * 86_400,
         keep_versions=None if args.keep_schema is None else set(args.keep_schema),
         dry_run=args.dry_run,
+        max_bytes=args.max_bytes,
     )
     print(f"{report.describe()} ({store.root})")
     return 0
@@ -343,6 +370,12 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
 
     args = build_sweep_parser().parse_args(argv)
     store = CellStore(args.cache_dir) if args.cache_dir else None
+
+    def split_axis(raw: Sequence[str]) -> list[str]:
+        # Both '--families a b' and '--families a,b' are accepted; specs
+        # never contain commas, so splitting is unambiguous.
+        return [item for chunk in raw for item in chunk.split(",") if item]
+
     try:
         grid = GridSpec(
             models=args.models,
@@ -355,7 +388,8 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
             seeds=tuple(range(args.seeds)),
             rounds=args.rounds,
             max_rounds=args.max_rounds,
-            families=args.families,
+            families=split_axis(args.families),
+            topologies=split_axis(args.topologies),
         )
         backend = args.backend
         if args.shard is not None and backend not in (None, "sharded"):

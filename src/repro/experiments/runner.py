@@ -20,6 +20,7 @@ from .spec_exp import run_spec_battery
 from .static_vs_mobile import run_static_vs_mobile
 from .table1 import run_table1
 from .table2 import run_table2
+from .topology_comparison import run_topology_comparison
 
 __all__ = ["EXPERIMENTS", "run_all", "run_named", "render_report"]
 
@@ -35,6 +36,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "mixed-mode": run_mixed_mode,
     "robustness": run_robustness,
     "families": run_family_comparison,
+    "topology": run_topology_comparison,
 }
 
 

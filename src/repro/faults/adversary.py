@@ -105,6 +105,20 @@ class Adversary:
             }
         return self.values.planted_outbox(view, sender, recipients)
 
+    def planted_camps(self, view: AdversaryView, sender: int):
+        """A cured sender's M3 planted queue as recipient camps, or ``None``.
+
+        Mirrors :meth:`attack_camps`: a subclass that re-routes either
+        planted hook opts out, because the strategy's camps could
+        silently disagree with the override.
+        """
+        if (
+            type(self).planted_message is not Adversary.planted_message
+            or type(self).planted_outbox is not Adversary.planted_outbox
+        ):
+            return None
+        return self.values.planted_camps(view, sender)
+
     @property
     def shares_round_outboxes(self) -> bool:
         """Whether one outbox per round serves every sender.

@@ -247,6 +247,28 @@ class ValueStrategy(ABC):
             for recipient in recipients
         }
 
+    def planted_camps(
+        self, view: AdversaryView, sender: int
+    ) -> RecipientCamps | None:
+        """Declare a cured sender's M3 planted queue as camps, if possible.
+
+        Planted queues default to the live attack values
+        (:meth:`planted_message` delegates to :meth:`attack_message`),
+        so a strategy's attack camps describe its planted queues too --
+        unless the strategy customizes :meth:`planted_message` *or*
+        the batch :meth:`planted_outbox`, in which case the camps could
+        silently disagree and ``None`` keeps the materialized-queue
+        contract.  The same bit-identity rule as :meth:`attack_camps`
+        applies: the camps must describe exactly what
+        :meth:`planted_outbox` would produce over ``range(view.n)``.
+        """
+        if (
+            type(self).planted_message is ValueStrategy.planted_message
+            and type(self).planted_outbox is ValueStrategy.planted_outbox
+        ):
+            return self.attack_camps(view, sender)
+        return None
+
     def departure_value(self, view: AdversaryView, pid: int) -> float:
         """Memory value the agent leaves behind on departure from ``pid``.
 

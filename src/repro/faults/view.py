@@ -41,6 +41,12 @@ class AdversaryView:
         cured -- the ``U``-generators whose range Validity protects.
     rng:
         Deterministic randomness stream reserved for the adversary.
+    topology:
+        The run's communication graph (:class:`~repro.topology.Topology`),
+        when one is configured: the omniscient adversary knows which
+        channels exist, so strategies can target cut vertices or avoid
+        wasting lies on unreachable recipients.  ``None`` (the default
+        for directly-constructed views) reads as the full mesh.
     """
 
     round_index: int
@@ -51,6 +57,7 @@ class AdversaryView:
     cured: frozenset[int]
     correct_values: Mapping[int, float] = field(default_factory=dict)
     rng: random.Random = field(default_factory=random.Random, compare=False)
+    topology: object | None = field(default=None, compare=False)
 
     @property
     def correct_ids(self) -> frozenset[int]:
@@ -80,6 +87,16 @@ class AdversaryView:
     def correct_midpoint(self) -> float:
         """Midpoint of the correct range; the split point of attacks."""
         return self.correct_range().midpoint()
+
+    def neighbors(self, pid: int) -> frozenset[int]:
+        """Processes whose channel to ``pid`` exists (excluding ``pid``).
+
+        Falls back to "everyone else" when no topology is attached, so
+        strategies can consult reachability unconditionally.
+        """
+        if self.topology is None:
+            return frozenset(range(self.n)) - {pid}
+        return self.topology.neighbor_sets[pid]
 
     def memo(self, key: str, compute):
         """Cache a per-round derived quantity on this (immutable) view.

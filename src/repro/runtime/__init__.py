@@ -24,6 +24,7 @@ from .kernel import RoundKernel, compile_msr, distinct_inbox_groups
 from .network import Message, RoundDelivery, SynchronousNetwork
 from .protocol import MSRVotingProtocol, StatefulRoundProtocol, VotingProtocol
 from .tseng import TsengFamily, TsengProtocol
+from .witness import WitnessFamily, WitnessProtocol
 from .rng import derive_rng, spawn_seeds
 from .serialize import dump_trace, load_trace, trace_from_dict, trace_to_dict
 from .simulator import (
@@ -59,6 +60,8 @@ __all__ = [
     "BonomiFamily",
     "TsengFamily",
     "TsengProtocol",
+    "WitnessFamily",
+    "WitnessProtocol",
     "register_family",
     "get_family",
     "family_names",

@@ -17,6 +17,7 @@ from ..faults.adversary import Adversary
 from ..faults.mixed_mode import StaticFaultAssignment
 from ..faults.models import MobileModel, get_semantics
 from ..msr.base import MSRFunction
+from ..topology import DEFAULT_TOPOLOGY, Topology, topology_from_spec
 from .families import DEFAULT_FAMILY
 from .termination import FixedRounds, TerminationRule
 
@@ -75,9 +76,17 @@ class SimulationConfig:
     #: Protocol family executing the run (see
     #: :mod:`repro.runtime.families`): ``"bonomi"`` is the source
     #: paper's MSR voting protocol, ``"tseng"`` the improved
-    #: mobile-fault algorithm of arXiv:1707.07659.  The resilience
-    #: bound is the *family's* requirement for the configured setup.
+    #: mobile-fault algorithm of arXiv:1707.07659, ``"witness"`` the
+    #: partial-connectivity relay protocol of arXiv:1206.0089.  The
+    #: resilience bound is the *family's* requirement for the
+    #: configured setup.
     family: str = DEFAULT_FAMILY
+    #: Communication-graph spec (see :mod:`repro.topology`): the
+    #: default ``"complete"`` is the paper's full mesh.  Validation
+    #: resolves the spec at ``n`` and asks the configured family to
+    #: accept the graph -- ``bonomi``/``tseng`` require completeness,
+    #: ``witness`` runs on connected partially-connected graphs.
+    topology: str = DEFAULT_TOPOLOGY
 
     def __post_init__(self) -> None:
         self.validate()
@@ -99,10 +108,14 @@ class SimulationConfig:
         if self.bound_check not in ("error", "warn", "ignore"):
             raise ValueError(f"invalid bound_check {self.bound_check!r}")
         try:
-            self.protocol_family()
+            family = self.protocol_family()
         except KeyError as exc:
             # args[0], not str(exc): str() of a KeyError re-quotes it.
             raise ValueError(exc.args[0]) from None
+        # The family owns the topology admission rule: scalar MSR
+        # voting needs the full mesh, relay-based families accept
+        # connected partial graphs (and say which ones).
+        family.check_topology(self.resolve_topology(), self)
         if isinstance(self.setup, StaticMixedSetup):
             self.setup.assignment.validate_for(self.n)
         if self.bound_check == "error" and not self.meets_bound():
@@ -120,6 +133,15 @@ class SimulationConfig:
         from .families import get_family
 
         return get_family(self.family)
+
+    def resolve_topology(self) -> Topology:
+        """Resolve the configured topology spec at this ``n``.
+
+        Memoized inside :func:`~repro.topology.topology_from_spec`, so
+        repeated resolution (validation, network construction, family
+        protocol builds) shares one graph object.
+        """
+        return topology_from_spec(self.topology, self.n)
 
     def required_n(self) -> int:
         """Minimum ``n`` the theory requires for this setup and family."""
@@ -140,8 +162,13 @@ class SimulationConfig:
         family_note = (
             "" if self.family == DEFAULT_FAMILY else f" family={self.family}"
         )
+        # Like the family tag, the topology is emitted only off the
+        # default so pre-topology descriptions stay byte-identical.
+        topology_note = (
+            "" if self.topology == DEFAULT_TOPOLOGY else f" topo={self.topology}"
+        )
         return (
             f"n={self.n} f={self.f} {self.setup.describe()} "
             f"alg={self.algorithm.name} term={self.termination.describe()} "
-            f"seed={self.seed}{family_note}{bound_note}"
+            f"seed={self.seed}{family_note}{topology_note}{bound_note}"
         )

@@ -83,6 +83,24 @@ def _checked_outbox(outbox: dict[int, float], context: str) -> dict[int, float]:
     return outbox
 
 
+def _camp_outbox(
+    camps, view: AdversaryView, sender: int, n: int, context: str
+) -> Mapping[int, float]:
+    """Validate declared camps (O(#camps) per sender) into a CampOutbox.
+
+    The assignment tuple is shared across the senders of a round
+    (strategies memoize it on the view), so its O(n) shape scan runs
+    once per round, not once per sender.  The id is stable for the
+    round: the tuple stays alive in the plan's outboxes.
+    """
+    camps.validate_values(context)
+    view.memo(
+        ("camps-assignment-ok", id(camps.assignment), len(camps.values)),
+        lambda: camps.validate_assignment(n, context),
+    )
+    return CampOutbox(camps)
+
+
 def _attack_override(
     adversary: Adversary, view: AdversaryView, sender: int, n: int
 ) -> Mapping[int, float]:
@@ -97,21 +115,33 @@ def _attack_override(
     """
     camps = adversary.attack_camps(view, sender)
     if camps is not None:
-        context = f"attack camps p{sender}"
-        camps.validate_values(context)
-        # The assignment tuple is shared across the senders of a round
-        # (strategies memoize it on the view), so its O(n) shape scan
-        # runs once per round, not once per sender.  The id is stable
-        # for the round: the tuple stays alive in the plan's outboxes.
-        view.memo(
-            ("camps-assignment-ok", id(camps.assignment), len(camps.values)),
-            lambda: camps.validate_assignment(n, context),
-        )
-        return CampOutbox(camps)
+        return _camp_outbox(camps, view, sender, n, f"attack camps p{sender}")
     return MappingProxyType(
         _checked_outbox(
             _float_outbox(adversary.attack_outbox(view, sender, range(n))),
             f"attack message p{sender}",
+        )
+    )
+
+
+def _planted_override(
+    adversary: Adversary, view: AdversaryView, sender: int, n: int
+) -> Mapping[int, float]:
+    """One cured sender's M3 planted queue, via camps when declared.
+
+    The planted-queue counterpart of :func:`_attack_override`: since
+    most strategies plant exactly what they would attack with, their
+    attack camps carry over and the per-recipient dict materialization
+    (the ROADMAP's remaining O(n*f) planning floor) disappears for
+    them too.  Value-identical to the materialized queue either way.
+    """
+    camps = adversary.planted_camps(view, sender)
+    if camps is not None:
+        return _camp_outbox(camps, view, sender, n, f"planted camps p{sender}")
+    return MappingProxyType(
+        _checked_outbox(
+            _float_outbox(adversary.planted_outbox(view, sender, range(n))),
+            f"planted message p{sender}",
         )
     )
 
@@ -186,7 +216,14 @@ class MobileFaultController(FaultController):
       hence no process is ever cured at send time (Lemma 4).
     """
 
-    def __init__(self, n: int, f: int, model: MobileModel, adversary: Adversary) -> None:
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        model: MobileModel,
+        adversary: Adversary,
+        topology=None,
+    ) -> None:
         if n < 1:
             raise ValueError(f"n must be positive, got {n}")
         if f < 0:
@@ -197,6 +234,9 @@ class MobileFaultController(FaultController):
         self.f = f
         self.semantics: ModelSemantics = get_semantics(model)
         self.adversary = adversary
+        #: The run's communication graph, exposed to strategies through
+        #: the adversary view (the omniscient adversary reads wiring).
+        self.topology = topology
         self._positions: frozenset[int] | None = None
 
     @property
@@ -265,7 +305,6 @@ class MobileFaultController(FaultController):
         # rebuild per sender).
         shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
-        recipients = range(self.n)
         shared_attack: Mapping[int, float] | None = None
         for pid in positions:
             if shared_attack is None:
@@ -276,17 +315,11 @@ class MobileFaultController(FaultController):
             if not shared:
                 shared_attack = None
         if self.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
-            planted_outbox = self.adversary.planted_outbox
             shared_planted: Mapping[int, float] | None = None
             for pid in cured:
                 if shared_planted is None:
-                    shared_planted = MappingProxyType(
-                        _checked_outbox(
-                            _float_outbox(
-                                planted_outbox(attack_view, pid, recipients)
-                            ),
-                            f"planted message p{pid}",
-                        )
+                    shared_planted = _planted_override(
+                        self.adversary, attack_view, pid, self.n
                     )
                 send_overrides[pid] = shared_planted
                 if not shared:
@@ -380,6 +413,7 @@ class MobileFaultController(FaultController):
             cured=cured,
             correct_values=correct,
             rng=rng,
+            topology=self.topology,
         )
 
     def _check_positions(self, positions: frozenset[int]) -> None:
@@ -406,12 +440,17 @@ class StaticMixedController(FaultController):
     """
 
     def __init__(
-        self, n: int, assignment: StaticFaultAssignment, adversary: Adversary
+        self,
+        n: int,
+        assignment: StaticFaultAssignment,
+        adversary: Adversary,
+        topology=None,
     ) -> None:
         assignment.validate_for(n)
         self.n = n
         self.assignment = assignment
         self.adversary = adversary
+        self.topology = topology
         self._classes = dict(assignment.items())
 
     def plan_round(
@@ -430,6 +469,7 @@ class StaticMixedController(FaultController):
             cured=frozenset(),
             correct_values=correct_values,
             rng=rng,
+            topology=self.topology,
         )
 
         shared = self.adversary.shares_round_outboxes

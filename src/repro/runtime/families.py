@@ -18,7 +18,7 @@ sweep grid (``families=`` axis on :class:`~repro.sweep.grid.GridSpec`)
 and the CLI, which makes "run the same scenario under two algorithms
 and compare" a first-class sweep axis.
 
-Two families ship in-tree:
+Three families ship in-tree:
 
 ``bonomi``
     The source paper's MSR voting protocol.  Builds the exact
@@ -27,6 +27,11 @@ Two families ship in-tree:
 ``tseng``
     Tseng's improved mobile-fault approximate consensus algorithm
     (arXiv:1707.07659); see :mod:`repro.runtime.tseng`.
+``witness``
+    The witness-based partial-connectivity protocol after Li, Hurfin &
+    Wang (arXiv:1206.0089); see :mod:`repro.runtime.witness`.  The
+    first family whose :meth:`ProtocolFamily.check_topology` accepts
+    non-complete communication graphs (:mod:`repro.topology`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,14 @@ class ProtocolFamily(ABC):
     #: Registry name; also the value of ``SimulationConfig.family``.
     name: str = "?"
 
+    #: Whether the family's protocol is defined over the complete
+    #: communication graph only.  The scalar MSR voting shape folds
+    #: "everyone's broadcast" and has no relay mechanism, so it keeps
+    #: the default; families built for partial connectivity (message
+    #: relay through witnesses) override to ``False`` and refine
+    #: :meth:`check_topology` with their own admission rule.
+    requires_complete: bool = True
+
     @abstractmethod
     def build_protocol(
         self, config: "SimulationConfig"
@@ -85,6 +98,26 @@ class ProtocolFamily(ABC):
         setups); families with tighter or looser requirements override.
         """
         return setup.min_processes(f)
+
+    def check_topology(self, topology, config: "SimulationConfig") -> None:
+        """Reject communication graphs this family is not defined over.
+
+        Called from :meth:`SimulationConfig.validate` with the resolved
+        :class:`~repro.topology.Topology`.  The default enforces
+        :attr:`requires_complete`; partial-connectivity families
+        override with their own admission rule (connectivity, degree
+        bounds) and must raise :class:`ValueError` with actionable
+        guidance.
+        """
+        if self.requires_complete and not topology.is_complete:
+            raise ValueError(
+                f"the {self.name!r} family is defined over the complete "
+                f"communication graph only (every process must hear every "
+                f"other's broadcast); topology {topology.spec!r} has "
+                f"minimum degree {topology.min_degree()} of {topology.n - 1} "
+                "-- partially-connected runs need a relay-based family, "
+                "e.g. family='witness' (arXiv:1206.0089)"
+            )
 
     def decision_ready(self, round_index: int) -> bool:
         """Round-schedule hook: may termination fire after this round?
@@ -174,6 +207,8 @@ def family_names() -> Iterator[str]:
 
 register_family(BonomiFamily())
 
-# The Tseng family registers itself on import; importing it here makes
-# the registry complete for every process that imports the runtime.
+# The Tseng and witness families register themselves on import;
+# importing them here makes the registry complete for every process
+# that imports the runtime.
 from . import tseng as _tseng  # noqa: E402,F401  (registration side effect)
+from . import witness as _witness  # noqa: E402,F401  (registration side effect)

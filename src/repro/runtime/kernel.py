@@ -116,17 +116,37 @@ def compile_msr(function: MSRFunction) -> FlatEvaluator | None:
 
 
 def inbox_key(
-    pid: int, override_outboxes: Sequence[Mapping[int, float]]
-) -> tuple[float, ...]:
+    pid: int,
+    override_outboxes: Sequence[Mapping[int, float]],
+    outbox_senders: Sequence[int] | None = None,
+    neighborhood: frozenset[int] | None = None,
+) -> tuple:
     """The override delta recipient ``pid`` sees, as a grouping key.
 
     Two recipients receive the same effective inbox if and only if they
-    see the same shared broadcast list (always true) and the same
-    sequence of override values -- this tuple.  Outbox order is the
-    plan's iteration order, identical for every recipient of a round.
+    see the same shared broadcast list (always true on the complete
+    graph) and the same sequence of override values -- this tuple.
+    Outbox order is the plan's iteration order, identical for every
+    recipient of a round.
+
+    Under a restricted communication graph the key additionally
+    filters by reachability: ``neighborhood`` is the recipient's
+    neighbor set and ``outbox_senders`` names each outbox's sender, so
+    only overrides that can physically reach ``pid`` discriminate.
+    (The neighborhood itself must then join the key -- see
+    :func:`distinct_inbox_groups` -- because the shared broadcast list
+    is no longer shared.)
     """
+    if neighborhood is None:
+        return tuple(
+            float(outbox[pid]) for outbox in override_outboxes if pid in outbox
+        )
+    if outbox_senders is None:
+        raise ValueError("neighborhood-restricted keys need outbox_senders")
     return tuple(
-        float(outbox[pid]) for outbox in override_outboxes if pid in outbox
+        float(outbox[pid])
+        for sender, outbox in zip(outbox_senders, override_outboxes)
+        if (sender == pid or sender in neighborhood) and pid in outbox
     )
 
 
@@ -134,7 +154,9 @@ def distinct_inbox_groups(
     n: int,
     override_outboxes: Sequence[Mapping[int, float]] | None,
     excluded: frozenset[int] | set[int] = frozenset(),
-) -> dict[tuple[float, ...], list[int]]:
+    neighborhoods: Sequence[frozenset[int]] | None = None,
+    outbox_senders: Sequence[int] | None = None,
+) -> dict[tuple, list[int]]:
     """Group recipients ``0..n-1`` by their effective-inbox key.
 
     ``excluded`` names recipients that skip the computation phase
@@ -143,12 +165,33 @@ def distinct_inbox_groups(
     single-pass equivalent of evaluating one representative per group.
     Exposed for the property tests that pin down the grouping
     invariant.
+
+    With ``neighborhoods`` (one frozenset per pid, from a
+    :class:`~repro.topology.Topology`), the grouping becomes
+    neighbor-aware: the key is ``(hearing set, restricted override
+    delta)`` where the hearing set is ``N(pid) | {pid}`` -- the
+    broadcasters this recipient can physically receive.  Two
+    recipients merge only when they hear the same broadcasters *and*
+    the same reachable overrides.  On the complete graph every hearing
+    set is the full vertex set, so the key collapses to the original
+    override tuple and the fast case stays fast.
     """
-    groups: dict[tuple[float, ...], list[int]] = {}
+    groups: dict[tuple, list[int]] = {}
     for pid in range(n):
         if pid in excluded:
             continue
-        key = inbox_key(pid, override_outboxes) if override_outboxes else ()
+        if neighborhoods is None:
+            key = (
+                inbox_key(pid, override_outboxes) if override_outboxes else ()
+            )
+        else:
+            hood = neighborhoods[pid]
+            delta = (
+                inbox_key(pid, override_outboxes, outbox_senders, hood)
+                if override_outboxes
+                else ()
+            )
+            key = (hood | {pid}, delta)
         group = groups.get(key)
         if group is None:
             groups[key] = [pid]
@@ -209,6 +252,9 @@ class RoundKernel:
         compute_corruptions: Mapping[int, float],
         values: dict[int, float],
         need_diameter: bool,
+        topology=None,
+        broadcast_by_sender: Mapping[int, float] | None = None,
+        override_senders: Sequence[int] | None = None,
     ) -> float:
         """Run the receive+compute phase for every non-occupied process.
 
@@ -218,7 +264,28 @@ class RoundKernel:
         Writes each computed value into ``values`` and returns the
         maximum received-multiset diameter (0.0 unless
         ``need_diameter``, which only the first round asks for).
+
+        ``topology`` (a non-complete :class:`~repro.topology.Topology`)
+        switches to neighbor-aware assembly: inboxes are restricted to
+        each recipient's hearing set and memoization is keyed per
+        neighborhood, which needs the per-sender broadcast values
+        (``broadcast_by_sender``) and each override outbox's sender id
+        (``override_senders``).  A ``None`` or complete topology takes
+        the exact pre-topology code below -- bit-identical and fast.
         """
+        if topology is not None and not topology.is_complete:
+            return self._compute_phase_restricted(
+                protocol,
+                evaluate,
+                n,
+                broadcast_by_sender if broadcast_by_sender is not None else {},
+                override_outboxes,
+                override_senders,
+                compute_corruptions,
+                values,
+                need_diameter,
+                topology,
+            )
         grouped = self.group_inboxes and protocol.pid_independent_compute
         compute_value = protocol.compute_value
         wrap = ValueMultiset.from_trusted_floats
@@ -350,4 +417,85 @@ class RoundKernel:
                 diameter = inbox[-1] - inbox[0] if inbox else 0.0
                 if diameter > max_diameter:
                     max_diameter = diameter
+        return max_diameter
+
+    def _compute_phase_restricted(
+        self,
+        protocol: VotingProtocol,
+        evaluate: FlatEvaluator | None,
+        n: int,
+        broadcast_by_sender: Mapping[int, float],
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+        override_senders: Sequence[int] | None,
+        compute_corruptions: Mapping[int, float],
+        values: dict[int, float],
+        need_diameter: bool,
+        topology,
+    ) -> float:
+        """Neighbor-aware receive+compute under a restricted topology.
+
+        There is no shared broadcast list here: each recipient hears
+        only the broadcasters in its hearing set ``N(pid) | {pid}``, so
+        inboxes are assembled per hearing set and the distinct-inbox
+        memoization is keyed ``(hearing set, reachable override
+        delta)``.  Recipients with identical hearing sets and deltas
+        (every pid on the complete graph; symmetric clusters elsewhere)
+        still share one MSR evaluation; a ring degrades gracefully to
+        one evaluation per node.
+        """
+        if override_outboxes and override_senders is None:
+            raise ValueError(
+                "restricted compute_phase needs override_senders naming "
+                "each override outbox's sender"
+            )
+        grouped = self.group_inboxes and protocol.pid_independent_compute
+        compute_value = protocol.compute_value
+        wrap = ValueMultiset.from_trusted_floats
+        buffer = self._buffer
+        max_diameter = 0.0
+        neighbor_sets = topology.neighbor_sets
+        cache: dict[tuple, tuple[float, float]] | None = {} if grouped else None
+
+        for pid in range(n):
+            if pid in compute_corruptions:
+                continue
+            hood = neighbor_sets[pid]
+            delta: tuple = ()
+            if override_outboxes:
+                delta = tuple(
+                    float(outbox[pid])
+                    for sender, outbox in zip(override_senders, override_outboxes)
+                    if (sender == pid or sender in hood) and pid in outbox
+                )
+            if cache is not None:
+                # The hearing set (not the bare neighbor set) is the
+                # broadcast filter: two pids share an inbox exactly
+                # when N(p)|{p} and the reachable deltas coincide.
+                key = (hood | {pid}, delta)
+                hit = cache.get(key)
+                if hit is not None:
+                    values[pid] = hit[0]
+                    if need_diameter and hit[1] > max_diameter:
+                        max_diameter = hit[1]
+                    continue
+            buffer[:] = [
+                value
+                for sender, value in broadcast_by_sender.items()
+                if sender == pid or sender in hood
+            ]
+            buffer.sort()
+            for value in delta:
+                insort(buffer, value)
+            inbox: Sequence[float] = buffer
+            result = (
+                evaluate(inbox)
+                if evaluate is not None
+                else compute_value(pid, wrap(inbox))
+            )
+            diameter = inbox[-1] - inbox[0] if inbox else 0.0
+            if cache is not None:
+                cache[key] = (result, diameter)
+            values[pid] = result
+            if need_diameter and diameter > max_diameter:
+                max_diameter = diameter
         return max_diameter

@@ -15,11 +15,25 @@ M1's cured silence a *benign* fault in the mixed-mode image.
 Authentication is enforced structurally: the simulator is the only
 caller and always submits under the true process id; the API offers no
 way to spoof a different sender.
+
+Since the communication-topology subsystem (:mod:`repro.topology`) the
+full mesh is the *default*, not an assumption: constructed with a
+non-complete :class:`~repro.topology.Topology`, the network delivers a
+message only along an edge of the graph (or to the sender itself --
+self-links are implicit).  Broadcasts address the sender's neighborhood
+and messages submitted towards non-neighbors are dropped at delivery
+time, exactly as a physical link layer would: reliability holds *per
+edge*, not per pair.  With the complete (or no) topology every path
+below is byte-identical to the pre-topology code.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology import Topology
 
 __all__ = ["Message", "RoundDelivery", "SynchronousNetwork"]
 
@@ -58,12 +72,26 @@ class RoundDelivery:
 
 
 class SynchronousNetwork:
-    """Round-scoped reliable full-mesh message exchange."""
+    """Round-scoped reliable message exchange, full-mesh by default.
 
-    def __init__(self, n: int) -> None:
+    ``topology`` optionally restricts delivery to the edges of a
+    :class:`~repro.topology.Topology` (plus the implicit self-link).
+    ``None`` or a complete topology reproduces the paper's network
+    byte-for-byte.
+    """
+
+    def __init__(self, n: int, topology: "Topology | None" = None) -> None:
         if n < 1:
             raise ValueError(f"network needs at least one process, got n={n}")
+        if topology is not None and topology.n != n:
+            raise ValueError(
+                f"topology {topology.spec!r} covers {topology.n} processes, "
+                f"network has n={n}"
+            )
         self.n = n
+        self.topology = topology
+        # Complete graphs take the exact pre-topology code paths.
+        self._restricted = topology is not None and not topology.is_complete
         self._round_index: int | None = None
         self._outboxes: dict[int, dict[int, float]] = {}
         self._silent: set[int] = set()
@@ -99,7 +127,15 @@ class SynchronousNetwork:
         self._outboxes[sender] = dict(messages)
 
     def broadcast(self, sender: int, value: float) -> None:
-        """Sender sends ``value`` to every process (including itself)."""
+        """Sender sends ``value`` to everyone it can reach (incl. itself).
+
+        On the full mesh that is every process; on a restricted
+        topology it is the sender's neighborhood plus itself.
+        """
+        if self._restricted:
+            recipients = sorted(self.topology.neighbor_sets[sender] | {sender})
+            self.submit(sender, {q: value for q in recipients})
+            return
         self.submit(sender, {q: value for q in range(self.n)})
 
     def silent(self, sender: int) -> None:
@@ -114,14 +150,27 @@ class SynchronousNetwork:
         Every process that neither submitted nor declared silence is
         treated as silent too: in a synchronous system, not sending
         within the round *is* a detected omission.
+
+        Under a restricted topology, a message travels only when its
+        ``(sender, recipient)`` pair is an edge (or the self-link):
+        anything addressed across a missing link is dropped here, the
+        way a physical link layer would never carry it.
         """
         self._require_open()
         round_index = self._round_index
         assert round_index is not None
         by_recipient: dict[int, dict[int, float]] = {q: {} for q in range(self.n)}
-        for sender, outbox in self._outboxes.items():
-            for recipient, value in outbox.items():
-                by_recipient[recipient][sender] = value
+        if self._restricted:
+            neighbor_sets = self.topology.neighbor_sets
+            for sender, outbox in self._outboxes.items():
+                reachable = neighbor_sets[sender]
+                for recipient, value in outbox.items():
+                    if recipient == sender or recipient in reachable:
+                        by_recipient[recipient][sender] = value
+        else:
+            for sender, outbox in self._outboxes.items():
+                for recipient, value in outbox.items():
+                    by_recipient[recipient][sender] = value
         silent = frozenset(range(self.n)) - frozenset(self._outboxes)
         self._round_index = None
         self._outboxes = {}

@@ -165,3 +165,16 @@ class StatefulRoundProtocol(ABC):
         the maximum received-inbox diameter (0.0 unless
         ``need_diameter``, which only round 0 asks for).
         """
+
+    def decision_ready(self, round_index: int) -> bool:
+        """Per-run round schedule: may termination fire after this round?
+
+        The per-run counterpart of
+        :meth:`~repro.runtime.families.ProtocolFamily.decision_ready`
+        for protocols whose phase length depends on run parameters the
+        stateless family singleton cannot know (the witness family's
+        gossip phases span ``diameter(topology)`` communication
+        rounds).  The stateful driver consults both; ``max_rounds``
+        still caps the run regardless.
+        """
+        return True

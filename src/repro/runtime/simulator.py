@@ -141,8 +141,11 @@ class SynchronousSimulator:
                 "(decisions, diameters and the headline specification "
                 "verdict are identical between the two modes)"
             )
-        self.network = SynchronousNetwork(config.n)
-        self.controller = self._build_controller(config)
+        # The communication graph of the run; the complete default
+        # leaves every path below byte-identical to pre-topology code.
+        self.topology = config.resolve_topology()
+        self.network = SynchronousNetwork(config.n, topology=self.topology)
+        self.controller = self._build_controller(config, self.topology)
         self._adversary_rng = derive_rng(config.seed, "adversary")
         self._values = {
             pid: float(value) for pid, value in enumerate(config.initial_values)
@@ -265,6 +268,10 @@ class SynchronousSimulator:
         positions_after: frozenset[int] = frozenset()
         kernel = self.kernel
         evaluate = kernel.prepare(self.protocol)
+        # In-tree scalar families require the complete graph, so this
+        # is normally None; a future relay-capable VotingProtocol rides
+        # the kernel's neighbor-aware path through the same loop.
+        restricted = None if self.topology.is_complete else self.topology
 
         for _ in range(self.config.max_rounds):
             round_index = self._round_index
@@ -274,10 +281,17 @@ class SynchronousSimulator:
             for pid, corrupted in plan.memory_corruptions.items():
                 self._values[pid] = corrupted
 
-            broadcasts = self._broadcast_values_lite(plan)
-            broadcasts.sort()
             overrides = plan.send_overrides
             override_outboxes = list(overrides.values()) if overrides else None
+            if restricted is None:
+                broadcasts = self._broadcast_values_lite(plan)
+                broadcasts.sort()
+                broadcast_map = None
+                override_senders = None
+            else:
+                broadcasts = []
+                broadcast_map = self._broadcast_map_lite(plan)
+                override_senders = list(overrides) if overrides else None
             compute_corruptions = plan.compute_corruptions
             first_round = round_index == 0
             max_received_diameter = kernel.compute_phase(
@@ -289,6 +303,9 @@ class SynchronousSimulator:
                 compute_corruptions,
                 self._values,
                 first_round,
+                topology=restricted,
+                broadcast_by_sender=broadcast_map,
+                override_senders=override_senders,
             )
             for pid, garbage in compute_corruptions.items():
                 self._values[pid] = garbage
@@ -358,6 +375,24 @@ class SynchronousSimulator:
                 broadcasts.append(value)
         return broadcasts
 
+    def _broadcast_map_lite(self, plan: RoundPlan) -> dict[int, float]:
+        """Per-sender broadcast values for topology-restricted rounds.
+
+        Same send rule as :meth:`_broadcast_values_lite`, but keyed by
+        sender: under a restricted graph each recipient hears only a
+        subset of broadcasters, so the kernel needs sender identity to
+        assemble per-neighborhood inboxes.
+        """
+        broadcast_map: dict[int, float] = {}
+        for pid in range(self.config.n):
+            if pid in plan.send_overrides or pid in plan.forced_silent:
+                continue
+            aware_cured = self._cured_aware and pid in plan.cured_at_send
+            value = self.protocol.send_value(pid, self._values[pid], aware_cured)
+            if value is not None:
+                broadcast_map[pid] = value
+        return broadcast_map
+
     # -- the stateful multi-round driver ---------------------------------------
 
     def _run_stateful(self) -> LiteTrace:
@@ -409,10 +444,17 @@ class SynchronousSimulator:
             nonfaulty_diameter = 0.0 if low is None else high - low
 
             self._round_index += 1
-            if family.decision_ready(round_index) and termination.should_stop(
-                round_index,
-                nonfaulty_diameter,
-                self._first_round_received_diameter,
+            # Both schedules must agree the round is a decision point:
+            # the family's (stateless) and the protocol's (per-run --
+            # e.g. witness phases spanning diameter-many rounds).
+            if (
+                family.decision_ready(round_index)
+                and protocol.decision_ready(round_index)
+                and termination.should_stop(
+                    round_index,
+                    nonfaulty_diameter,
+                    self._first_round_received_diameter,
+                )
             ):
                 terminated = True
                 break
@@ -469,19 +511,23 @@ class SynchronousSimulator:
     # -- construction helpers ----------------------------------------------------
 
     @staticmethod
-    def _build_controller(config: SimulationConfig) -> FaultController:
+    def _build_controller(
+        config: SimulationConfig, topology=None
+    ) -> FaultController:
         if isinstance(config.setup, MobileFaultSetup):
             return MobileFaultController(
                 n=config.n,
                 f=config.f,
                 model=config.setup.model,
                 adversary=config.setup.adversary,
+                topology=topology,
             )
         if isinstance(config.setup, StaticMixedSetup):
             return StaticMixedController(
                 n=config.n,
                 assignment=config.setup.assignment,
                 adversary=config.setup.adversary,
+                topology=topology,
             )
         raise TypeError(f"unsupported fault setup {config.setup!r}")
 

@@ -1,0 +1,411 @@
+"""The witness-based partial-connectivity family (arXiv:1206.0089).
+
+Implements an approximate-agreement family after Li, Hurfin & Wang,
+*Reaching Approximate Byzantine Consensus in Partially-Connected Mobile
+Networks*: the first in-tree protocol defined over non-complete
+communication graphs (:mod:`repro.topology`).  Where the Bonomi and
+Tseng families fold "everybody's broadcast" each round -- which only
+exists on the full mesh -- the witness family *relays* values hop by
+hop and accepts a relayed value only when enough distinct neighbors
+vouch for it.
+
+**Phase structure.**  Rounds are grouped into gossip *phases* of
+``L = diameter(topology)`` communication rounds (``L = 1`` on the
+complete graph, where the family degenerates to a direct-broadcast MSR
+fold).  Within phase ``p``:
+
+* **every round** -- every correct node broadcasts its whole table of
+  *verified* claims ``(origin, value)`` to its neighbors (at phase
+  start that table is just its own estimate) and re-folds the table
+  with the configured MSR function, healing corrupted estimates as the
+  scalar families' per-round compute does;
+* **phase end** -- the fold is strict (every node must have gathered
+  enough verified mass) and its result is the value decisions and
+  termination are read from.
+
+Tables are re-sent whole each round rather than as one-shot deltas:
+verified claims keep flowing, so a node whose gossip memory a
+departing agent scrambled mid-phase re-verifies its neighborhood from
+the repeats instead of starving at the fold, and a temporarily
+fault-heavy neighborhood only *delays* verification by a round.  Per
+round the work is O(edges x verified claims) with an early-out for
+already-verified origins.
+
+**Witness verification.**  A node ``i`` verifies a claim ``(o, x)``
+when
+
+* ``o`` is ``i`` itself or a direct neighbor that sent ``x``
+  first-hand (the channel is authenticated), or
+* at least ``f + 1`` *distinct neighbors relayed the identical claim
+  in the same round* -- the witness set.  At most ``f`` processes are
+  faulty in any round, so one of the witnesses was correct when it
+  relayed, and correct nodes only relay claims they verified: by
+  induction every verified claim traces back through correct
+  relayers to a first-hand receipt from ``o``.
+
+Synchrony makes the per-round threshold natural: all correct nodes at
+hop distance ``d`` from an origin verify its claim by round ``d - 1``
+of the phase and relay it from the next round on, so honest witness
+sets arrive together (and keep arriving -- tables are re-sent whole).
+The rule also neutralizes *forged* relays structurally: a fabricated
+claim for a correct-at-phase-start origin can only ever gather the
+``<= f`` faulty relayers of a round -- short of the threshold by
+construction -- so the adversary's only levers are first-hand lies and
+withholding.  Both are exactly what the repo's scalar fault plans
+express (per-recipient send overrides and silence), which is why every
+existing :class:`~repro.faults.value_strategies.ValueStrategy` applies
+to this family unchanged: a faulty sender's message carries its
+per-recipient scalar lie as its own claim and relays nothing.
+
+If two different values for one origin reach the threshold at a node
+(a first-hand equivocation relayed through disjoint witness sets), the
+origin is provably faulty and the node excludes it from the fold
+altogether.  Origins that never verify are omissions; the MSR
+reduction tolerates the varying multiset sizes exactly as it tolerates
+silence on the full mesh.
+
+**Mobile faults.**  A departing agent's corruption travels through the
+scalar seam (one value per cured node, exactly as in the Tseng
+family): it scrambles the node's *estimate* and therefore its own
+claim.  Cured-aware nodes (M1) generalize the paper's Lemma 1 guard to
+phases -- knowing the estimate is garbage, they withhold their own
+claim until the phase-end fold restores them -- while unaware cured
+nodes (M2/M3) believe the garbage and claim it, paying into the same
+trim budget as on the full mesh.  Verified *relay* entries survive a
+departure: they are authenticated message-log state the neighborhood
+re-confirms every round, so corrupting them is dominated by the
+withholding the model already covers.  Occupied nodes end every round
+with adversary-chosen garbage via the plan's compute corruptions,
+exactly like the scalar families.  One caveat is inherited from the
+phase structure: under the *unaware* models, each round of a phase can
+mint fresh cured-garbage claims, so on graphs whose diameter exceeds
+the Table 1 cured allowance the trim may no longer cover out-of-range
+garbage -- the split-style in-range adversaries converge regardless,
+and M1/M4 are unaffected.
+
+**Resilience.**  The family keeps the model's Table 2 requirement on
+``n`` and adds a graph admission rule checked at config validation:
+the topology must be connected and every node needs degree at least
+``2f + 1`` (``f`` neighbors may be faulty and withhold, and ``f + 1``
+distinct honest-capable witnesses must remain reachable).  Heavier
+partitioning degrades to omissions and, in the extreme, to the MSR
+fold's canonical below-bound error.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..msr.base import MSRFunction
+from ..msr.multiset import ValueMultiset
+from .families import ProtocolFamily, register_family
+from .kernel import RoundKernel, compile_msr
+from .protocol import StatefulRoundProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..topology import Topology
+    from .config import SimulationConfig
+    from .controllers import RoundPlan
+
+__all__ = ["WitnessFamily", "WitnessProtocol"]
+
+
+class WitnessProtocol(StatefulRoundProtocol):
+    """Per-run instance of the witness relay protocol."""
+
+    family_name = "witness"
+    #: Messages are variable-length claim tables, not scalars.
+    message_arity = 2
+
+    def __init__(
+        self, n: int, f: int, function: MSRFunction, topology: "Topology"
+    ) -> None:
+        self.n = n
+        self.f = f
+        self.function = function
+        self.topology = topology
+        diameter = topology.diameter()
+        if diameter != diameter or diameter == float("inf"):  # NaN/inf guard
+            raise ValueError(
+                f"witness: topology {topology.spec!r} is disconnected; "
+                "relays cannot reach every node"
+            )
+        #: Communication rounds per gossip phase: far enough for every
+        #: claim to cross the graph (1 on the complete graph).
+        self.phase_length = max(1, int(diameter))
+        # The topology is immutable for the protocol's lifetime: sort
+        # each neighborhood once instead of per node per round (the
+        # receive loop iterates senders in deterministic order).
+        self._sorted_neighbors: list[list[int]] = [
+            sorted(hood) for hood in topology.neighbor_sets
+        ]
+        self._values: dict[int, float] = {}
+        # Per-node phase state: verified claims (origin -> value, None
+        # marking a provably-faulty origin excluded from the fold).
+        self._verified: list[dict[int, float | None]] = []
+        self._kernel: RoundKernel | None = None
+        self._evaluate = None
+        self._grouped = True
+
+    # -- StatefulRoundProtocol interface ---------------------------------------
+
+    def reset(self, kernel: RoundKernel) -> None:
+        self._kernel = kernel
+        self._evaluate = compile_msr(self.function) if kernel.flat_msr else None
+        # group_inboxes governs the fold memo (identical accepted
+        # multisets share one MSR evaluation), mirroring the scalar
+        # kernel's distinct-inbox toggle for the equivalence suite.
+        self._grouped = kernel.group_inboxes
+        self._verified = [{} for _ in range(self.n)]
+
+    def start(self, initial_values: Sequence[float]) -> None:
+        self._values = {
+            pid: float(value) for pid, value in enumerate(initial_values)
+        }
+
+    @property
+    def values(self) -> dict[int, float]:
+        return self._values
+
+    def decision_ready(self, round_index: int) -> bool:
+        """Decisions exist only at phase boundaries (fold rounds)."""
+        return (round_index + 1) % self.phase_length == 0
+
+    # -- one synchronous round -------------------------------------------------
+
+    def run_round(
+        self, plan: "RoundPlan", cured_aware: bool, need_diameter: bool
+    ) -> float:
+        n, f = self.n, self.f
+        values = self._values
+        verified = self._verified
+        offset = plan.round_index % self.phase_length
+
+        if offset == 0:
+            # Phase start: wipe the gossip tables; every node's own
+            # estimate seeds its table.
+            for pid in range(n):
+                verified[pid] = {pid: values[pid]}
+
+        # Departing agents corrupt the node's estimate -- and with it
+        # the node's own claim (the scalar corruption seam, exactly as
+        # in the Tseng family).  Cured-*aware* nodes (M1) apply the
+        # paper's Lemma 1 guard in phase form: knowing the estimate is
+        # garbage, they withhold their own claim until the phase-end
+        # fold restores them (neighbors keep the pre-corruption claim,
+        # first verification wins).  Unaware cured nodes (M2/M3)
+        # believe the garbage and claim it, which the MSR trim must
+        # absorb exactly as on the full mesh.  Verified *relay* entries
+        # survive the departure: they are re-verified against the
+        # neighborhood's repeats every round, so corrupting them is
+        # dominated by the withholding already in the model.
+        for pid, corrupted in plan.memory_corruptions.items():
+            values[pid] = corrupted
+            if cured_aware:
+                verified[pid].pop(pid, None)
+            else:
+                verified[pid][pid] = corrupted
+
+        # -- send phase ------------------------------------------------------
+        # outgoing[pid] is what pid puts on the wire this round:
+        #   ("lie", outbox)   -- adversary-run send: per-recipient own-
+        #                        claim lies, no relays (forged relays
+        #                        can never reach the witness threshold,
+        #                        so abstaining loses the adversary
+        #                        nothing -- see the module docstring);
+        #   ("claims", dict)  -- a correct node's whole verified table,
+        #                        snapshotted at round start (synchrony:
+        #                        receivers must see pre-round state);
+        #   None              -- silence (benign faults, aware-cured
+        #                        nodes under M1).
+        overrides = plan.send_overrides
+        forced_silent = plan.forced_silent
+        cured = plan.cured_at_send if cured_aware else frozenset()
+        outgoing: list[tuple[str, Mapping] | None] = []
+        for pid in range(n):
+            outbox = overrides.get(pid)
+            if outbox is not None:
+                outgoing.append(("lie", outbox))
+                continue
+            if pid in forced_silent or pid in cured:
+                outgoing.append(None)
+                continue
+            table = verified[pid]
+            outgoing.append(
+                (
+                    "claims",
+                    {
+                        origin: value
+                        for origin, value in table.items()
+                        if value is not None
+                    },
+                )
+            )
+
+        # -- receive phase ---------------------------------------------------
+        sorted_neighbors = self._sorted_neighbors
+        threshold = f + 1
+        for q in range(n):
+            table = verified[q]
+            tally: dict[tuple[int, float], int] = {}
+            for s in sorted_neighbors[q]:
+                message = outgoing[s]
+                if message is None:
+                    continue
+                kind, payload = message
+                if kind == "lie":
+                    # A faulty sender's first-hand claim towards q: the
+                    # channel is authenticated, so it verifies like any
+                    # direct value (the lie lands in the fold and the
+                    # MSR trim must absorb it, as on the full mesh).
+                    value = payload.get(q)
+                    if value is not None and s not in table:
+                        table[s] = float(value)
+                    continue
+                for origin, value in payload.items():
+                    if origin == s:
+                        # First-hand: direct claims verify immediately.
+                        if s not in table:
+                            table[s] = value
+                    elif origin != q and origin not in table:
+                        tally[(origin, value)] = tally.get((origin, value), 0) + 1
+            if tally:
+                qualified: dict[int, list[float]] = {}
+                for (origin, value), count in tally.items():
+                    if count >= threshold:
+                        qualified.setdefault(origin, []).append(value)
+                for origin in sorted(qualified):
+                    if origin in table:
+                        continue
+                    witnessed = qualified[origin]
+                    if len(witnessed) == 1:
+                        table[origin] = witnessed[0]
+                    else:
+                        # Two verified values for one origin: a proven
+                        # first-hand equivocation.  Exclude the origin
+                        # from the fold, permanently for this phase.
+                        table[origin] = None
+
+        # -- compute phase (phase boundary only) -----------------------------
+        max_diameter = 0.0
+        if need_diameter:
+            # Round 0's received-value spread, mirroring the scalar
+            # drivers' first-round diameter bookkeeping.
+            for q in range(n):
+                heard = [v for v in verified[q].values() if v is not None]
+                if heard:
+                    spread = max(heard) - min(heard)
+                    if spread > max_diameter:
+                        max_diameter = spread
+
+        # Every round, every node re-folds its verified table: exactly
+        # the scalar families' compute-every-round structure, so a
+        # cured node's garbage estimate heals within its cure round
+        # (Lemma 5 in phase form) instead of lingering until the phase
+        # boundary.  Mid-phase tables can be too thin for the trim
+        # (claims still in flight); those folds are skipped and the
+        # estimate carries over -- but the *phase-end* fold, where
+        # decisions are read, is strict.  Claims are unaffected either
+        # way: a node gossips its phase-start value, not its estimate.
+        compute_corruptions = plan.compute_corruptions
+        strict = offset == self.phase_length - 1
+        evaluate = self._evaluate
+        cache: dict[tuple, float] | None = {} if self._grouped else None
+        for q in range(n):
+            if q in compute_corruptions:
+                continue
+            accepted = sorted(
+                value for value in verified[q].values() if value is not None
+            )
+            if not accepted:
+                if strict:
+                    raise ValueError(
+                        f"witness: process p{q} verified no values this "
+                        "phase -- the run is below the family's "
+                        "connectivity/resilience requirement"
+                    )
+                continue
+            key = tuple(accepted)
+            result = cache.get(key) if cache is not None else None
+            if result is None:
+                try:
+                    if evaluate is not None:
+                        result = evaluate(accepted)
+                    else:
+                        result = self.function.apply_value(
+                            ValueMultiset.from_trusted_floats(accepted)
+                        )
+                except ValueError:
+                    if strict:
+                        raise ValueError(
+                            f"witness: process p{q} verified only "
+                            f"{len(accepted)} values at the phase boundary "
+                            "-- the run is below the family's connectivity/"
+                            "resilience requirement (the MSR fold needs "
+                            "more mass than the neighborhood delivered)"
+                        ) from None
+                    result = float("nan")  # marks a skipped thin fold
+                if cache is not None:
+                    cache[key] = result
+            if result != result:
+                continue
+            values[q] = result
+            if q not in verified[q]:
+                # An aware-cured node whose fold just restored it
+                # re-claims its own entry: the recovered value is a
+                # trim-fold of verified mass (in range by Validity), so
+                # rejoining the gossip repairs the neighborhoods its
+                # withheld claim was thinning out.
+                verified[q][q] = result
+        for pid, garbage in compute_corruptions.items():
+            values[pid] = garbage
+        return max_diameter
+
+    def __repr__(self) -> str:
+        return (
+            f"WitnessProtocol(n={self.n}, f={self.f}, "
+            f"{self.function.name}, {self.topology.spec})"
+        )
+
+
+class WitnessFamily(ProtocolFamily):
+    """Registry entry for the partial-connectivity relay protocol.
+
+    Reuses the run's configured MSR function (the model's Table 1 trim
+    parameter) and the model's Table 2 requirement on ``n``; its
+    topology admission rule is what sets it apart from the
+    complete-graph families.
+    """
+
+    name = "witness"
+    requires_complete = False
+
+    def build_protocol(self, config: "SimulationConfig") -> WitnessProtocol:
+        return WitnessProtocol(
+            config.n, config.f, config.algorithm, config.resolve_topology()
+        )
+
+    def check_topology(self, topology, config: "SimulationConfig") -> None:
+        if not topology.is_connected():
+            raise ValueError(
+                f"the witness family needs a connected communication "
+                f"graph; topology {topology.spec!r} at n={topology.n} is "
+                "disconnected (values cannot relay across components)"
+            )
+        required = 2 * config.f + 1
+        if config.f > 0 and topology.min_degree() < required:
+            raise ValueError(
+                f"the witness family needs minimum degree >= 2f+1 = "
+                f"{required} at f={config.f} (f neighbors may withhold "
+                f"and f+1 distinct witnesses must remain); topology "
+                f"{topology.spec!r} has minimum degree "
+                f"{topology.min_degree()} -- use a denser graph "
+                "(e.g. a wider ring lattice or higher-degree "
+                "random-regular graph)"
+            )
+
+    def describe(self) -> str:
+        return "witness (partial-connectivity relay, arXiv:1206.0089)"
+
+
+register_family(WitnessFamily())

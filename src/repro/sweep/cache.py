@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..runtime.families import DEFAULT_FAMILY
+from ..topology import DEFAULT_TOPOLOGY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     from .engine import CellResult
@@ -91,9 +92,10 @@ def _freeze(value: Any) -> Any:
 def spec_to_dict(spec: "CellSpec") -> dict[str, Any]:
     """Encode a cell spec as JSON-compatible primitives.
 
-    ``family`` is emitted only off its default: pre-family cells keep
-    their exact canonical encoding, so content hashes -- and therefore
-    every already-populated cache entry -- stay valid.
+    ``family`` and ``topology`` are emitted only off their defaults:
+    pre-family (and pre-topology) cells keep their exact canonical
+    encoding, so content hashes -- and therefore every
+    already-populated cache entry -- stay valid.
     """
     payload = {
         "model": spec.model,
@@ -111,6 +113,8 @@ def spec_to_dict(spec: "CellSpec") -> dict[str, Any]:
     }
     if spec.family != DEFAULT_FAMILY:
         payload["family"] = spec.family
+    if spec.topology != DEFAULT_TOPOLOGY:
+        payload["topology"] = spec.topology
     return payload
 
 
@@ -132,6 +136,7 @@ def spec_from_dict(payload: dict[str, Any]) -> "CellSpec":
         scenario=payload["scenario"],
         params=tuple((name, _freeze(value)) for name, value in payload["params"]),
         family=payload.get("family", DEFAULT_FAMILY),
+        topology=payload.get("topology", DEFAULT_TOPOLOGY),
     )
 
 
@@ -268,6 +273,7 @@ class CellStore:
         keep_versions: "set[int] | None" = None,
         dry_run: bool = False,
         now: float | None = None,
+        max_bytes: int | None = None,
     ) -> "CacheGCReport":
         """Evict stale entries from a long-lived store.
 
@@ -279,9 +285,15 @@ class CellStore:
         seconds before ``now``.  Orphaned ``.tmp.*`` files from
         interrupted atomic writes are evicted once they are older than
         a short grace period (an atomic write is in-flight for
-        milliseconds; anything older is wreckage).  With
-        ``dry_run=True`` nothing is deleted; the report counts what
-        *would* go.  A missing or empty store is a no-op.
+        milliseconds; anything older is wreckage).
+
+        ``max_bytes`` caps the total size of the *surviving* entries:
+        after the version/age filters, the oldest survivors (by mtime,
+        path-tiebroken for determinism) are evicted until the store
+        fits -- the size-based knob for long-lived cell stores on
+        shared runners.  With ``dry_run=True`` nothing is deleted; the
+        report counts what *would* go.  A missing or empty store is a
+        no-op.
 
         Concurrent sweeps are safe: the tmp grace period keeps gc away
         from in-flight writes, and evicting a finished entry at worst
@@ -294,6 +306,8 @@ class CellStore:
             now = time.time()
         if keep_versions is None:
             keep_versions = {SWEEP_SCHEMA_VERSION}
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
         cutoff = None if older_than is None else now - older_than
         scanned = kept = removed = 0
         freed_bytes = 0
@@ -301,16 +315,20 @@ class CellStore:
         if not root.is_dir():
             return CacheGCReport(0, 0, 0, 0, dry_run)
 
-        def evict(path: Path) -> None:
+        def evict(path: Path, size: int | None = None) -> None:
             nonlocal removed, freed_bytes
             removed += 1
             try:
-                freed_bytes += path.stat().st_size
+                freed_bytes += path.stat().st_size if size is None else size
                 if not dry_run:
                     path.unlink()
             except OSError:
                 pass
 
+        #: Surviving result entries as (mtime, path, size), fed to the
+        #: size cap below; tmp files never count towards the budget.
+        survivors: list[tuple[float, Path, int]] = []
+        version_dirs: list[Path] = []
         for version_dir in sorted(root.glob("v*")):
             if not version_dir.is_dir():
                 continue
@@ -318,30 +336,46 @@ class CellStore:
                 version = int(version_dir.name[1:])
             except ValueError:
                 continue  # foreign directory: never touch it
+            version_dirs.append(version_dir)
             stale_version = version not in keep_versions
             for entry in sorted(version_dir.glob("*/*")):
                 if not entry.is_file():
                     continue
                 scanned += 1
                 try:
-                    mtime = entry.stat().st_mtime
+                    stat = entry.stat()
                 except OSError:
                     continue
+                mtime = stat.st_mtime
                 if ".tmp." in entry.name:
                     # Grace period: a concurrent save() is between its
                     # tmp write and os.replace for milliseconds at
                     # most; never race it.
                     if now - mtime > _TMP_GRACE_SECONDS:
-                        evict(entry)
+                        evict(entry, stat.st_size)
                     else:
                         kept += 1
                     continue
                 if stale_version or (cutoff is not None and mtime < cutoff):
-                    evict(entry)
+                    evict(entry, stat.st_size)
                 else:
                     kept += 1
-            if not dry_run:
-                # Prune now-empty shard/version directories.
+                    survivors.append((mtime, entry, stat.st_size))
+
+        if max_bytes is not None:
+            total = sum(size for _, _, size in survivors)
+            # Oldest-first eviction until the survivors fit the cap;
+            # the path tiebreak keeps equal-mtime runs deterministic.
+            for mtime, entry, size in sorted(survivors):
+                if total <= max_bytes:
+                    break
+                evict(entry, size)
+                kept -= 1
+                total -= size
+
+        if not dry_run:
+            # Prune now-empty shard/version directories.
+            for version_dir in version_dirs:
                 for subdir in sorted(version_dir.glob("*")):
                     if subdir.is_dir():
                         try:

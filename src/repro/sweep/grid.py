@@ -22,7 +22,8 @@ from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, fields
 from itertools import product
 
-from ..runtime.families import DEFAULT_FAMILY
+from ..runtime.families import DEFAULT_FAMILY, get_family
+from ..topology import DEFAULT_TOPOLOGY
 
 __all__ = ["CellSpec", "GridSpec"]
 
@@ -48,6 +49,11 @@ class CellSpec:
     cell (see :mod:`repro.runtime.families`) -- ``algorithm`` remains
     the MSR function *within* the family, so ``families x algorithms``
     sweeps compare protocol designs under identical folds.
+
+    ``topology`` names the communication graph by spec string (see
+    :mod:`repro.topology`); the default ``"complete"`` is the paper's
+    full mesh and is omitted from descriptions and cache encodings so
+    pre-topology cells keep their identity.
     """
 
     model: str
@@ -63,6 +69,7 @@ class CellSpec:
     scenario: str = "mobile"
     params: tuple[tuple[str, object], ...] = ()
     family: str = DEFAULT_FAMILY
+    topology: str = DEFAULT_TOPOLOGY
 
     def __post_init__(self) -> None:
         pairs = (
@@ -97,6 +104,7 @@ class CellSpec:
             self.scenario,
             self.params,
             self.family,
+            self.topology,
         )
 
     def params_dict(self) -> dict[str, object]:
@@ -121,15 +129,21 @@ class CellSpec:
         suffix = "".join(
             f" {name}={value}" for name, value in self.params
         )
-        # Family tag only off the default keeps pre-family cell tables
-        # (and the goldens embedding them) byte-identical.
+        # Family/topology tags only off their defaults keep pre-family
+        # (and pre-topology) cell tables -- and the goldens embedding
+        # them -- byte-identical.
         family = (
             "" if self.family == DEFAULT_FAMILY else f" fam={self.family}"
+        )
+        topology = (
+            ""
+            if self.topology == DEFAULT_TOPOLOGY
+            else f" topo={self.topology}"
         )
         return (
             f"{prefix}{self.model} f={self.f} n={n} {self.algorithm} "
             f"{self.movement}/{self.attack} eps={self.epsilon:g} "
-            f"seed={self.seed}{family}{suffix}"
+            f"seed={self.seed}{family}{topology}{suffix}"
         )
 
 
@@ -159,6 +173,16 @@ class GridSpec:
     sequence you mean.  ``cells()`` yields the cartesian product in a
     deterministic order (axes vary rightmost-fastest, like
     :func:`itertools.product`).
+
+    The ``families x topologies`` corner of the product is pruned by
+    *structural* compatibility: a registered family that requires the
+    complete graph is never crossed with a non-``"complete"`` spec
+    (running it would only produce a guaranteed per-cell error), so a
+    single grid expresses head-to-head comparisons like "witness on a
+    ring vs bonomi on the full mesh".  A grid whose every combination
+    is incompatible is rejected at construction.  Unknown family names
+    are *not* pruned -- their cells run and report the unknown-family
+    error, exactly as before.
     """
 
     models: tuple[str, ...] = ("M1", "M2", "M3")
@@ -172,6 +196,7 @@ class GridSpec:
     rounds: int | None = None
     max_rounds: int = 1_000
     families: tuple[str, ...] = (DEFAULT_FAMILY,)
+    topologies: tuple[str, ...] = (DEFAULT_TOPOLOGY,)
 
     def __post_init__(self) -> None:
         if isinstance(self.seeds, int):
@@ -191,11 +216,46 @@ class GridSpec:
             "epsilons",
             "seeds",
             "families",
+            "topologies",
         ):
             object.__setattr__(self, axis, _as_tuple(getattr(self, axis), axis))
+        if not self.family_topology_pairs():
+            raise ValueError(
+                f"grid crosses families {self.families} only with "
+                f"topologies {self.topologies}, and every combination is "
+                "structurally incompatible (complete-graph families on "
+                "partial graphs); add 'complete' to the topologies or a "
+                "relay-based family such as 'witness'"
+            )
+
+    def family_topology_pairs(self) -> list[tuple[str, str]]:
+        """The compatible ``(family, topology)`` combinations, in order.
+
+        Family-major (preserving the pre-topology cell order for
+        single-topology grids), with structurally impossible pairs --
+        a complete-graph family on a non-complete spec -- removed.
+        Compatibility is decided on the *spec string* alone (``n`` is
+        unknown here), so a spec that happens to resolve to a complete
+        graph at some ``n`` (e.g. a wide ring on a tiny system) is
+        still pruned for complete-only families.
+        """
+        pairs = []
+        for family in self.families:
+            for topology in self.topologies:
+                if topology != DEFAULT_TOPOLOGY:
+                    try:
+                        requires_complete = get_family(family).requires_complete
+                    except KeyError:
+                        # Unknown family: keep the cell so the sweep
+                        # reports its error instead of hiding the typo.
+                        requires_complete = False
+                    if requires_complete:
+                        continue
+                pairs.append((family, topology))
+        return pairs
 
     def __len__(self) -> int:
-        return (
+        return len(self.family_topology_pairs()) * (
             len(self.models)
             * len(self.fs)
             * len(self.ns)
@@ -204,16 +264,16 @@ class GridSpec:
             * len(self.attacks)
             * len(self.epsilons)
             * len(self.seeds)
-            * len(self.families)
         )
 
     def cells(self) -> Iterator[CellSpec]:
         """Yield every cell of the product, deterministically ordered.
 
-        ``families`` varies outermost so each family's cells stay
-        contiguous (single-family grids keep their pre-family order).
+        ``families`` varies outermost (then ``topologies``) so each
+        family's cells stay contiguous; single-family single-topology
+        grids keep their pre-family order exactly.
         """
-        for family in self.families:
+        for family, topology in self.family_topology_pairs():
             for model, f, n, algorithm, movement, attack, epsilon, seed in product(
                 self.models,
                 self.fs,
@@ -236,6 +296,7 @@ class GridSpec:
                     rounds=self.rounds,
                     max_rounds=self.max_rounds,
                     family=family,
+                    topology=topology,
                 )
 
     def describe(self) -> str:

@@ -42,6 +42,7 @@ from ..faults.models import get_semantics
 from ..msr.registry import make_algorithm
 from ..runtime.config import SimulationConfig, StaticMixedSetup
 from ..runtime.termination import FixedRounds
+from ..topology import DEFAULT_TOPOLOGY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     from .grid import CellSpec
@@ -128,6 +129,21 @@ def _require_bonomi(spec: "CellSpec") -> None:
         )
 
 
+def _require_default_topology(spec: "CellSpec") -> None:
+    """Reject topology axes on scenarios pinned to the complete graph.
+
+    The static-substrate and lower-bound scenarios model the paper's
+    full-mesh constructions; a communication-graph axis only applies to
+    the ``mobile`` scenario (whose family decides admissibility).
+    """
+    if spec.topology != DEFAULT_TOPOLOGY:
+        raise ValueError(
+            f"scenario {spec.scenario!r} models the paper's complete-graph "
+            f"substrate and takes no topology axis; got "
+            f"topology={spec.topology!r} (topologies apply to 'mobile' cells)"
+        )
+
+
 def _build_mobile(spec: "CellSpec") -> SimulationConfig:
     from ..api import mobile_config
 
@@ -143,12 +159,14 @@ def _build_mobile(spec: "CellSpec") -> SimulationConfig:
         rounds=spec.rounds,
         max_rounds=spec.max_rounds,
         family=spec.family,
+        topology=spec.topology,
     )
 
 
 def _build_static_mixed(spec: "CellSpec") -> SimulationConfig:
     from ..api import evenly_spread_values, value_strategy
 
+    _require_default_topology(spec)
     counts = _counts_from(spec)
     if spec.n is None:
         raise ValueError("scenario 'static-mixed' needs an explicit n")
@@ -173,6 +191,7 @@ def _build_static_mixed(spec: "CellSpec") -> SimulationConfig:
 
 def _build_stall(spec: "CellSpec") -> SimulationConfig:
     _require_bonomi(spec)
+    _require_default_topology(spec)
     semantics = get_semantics(spec.model)
     function = make_algorithm(
         spec.algorithm, msr_trim_parameter(semantics.model, spec.f)
@@ -189,6 +208,7 @@ def _build_stall(spec: "CellSpec") -> SimulationConfig:
 
 def _build_mixed_stall(spec: "CellSpec") -> SimulationConfig:
     _require_bonomi(spec)
+    _require_default_topology(spec)
     return mixed_stall_config(_counts_from(spec), rounds=_require_rounds(spec))
 
 

@@ -1,0 +1,35 @@
+"""Communication topologies: the graph the network delivers along.
+
+The source paper's model is a complete graph -- every broadcast reaches
+every process.  This subsystem makes the communication graph a
+first-class, sweepable dimension: :class:`Topology` models adjacency
+and connectivity, :mod:`~repro.topology.generators` provides
+deterministic seeded generators addressed by short *spec strings*
+(``complete``, ``ring:2``, ``torus:4x5``, ``random-regular:4:7``), and
+the runtime/sweep layers thread the spec through configs, cells, cache
+keys and the CLI.  The ``witness`` algorithm family
+(:mod:`repro.runtime.witness`, after arXiv:1206.0089) is the first
+protocol built for partially-connected graphs.
+"""
+
+from .generators import (
+    DEFAULT_TOPOLOGY,
+    complete,
+    random_regular,
+    ring_lattice,
+    topology_from_spec,
+    topology_names,
+    torus,
+)
+from .graph import Topology
+
+__all__ = [
+    "Topology",
+    "DEFAULT_TOPOLOGY",
+    "complete",
+    "ring_lattice",
+    "torus",
+    "random_regular",
+    "topology_from_spec",
+    "topology_names",
+]

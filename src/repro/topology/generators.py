@@ -1,0 +1,261 @@
+"""Deterministic, seeded topology generators and the spec grammar.
+
+Sweep cells and configs carry the communication graph as a short *spec
+string* so they stay primitive, hashable and picklable; this module is
+the resolver from ``(spec, n)`` to a concrete :class:`Topology`.  Every
+generator is a pure function of its arguments -- the random-regular
+generator derives all randomness from its explicit seed -- so a cell's
+graph is identical on every worker, shard and host.
+
+Spec grammar (no commas or spaces, so specs survive CLI axis lists)::
+
+    complete                   the paper's full mesh (the default)
+    ring                       ring lattice, k=1 (a cycle)
+    ring:K                     ring lattice: i joined to i±1..i±K (mod n)
+    torus                      2d torus, auto-factored rows x cols
+    torus:RxC                  2d torus with explicit side lengths
+    random-regular:D           seeded D-regular graph (seed 0)
+    random-regular:D:SEED      seeded D-regular graph
+
+Explicit edge lists do not travel through specs (a file's content is
+not a pure function of its name); load them programmatically with
+:meth:`Topology.from_edges` / :meth:`Topology.load_edge_list`.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from .graph import Topology
+
+__all__ = [
+    "DEFAULT_TOPOLOGY",
+    "complete",
+    "ring_lattice",
+    "torus",
+    "random_regular",
+    "topology_from_spec",
+    "topology_names",
+]
+
+#: The spec every config and cell runs unless told otherwise: the
+#: source paper's fully-connected network.  Cache keys and describe()
+#: strings omit it, so pre-topology encodings stay byte-identical.
+DEFAULT_TOPOLOGY = "complete"
+
+
+def complete(n: int) -> Topology:
+    """The paper's network: every process adjacent to every other."""
+    everyone = frozenset(range(n))
+    return Topology(
+        n=n,
+        spec="complete",
+        neighbor_sets=tuple(everyone - {pid} for pid in range(n)),
+    )
+
+
+def ring_lattice(n: int, k: int = 1) -> Topology:
+    """A ring lattice: process ``i`` joined to ``i±1 .. i±k`` (mod n).
+
+    ``k=1`` is the plain cycle; growing ``k`` interpolates towards the
+    complete graph (the 2k-regular circulant graph).
+    """
+    if k < 1:
+        raise ValueError(f"ring lattice needs k >= 1, got k={k}")
+    if n < 2:
+        raise ValueError(f"ring lattice needs n >= 2, got n={n}")
+    hoods = []
+    for pid in range(n):
+        hood = set()
+        for step in range(1, k + 1):
+            hood.add((pid + step) % n)
+            hood.add((pid - step) % n)
+        hood.discard(pid)
+        hoods.append(frozenset(hood))
+    return Topology(n=n, spec=f"ring:{k}", neighbor_sets=tuple(hoods))
+
+
+def _torus_factor(n: int) -> tuple[int, int]:
+    """The most-square ``rows x cols`` factorization of ``n``."""
+    best = None
+    rows = 2
+    while rows * rows <= n:
+        if n % rows == 0:
+            best = rows
+        rows += 1
+    if best is None:
+        raise ValueError(
+            f"torus needs n = rows x cols with both sides >= 2; n={n} has "
+            "no such factorization (pass an explicit 'torus:RxC' spec or a "
+            "composite n)"
+        )
+    return best, n // best
+
+
+def torus(n: int, rows: int | None = None, cols: int | None = None) -> Topology:
+    """A 2d torus (grid with wraparound): 4-regular for sides >= 3.
+
+    With no explicit sides the most-square factorization of ``n`` is
+    used; prime ``n`` is rejected with guidance.
+    """
+    if rows is None and cols is None:
+        rows, cols = _torus_factor(n)
+    elif rows is None or cols is None:
+        raise ValueError("torus: pass both rows and cols, or neither")
+    if rows * cols != n:
+        raise ValueError(f"torus: {rows}x{cols} does not cover n={n}")
+    if rows < 2 or cols < 2:
+        raise ValueError(
+            f"torus sides must be >= 2, got {rows}x{cols} (a 1-wide torus "
+            "is a ring; use 'ring')"
+        )
+    hoods: list[set[int]] = [set() for _ in range(n)]
+    for pid in range(n):
+        row, col = divmod(pid, cols)
+        for dr, dc in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            neighbor = ((row + dr) % rows) * cols + (col + dc) % cols
+            if neighbor != pid:
+                hoods[pid].add(neighbor)
+    return Topology(
+        n=n,
+        spec=f"torus:{rows}x{cols}",
+        neighbor_sets=tuple(frozenset(h) for h in hoods),
+    )
+
+
+#: Full restarts before the stub-matching generator gives up; each
+#: restart succeeds with high probability (failed pairings re-match
+#: only the colliding stubs), so this is effectively unreachable for
+#: feasible parameters.
+_REGULAR_ATTEMPTS = 100
+
+
+def _pair_stubs(n: int, d: int, rng: random.Random) -> set[tuple[int, int]] | None:
+    """One attempt of the stub-matching model for a simple d-regular graph.
+
+    The classic configuration model rejects the *whole* pairing on any
+    self-loop or parallel edge, which almost never succeeds beyond tiny
+    degrees; this variant (the standard practical algorithm) re-shuffles
+    only the stubs whose pairs collided, restarting from scratch only
+    when the leftover stubs provably cannot be matched.
+    """
+    edges: set[tuple[int, int]] = set()
+    stubs = [pid for pid in range(n) for _ in range(d)]
+    while stubs:
+        rng.shuffle(stubs)
+        leftover: dict[int, int] = {}
+        stub_iter = iter(stubs)
+        for u, v in zip(stub_iter, stub_iter):
+            if u > v:
+                u, v = v, u
+            if u != v and (u, v) not in edges:
+                edges.add((u, v))
+            else:
+                leftover[u] = leftover.get(u, 0) + 1
+                leftover[v] = leftover.get(v, 0) + 1
+        if not leftover:
+            return edges
+        # Feasibility: some unjoined pair of leftover stub owners must
+        # exist, else no amount of re-shuffling can finish.
+        owners = sorted(leftover)
+        if not any(
+            u != v and (min(u, v), max(u, v)) not in edges
+            for i, u in enumerate(owners)
+            for v in owners[i:]
+        ):
+            return None
+        stubs = [node for node, count in leftover.items() for _ in range(count)]
+    return edges
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> Topology:
+    """A seeded random d-regular simple graph (stub matching).
+
+    Deterministic for fixed ``(n, d, seed)`` on every host: the only
+    randomness is a :class:`random.Random` stream derived from the
+    arguments.  Degree sequences that cannot exist (odd ``n * d``,
+    ``d >= n``) are rejected eagerly.
+    """
+    if d < 1:
+        raise ValueError(f"random-regular needs degree >= 1, got d={d}")
+    if d >= n:
+        raise ValueError(f"random-regular needs d < n, got d={d}, n={n}")
+    if (n * d) % 2 != 0:
+        raise ValueError(
+            f"no {d}-regular graph on {n} vertices exists (n*d must be even)"
+        )
+    rng = random.Random(f"repro-topology:random-regular:{n}:{d}:{seed}")
+    spec = f"random-regular:{d}" if seed == 0 else f"random-regular:{d}:{seed}"
+    for _ in range(_REGULAR_ATTEMPTS):
+        edges = _pair_stubs(n, d, rng)
+        if edges is not None:
+            return Topology.from_edges(n, sorted(edges), spec=spec)
+    raise ValueError(
+        f"could not sample a simple {d}-regular graph on n={n} vertices "
+        f"after {_REGULAR_ATTEMPTS} attempts (degree too close to n?)"
+    )
+
+
+def topology_names() -> tuple[str, ...]:
+    """The known spec heads, for error messages and docs."""
+    return ("complete", "ring[:K]", "torus[:RxC]", "random-regular:D[:SEED]")
+
+
+def _bad_spec(spec: str, reason: str) -> ValueError:
+    known = ", ".join(topology_names())
+    return ValueError(f"invalid topology spec {spec!r}: {reason}; known: {known}")
+
+
+@lru_cache(maxsize=256)
+def _resolve(spec: str, n: int) -> Topology:
+    head, _, rest = spec.partition(":")
+    if head == "complete":
+        if rest:
+            raise _bad_spec(spec, "'complete' takes no parameters")
+        return complete(n)
+    if head == "ring":
+        if not rest:
+            return ring_lattice(n, 1)
+        try:
+            k = int(rest)
+        except ValueError:
+            raise _bad_spec(spec, "'ring:K' needs an integer K") from None
+        return ring_lattice(n, k)
+    if head == "torus":
+        if not rest:
+            return torus(n)
+        try:
+            rows_text, cols_text = rest.split("x", 1)
+            rows, cols = int(rows_text), int(cols_text)
+        except ValueError:
+            raise _bad_spec(spec, "'torus:RxC' needs integers R and C") from None
+        return torus(n, rows, cols)
+    if head == "random-regular":
+        parts = rest.split(":") if rest else []
+        if len(parts) not in (1, 2):
+            raise _bad_spec(
+                spec, "'random-regular:D[:SEED]' needs a degree (and "
+                "optionally a seed)"
+            )
+        try:
+            d = int(parts[0])
+            seed = int(parts[1]) if len(parts) == 2 else 0
+        except ValueError:
+            raise _bad_spec(
+                spec, "'random-regular:D[:SEED]' needs integer parameters"
+            ) from None
+        return random_regular(n, d, seed)
+    raise _bad_spec(spec, f"unknown generator {head!r}")
+
+
+def topology_from_spec(spec: str, n: int) -> Topology:
+    """Resolve a spec string to a concrete :class:`Topology` at size ``n``.
+
+    Pure and memoized: the same ``(spec, n)`` always yields the same
+    graph object, on every process.  Raises :class:`ValueError` with
+    the known grammar on any malformed or unknown spec.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise _bad_spec(str(spec), "spec must be a non-empty string")
+    return _resolve(spec, n)

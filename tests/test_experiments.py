@@ -121,6 +121,7 @@ class TestRunner:
             "mixed-mode",
             "robustness",
             "families",
+            "topology",
         }
 
     def test_run_named_unknown(self):

@@ -49,9 +49,10 @@ def _tseng_lite(config, **kernel_options):
 
 class TestRegistry:
     def test_builtin_families_registered(self):
-        assert list(family_names()) == ["bonomi", "tseng"]
+        assert list(family_names()) == ["bonomi", "tseng", "witness"]
         assert isinstance(get_family("bonomi"), BonomiFamily)
         assert get_family("TSENG").name == "tseng"
+        assert get_family("witness").requires_complete is False
 
     def test_unknown_family_is_a_clear_error(self):
         with pytest.raises(KeyError, match="unknown algorithm family 'paxos'"):

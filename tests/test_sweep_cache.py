@@ -97,6 +97,40 @@ class TestKeyCoverage:
         cell = _a_cell(grid)
         assert store.cell_key(cell, "lite") != store.cell_key(cell, "full")
 
+    def test_key_changes_with_topology_but_default_is_omitted(self, grid, store):
+        from dataclasses import replace
+
+        from repro.sweep.cache import spec_to_dict
+
+        cell = _a_cell(grid)
+        ringed = replace(cell, family="witness", topology="ring:2")
+        assert store.cell_key(cell, "lite") != store.cell_key(ringed, "lite")
+        # The default spec is omitted from the canonical encoding, so
+        # every pre-topology cache entry keeps its content hash.
+        assert "topology" not in spec_to_dict(cell)
+        assert spec_to_dict(ringed)["topology"] == "ring:2"
+
+    def test_topology_cell_round_trips_through_the_store(self, store):
+        from repro.sweep import CellSpec, run_cell
+
+        cell = CellSpec(
+            model="M1",
+            f=1,
+            n=9,
+            algorithm="ftm",
+            movement="round-robin",
+            attack="split",
+            epsilon=1e-3,
+            seed=0,
+            rounds=8,
+            family="witness",
+            topology="ring:2",
+        )
+        result = run_cell(cell)
+        assert result.error is None
+        store.save(result, "lite")
+        assert store.load(cell, "lite") == result
+
     def test_key_changes_with_probe(self, grid, store):
         cell = _a_cell(grid)
         assert store.cell_key(cell, "full") != store.cell_key(
@@ -279,6 +313,72 @@ class TestCacheGC:
         report = store.gc()
         assert not orphan.exists()
         assert report.removed == 1
+
+    def test_max_bytes_evicts_oldest_first(self, store, grid):
+        import os
+        import time
+
+        self._populate(store, grid)
+        entries = sorted(store.root.glob("v*/*/*.json"))
+        sizes = {path: path.stat().st_size for path in entries}
+        total = sum(sizes.values())
+        # Age the first three entries so they are the eviction victims.
+        base = time.time() - 1_000
+        oldest = entries[:3]
+        for index, path in enumerate(oldest):
+            os.utime(path, (base + index, base + index))
+        budget = total - sum(sizes[path] for path in oldest[:2]) - 1
+        report = store.gc(max_bytes=budget)
+        # Two oldest dropped would still exceed by one byte: three go.
+        assert report.removed == 3
+        assert all(not path.exists() for path in oldest)
+        remaining = sorted(store.root.glob("v*/*/*.json"))
+        assert sum(p.stat().st_size for p in remaining) <= budget
+        assert report.kept == len(remaining)
+
+    def test_max_bytes_zero_clears_current_entries(self, store, grid):
+        self._populate(store, grid)
+        report = store.gc(max_bytes=0)
+        assert report.kept == 0
+        assert not list(store.root.glob("v*/*/*.json"))
+
+    def test_max_bytes_noop_when_under_budget(self, store, grid):
+        self._populate(store, grid)
+        report = store.gc(max_bytes=10**9)
+        assert report.removed == 0
+        warm = CellStore(store.root)
+        run_sweep(grid, cache=warm)
+        assert warm.misses == 0
+
+    def test_max_bytes_honors_dry_run(self, store, grid):
+        self._populate(store, grid)
+        entries = sorted(store.root.glob("v*/*/*.json"))
+        report = store.gc(max_bytes=0, dry_run=True)
+        assert report.dry_run and report.removed == len(entries)
+        assert sorted(store.root.glob("v*/*/*.json")) == entries
+
+    def test_max_bytes_rejects_negative(self, store):
+        with pytest.raises(ValueError, match="max_bytes"):
+            store.gc(max_bytes=-1)
+
+    def test_cli_max_bytes(self, store, grid, capsys):
+        from repro.experiments.cli import main
+
+        self._populate(store, grid)
+        entries = len(list(store.root.glob("v*/*/*.json")))
+        code = main(
+            ["sweep", "cache-gc", "--cache-dir", str(store.root),
+             "--max-bytes", "0", "--dry-run"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"would remove {entries}" in out
+        code = main(
+            ["sweep", "cache-gc", "--cache-dir", str(store.root),
+             "--max-bytes", "0"]
+        )
+        assert code == 0
+        assert not list(store.root.glob("v*/*/*.json"))
 
     def test_foreign_directories_untouched(self, store, grid):
         self._populate(store, grid)

@@ -115,6 +115,45 @@ class TestMixedStallScenario:
         assert "asymmetric" in result.error
 
 
+class TestScenarioTopologyGuards:
+    """Only 'mobile' cells carry a topology; the rest say so clearly."""
+
+    def test_mobile_cell_threads_the_topology(self):
+        cell = _cell(
+            n=9, family="witness", topology="ring:2", rounds=8
+        )
+        config = cell.to_config()
+        assert config.topology == "ring:2"
+        result = run_cell(cell)
+        assert result.error is None
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(scenario="stall", rounds=12),
+            dict(
+                scenario="static-mixed",
+                model="static",
+                f=3,
+                n=12,
+                params={"a": 1, "s": 1, "b": 1},
+            ),
+            dict(
+                scenario="mixed-stall",
+                model="static",
+                f=2,
+                n=None,
+                params={"a": 1, "s": 1, "b": 0},
+            ),
+        ],
+        ids=lambda o: o["scenario"],
+    )
+    def test_pinned_scenarios_reject_topology_axes(self, overrides):
+        result = run_cell(_cell(topology="ring:2", **overrides))
+        assert result.error is not None
+        assert "complete-graph substrate" in result.error
+
+
 class TestScenarioRegistry:
     def test_unknown_scenario_becomes_cell_error(self):
         result = run_cell(_cell(scenario="warp-drive"))
