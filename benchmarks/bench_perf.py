@@ -69,9 +69,14 @@ def _best_of(repeats: int, fn, *args):
 def test_lite_vs_full_speedup(benchmark, record_artifact, record_bench):
     """EXP-PERF-LITE: the trace-lite fast path on n >= 16 configs.
 
-    The acceptance bar is a >= 2x single-run speedup over full traces;
-    equivalence of decisions/diameters is asserted here and proven
-    exhaustively by tests/test_sweep_equivalence.py.
+    Since the array-shaped round snapshots landed, full traces no
+    longer pay the per-message dict bookkeeping, so the gap is a modest
+    recording overhead (~1.3-1.7x) instead of the historical 3-8x.  The
+    gate is now two-sided: lite must never lose to full, and full must
+    stay within 4x of lite (a regression back to dict-of-dict network
+    bookkeeping blows past that immediately).  Equivalence of
+    decisions/diameters is asserted here and proven exhaustively by
+    tests/test_sweep_equivalence.py.
     """
 
     def measure():
@@ -103,8 +108,100 @@ def test_lite_vs_full_speedup(benchmark, record_artifact, record_bench):
         "lite_vs_full",
         {str(n): round(ratio, 2) for n, ratio in ratios.items()},
     )
-    assert max(ratios.values()) >= 2.0, f"lite fast path too slow: {ratios}"
-    assert all(ratio >= 1.5 for ratio in ratios.values()), ratios
+    assert all(ratio >= 1.0 for ratio in ratios.values()), (
+        f"lite fast path lost to full traces: {ratios}"
+    )
+    assert all(ratio <= 4.0 for ratio in ratios.values()), (
+        f"full-trace path regressed (dict bookkeeping is back?): {ratios}"
+    )
+
+
+def run_sized_kernel(n: int, vectorized: bool, model: str = "M3"):
+    """One lite run with the vectorized engine explicitly on or off."""
+    from repro.runtime import RoundKernel
+    from repro.runtime.simulator import SynchronousSimulator
+
+    config = mobile_config(
+        model=model,
+        f=max(1, (n - 1) // 6),
+        n=n,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        rounds=ROUNDS,
+        seed=0,
+    )
+    kernel = RoundKernel(
+        group_inboxes=True, flat_msr=True, vectorized=vectorized
+    )
+    return SynchronousSimulator(
+        config, trace_detail="lite", kernel=kernel
+    ).run()
+
+
+def test_vectorized_throughput(benchmark, record_artifact, record_bench):
+    """EXP-PERF-VEC: the numpy batch engine vs the scalar kernel.
+
+    The vectorized path holds values/camps/deltas as arrays and
+    evaluates every distinct inbox of a round in one sort/searchsorted/
+    reduce batch.  Per-round fixed costs make it roughly break even at
+    n=97; the win grows with n and must stay >= 1.2x at paper scale
+    (n=385), where the batch amortizes over hundreds of agents.  The
+    committed numbers back the CI perf-smoke vectorized floor.
+    """
+
+    def measure():
+        rows = []
+        vec_rps: dict[str, float] = {}
+        scalar_rps: dict[str, float] = {}
+        for n in (97, 193, 385):
+            vec_s = _best_of(5, run_sized_kernel, n, True)
+            scalar_s = _best_of(5, run_sized_kernel, n, False)
+            vec_rps[str(n)] = ROUNDS / vec_s
+            scalar_rps[str(n)] = ROUNDS / scalar_s
+            rows.append(
+                [
+                    n,
+                    f"{ROUNDS / scalar_s:.0f}",
+                    f"{ROUNDS / vec_s:.0f}",
+                    f"{scalar_s / vec_s:.2f}x",
+                ]
+            )
+        return rows, vec_rps, scalar_rps
+
+    rows, vec_rps, scalar_rps = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    record_artifact(
+        "perf_vectorized",
+        render_table(
+            ["n", "scalar r/s", "vectorized r/s", "speedup"],
+            rows,
+            title=(
+                f"EXP-PERF-VEC: vectorized vs scalar round kernel "
+                f"(M3 lite, {ROUNDS} rounds)"
+            ),
+        ),
+    )
+    record_bench(
+        "throughput_vectorized",
+        {
+            "rounds": ROUNDS,
+            "model": "M3",
+            "vectorized_lite_rounds_per_sec": {
+                k: round(v, 1) for k, v in vec_rps.items()
+            },
+            "scalar_lite_rounds_per_sec": {
+                k: round(v, 1) for k, v in scalar_rps.items()
+            },
+            "speedup_385": round(
+                vec_rps["385"] / scalar_rps["385"], 2
+            ),
+        },
+    )
+    # Bit-identity is proven by tests/test_kernel.py; here only the
+    # paper-scale win is gated (small n legitimately breaks even).
+    assert vec_rps["385"] >= 1.2 * scalar_rps["385"], (vec_rps, scalar_rps)
 
 
 def run_family_sized(n: int, f: int, family: str, model: str = "M1"):
@@ -449,9 +546,9 @@ def test_sweep_parallel_vs_serial(benchmark, record_artifact, record_bench):
         serial_s = _best_of(2, run_sweep, grid, 1)
         parallel_s = _best_of(2, run_sweep, grid, 4)
         batched_s = _best_of(2, _run_batched, grid)
-        return serial_s, parallel_s, batched_s
+        return serial_s, parallel_s, batched_s, batched.dispatch
 
-    serial_s, parallel_s, batched_s = benchmark.pedantic(
+    serial_s, parallel_s, batched_s, batched_dispatch = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
     speedup = serial_s / parallel_s
@@ -494,6 +591,7 @@ def test_sweep_parallel_vs_serial(benchmark, record_artifact, record_bench):
             "batched4_ms": round(batched_s * 1e3, 1),
             "parallel_speedup": round(speedup, 3),
             "batched_speedup": round(batched_speedup, 3),
+            "batched_dispatch": batched_dispatch,
         },
     )
     # The wall-clock bars need real parallelism: on a single CPU both
@@ -676,7 +774,9 @@ def test_throughput_summary(benchmark, record_artifact, record_bench):
         },
     )
     assert rows and large_rows
-    # The round kernel must keep paper-scale sweeps practical: at n=97
-    # the lite path has to beat full traces >= 5x (pre-kernel it
-    # managed ~2.3x, so this gate fails if the kernel regresses).
-    assert lite_rps["97"] >= 5 * full_rps["97"], (full_rps, lite_rps)
+    # Two-sided gate at n=97: lite must still beat full (the kernel
+    # regression check), while full must stay within 3x of lite -- the
+    # array-snapshot fix removed the 13x full-trace penalty, and a
+    # return of the per-message dict bookkeeping would blow past 3x.
+    assert lite_rps["97"] >= full_rps["97"], (full_rps, lite_rps)
+    assert 3 * full_rps["97"] >= lite_rps["97"], (full_rps, lite_rps)

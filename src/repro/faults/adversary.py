@@ -136,6 +136,29 @@ class Adversary:
             and type(self).planted_message is Adversary.planted_message
         )
 
+    @property
+    def shares_scalar_values(self) -> bool:
+        """Whether one departure/compute value per view serves every host.
+
+        Both scalar corruption hooks default to the symmetric attack
+        value ``attack_message(view, pid, None)``; for a sender-agnostic
+        strategy that value is independent of ``pid`` and consumes no
+        per-call randomness, so the fault controllers compute it once
+        per view and fan it out across all cured/occupied processes.
+        Any override of either scalar hook -- on the strategy or on an
+        Adversary subclass -- opts out, because the override may read
+        ``pid``.
+        """
+        return (
+            self.values.sender_agnostic
+            and type(self).departure_value is Adversary.departure_value
+            and type(self).corrupted_compute is Adversary.corrupted_compute
+            and type(self.values).departure_value
+            is ValueStrategy.departure_value
+            and type(self.values).corrupted_compute
+            is ValueStrategy.corrupted_compute
+        )
+
     def corrupted_compute(self, view: AdversaryView, pid: int) -> float:
         """State an occupied process's computation phase ends with."""
         return self.values.corrupted_compute(view, pid)

@@ -17,6 +17,11 @@ import random
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
+try:  # numpy is optional: every strategy has a scalar path.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 from .view import AdversaryView
 
 __all__ = [
@@ -54,8 +59,8 @@ class MovementStrategy(ABC):
             raise ValueError(
                 f"movement placed {len(positions)} agents but only f={f} exist"
             )
-        bad = [pid for pid in positions if pid < 0 or pid >= n]
-        if bad:
+        if positions and (min(positions) < 0 or max(positions) >= n):
+            bad = [pid for pid in positions if pid < 0 or pid >= n]
             raise ValueError(f"movement placed agents on invalid ids {bad}")
         return positions
 
@@ -96,7 +101,15 @@ class RoundRobinWalk(MovementStrategy):
 
     def next_positions(self, view: AdversaryView) -> frozenset[int]:
         stride = self.stride if self.stride is not None else max(view.f, 1)
-        moved = frozenset((pid + stride) % view.n for pid in view.positions)
+        positions = view.positions
+        if _np is not None and len(positions) >= 32:
+            # Same set, computed in one vector op: frozenset equality
+            # (and iteration order, which hashes by value for small
+            # ints) is independent of construction order.
+            stepped = _np.fromiter(positions, dtype=_np.int64, count=len(positions))
+            moved = frozenset(((stepped + stride) % view.n).tolist())
+        else:
+            moved = frozenset((pid + stride) % view.n for pid in positions)
         return self._validate(moved, view.n, view.f)
 
     def describe(self) -> str:

@@ -101,14 +101,34 @@ class RecipientCamps:
                 f"recipient camps ({context}): assignment covers "
                 f"{len(self.assignment)} recipients, expected {n}"
             )
-        if self.assignment and not (
-            0 <= min(self.assignment) and max(self.assignment) < len(self.values)
-        ):
+        codes = getattr(self.assignment, "array", None)
+        if codes is not None and codes.shape[0]:
+            # CampAssignment mirror: bounds-check without re-scanning
+            # the tuple (the mirror holds the same integers).
+            lowest, highest = int(codes.min()), int(codes.max())
+        elif self.assignment:
+            lowest, highest = min(self.assignment), max(self.assignment)
+        else:
+            return True
+        if not (0 <= lowest and highest < len(self.values)):
             raise ValueError(
                 f"recipient camps ({context}): assignment references camp "
                 f"indices outside the {len(self.values)} declared values"
             )
         return True
+
+
+class CampAssignment(tuple):
+    """A camp-assignment tuple carrying its integer-array mirror.
+
+    Equal to -- and interchangeable with -- the plain tuple the scalar
+    strategies build; camp strategies with an array-backed view attach
+    the numpy codes they already computed as ``array`` so the
+    vectorized kernel indexes camps without re-encoding the tuple
+    every round.  Consumers must treat the mirror as immutable.
+    """
+
+    array = None
 
 
 class CampOutbox(Mapping):
@@ -161,6 +181,21 @@ class CampOutbox(Mapping):
 
     def __len__(self) -> int:
         return len(self.assignment)
+
+    def __eq__(self, other: object) -> bool:
+        # Mapping-value equality: full-trace records carry camp
+        # outboxes verbatim, and those records must compare equal to
+        # dict-recorded ones.  (The kernel's dedup uses id(), never
+        # equality or hashing, so this stays off the hot path.)
+        if isinstance(other, CampOutbox):
+            if (
+                self.camp_values == other.camp_values
+                and self.assignment == other.assignment
+            ):
+                return True
+        elif not isinstance(other, Mapping):
+            return NotImplemented
+        return dict(self) == dict(other)
 
     def __repr__(self) -> str:
         return (
@@ -322,6 +357,14 @@ def _split_assignment(view: AdversaryView) -> tuple[int, ...]:
     def build() -> tuple[int, ...]:
         midpoint = view.correct_range().midpoint()
         values = view.values
+        array = getattr(values, "array", None)
+        if array is not None:
+            # Array-backed snapshots cover every pid, so the parity
+            # fallback can't trigger; the comparison is the camp index.
+            codes = (array > midpoint).astype("i8")
+            assignment = CampAssignment(codes.tolist())
+            assignment.array = codes
+            return assignment
         assignment = []
         for pid in range(view.n):
             value = values.get(pid)

@@ -16,7 +16,41 @@ from dataclasses import dataclass, field
 
 from ..msr.multiset import Interval
 
+try:  # numpy is optional: the scalar paths never need it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 __all__ = ["AdversaryView"]
+
+
+class _LazyCorrectValues:
+    """Descriptor deriving ``correct_values`` from the view on demand.
+
+    Building the correct-value dict eagerly was one of the hottest
+    allocations of a whole simulation (every round, every controller),
+    yet most strategies only ever ask for :meth:`AdversaryView.correct_range`,
+    which the array fast path answers without the dict.  Constructors
+    may still pass an explicit mapping (tests do); passing nothing
+    defers the dict comprehension until some strategy actually reads
+    the attribute.
+    """
+
+    def __get__(self, view, owner=None):
+        if view is None:
+            return self
+        cached = view.__dict__.get("correct_values")
+        if cached is None:
+            cached = {
+                pid: value
+                for pid, value in view.values.items()
+                if pid not in view.positions and pid not in view.cured
+            }
+            view.__dict__["correct_values"] = cached
+        return cached
+
+    def __set__(self, view, value):
+        view.__dict__["correct_values"] = value
 
 
 @dataclass(frozen=True)
@@ -39,6 +73,8 @@ class AdversaryView:
     correct_values:
         Memory values of the processes that are neither faulty nor
         cured -- the ``U``-generators whose range Validity protects.
+        Derived lazily from ``values``/``positions``/``cured`` when the
+        constructor leaves it unset (the controllers' fast path).
     rng:
         Deterministic randomness stream reserved for the adversary.
     topology:
@@ -55,7 +91,7 @@ class AdversaryView:
     values: Mapping[int, float]
     positions: frozenset[int]
     cured: frozenset[int]
-    correct_values: Mapping[int, float] = field(default_factory=dict)
+    correct_values: Mapping[int, float] | None = None
     rng: random.Random = field(default_factory=random.Random, compare=False)
     topology: object | None = field(default=None, compare=False)
 
@@ -77,12 +113,63 @@ class AdversaryView:
         cached = self.__dict__.get("_correct_range")
         if cached is not None:
             return cached
-        source = self.correct_values or self.values
-        if not source:
-            raise ValueError("adversary view contains no process values")
-        interval = Interval(min(source.values()), max(source.values()))
+        interval = self._correct_range_from_array()
+        if interval is None:
+            source = self.correct_values or self.values
+            if not source:
+                raise ValueError("adversary view contains no process values")
+            interval = Interval(min(source.values()), max(source.values()))
         object.__setattr__(self, "_correct_range", interval)
         return interval
+
+    def _correct_range_from_array(self) -> Interval | None:
+        """Masked min/max over an array-backed value snapshot.
+
+        Applies only when ``correct_values`` was left to its lazy
+        default -- an explicit mapping is authoritative and may differ
+        from the derived one.  Returns ``None`` to defer to the scalar
+        fallback only when no array mirror exists.  A ``0.0`` endpoint
+        could be either signed zero under numpy's min/max (``-0.0 ==
+        0.0``), so those rounds recompute with the first-wins scalar
+        scan over the same snapshot -- without materializing the
+        ``correct_values`` dict the generic fallback would build.
+        """
+        if _np is None or self.__dict__.get("correct_values") is not None:
+            return None
+        array = getattr(self.values, "array", None)
+        if array is None:
+            return None
+        # Controllers stash one shared exclusion mask per round (both
+        # value views exclude the same positions/cured sets).
+        mask = self.__dict__.get("_range_mask")
+        if mask is not None:
+            sub = array[mask]
+        else:
+            excluded = self.positions | self.cured
+            if excluded:
+                mask = _np.ones(array.shape[0], dtype=bool)
+                mask[list(excluded)] = False
+                sub = array[mask]
+            else:
+                sub = array
+        if not sub.shape[0]:
+            # No correct process at all (degenerate, test-only
+            # configurations): the fallback ranges over every value.
+            sub = array
+            if not sub.shape[0]:
+                return None
+        low = sub.min()
+        high = sub.max()
+        # A 0.0 endpoint could be either signed zero; the scalar scan
+        # keeps the *first* minimal/maximal occurrence in pid order.
+        # Masking preserved pid order, so the first element comparing
+        # equal to zero is exactly the scan's pick (for any other
+        # endpoint, equal floats share one bit pattern).
+        if low == 0.0:
+            low = sub[int(_np.argmax(sub == 0.0))]
+        if high == 0.0:
+            high = sub[int(_np.argmax(sub == 0.0))]
+        return Interval(float(low), float(high))
 
     def correct_midpoint(self) -> float:
         """Midpoint of the correct range; the split point of attacks."""
@@ -115,3 +202,10 @@ class AdversaryView:
         if key not in cache:
             cache[key] = compute()
         return cache[key]
+
+
+# Installed after the dataclass machinery has captured the field's None
+# default: object.__setattr__ in the generated __init__ routes through
+# this data descriptor, so an explicit mapping is stored verbatim and
+# the None default triggers the lazy derivation on first access.
+AdversaryView.correct_values = _LazyCorrectValues()

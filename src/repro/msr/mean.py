@@ -39,6 +39,19 @@ class Combiner(ABC):
         """
         raise NotImplementedError
 
+    def flat_combine_batch(self, selected) -> list[float]:
+        """Combine a batch of selected rows into one value per row.
+
+        The batched counterpart of :meth:`flat_combine`: ``selected``
+        is a 2D array of equal-width sorted selections (one row per
+        distinct inbox), and the result is a list of Python floats,
+        each bit-identical to :meth:`flat_combine` on that row.  One-
+        and two-column batches combine with exactly-rounded array
+        arithmetic; wider batches fall back to ``math.fsum`` per row,
+        which is still one call per *distinct inbox*, not per process.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -53,6 +66,16 @@ class ArithmeticMean(Combiner):
         # math.fsum is exactly rounded, so this matches
         # ValueMultiset.mean() bit for bit regardless of container.
         return math.fsum(selected) / len(selected)
+
+    def flat_combine_batch(self, selected) -> list[float]:
+        width = selected.shape[1]
+        if width == 1:
+            return selected[:, 0].tolist()
+        if width == 2:
+            # (a + b) / 2 is correctly rounded, hence bit-identical to
+            # fsum([a, b]) / 2 -- no fsum loop needed for pair means.
+            return ((selected[:, 0] + selected[:, 1]) / 2.0).tolist()
+        return [math.fsum(row) / width for row in selected.tolist()]
 
     def describe(self) -> str:
         return "arithmetic mean"
@@ -82,6 +105,12 @@ class MedianCombiner(Combiner):
         if len(selected) % 2 == 1:
             return selected[mid]
         return (selected[mid - 1] + selected[mid]) / 2.0
+
+    def flat_combine_batch(self, selected) -> list[float]:
+        mid = selected.shape[1] // 2
+        if selected.shape[1] % 2 == 1:
+            return selected[:, mid].tolist()
+        return ((selected[:, mid - 1] + selected[:, mid]) / 2.0).tolist()
 
     def describe(self) -> str:
         return "median"

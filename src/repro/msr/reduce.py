@@ -57,6 +57,22 @@ class Reduction(ABC):
         """
         raise NotImplementedError
 
+    def flat_bounds_width(self, width: int) -> tuple[int, int] | None:
+        """Index bounds ``(lo, hi)`` for *any* sorted input of ``width``.
+
+        The batched counterpart of :meth:`flat_bounds` for reductions
+        whose kept range depends only on the input *size*, never on the
+        values themselves: one call answers for a whole batch of
+        equal-width inboxes at once, so the vectorized kernel can slice
+        a 2D array of sorted rows with a single ``rows[:, lo:hi]``.
+        ``None`` signals the width is below the resilience bound (the
+        caller falls back to the object path for its canonical error).
+        Value-dependent reductions (e.g. interval trims) must not
+        override this; the kernel detects the absence and evaluates
+        those inboxes row by row.
+        """
+        raise NotImplementedError
+
     def minimum_input_size(self) -> int:
         """Smallest multiset size this reduction can be applied to."""
         return 0
@@ -102,9 +118,12 @@ class TrimExtremes(Reduction):
         return multiset.trim(self.tau, self.tau)
 
     def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
-        if len(values) < 2 * self.tau + 1:
+        return self.flat_bounds_width(len(values))
+
+    def flat_bounds_width(self, width: int) -> tuple[int, int] | None:
+        if width < 2 * self.tau + 1:
             return None
-        return self.tau, len(values) - self.tau
+        return self.tau, width - self.tau
 
     def minimum_input_size(self) -> int:
         return 2 * self.tau + 1
@@ -132,6 +151,9 @@ class IdentityReduction(Reduction):
 
     def flat_bounds(self, values: Sequence[float]) -> tuple[int, int] | None:
         return 0, len(values)
+
+    def flat_bounds_width(self, width: int) -> tuple[int, int] | None:
+        return 0, width
 
     def describe(self) -> str:
         return "identity"

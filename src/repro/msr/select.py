@@ -57,6 +57,20 @@ class Selection(ABC):
         """
         raise NotImplementedError
 
+    def flat_select_batch(self, rows, lo: int, hi: int):
+        """Selected columns from a batch of reduced rows.
+
+        The batched counterpart of :meth:`flat_select`: ``rows`` is a
+        2D array of sorted equal-width inboxes (one row per distinct
+        inbox) and ``lo:hi`` the shared reduction bounds, so the picked
+        indices are the same for every row and the whole selection is
+        one column slice.  Returns a 2D array of shape ``(len(rows),
+        k)`` whose rows are sorted ascending, exactly the values
+        :meth:`flat_select` would pick per row.  Implementations use
+        only indexing syntax so this module needs no array dependency.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
 
@@ -80,6 +94,9 @@ class SelectAll(Selection):
         self, values: Sequence[float], lo: int, hi: int
     ) -> Sequence[float]:
         return values[lo:hi]
+
+    def flat_select_batch(self, rows, lo: int, hi: int):
+        return rows[:, lo:hi]
 
     def describe(self) -> str:
         return "all"
@@ -111,6 +128,11 @@ class SelectExtremes(Selection):
         if hi - lo == 1:
             return (values[lo],)
         return (values[lo], values[hi - 1])
+
+    def flat_select_batch(self, rows, lo: int, hi: int):
+        if hi - lo == 1:
+            return rows[:, [lo]]
+        return rows[:, [lo, hi - 1]]
 
     def describe(self) -> str:
         return "extremes (min, max)"
@@ -155,6 +177,12 @@ class SelectEvery(Selection):
             picked.append(values[hi - 1])
         return picked
 
+    def flat_select_batch(self, rows, lo: int, hi: int):
+        indices = list(range(lo, hi, self.step))
+        if self.include_last and (hi - lo - 1) % self.step != 0:
+            indices.append(hi - 1)
+        return rows[:, indices]
+
     def describe(self) -> str:
         suffix = " (+last)" if self.include_last else ""
         return f"every {self.step}-th{suffix}"
@@ -192,6 +220,12 @@ class SelectMedian(Selection):
         if (hi - lo) % 2 == 1:
             return (values[mid],)
         return (values[mid - 1], values[mid])
+
+    def flat_select_batch(self, rows, lo: int, hi: int):
+        mid = lo + (hi - lo) // 2
+        if (hi - lo) % 2 == 1:
+            return rows[:, [mid]]
+        return rows[:, [mid - 1, mid]]
 
     def describe(self) -> str:
         return "median"

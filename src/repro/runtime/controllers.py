@@ -26,6 +26,11 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
+try:  # numpy is optional: scalar planning never needs it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
+
 from ..faults.adversary import Adversary
 from ..faults.mixed_mode import FaultClass, StaticFaultAssignment
 from ..faults.models import CuredSendBehavior, MobileModel, ModelSemantics, get_semantics
@@ -58,6 +63,29 @@ def _checked_value(value: float, context: str) -> float:
             "value strategies must return finite reals"
         )
     return value
+
+
+def _with_corruptions(
+    values: Mapping[int, float], corruptions: Mapping[int, float]
+) -> Mapping[int, float]:
+    """The round's value snapshot with memory corruptions applied.
+
+    Without corruptions the snapshot itself is the answer (views never
+    mutate it).  With corruptions, an array-backed snapshot (see
+    :class:`~repro.runtime.simulator.ArrayValues`) is patched in array
+    form so the attack view keeps its fast ``correct_range`` path;
+    plain dicts take the classic copy-and-update.
+    """
+    if not corruptions:
+        return values
+    array = getattr(values, "array", None)
+    if array is not None:
+        patched = array.copy()
+        patched[list(corruptions)] = list(corruptions.values())
+        return type(values)(patched)
+    attack_values = dict(values)
+    attack_values.update(corruptions)
+    return attack_values
 
 
 def _float_outbox(outbox: dict[int, float]) -> dict[int, float]:
@@ -238,6 +266,12 @@ class MobileFaultController(FaultController):
         #: the adversary view (the omniscient adversary reads wiring).
         self.topology = topology
         self._positions: frozenset[int] | None = None
+        # Resolved once per run: whether the adversary's scalar
+        # corruption hooks are pid-independent (see
+        # Adversary.shares_scalar_values), letting the planning hot
+        # path compute each round's departure/compute value once
+        # instead of once per agent.
+        self._shared_scalars = adversary.shares_scalar_values
 
     @property
     def positions(self) -> frozenset[int]:
@@ -287,17 +321,27 @@ class MobileFaultController(FaultController):
 
         # Departing agents corrupt the memories they leave behind.
         departure_view = self._view(round_index, values, positions, cured, rng)
-        memory_corruptions = {
-            pid: _checked_value(
-                self.adversary.departure_value(departure_view, pid),
-                f"departure value for p{pid}",
-            )
-            for pid in cured
-        }
 
-        attack_values = dict(values)
-        attack_values.update(memory_corruptions)
+        # Both value views this round share one exclusion mask over the
+        # array snapshot (identical positions/cured); precomputing it
+        # here spares each ``correct_range`` the set-union and the
+        # boolean-buffer build.
+        range_mask = None
+        if _np is not None and getattr(values, "array", None) is not None:
+            range_mask = _np.ones(self.n, dtype=bool)
+            excluded = positions | cured
+            if excluded:
+                range_mask[list(excluded)] = False
+            object.__setattr__(departure_view, "_range_mask", range_mask)
+
+        memory_corruptions = self._departure_values(departure_view, cured)
+
+        attack_values = _with_corruptions(values, memory_corruptions)
         attack_view = self._view(round_index, attack_values, positions, cured, rng)
+        if range_mask is not None:
+            # attack_values is either the same snapshot or its patched
+            # ArrayValues copy -- array-backed either way.
+            object.__setattr__(attack_view, "_range_mask", range_mask)
 
         # Sender-agnostic strategies emit the same outbox from every
         # agent, so one shared mapping per round serves all of them
@@ -305,15 +349,24 @@ class MobileFaultController(FaultController):
         # rebuild per sender).
         shared = self.adversary.shares_round_outboxes
         send_overrides: dict[int, Mapping[int, float]] = {}
-        shared_attack: Mapping[int, float] | None = None
-        for pid in positions:
-            if shared_attack is None:
-                shared_attack = _attack_override(
-                    self.adversary, attack_view, pid, self.n
-                )
-            send_overrides[pid] = shared_attack
-            if not shared:
-                shared_attack = None
+        if shared and positions:
+            # One outbox for every agent: build it once (from the same
+            # first pid the per-sender loop would use) and fan the
+            # reference out at C speed.
+            shared_attack = _attack_override(
+                self.adversary, attack_view, next(iter(positions)), self.n
+            )
+            send_overrides = dict.fromkeys(positions, shared_attack)
+        else:
+            shared_attack: Mapping[int, float] | None = None
+            for pid in positions:
+                if shared_attack is None:
+                    shared_attack = _attack_override(
+                        self.adversary, attack_view, pid, self.n
+                    )
+                send_overrides[pid] = shared_attack
+                if not shared:
+                    shared_attack = None
         if self.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
             shared_planted: Mapping[int, float] | None = None
             for pid in cured:
@@ -325,22 +378,64 @@ class MobileFaultController(FaultController):
                 if not shared:
                     shared_planted = None
 
-        compute_corruptions = {
-            pid: _checked_value(
-                self.adversary.corrupted_compute(attack_view, pid),
-                f"corrupted compute for p{pid}",
-            )
-            for pid in positions
-        }
+        compute_corruptions = self._corrupted_computes(attack_view, positions)
+        # The three mappings are freshly built above (never aliased),
+        # so the read-only proxy can wrap them without the defensive
+        # copy `_frozen_mapping` pays for caller-supplied dicts.
         return RoundPlan(
             round_index=round_index,
             faulty_at_send=positions,
             cured_at_send=cured,
             positions_after=positions,
-            memory_corruptions=_frozen_mapping(memory_corruptions),
-            send_overrides=_frozen_mapping(send_overrides),
-            compute_corruptions=_frozen_mapping(compute_corruptions),
+            memory_corruptions=MappingProxyType(memory_corruptions),
+            send_overrides=MappingProxyType(send_overrides),
+            compute_corruptions=MappingProxyType(compute_corruptions),
         )
+
+    def _departure_values(self, view, pids) -> dict[int, float]:
+        """Checked departure value per pid; one shared call when legal.
+
+        Bit-identical to the per-pid loop: under the sharing contract
+        the hook is pid-independent and randomness-free, so every call
+        would return the same float anyway.
+        """
+        if not pids:
+            return {}
+        adversary = self.adversary
+        if self._shared_scalars:
+            first = next(iter(pids))
+            value = _checked_value(
+                adversary.departure_value(view, first),
+                f"departure value for p{first}",
+            )
+            return {pid: value for pid in pids}
+        return {
+            pid: _checked_value(
+                adversary.departure_value(view, pid),
+                f"departure value for p{pid}",
+            )
+            for pid in pids
+        }
+
+    def _corrupted_computes(self, view, pids) -> dict[int, float]:
+        """Checked corrupted-compute value per pid; shared when legal."""
+        if not pids:
+            return {}
+        adversary = self.adversary
+        if self._shared_scalars:
+            first = next(iter(pids))
+            value = _checked_value(
+                adversary.corrupted_compute(view, first),
+                f"corrupted compute for p{first}",
+            )
+            return {pid: value for pid in pids}
+        return {
+            pid: _checked_value(
+                adversary.corrupted_compute(view, pid),
+                f"corrupted compute for p{pid}",
+            )
+            for pid in pids
+        }
 
     # -- M4 ----------------------------------------------------------------------
 
@@ -373,13 +468,7 @@ class MobileFaultController(FaultController):
         movement_view = self._view(round_index, values, hosts, frozenset(), rng)
         next_hosts = self.adversary.next_positions(movement_view)
         self._check_positions(next_hosts)
-        compute_corruptions = {
-            pid: _checked_value(
-                self.adversary.corrupted_compute(attack_view, pid),
-                f"corrupted compute for p{pid}",
-            )
-            for pid in next_hosts
-        }
+        compute_corruptions = self._corrupted_computes(attack_view, next_hosts)
         return RoundPlan(
             round_index=round_index,
             faulty_at_send=hosts,
@@ -399,19 +488,17 @@ class MobileFaultController(FaultController):
         cured: frozenset[int],
         rng: random.Random,
     ) -> AdversaryView:
-        correct = {
-            pid: value
-            for pid, value in values.items()
-            if pid not in positions and pid not in cured
-        }
+        # The simulator hands a fresh per-round snapshot, so the view
+        # can hold it directly -- no defensive copy -- and leave
+        # ``correct_values`` to the view's lazy derivation (strategies
+        # that only need correct_range() never pay for the dict).
         return AdversaryView(
             round_index=round_index,
             n=self.n,
             f=self.f,
-            values=dict(values),
+            values=values,
             positions=positions,
             cured=cured,
-            correct_values=correct,
             rng=rng,
             topology=self.topology,
         )
@@ -457,17 +544,13 @@ class StaticMixedController(FaultController):
         self, round_index: int, values: Mapping[int, float], rng: random.Random
     ) -> RoundPlan:
         faulty = self.assignment.faulty_ids
-        correct_values = {
-            pid: value for pid, value in values.items() if pid not in faulty
-        }
         view = AdversaryView(
             round_index=round_index,
             n=self.n,
             f=len(faulty),
-            values=dict(values),
+            values=values,
             positions=faulty,
             cured=frozenset(),
-            correct_values=correct_values,
             rng=rng,
             topology=self.topology,
         )

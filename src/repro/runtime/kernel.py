@@ -54,8 +54,10 @@ from ..faults.value_strategies import CampOutbox
 from .protocol import VotingProtocol
 
 __all__ = [
+    "BatchMSREvaluator",
     "RoundKernel",
     "compile_msr",
+    "compile_msr_batch",
     "distinct_inbox_groups",
     "inbox_key",
 ]
@@ -113,6 +115,53 @@ def compile_msr(function: MSRFunction) -> FlatEvaluator | None:
         return apply_value(wrap(inbox))
 
     return evaluate
+
+
+class BatchMSREvaluator:
+    """The batched fold of one MSR function over equal-width inboxes.
+
+    Wraps the three ``*_batch`` stage hooks (see
+    :meth:`~repro.msr.reduce.Reduction.flat_bounds_width`,
+    :meth:`~repro.msr.select.Selection.flat_select_batch`,
+    :meth:`~repro.msr.mean.Combiner.flat_combine_batch`): ``bounds``
+    answers the shared reduction range for a whole batch of sorted rows
+    of one width, ``select`` slices the picked columns, ``combine``
+    folds each row to a Python float.  Built by :func:`compile_msr_batch`.
+    """
+
+    __slots__ = ("bounds", "select", "combine")
+
+    def __init__(self, bounds, select, combine) -> None:
+        self.bounds = bounds
+        self.select = select
+        self.combine = combine
+
+
+def compile_msr_batch(function: MSRFunction) -> BatchMSREvaluator | None:
+    """Fuse an MSR function's batch stage hooks into one evaluator.
+
+    The batched counterpart of :func:`compile_msr` for the vectorized
+    round engine: one call evaluates every distinct inbox of a round at
+    once on a 2D array of sorted rows.  Returns ``None`` when any stage
+    lacks a batch hook (value-dependent reductions, custom stages);
+    callers then stay on the scalar paths.  Results are bit-identical
+    to the scalar flat evaluator row by row -- the equivalence suite
+    sweeps the toggle to prove it.
+    """
+    reduction = function.reduction
+    selection = function.selection
+    combiner = function.combiner
+    if not (
+        _overrides_flat_hook(reduction, Reduction, "flat_bounds_width")
+        and _overrides_flat_hook(selection, Selection, "flat_select_batch")
+        and _overrides_flat_hook(combiner, Combiner, "flat_combine_batch")
+    ):
+        return None
+    return BatchMSREvaluator(
+        reduction.flat_bounds_width,
+        selection.flat_select_batch,
+        combiner.flat_combine_batch,
+    )
 
 
 def inbox_key(
@@ -218,15 +267,28 @@ class RoundKernel:
     flat_msr:
         Evaluate MSR functions through :func:`compile_msr`'s flat
         evaluator instead of the ``ValueMultiset`` object path.
+    vectorized:
+        Evaluate whole batches of distinct inboxes per round with
+        array-shaped state (:meth:`prepare_batch` /
+        :meth:`compute_phase_batch`) when numpy is available.  Implies
+        nothing on its own -- the simulator additionally requires the
+        grouped+flat toggles, a complete topology and broadcast send
+        semantics, and falls back to the scalar paths (which remain the
+        bit-identity reference) whenever any precondition fails.
     """
 
-    __slots__ = ("group_inboxes", "flat_msr", "_buffer")
+    __slots__ = ("group_inboxes", "flat_msr", "vectorized", "_buffer")
 
     def __init__(
-        self, *, group_inboxes: bool = True, flat_msr: bool = True
+        self,
+        *,
+        group_inboxes: bool = True,
+        flat_msr: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.group_inboxes = group_inboxes
         self.flat_msr = flat_msr
+        self.vectorized = vectorized
         self._buffer: list[float] = []
 
     def prepare(self, protocol: VotingProtocol) -> FlatEvaluator | None:
@@ -241,6 +303,123 @@ class RoundKernel:
         if not isinstance(function, MSRFunction):
             return None
         return compile_msr(function)
+
+    def prepare_batch(self, protocol: VotingProtocol) -> BatchMSREvaluator | None:
+        """Resolve the batched evaluator for a run's protocol (or ``None``).
+
+        The vectorized engine subsumes the grouped and flat layers, so
+        it only engages when all three toggles are on -- turning either
+        scalar toggle off is a request for the reference semantics.
+        """
+        if not (self.vectorized and self.group_inboxes and self.flat_msr):
+            return None
+        if not protocol.pid_independent_compute:
+            return None
+        function = getattr(protocol, "function", None)
+        if not isinstance(function, MSRFunction):
+            return None
+        return compile_msr_batch(function)
+
+    def compute_phase_batch(
+        self,
+        batch: BatchMSREvaluator,
+        np,
+        broadcasts_arr,
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+        n: int,
+    ):
+        """Vectorized receive+compute over every distinct inbox at once.
+
+        ``broadcasts_arr`` is the round's sorted shared broadcast values
+        as a float64 array.  Returns the new length-``n`` float64 value
+        array (corrupted pids included -- they carry a harmless
+        placeholder the caller overwrites), or ``None`` when this round
+        is not batchable (non-camp overrides, an empty fold, or bounds
+        below the resilience limit); the caller then takes the scalar
+        path, which raises the canonical errors.
+
+        Bit-identity with the scalar kernel rests on three facts:
+        stable-sorting ``[broadcasts..., extras...]`` reproduces
+        ``insort``'s after-equals placement (including ``-0.0``/``0.0``
+        ties), the batch stage hooks are row-wise identical to the flat
+        hooks, and results leave as Python floats via ``.tolist()``.
+        """
+        m = int(broadcasts_arr.shape[0])
+        if not override_outboxes:
+            # Every recipient folds the same broadcast multiset.
+            if m == 0:
+                return None
+            bounds = batch.bounds(m)
+            if bounds is None:
+                return None
+            lo, hi = bounds
+            if hi <= lo:
+                return None
+            rows = broadcasts_arr.reshape(1, m)
+            results = batch.combine(batch.select(rows, lo, hi))
+            return np.full(n, results[0], dtype=np.float64)
+
+        # Identity-dedup mirrors the scalar grouped path: controllers
+        # share one outbox object across sender-agnostic agents -- the
+        # overwhelmingly common case, so probe for it before paying the
+        # per-sender bookkeeping loop.
+        first = override_outboxes[0]
+        if all(outbox is first for outbox in override_outboxes):
+            unique: list[Mapping[int, float]] = [first]
+            slots: list[int] | None = None
+        else:
+            unique = []
+            slots = []
+            index_of: dict[int, int] = {}
+            for outbox in override_outboxes:
+                index = index_of.get(id(outbox))
+                if index is None:
+                    index = len(unique)
+                    index_of[id(outbox)] = index
+                    unique.append(outbox)
+                slots.append(index)
+        if not all(type(u) is CampOutbox for u in unique):
+            return None
+        assignment = unique[0].assignment
+        if not all(u.assignment is assignment for u in unique[1:]):
+            return None
+
+        # Camp strategies stash the integer codes on the assignment
+        # (see CampAssignment); fall back to encoding the plain tuple.
+        codes = getattr(assignment, "array", None)
+        if codes is None:
+            codes = np.asarray(assignment, dtype=np.intp)
+        ncamps = int(codes.max()) + 1
+        k = len(override_outboxes)
+        width = m + k
+        if width == 0:
+            return None
+        bounds = batch.bounds(width)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        if hi <= lo:
+            return None
+        # One row per camp: the shared broadcasts plus this camp's
+        # override values in slot order.  The scalar path materializes
+        # only the camps that have recipients; evaluating all of them
+        # is harmless because bounds depend only on the width.
+        if slots is None:
+            column = np.asarray(first.camp_values[:ncamps], dtype=np.float64)
+            extras = np.broadcast_to(column.reshape(ncamps, 1), (ncamps, k))
+        else:
+            per_unique = np.asarray(
+                [u.camp_values[:ncamps] for u in unique], dtype=np.float64
+            )
+            extras = per_unique[np.asarray(slots, dtype=np.intp)].T
+        rows = np.concatenate(
+            [np.broadcast_to(broadcasts_arr, (ncamps, m)), extras], axis=1
+        )
+        rows = np.sort(rows, axis=1, kind="stable")
+        results = np.asarray(
+            batch.combine(batch.select(rows, lo, hi)), dtype=np.float64
+        )
+        return results[codes]
 
     def compute_phase(
         self,

@@ -108,11 +108,13 @@ class StatefulRoundProtocol(ABC):
 
     Families whose messages are not a single float (or whose
     computation reads state carried across rounds) implement this
-    interface instead of :class:`VotingProtocol`.  The simulator then
-    drives the run through :meth:`reset` / :meth:`run_round` on the
-    trace-lite path; the scalar full-trace recorder does not apply, so
-    ``trace_detail="full"`` is rejected with a clear error (a
-    multi-value trace recorder is a ROADMAP item).
+    interface instead of :class:`VotingProtocol`.  The simulator drives
+    the run through :meth:`reset` / :meth:`run_round` on both trace
+    levels: ``trace_detail="full"`` flips :attr:`recording` on, and the
+    protocol then deposits the round's wire activity into
+    :attr:`wire_record` (see below) for the simulator to fold into
+    :class:`~repro.runtime.trace.RoundRecord` objects -- multi-value
+    message payloads ride in ``RoundRecord.payloads``.
 
     The adversary layer stays *scalar*: fault controllers plan rounds
     in terms of per-recipient float lies (see
@@ -127,6 +129,19 @@ class StatefulRoundProtocol(ABC):
     family_name: str = "?"
     #: Number of float components per message (1 = scalar).
     message_arity: int = 1
+    #: Set by the full-trace driver: when True, :meth:`run_round` must
+    #: leave a wire record (below) describing the round it just ran.
+    recording: bool = False
+    #: The last recorded round, written by :meth:`run_round` when
+    #: :attr:`recording`.  Keys: ``sent`` (pid -> Mapping|None message
+    #: matrix of representative scalars), ``payloads`` (pid -> the
+    #: structured message actually on the wire, or None/absent for
+    #: scalar-message senders), ``received`` (pid -> ValueMultiset of
+    #: representative scalars; may be empty for rounds whose fold
+    #: happens elsewhere, e.g. mid-phase witness gossip), ``heard``
+    #: (pid -> frozenset of senders) and ``applications`` (pid ->
+    #: MSRApplication-compatible objects) with the same key policy.
+    wire_record: dict | None = None
 
     @abstractmethod
     def reset(self, kernel: "RoundKernel") -> None:

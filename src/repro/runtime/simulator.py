@@ -37,7 +37,7 @@ diameter trajectories are bit-identical between the two modes.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from types import MappingProxyType
 from typing import Literal
 
@@ -53,11 +53,25 @@ from .controllers import (
 from .families import get_family
 from .kernel import RoundKernel
 from .network import SynchronousNetwork
-from .protocol import StatefulRoundProtocol, VotingProtocol
+from .protocol import MSRVotingProtocol, StatefulRoundProtocol, VotingProtocol
 from .rng import derive_rng
-from .trace import LiteTrace, RoundRecord, Trace
+from .trace import (
+    BroadcastOutbox,
+    LiteTrace,
+    RoundRecord,
+    Trace,
+    _LazyApplications,
+    _LazyHeard,
+    _LazyReceived,
+)
+
+try:  # numpy is optional: every scalar path below runs without it.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised only without numpy
+    _np = None
 
 __all__ = [
+    "ArrayValues",
     "SynchronousSimulator",
     "run_simulation",
     "simulate_batch",
@@ -65,6 +79,75 @@ __all__ = [
 ]
 
 TraceDetail = Literal["full", "lite"]
+
+
+class ArrayValues(Mapping):
+    """A per-round value snapshot backed by a float64 array.
+
+    The vectorized round engine keeps agent state in one numpy array;
+    fault controllers and value strategies, however, consume plain
+    ``{pid: value}`` mappings.  This Mapping serves both: ``array``
+    keeps the float64 mirror that array-aware consumers
+    (``correct_range``, the split-camp assignment) duck-type via
+    ``getattr(values, "array", None)``, while any mapping access
+    materializes a dict of Python floats keyed ``0..n-1`` on first use
+    (bit-identical iteration order and ``repr`` to the scalar path's
+    snapshots).  The camp-declaring fast path never touches the dict,
+    so deferring it saves an O(n) build per planned view.  The array is
+    treated as immutable for the snapshot's lifetime -- mutation always
+    goes through a copy.
+    """
+
+    __slots__ = ("array", "_dict")
+
+    def __init__(self, array) -> None:
+        self.array = array
+        self._dict = None
+
+    def _materialized(self) -> dict[int, float]:
+        mapping = self._dict
+        if mapping is None:
+            mapping = self._dict = dict(enumerate(self.array.tolist()))
+        return mapping
+
+    def __getitem__(self, pid: int) -> float:
+        return self._materialized()[pid]
+
+    def __iter__(self):
+        return iter(self._materialized())
+
+    def __len__(self) -> int:
+        return self.array.shape[0]
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._materialized()
+
+    def get(self, pid, default=None):
+        return self._materialized().get(pid, default)
+
+    def keys(self):
+        return self._materialized().keys()
+
+    def values(self):
+        return self._materialized().values()
+
+    def items(self):
+        return self._materialized().items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ArrayValues):
+            other = other._materialized()
+        if isinstance(other, Mapping):
+            return self._materialized() == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # mutable-adjacent snapshot: unhashable, like dict
 
 
 def run_simulation(
@@ -130,17 +213,6 @@ class SynchronousSimulator:
         self.protocol: VotingProtocol | StatefulRoundProtocol = (
             self.family.build_protocol(config)
         )
-        if trace_detail == "full" and isinstance(
-            self.protocol, StatefulRoundProtocol
-        ):
-            raise ValueError(
-                f"trace_detail='full' is not supported by the "
-                f"{config.family!r} family: its messages are not scalar, "
-                "so the full-trace recorder and the per-round P1/P2 "
-                "checkers do not apply; run with trace_detail='lite' "
-                "(decisions, diameters and the headline specification "
-                "verdict are identical between the two modes)"
-            )
         # The communication graph of the run; the complete default
         # leaves every path below byte-identical to pre-topology code.
         self.topology = config.resolve_topology()
@@ -163,6 +235,13 @@ class SynchronousSimulator:
             return self._run_stateful()
         if self.trace_detail == "lite":
             return self._run_lite()
+        return self._run_full()
+
+    def _run_full(self) -> Trace:
+        """Full-trace run: vectorized recorder when available, else step()."""
+        batch = self._vectorized_setup()
+        if batch is not None:
+            return self._run_full_vectorized(batch)
         terminated = False
         for _ in range(self.config.max_rounds):
             record = self.step()
@@ -259,7 +338,15 @@ class SynchronousSimulator:
         inner loop is delegated to the :class:`RoundKernel`, which
         evaluates the MSR function once per *distinct inbox* on flat
         sorted arrays (see :mod:`repro.runtime.kernel`).
+
+        When the vectorized engine applies (numpy present, complete
+        graph, broadcast send semantics, batchable MSR stages), the
+        whole loop runs on array state instead -- bit-identical values,
+        an order of magnitude faster at paper scale.
         """
+        batch = self._vectorized_setup()
+        if batch is not None:
+            return self._run_lite_vectorized(batch)
         n = self.config.n
         termination = self.config.termination
         terminated = False
@@ -358,6 +445,280 @@ class SynchronousSimulator:
             ),
         )
 
+    # -- the vectorized array engine --------------------------------------------
+
+    def _vectorized_setup(self):
+        """The batched MSR evaluator when the array engine applies.
+
+        Returns ``None`` (staying on the scalar reference paths) unless
+        every precondition holds: numpy importable, complete topology
+        (one shared broadcast list per round), exactly the MSR
+        broadcast-send rule (so the silence mask is ``overrides |
+        forced_silent | aware-cured``), and batchable MSR stages per
+        :meth:`RoundKernel.prepare_batch` -- which also encodes the
+        kernel's ``vectorized``/``group_inboxes``/``flat_msr`` toggles.
+        """
+        if _np is None:
+            return None
+        protocol = self.protocol
+        if isinstance(protocol, StatefulRoundProtocol):
+            return None
+        if type(protocol).send_value is not MSRVotingProtocol.send_value:
+            return None
+        if not self.topology.is_complete:
+            return None
+        return self.kernel.prepare_batch(protocol)
+
+    def _advance_round_vectorized(self, batch, arr, first_round: bool):
+        """Advance one round on array state.
+
+        Returns ``(plan, arr_before, arr_after)`` where ``arr_before``
+        is the post-memory-corruption/pre-compute snapshot and
+        ``arr_after`` the end-of-round values (compute corruptions
+        applied).  Round 0 and rounds the batch engine cannot express
+        (non-camp overrides, below-bound folds) run through the exact
+        scalar kernel path instead -- same values, canonical errors.
+        """
+        np = _np
+        n = self.config.n
+        kernel = self.kernel
+        plan = self.controller.plan_round(
+            self._round_index, ArrayValues(arr), self._adversary_rng
+        )
+        if plan.memory_corruptions:
+            arr = arr.copy()
+            corruptions = plan.memory_corruptions
+            arr[list(corruptions)] = list(corruptions.values())
+
+        overrides = plan.send_overrides
+        new_arr = None
+        # Round 0 always takes the scalar fallback: it is the only
+        # round needing the per-inbox received diameter.
+        if not first_round:
+            mask = np.ones(n, dtype=bool)
+            silent = set(overrides)
+            silent.update(plan.forced_silent)
+            if self._cured_aware and plan.cured_at_send:
+                silent.update(plan.cured_at_send)
+            if silent:
+                mask[list(silent)] = False
+            # Boolean masking preserves pid order, which is exactly the
+            # scalar path's append order; the stable sort then matches
+            # list.sort() bit for bit (signed-zero ties included).
+            broadcasts_arr = np.sort(arr[mask], kind="stable")
+            new_arr = kernel.compute_phase_batch(
+                batch,
+                np,
+                broadcasts_arr,
+                list(overrides.values()) if overrides else None,
+                n,
+            )
+        if new_arr is None:
+            work = dict(enumerate(arr.tolist()))
+            self._values = work
+            broadcasts = self._broadcast_values_lite(plan)
+            broadcasts.sort()
+            max_received_diameter = kernel.compute_phase(
+                self.protocol,
+                self._lite_evaluate,
+                n,
+                broadcasts,
+                list(overrides.values()) if overrides else None,
+                plan.compute_corruptions,
+                work,
+                first_round,
+            )
+            for pid, garbage in plan.compute_corruptions.items():
+                work[pid] = garbage
+            arr_after = np.array(list(work.values()), dtype=np.float64)
+            if first_round:
+                self._first_round_received_diameter = max_received_diameter
+        else:
+            arr_after = new_arr
+            garbage = plan.compute_corruptions
+            if garbage:
+                arr_after[list(garbage)] = list(garbage.values())
+        return plan, arr, arr_after
+
+    def _array_extent(self, arr, excluded: frozenset[int]):
+        """Non-excluded (min, max) of ``arr`` as Python floats.
+
+        Matches the scalar extent loop bit for bit: a ``0.0`` endpoint
+        could be either signed zero under numpy's min/max, so those
+        rounds recompute with the first-wins scalar scan.
+        """
+        np = _np
+        if excluded:
+            mask = np.ones(arr.shape[0], dtype=bool)
+            mask[list(excluded)] = False
+            sub = arr[mask]
+        else:
+            sub = arr
+        if sub.shape[0] == 0:
+            return None
+        low = sub.min()
+        high = sub.max()
+        if low == 0.0 or high == 0.0:
+            low = high = None
+            for pid, value in enumerate(arr.tolist()):
+                if pid in excluded:
+                    continue
+                if low is None or value < low:
+                    low = value
+                if high is None or value > high:
+                    high = value
+            return (low, high)
+        return (float(low), float(high))
+
+    def _run_lite_vectorized(self, batch) -> LiteTrace:
+        """The lite loop on array state (bit-identical to `_run_lite`)."""
+        n = self.config.n
+        termination = self.config.termination
+        terminated = False
+        extents: list[tuple[float, float] | None] = []
+        initially_nonfaulty = frozenset(range(n))
+        positions_after: frozenset[int] = frozenset()
+        self._lite_evaluate = self.kernel.prepare(self.protocol)
+        arr = _np.array(
+            [self._values[pid] for pid in range(n)], dtype=_np.float64
+        )
+
+        for _ in range(self.config.max_rounds):
+            round_index = self._round_index
+            first_round = round_index == 0
+            plan, _, arr = self._advance_round_vectorized(
+                batch, arr, first_round
+            )
+            if first_round:
+                initially_nonfaulty = frozenset(range(n)) - plan.faulty_at_send
+
+            positions_after = plan.positions_after
+            extent = self._array_extent(arr, positions_after)
+            extents.append(extent)
+            nonfaulty_diameter = 0.0 if extent is None else extent[1] - extent[0]
+
+            self._round_index += 1
+            if self.family.decision_ready(round_index) and termination.should_stop(
+                round_index,
+                nonfaulty_diameter,
+                self._first_round_received_diameter,
+            ):
+                terminated = True
+                break
+
+        final = arr.tolist()
+        self._values = dict(enumerate(final))
+        decisions = {
+            pid: final[pid]
+            for pid in sorted(frozenset(range(n)) - positions_after)
+        }
+        return LiteTrace(
+            n=n,
+            f=self.config.f,
+            model=self._setup_model(self.config),
+            algorithm_name=self.config.algorithm.name,
+            epsilon=self.config.epsilon,
+            initial_values=MappingProxyType(
+                {pid: float(v) for pid, v in enumerate(self.config.initial_values)}
+            ),
+            initially_nonfaulty=initially_nonfaulty,
+            round_extents=tuple(extents),
+            decisions=decisions,
+            terminated=terminated,
+            controller_description=(
+                f"{self.controller.describe()} | {self.config.describe()} "
+                "| trace_detail=lite"
+            ),
+        )
+
+    def _run_full_vectorized(self, batch) -> Trace:
+        """The full-trace loop on array state.
+
+        Runs the exact lite dynamics and records each round from the
+        send-phase primitives: ``sent`` holds one O(1)
+        :class:`~repro.runtime.trace.BroadcastOutbox` per broadcaster
+        (instead of an ``n``-entry dict), and
+        ``received``/``heard``/``applications`` are lazy per-recipient
+        views derived from ``sent`` on demand -- the P1/P2 checkers read
+        only ``applications[*].result``, which is O(1), so full traces
+        stop paying the ``n^2`` bookkeeping that made them an order of
+        magnitude slower than lite.
+        """
+        n = self.config.n
+        protocol = self.protocol
+        cured_aware = self._cured_aware
+        trace = self._trace
+        termination = self.config.termination
+        terminated = False
+        self._lite_evaluate = self.kernel.prepare(protocol)
+        arr = _np.array(
+            [self._values[pid] for pid in range(n)], dtype=_np.float64
+        )
+
+        for _ in range(self.config.max_rounds):
+            round_index = self._round_index
+            first_round = round_index == 0
+            plan, before_arr, arr = self._advance_round_vectorized(
+                batch, arr, first_round
+            )
+            values_before = dict(enumerate(before_arr.tolist()))
+            values_after = dict(enumerate(arr.tolist()))
+
+            overrides = plan.send_overrides
+            sent: dict = {}
+            for pid in range(n):
+                outbox = overrides.get(pid)
+                if outbox is not None:
+                    # The plan's outboxes are immutable round snapshots
+                    # (frozen dicts / CampOutbox); storing them directly
+                    # keeps the recorder O(#camps) per override sender
+                    # instead of materializing n-entry dicts.
+                    sent[pid] = outbox
+                    continue
+                if pid in plan.forced_silent:
+                    sent[pid] = None
+                    continue
+                aware_cured = cured_aware and pid in plan.cured_at_send
+                value = protocol.send_value(pid, values_before[pid], aware_cured)
+                sent[pid] = None if value is None else BroadcastOutbox(n, value)
+            computing = tuple(
+                pid for pid in range(n) if pid not in plan.compute_corruptions
+            )
+            received = _LazyReceived(sent, computing)
+            record = RoundRecord(
+                round_index=round_index,
+                faulty_at_send=plan.faulty_at_send,
+                cured_at_send=plan.cured_at_send,
+                positions_after=plan.positions_after,
+                values_before=MappingProxyType(values_before),
+                sent=MappingProxyType(sent),
+                received=received,
+                heard=_LazyHeard(sent, computing),
+                applications=_LazyApplications(
+                    received, values_after, protocol.compute
+                ),
+                values_after=MappingProxyType(values_after),
+                static_classes=plan.static_classes,
+            )
+            if first_round:
+                trace.initially_nonfaulty = (
+                    frozenset(range(n)) - plan.faulty_at_send
+                )
+            trace.rounds.append(record)
+            self._round_index += 1
+            if self.family.decision_ready(round_index) and termination.should_stop(
+                round_index,
+                record.nonfaulty_diameter_after(),
+                self._first_round_received_diameter,
+            ):
+                terminated = True
+                break
+
+        self._values = dict(enumerate(arr.tolist()))
+        trace.terminated = terminated
+        trace.decisions = dict(trace.final_round.nonfaulty_values_after())
+        return trace
+
     def _broadcast_values_lite(self, plan: RoundPlan) -> list[float]:
         """Values broadcast by processes following the protocol's send rule.
 
@@ -395,7 +756,7 @@ class SynchronousSimulator:
 
     # -- the stateful multi-round driver ---------------------------------------
 
-    def _run_stateful(self) -> LiteTrace:
+    def _run_stateful(self) -> Trace | LiteTrace:
         """Drive a :class:`StatefulRoundProtocol` family to its decision.
 
         The shared round structure (fault planning, diameter and
@@ -404,6 +765,14 @@ class SynchronousSimulator:
         -- lives in the protocol's ``run_round``.  Fault controllers
         observe the protocol's representative values, so every
         adversary and movement strategy applies unchanged.
+
+        ``trace_detail="full"`` flips the protocol's ``recording`` flag
+        and folds each round's wire record (sent matrix of
+        representative scalars, structured message payloads, and --
+        where the family defines them -- aggregation snapshots) into
+        :class:`~repro.runtime.trace.RoundRecord` objects.  The value
+        dynamics are untouched: full and lite trajectories are
+        bit-identical.
         """
         protocol = self.protocol
         family = self.family
@@ -413,6 +782,9 @@ class SynchronousSimulator:
         extents: list[tuple[float, float] | None] = []
         initially_nonfaulty = frozenset(range(n))
         positions_after: frozenset[int] = frozenset()
+        recording = self.trace_detail == "full"
+        protocol.recording = recording
+        trace = self._trace
 
         protocol.reset(self.kernel)
         protocol.start(self.config.initial_values)
@@ -424,12 +796,55 @@ class SynchronousSimulator:
                 round_index, dict(values), self._adversary_rng
             )
             first_round = round_index == 0
+            if recording:
+                # run_round applies memory corruptions first thing, so
+                # the pre-send snapshot is the current values plus the
+                # plan's corruptions.
+                values_before = dict(values)
+                values_before.update(plan.memory_corruptions)
             max_received_diameter = protocol.run_round(
                 plan, self._cured_aware, first_round
             )
             if first_round:
                 self._first_round_received_diameter = max_received_diameter
                 initially_nonfaulty = frozenset(range(n)) - plan.faulty_at_send
+            if recording:
+                wire = protocol.wire_record or {}
+                protocol.wire_record = None
+                sent = wire.get("sent") or {}
+                computing = tuple(
+                    pid
+                    for pid in range(n)
+                    if pid not in plan.compute_corruptions
+                )
+                received = wire.get("received")
+                if received is None:
+                    # Scalar-matrix families (tseng): derive the
+                    # per-recipient views lazily from the sent matrix.
+                    received = _LazyReceived(sent, computing)
+                    heard = _LazyHeard(sent, computing)
+                else:
+                    heard = wire.get("heard") or {}
+                payloads = wire.get("payloads")
+                record = RoundRecord(
+                    round_index=round_index,
+                    faulty_at_send=plan.faulty_at_send,
+                    cured_at_send=plan.cured_at_send,
+                    positions_after=plan.positions_after,
+                    values_before=MappingProxyType(values_before),
+                    sent=MappingProxyType(sent),
+                    received=received,
+                    heard=heard,
+                    applications=wire.get("applications") or {},
+                    values_after=MappingProxyType(dict(values)),
+                    static_classes=plan.static_classes,
+                    payloads=(
+                        MappingProxyType(payloads) if payloads else None
+                    ),
+                )
+                if first_round:
+                    trace.initially_nonfaulty = initially_nonfaulty
+                trace.rounds.append(record)
 
             positions_after = plan.positions_after
             low = high = None
@@ -459,6 +874,10 @@ class SynchronousSimulator:
                 terminated = True
                 break
 
+        if recording:
+            trace.terminated = terminated
+            trace.decisions = dict(trace.final_round.nonfaulty_values_after())
+            return trace
         decisions = {
             pid: values[pid]
             for pid in sorted(frozenset(range(n)) - positions_after)

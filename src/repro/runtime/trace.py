@@ -25,7 +25,217 @@ from ..faults.models import MobileModel
 from ..msr.base import MSRApplication
 from ..msr.multiset import Interval, ValueMultiset
 
-__all__ = ["RoundRecord", "Trace", "LiteTrace"]
+__all__ = ["BroadcastOutbox", "RoundRecord", "Trace", "LiteTrace"]
+
+
+class BroadcastOutbox(Mapping):
+    """O(1) stand-in for a broadcast's ``{recipient: value}`` outbox.
+
+    The full-trace recorder used to materialize an ``n``-entry dict per
+    broadcasting sender -- ``n^2`` dict entries per round, which is what
+    made full traces an order of magnitude slower than lite.  A
+    broadcast sends one value to everyone, so this mapping answers every
+    recipient in constant space and compares equal to the dict it
+    replaces.
+    """
+
+    __slots__ = ("n", "value")
+
+    def __init__(self, n: int, value: float) -> None:
+        self.n = n
+        self.value = value
+
+    def __getitem__(self, recipient: int) -> float:
+        if isinstance(recipient, int) and 0 <= recipient < self.n:
+            return self.value
+        raise KeyError(recipient)
+
+    def __contains__(self, recipient: object) -> bool:
+        return isinstance(recipient, int) and 0 <= recipient < self.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BroadcastOutbox):
+            return other.n == self.n and (self.n == 0 or other.value == self.value)
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"BroadcastOutbox(n={self.n}, value={self.value!r})"
+
+
+class _LazyWireMapping(Mapping):
+    """Base for per-recipient views derived on demand from ``sent``.
+
+    The send phase fully determines what every recipient received
+    (synchronous reliable delivery on the complete graph), so the
+    recorder stores the ``sent`` matrix once and these views rebuild
+    per-recipient data only when a checker actually asks.  Entries are
+    assembled in ascending sender order, matching the network's
+    submission order, so derived multisets are bit-identical to the
+    step()-recorded ones.
+    """
+
+    __slots__ = ("_sent", "_computing", "_keys", "_cache")
+
+    def __init__(
+        self,
+        sent: Mapping[int, Mapping[int, float] | None],
+        computing: tuple[int, ...],
+    ) -> None:
+        self._sent = sent
+        self._computing = frozenset(computing)
+        self._keys = computing
+        self._cache: dict[int, object] = {}
+
+    def __getitem__(self, pid: int):
+        if pid not in self._computing:
+            raise KeyError(pid)
+        entry = self._cache.get(pid)
+        if entry is None:
+            entry = self._build(pid)
+            self._cache[pid] = entry
+        return entry
+
+    def _build(self, pid: int):
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._computing
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+
+class _LazyReceived(_LazyWireMapping):
+    """``received[q]``: the multiset ``q`` aggregated, built on demand."""
+
+    __slots__ = ()
+
+    def _build(self, pid: int) -> ValueMultiset:
+        values = []
+        for sender in sorted(self._sent):
+            outbox = self._sent[sender]
+            if outbox is not None and pid in outbox:
+                values.append(outbox[pid])
+        return ValueMultiset(values)
+
+
+class _LazyHeard(_LazyWireMapping):
+    """``heard[q]``: senders whose message reached ``q``, on demand."""
+
+    __slots__ = ()
+
+    def _build(self, pid: int) -> frozenset[int]:
+        return frozenset(
+            sender
+            for sender, outbox in self._sent.items()
+            if outbox is not None and pid in outbox
+        )
+
+
+class _LazyApplications(Mapping):
+    """``applications[q]`` with O(1) results and on-demand stages.
+
+    The computed result per pid is already known (it is the end-of-round
+    value), so the P1/P2 checkers run in O(n) per round; the full
+    reduced/selected stage breakdown is recomputed from the received
+    multiset only if some consumer actually reads it.
+    """
+
+    __slots__ = ("_received", "_results", "_compute", "_cache")
+
+    def __init__(
+        self,
+        received: Mapping[int, ValueMultiset],
+        results: Mapping[int, float],
+        compute,
+    ) -> None:
+        self._received = received
+        self._results = results
+        self._compute = compute
+        self._cache: dict[int, _LazyApplication] = {}
+
+    def __getitem__(self, pid: int) -> "_LazyApplication":
+        app = self._cache.get(pid)
+        if app is None:
+            if pid not in self._received:
+                raise KeyError(pid)
+            app = _LazyApplication(self, pid, self._results[pid])
+            self._cache[pid] = app
+        return app
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._received)
+
+    def __len__(self) -> int:
+        return len(self._received)
+
+    def __contains__(self, pid: object) -> bool:
+        return pid in self._received
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Mapping):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+
+class _LazyApplication:
+    """Duck-typed :class:`~repro.msr.base.MSRApplication` stand-in."""
+
+    __slots__ = ("result", "_owner", "_pid", "_full")
+
+    def __init__(self, owner: _LazyApplications, pid: int, result: float) -> None:
+        self.result = result
+        self._owner = owner
+        self._pid = pid
+        self._full: MSRApplication | None = None
+
+    def _materialize(self) -> MSRApplication:
+        if self._full is None:
+            self._full = self._owner._compute(
+                self._pid, self._owner._received[self._pid]
+            )
+        return self._full
+
+    @property
+    def received(self) -> ValueMultiset:
+        return self._materialize().received
+
+    @property
+    def reduced(self) -> ValueMultiset:
+        return self._materialize().reduced
+
+    @property
+    def selected(self) -> ValueMultiset:
+        return self._materialize().selected
+
+    def in_range(self, interval: Interval, tolerance: float = 1e-12) -> bool:
+        return interval.contains(self.result, tolerance)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _LazyApplication):
+            return self._materialize() == other._materialize()
+        if isinstance(other, MSRApplication):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"_LazyApplication(pid={self._pid}, result={self.result!r})"
 
 
 @dataclass(frozen=True)
@@ -57,6 +267,13 @@ class RoundRecord:
     values_after: Mapping[int, float]
     #: Static fault classes when driven by the mixed-mode controller.
     static_classes: Mapping[int, FaultClass] | None = None
+    #: Multi-value message payloads for stateful families (tseng value/
+    #: claim pairs, witness claim tables): ``payloads[p]`` is the
+    #: structured message ``p`` put on the wire, keyed only for senders
+    #: whose message carried more than the representative scalar in
+    #: ``sent``.  ``None`` for scalar-message families.  Payloads are
+    #: informational -- they are not archived by the serializer.
+    payloads: Mapping[int, object] | None = None
 
     @property
     def correct_at_send(self) -> frozenset[int]:

@@ -78,10 +78,14 @@ flat evaluator.  The kernel's ``group_inboxes`` / ``flat_msr`` toggles
 are honoured, giving the equivalence suite a per-recipient object-path
 reference implementation.
 
-``trace_detail="full"`` is rejected for this family: the full-trace
-recorder and the per-round P1/P2 checkers are defined over scalar
-message matrices.  Decisions, diameters and the headline specification
-verdict all come from the lite path, exactly as for lite Bonomi runs.
+``trace_detail="full"`` runs through the same round driver with the
+protocol's ``recording`` flag on: each round deposits a wire record --
+the ``sent`` matrix of representative scalars (what the P1/P2 checkers
+and the send-behavior classifier consume), the ``(value, claim)`` pair
+payloads actually on the wire (``RoundRecord.payloads``), and the full
+MSR application per computing node, whose ``received``/``reduced``
+stages document the post-filter multiset the node actually folded.
+Value trajectories are bit-identical between the two detail levels.
 """
 
 from __future__ import annotations
@@ -94,6 +98,7 @@ from ..msr.multiset import ValueMultiset
 from .families import ProtocolFamily, register_family
 from .kernel import RoundKernel, compile_msr
 from .protocol import StatefulRoundProtocol
+from .trace import BroadcastOutbox
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .config import SimulationConfig
@@ -226,6 +231,11 @@ class TsengProtocol(StatefulRoundProtocol):
 
         next_broadcast: dict[int, float] = {}
         next_overrides: dict[int, Mapping[int, float]] = {}
+        recording = self.recording
+        sent: dict[int, Mapping[int, float] | None] | None = (
+            {} if recording else None
+        )
+        payloads: dict[int, object] | None = {} if recording else None
 
         for pid in range(n):
             outbox = overrides.get(pid)
@@ -233,15 +243,30 @@ class TsengProtocol(StatefulRoundProtocol):
                 override_list.append(outbox)
                 sent_memory[pid] = BOTTOM
                 next_overrides[pid] = outbox
+                if recording:
+                    # The omniscient adversary forges a passing claim
+                    # (or abstains) per recipient; only the scalar lies
+                    # are observable wire content worth recording.  The
+                    # plan's outbox is an immutable round snapshot, so
+                    # it is stored verbatim (O(#camps), not O(n)).
+                    sent[pid] = outbox
                 continue
             if pid in forced_silent or pid in cured:
                 # Omission (static benign fault) or aware-cured silence
                 # (M1): nothing on the wire, nothing to vouch for next
                 # round.
                 sent_memory[pid] = BOTTOM
+                if recording:
+                    sent[pid] = None
                 continue
             value = values[pid]
             claimed = sent_memory[pid]
+            if recording:
+                # Every broadcaster is on the wire -- rejection happens
+                # at the receivers -- so the sent matrix records them
+                # all; the pair payload keeps the claim component.
+                sent[pid] = BroadcastOutbox(n, value)
+                payloads[pid] = (value, None if claimed is BOTTOM else claimed)
             if claimed is BOTTOM:
                 # An abstaining claim asserts nothing checkable (fresh
                 # start, silence last round, adversary-run send phase).
@@ -266,6 +291,7 @@ class TsengProtocol(StatefulRoundProtocol):
         base_values.sort()
 
         # -- receive + compute phase ---------------------------------------
+        applications: dict[int, object] | None = {} if recording else None
         max_diameter = self._compute_phase(
             base_values,
             base_rejected,
@@ -273,11 +299,18 @@ class TsengProtocol(StatefulRoundProtocol):
             override_list,
             plan.compute_corruptions,
             need_diameter,
+            applications,
         )
 
         for pid, garbage in plan.compute_corruptions.items():
             values[pid] = garbage
 
+        if recording:
+            self.wire_record = {
+                "sent": sent,
+                "payloads": payloads,
+                "applications": applications,
+            }
         self._prev_broadcast = next_broadcast
         self._prev_overrides = next_overrides
         return max_diameter
@@ -292,6 +325,7 @@ class TsengProtocol(StatefulRoundProtocol):
         override_list: list[Mapping[int, float]],
         compute_corruptions: Mapping[int, float],
         need_diameter: bool,
+        applications: dict[int, object] | None = None,
     ) -> float:
         """Evaluate the MSR fold once per distinct effective inbox.
 
@@ -303,6 +337,11 @@ class TsengProtocol(StatefulRoundProtocol):
         reductions).  The deltas are O(f) per recipient, so the
         grouping key is small and the number of distinct inboxes is
         bounded by the attack's value structure, not by ``n``.
+
+        When ``applications`` is a dict (the full-trace recorder), one
+        object-path :class:`~repro.msr.base.MSRApplication` is built
+        per distinct inbox and shared by every recipient in the group;
+        its stages document the post-filter multiset actually folded.
         """
         kernel = self._kernel
         grouped = kernel is None or kernel.group_inboxes
@@ -310,7 +349,7 @@ class TsengProtocol(StatefulRoundProtocol):
         values = self._values
         buffer = self._buffer
         max_diameter = 0.0
-        cache: dict[tuple, tuple[float, float]] | None = {} if grouped else None
+        cache: dict[tuple, tuple] | None = {} if grouped else None
 
         for pid in range(self.n):
             if pid in compute_corruptions:
@@ -349,6 +388,8 @@ class TsengProtocol(StatefulRoundProtocol):
                     values[pid] = hit[0]
                     if need_diameter and hit[1] > max_diameter:
                         max_diameter = hit[1]
+                    if applications is not None:
+                        applications[pid] = hit[2]
                     continue
             if extras:
                 buffer[:] = base_values
@@ -375,8 +416,16 @@ class TsengProtocol(StatefulRoundProtocol):
                     ValueMultiset.from_trusted_floats(inbox)
                 )
             diameter = inbox[-1] - inbox[0]
+            application = None
+            if applications is not None:
+                # One full application per distinct inbox, shared by
+                # the whole group (the stages are immutable snapshots).
+                application = function.apply(
+                    ValueMultiset.from_trusted_floats(list(inbox))
+                )
+                applications[pid] = application
             if cache is not None:
-                cache[key] = (result, diameter)
+                cache[key] = (result, diameter, application)
             values[pid] = result
             if need_diameter and diameter > max_diameter:
                 max_diameter = diameter

@@ -101,6 +101,7 @@ from ..msr.multiset import ValueMultiset
 from .families import ProtocolFamily, register_family
 from .kernel import RoundKernel, compile_msr
 from .protocol import StatefulRoundProtocol
+from .trace import BroadcastOutbox
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..topology import Topology
@@ -221,26 +222,50 @@ class WitnessProtocol(StatefulRoundProtocol):
         overrides = plan.send_overrides
         forced_silent = plan.forced_silent
         cured = plan.cured_at_send if cured_aware else frozenset()
+        recording = self.recording
+        # Full-trace wire record: the representative scalar per sender
+        # is its *own* claim (what the P1/P2 checkers and the
+        # send-behavior classifier consume); relayed-claim tables ride
+        # as payloads.  A correct node gossiping relays while
+        # withholding its own claim (aware-cured mid-phase) records as
+        # ``None`` -- excluded from the honest reference set, which
+        # only ever weakens the checked property, never fakes it.
+        sent_rec: dict[int, Mapping[int, float] | None] | None = (
+            {} if recording else None
+        )
+        payloads: dict[int, object] | None = {} if recording else None
+        complete = self.topology.is_complete
         outgoing: list[tuple[str, Mapping] | None] = []
         for pid in range(n):
             outbox = overrides.get(pid)
             if outbox is not None:
                 outgoing.append(("lie", outbox))
+                if recording:
+                    sent_rec[pid] = outbox
                 continue
             if pid in forced_silent or pid in cured:
                 outgoing.append(None)
+                if recording:
+                    sent_rec[pid] = None
                 continue
             table = verified[pid]
-            outgoing.append(
-                (
-                    "claims",
-                    {
-                        origin: value
-                        for origin, value in table.items()
-                        if value is not None
-                    },
-                )
-            )
+            snap = {
+                origin: value
+                for origin, value in table.items()
+                if value is not None
+            }
+            outgoing.append(("claims", snap))
+            if recording:
+                payloads[pid] = snap
+                own = snap.get(pid)
+                if own is None:
+                    sent_rec[pid] = None
+                elif complete:
+                    sent_rec[pid] = BroadcastOutbox(n, own)
+                else:
+                    sent_rec[pid] = {
+                        q: own for q in self._sorted_neighbors[pid]
+                    }
 
         # -- receive phase ---------------------------------------------------
         sorted_neighbors = self._sorted_neighbors
@@ -311,6 +336,16 @@ class WitnessProtocol(StatefulRoundProtocol):
         strict = offset == self.phase_length - 1
         evaluate = self._evaluate
         cache: dict[tuple, float] | None = {} if self._grouped else None
+        # The P1/P2 checkers read per-round aggregation snapshots; for
+        # this family those exist only where decisions do -- at the
+        # strict phase-boundary fold.  Mid-phase rounds record empty
+        # mappings (claims still in flight, nothing is decided), which
+        # the checkers treat as trivially satisfied.
+        record_fold = recording and strict
+        received_rec: dict[int, ValueMultiset] | None = {} if recording else None
+        heard_rec: dict[int, frozenset[int]] | None = {} if recording else None
+        applications_rec: dict[int, object] | None = {} if recording else None
+        app_cache: dict[tuple, object] = {}
         for q in range(n):
             if q in compute_corruptions:
                 continue
@@ -349,6 +384,21 @@ class WitnessProtocol(StatefulRoundProtocol):
                     cache[key] = result
             if result != result:
                 continue
+            if record_fold:
+                multiset = ValueMultiset.from_trusted_floats(accepted)
+                received_rec[q] = multiset
+                heard_rec[q] = frozenset(
+                    origin
+                    for origin, value in verified[q].items()
+                    if value is not None
+                )
+                application = app_cache.get(key)
+                if application is None:
+                    # One full application per distinct fold, shared by
+                    # every node that verified the same multiset.
+                    application = self.function.apply(multiset)
+                    app_cache[key] = application
+                applications_rec[q] = application
             values[q] = result
             if q not in verified[q]:
                 # An aware-cured node whose fold just restored it
@@ -359,6 +409,14 @@ class WitnessProtocol(StatefulRoundProtocol):
                 verified[q][q] = result
         for pid, garbage in compute_corruptions.items():
             values[pid] = garbage
+        if recording:
+            self.wire_record = {
+                "sent": sent_rec,
+                "payloads": payloads,
+                "received": received_rec,
+                "heard": heard_rec,
+                "applications": applications_rec,
+            }
         return max_diameter
 
     def __repr__(self) -> str:

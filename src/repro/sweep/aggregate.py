@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..analysis import Series, render_table, summarize
@@ -30,12 +30,21 @@ class SweepResult:
     ``complete`` is ``False`` only for the partial result of one shard
     of a sharded sweep whose sibling shards are still outstanding (see
     :class:`repro.sweep.backends.ShardedBackend`).
+
+    ``dispatch`` records how the cells were actually executed --
+    ``"serial"``, ``"parallel"``, their ``"batched-"`` variants, or a
+    fallback label when a pooled backend decided a pool could not win
+    (e.g. one usable CPU) and ran in-process instead.  It is excluded
+    from equality: the decision is a property of the executing machine,
+    not of the result, and warm-cache reruns must compare equal to the
+    cold runs that produced them.
     """
 
     cells: tuple["CellResult", ...]
     trace_detail: str = "lite"
     workers: int = 1
     complete: bool = True
+    dispatch: str = field(default="serial", compare=False)
 
     def __len__(self) -> int:
         return len(self.cells)

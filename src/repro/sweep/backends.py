@@ -85,13 +85,28 @@ def grid_fingerprint(cells: Sequence["CellSpec"]) -> str:
 
 
 def _sorted_result(
-    results: Sequence["CellResult"], trace_detail: str, workers: int
+    results: Sequence["CellResult"],
+    trace_detail: str,
+    workers: int,
+    dispatch: str = "serial",
 ) -> SweepResult:
     return SweepResult(
         cells=tuple(sorted(results, key=lambda result: result.key)),
         trace_detail=trace_detail,
         workers=workers,
+        dispatch=dispatch,
     )
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            return len(getter(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 class SweepBackend:
@@ -108,6 +123,9 @@ class SweepBackend:
 
     workers: int = 1
     batch_size: int | None = None
+    #: How the last :meth:`execute`/:meth:`execute_batch` actually
+    #: dispatched its cells; copied into ``SweepResult.dispatch``.
+    dispatch: str = "serial"
 
     def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
         """The subset of the grid this invocation executes."""
@@ -129,6 +147,7 @@ class SweepBackend:
         changes how work is packaged.
         """
         size = self.batch_size or len(cells) or 1
+        self.dispatch = "batched-serial"
         return [
             result
             for start in range(0, len(cells), size)
@@ -142,7 +161,7 @@ class SweepBackend:
         probe: str | None = None,
     ) -> SweepResult:
         """Assemble the sweep result from this invocation's results."""
-        return _sorted_result(results, trace_detail, self.workers)
+        return _sorted_result(results, trace_detail, self.workers, self.dispatch)
 
 
 class SerialBackend(SweepBackend):
@@ -151,6 +170,7 @@ class SerialBackend(SweepBackend):
     def execute(
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
+        self.dispatch = "serial"
         return [runner(cell) for cell in cells]
 
 
@@ -182,10 +202,32 @@ class MultiprocessingBackend(SweepBackend):
         self.chunk_size = chunk_size
         self.batch_size = batch_size
 
+    def _pool_decision(self, tasks: int, batched: bool) -> tuple[bool, str]:
+        """Whether a pool can win for ``tasks`` dispatch units, and why.
+
+        A single usable CPU is the canonical lost cause: worker
+        processes merely time-slice the same core, so every fork,
+        pickle and IPC round-trip is pure overhead (observed as the
+        ``batched_speedup = 0.9`` regression on 1-CPU CI runners).
+        Those invocations auto-fall back to in-process dispatch; the
+        label records the decision in ``SweepResult.dispatch``.
+        """
+        label = "batched-" if batched else ""
+        if self.workers <= 1 or tasks <= 1:
+            return False, f"{label}serial"
+        cpus = _usable_cpus()
+        if cpus < 2:
+            return False, (
+                f"{label}serial (auto-fallback: {self.workers} workers "
+                f"on {cpus} usable cpu)"
+            )
+        return True, f"{label}parallel"
+
     def execute(
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
-        if self.workers <= 1 or len(cells) <= 1:
+        use_pool, self.dispatch = self._pool_decision(len(cells), batched=False)
+        if not use_pool:
             return [runner(cell) for cell in cells]
         chunk_size = self.chunk_size
         if chunk_size is None:
@@ -201,7 +243,8 @@ class MultiprocessingBackend(SweepBackend):
             list(cells[start : start + size])
             for start in range(0, len(cells), size)
         ]
-        if self.workers <= 1 or len(batches) <= 1:
+        use_pool, self.dispatch = self._pool_decision(len(batches), batched=True)
+        if not use_pool:
             return [
                 result for batch in batches for result in batch_runner(batch)
             ]
@@ -278,12 +321,16 @@ class ShardedBackend(SweepBackend):
     def execute(
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
-        return self._inner.execute(cells, runner)
+        results = self._inner.execute(cells, runner)
+        self.dispatch = f"sharded({self._inner.dispatch})"
+        return results
 
     def execute_batch(
         self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
     ) -> list["CellResult"]:
-        return self._inner.execute_batch(cells, batch_runner)
+        results = self._inner.execute_batch(cells, batch_runner)
+        self.dispatch = f"sharded({self._inner.dispatch})"
+        return results
 
     def shard_path(self, shard_index: int | None = None) -> Path:
         index = self.shard_index if shard_index is None else shard_index
@@ -325,6 +372,7 @@ class ShardedBackend(SweepBackend):
                 trace_detail=trace_detail,
                 workers=self.workers,
                 complete=False,
+                dispatch=self.dispatch,
             )
         return merge_shards(self.spill_dir)
 
@@ -421,4 +469,6 @@ def merge_shards(spill_dir: str | Path) -> SweepResult:
             f"shard family in {spill_dir} covers {len(results)} cells but "
             f"records a grid of {grid_size}"
         )
-    return _sorted_result(results, trace_detail, workers=1)
+    return _sorted_result(
+        results, trace_detail, workers=1, dispatch="sharded-merge"
+    )

@@ -308,6 +308,10 @@ class CellStore:
             keep_versions = {SWEEP_SCHEMA_VERSION}
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        if older_than is not None and older_than < 0:
+            raise ValueError(
+                f"older_than must be non-negative, got {older_than}"
+            )
         cutoff = None if older_than is None else now - older_than
         scanned = kept = removed = 0
         freed_bytes = 0

@@ -35,7 +35,7 @@ from repro.runtime import (
     run_simulation,
 )
 from repro.runtime.simulator import SynchronousSimulator
-from repro.sweep import CellSpec, CellStore, GridSpec, run_sweep
+from repro.sweep import CellSpec, CellStore, GridSpec, run_cell, run_sweep
 
 ALL_MODELS = ("M1", "M2", "M3", "M4")
 
@@ -210,10 +210,47 @@ class TestTsengProperties:
             assert repr(fast.round_extents) == repr(other.round_extents)
             assert fast.decisions == other.decisions
 
-    def test_full_detail_rejected_with_clear_error(self):
+    def test_full_detail_matches_lite_trajectory(self):
         config = mobile_config(model="M2", f=1, family="tseng")
-        with pytest.raises(ValueError, match="not supported by the 'tseng'"):
-            run_simulation(config, trace_detail="full")
+        lite = run_simulation(config, trace_detail="lite")
+        full = run_simulation(config, trace_detail="full")
+        assert full.decisions == lite.decisions
+        assert len(full.rounds) == len(lite.round_extents)
+        for extent, record in zip(lite.round_extents, full.rounds):
+            diameter = 0.0 if extent is None else extent[1] - extent[0]
+            assert record.nonfaulty_diameter_after() == diameter
+
+    def test_full_detail_records_pair_payloads(self):
+        config = mobile_config(model="M2", f=1, family="tseng")
+        full = run_simulation(config, trace_detail="full")
+        record = full.rounds[1]
+        assert record.payloads
+        for pid, payload in record.payloads.items():
+            value, claimed = payload
+            outbox = record.sent[pid]
+            assert outbox is not None and outbox[0] == value
+            # Round 1 broadcasters vouch for round 0 unless an agent
+            # scrambled their send-memory in between.
+            assert claimed is None or isinstance(claimed, float)
+
+    def test_send_classification_probe_runs_on_stateful_full_traces(self):
+        """The Table 1 probe consumes the representative-scalar ``sent``
+        matrix, which stateful full traces now populate -- so the probe
+        (and the P1/P2 checkers) run for every family, not just bonomi."""
+        for family in ("tseng", "witness"):
+            cell = CellSpec(
+                model="M1", f=2, n=25, algorithm="ftm",
+                movement="round-robin", attack="split", epsilon=1e-3,
+                seed=3, rounds=8, family=family,
+            )
+            result = run_cell(
+                cell, trace_detail="full", probe="send-classification"
+            )
+            assert result.error is None
+            assert result.p1_ok is True and result.p2_ok is True
+            extras = dict(result.extras)
+            assert extras["max_cured"] >= 1
+            assert "asymmetric" in extras["faulty_classes"]
 
     def test_adaptive_trim_variants(self):
         protocol = TsengProtocol(9, repro.msr.make_algorithm("ftm", 2))

@@ -54,11 +54,29 @@ from repro.runtime.simulator import SynchronousSimulator
 from repro.sweep import CellSpec, run_cell
 
 KERNEL_MODES = [
-    pytest.param(dict(group_inboxes=False, flat_msr=False), id="reference"),
-    pytest.param(dict(group_inboxes=True, flat_msr=False), id="grouped"),
-    pytest.param(dict(group_inboxes=False, flat_msr=True), id="flat"),
-    pytest.param(dict(group_inboxes=True, flat_msr=True), id="grouped+flat"),
+    pytest.param(
+        dict(group_inboxes=False, flat_msr=False, vectorized=False),
+        id="reference",
+    ),
+    pytest.param(
+        dict(group_inboxes=True, flat_msr=False, vectorized=False),
+        id="grouped",
+    ),
+    pytest.param(
+        dict(group_inboxes=False, flat_msr=True, vectorized=False), id="flat"
+    ),
+    pytest.param(
+        dict(group_inboxes=True, flat_msr=True, vectorized=False),
+        id="grouped+flat",
+    ),
+    pytest.param(
+        dict(group_inboxes=True, flat_msr=True, vectorized=True),
+        id="vectorized",
+    ),
 ]
+
+#: The scalar reference: every optimization layer off.
+REFERENCE_MODE = dict(group_inboxes=False, flat_msr=False, vectorized=False)
 
 
 def _lite(config, **kernel_options):
@@ -140,7 +158,7 @@ class TestScenarioEquivalence:
     @pytest.mark.parametrize("options", KERNEL_MODES[1:])
     def test_lite_traces_bit_identical(self, cell, options):
         config = cell.to_config()
-        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        reference = _lite(config, **REFERENCE_MODE)
         trace = _lite(config, **options)
         _assert_identical(trace, reference)
 
@@ -161,7 +179,7 @@ class TestScenarioEquivalence:
         config = make_mobile_config(
             "M3", f=2, algorithm=algorithm, rounds=10, seed=1
         )
-        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        reference = _lite(config, **REFERENCE_MODE)
         _assert_identical(_lite(config, **options), reference)
 
     @pytest.mark.parametrize(
@@ -180,7 +198,7 @@ class TestScenarioEquivalence:
     )
     def test_every_strategy(self, strategy):
         config = make_mobile_config("M2", f=2, values=strategy, rounds=10, seed=7)
-        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        reference = _lite(config, **REFERENCE_MODE)
         _assert_identical(_lite(config), reference)
 
     def test_forced_silent_and_overrides_mixed(self):
@@ -199,10 +217,68 @@ class TestScenarioEquivalence:
             params={"a": 2, "s": 1, "b": 1},
         )
         config = cell.to_config()
-        reference = _lite(config, group_inboxes=False, flat_msr=False)
+        reference = _lite(config, **REFERENCE_MODE)
         _assert_identical(_lite(config), reference)
         full = run_simulation(config, "full")
         assert full.decisions == _lite(config).decisions
+
+
+class TestVectorizedEquivalence:
+    """The numpy batch engine is bit-identical wherever it engages --
+    and identical-by-fallback wherever a precondition (stateful driver,
+    partial topology) routes the round back to the scalar kernel."""
+
+    @pytest.mark.parametrize("family", ["bonomi", "tseng", "witness"])
+    @pytest.mark.parametrize("model", ["M1", "M2", "M3", "M4"])
+    def test_families_and_models_bit_identical(self, family, model):
+        from repro.api import mobile_config
+
+        for attack in ("split", "outlier", "crossfire"):
+            config = mobile_config(
+                model=model, f=2, attack=attack, seed=5,
+                rounds=8, family=family,
+            )
+            reference = _lite(config, **REFERENCE_MODE)
+            _assert_identical(_lite(config, vectorized=True), reference)
+            _assert_identical(_lite(config, vectorized=False), reference)
+
+    @pytest.mark.parametrize("movement", ["round-robin", "random", "target-extremes"])
+    def test_movements_bit_identical(self, movement):
+        from repro.api import mobile_config
+
+        config = mobile_config(
+            model="M3", f=2, movement=movement, seed=11, rounds=10
+        )
+        reference = _lite(config, **REFERENCE_MODE)
+        _assert_identical(_lite(config, vectorized=True), reference)
+
+    @pytest.mark.parametrize("spec", ["ring:2", "torus:3x3"])
+    def test_partial_topology_falls_back_bit_identical(self, spec):
+        """Partial graphs fail the vectorized preconditions; the fallback
+        must be the bit-identical scalar restricted path, silently."""
+        from repro.api import mobile_config
+
+        config = mobile_config(
+            model="M1", f=1, n=9, family="witness", topology=spec,
+            seed=4, rounds=6,
+        )
+        reference = _lite(config, **REFERENCE_MODE)
+        _assert_identical(_lite(config, vectorized=True), reference)
+
+    def test_full_trace_matches_vectorized_lite_per_family(self):
+        """Full-detail runs (scalar bookkeeping) and vectorized lite runs
+        agree on every decision and diameter for all three families."""
+        from repro.api import mobile_config
+
+        for family in ("bonomi", "tseng", "witness"):
+            config = mobile_config(
+                model="M2", f=2, seed=9, rounds=8, family=family
+            )
+            lite = _lite(config, vectorized=True)
+            full = run_simulation(config, "full")
+            assert lite.decisions == full.decisions
+            assert lite.diameters() == full.diameters()
+            assert lite.rounds_executed() == full.rounds_executed()
 
 
 class TestOutboxBatchEquivalence:
@@ -319,7 +395,7 @@ class TestDistinctInboxGrouping:
             config = make_mobile_config(
                 "M3", f=3, values=RandomNoise(), rounds=8, seed=seed
             )
-            reference = _lite(config, group_inboxes=False, flat_msr=False)
+            reference = _lite(config, **REFERENCE_MODE)
             _assert_identical(_lite(config), reference)
 
 

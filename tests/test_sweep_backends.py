@@ -282,3 +282,55 @@ class TestBatchedExecution:
             MultiprocessingBackend(2, batch_size=-1)
         with pytest.raises(ValueError, match="batch_size"):
             ShardedBackend(0, 2, "unused", batch_size=0)
+
+
+class TestDispatchDecision:
+    """Backends record how cells actually ran, and pools that cannot
+    win (one usable CPU) auto-fall back to in-process dispatch."""
+
+    def test_serial_dispatch_recorded(self, grid):
+        assert run_sweep(grid).dispatch == "serial"
+
+    def test_batched_serial_dispatch_recorded(self, grid):
+        assert run_sweep(grid, batch_size=4).dispatch == "batched-serial"
+
+    def test_pool_falls_back_to_serial_on_one_cpu(
+        self, grid, reference, monkeypatch
+    ):
+        from repro.sweep import backends
+
+        monkeypatch.setattr(backends, "_usable_cpus", lambda: 1)
+        result = run_sweep(grid, backend=MultiprocessingBackend(workers=4))
+        assert result.dispatch.startswith("serial")
+        assert "auto-fallback" in result.dispatch
+        assert result.cells == reference.cells
+
+    def test_batched_pool_falls_back_on_one_cpu(
+        self, grid, reference, monkeypatch
+    ):
+        from repro.sweep import backends
+
+        monkeypatch.setattr(backends, "_usable_cpus", lambda: 1)
+        backend = MultiprocessingBackend(workers=4, batch_size=4)
+        result = run_sweep(grid, backend=backend)
+        assert result.dispatch.startswith("batched-serial")
+        assert "auto-fallback" in result.dispatch
+        assert result.cells == reference.cells
+
+    def test_pool_used_when_cpus_allow(self, grid, reference, monkeypatch):
+        from repro.sweep import backends
+
+        monkeypatch.setattr(backends, "_usable_cpus", lambda: 8)
+        result = run_sweep(grid, backend=MultiprocessingBackend(workers=2))
+        assert result.dispatch == "parallel"
+        assert result.cells == reference.cells
+
+    def test_single_cell_grid_is_serial_without_fallback_label(self, grid):
+        cells = list(grid.cells())[:1]
+        result = run_sweep(cells, backend=MultiprocessingBackend(workers=4))
+        assert result.dispatch == "serial"
+
+    def test_dispatch_excluded_from_equality(self, reference):
+        from dataclasses import replace
+
+        assert replace(reference, dispatch="batched-parallel") == reference

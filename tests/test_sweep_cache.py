@@ -406,3 +406,151 @@ class TestCacheGC:
         )
         assert code == 0
         assert not list(store.root.glob("v*/*/*.json"))
+
+
+class TestCacheGCFlagComposition:
+    """`--max-bytes` + `--older-than` compose age-first; dry runs
+    report exactly the bytes a real run frees."""
+
+    def _populate(self, store, grid):
+        run_sweep(grid, cache=store)
+        return sorted(store.root.glob("v*/*/*.json"))
+
+    def test_age_cutoff_applies_before_size_eviction(self, store, grid):
+        import os
+        import time
+
+        entries = self._populate(store, grid)
+        sizes = {path: path.stat().st_size for path in entries}
+        now = time.time()
+        # One entry is beyond the age cutoff; make it the *newest* by
+        # ... no: make it old for the cutoff but give the survivors a
+        # known mtime order so the size victim is unambiguous.
+        aged_out = entries[0]
+        ancient = now - 10 * 86_400
+        os.utime(aged_out, (ancient, ancient))
+        survivors = entries[1:]
+        base = now - 1_000
+        for index, path in enumerate(survivors):
+            os.utime(path, (base + index, base + index))
+        # Budget: all age-survivors except the oldest one fit exactly.
+        budget = sum(sizes[p] for p in survivors[1:])
+        report = store.gc(older_than=5 * 86_400, max_bytes=budget)
+        # The age cutoff removed one entry, then size eviction removed
+        # only the oldest *survivor* -- never double-counting the aged
+        # entry against the budget.
+        assert report.removed == 2
+        assert not aged_out.exists()
+        assert not survivors[0].exists()
+        assert all(path.exists() for path in survivors[1:])
+        assert report.freed_bytes == sizes[aged_out] + sizes[survivors[0]]
+
+    def test_size_budget_ignores_age_evicted_bytes(self, store, grid):
+        import os
+        import time
+
+        entries = self._populate(store, grid)
+        sizes = {path: path.stat().st_size for path in entries}
+        now = time.time()
+        # Age out ALL but two entries; the survivors fit any budget at
+        # least their own size -- even though the store's total is far
+        # larger.  If size eviction ran over the full store (bug), the
+        # survivors would be evicted too.
+        keep = entries[:2]
+        ancient = now - 10 * 86_400
+        for path in entries[2:]:
+            os.utime(path, (ancient, ancient))
+        budget = sum(sizes[p] for p in keep)
+        report = store.gc(older_than=5 * 86_400, max_bytes=budget)
+        assert report.removed == len(entries) - 2
+        assert all(path.exists() for path in keep)
+
+    def test_dry_run_reports_real_run_bytes(self, store, grid):
+        import os
+        import shutil
+        import time
+
+        entries = self._populate(store, grid)
+        now = time.time()
+        aged = entries[:2]
+        ancient = now - 10 * 86_400
+        for path in aged:
+            os.utime(path, (ancient, ancient))
+        base = now - 1_000
+        for index, path in enumerate(entries[2:]):
+            os.utime(path, (base + index, base + index))
+        budget = max(path.stat().st_size for path in entries) * 2
+        snapshot = store.root.parent / "snapshot"
+        shutil.copytree(store.root, snapshot, copy_function=shutil.copy2)
+
+        dry = store.gc(older_than=5 * 86_400, max_bytes=budget, dry_run=True)
+        # Nothing was deleted by the dry run...
+        assert sorted(store.root.glob("v*/*/*.json")) == entries
+        real = store.gc(older_than=5 * 86_400, max_bytes=budget, dry_run=False)
+        # ...and its report matches the real pass byte for byte.
+        assert dry.freed_bytes == real.freed_bytes
+        assert dry.removed == real.removed
+        assert dry.kept == real.kept
+        assert dry.scanned == real.scanned
+        # Snapshot sanity: the real run freed exactly the reported bytes.
+        before = sum(
+            p.stat().st_size for p in snapshot.glob("v*/*/*.json")
+        )
+        after = sum(
+            p.stat().st_size for p in store.root.glob("v*/*/*.json")
+        )
+        assert before - after == real.freed_bytes
+
+    def test_dry_run_parity_with_tmp_orphans(self, store, grid):
+        import os
+        import time
+
+        entries = self._populate(store, grid)
+        shard_dir = entries[0].parent
+        orphan = shard_dir / "dead.json.tmp.999"
+        orphan.write_text("partial")
+        ancient = time.time() - 3_600
+        os.utime(orphan, (ancient, ancient))
+        dry = store.gc(older_than=0, dry_run=True)
+        real = store.gc(older_than=0, dry_run=False)
+        assert dry.freed_bytes == real.freed_bytes
+        assert dry.removed == real.removed == len(entries) + 1
+        assert not orphan.exists()
+
+    def test_negative_older_than_rejected(self, store):
+        with pytest.raises(ValueError, match="older_than"):
+            store.gc(older_than=-1)
+
+    def test_cli_composes_all_three_flags(self, store, grid, capsys):
+        import os
+        import time
+
+        from repro.experiments.cli import main
+
+        entries = self._populate(store, grid)
+        now = time.time()
+        ancient = now - 10 * 86_400
+        os.utime(entries[0], (ancient, ancient))
+        base = now - 1_000
+        for index, path in enumerate(entries[1:]):
+            os.utime(path, (base + index, base + index))
+        budget = sum(p.stat().st_size for p in entries[2:])
+        argv = [
+            "sweep", "cache-gc", "--cache-dir", str(store.root),
+            "--older-than", "5", "--max-bytes", str(budget),
+        ]
+        code = main(argv + ["--dry-run"])
+        dry_out = capsys.readouterr().out
+        assert code == 0
+        assert "would remove 2" in dry_out
+        assert all(path.exists() for path in entries)
+        code = main(argv)
+        real_out = capsys.readouterr().out
+        assert code == 0
+        assert "removed 2" in real_out
+        # Identical byte totals in both banners.
+        dry_kib = dry_out.split(" KiB")[0].rsplit("(", 1)[1]
+        real_kib = real_out.split(" KiB")[0].rsplit("(", 1)[1]
+        assert dry_kib == real_kib
+        assert not entries[0].exists()
+        assert not entries[1].exists()

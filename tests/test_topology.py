@@ -329,12 +329,35 @@ class TestWitnessFamily:
         assert first.decisions == second.decisions
         assert first.round_extents == second.round_extents
 
-    def test_full_trace_detail_rejected(self):
+    def test_full_trace_detail_matches_lite(self):
         config = mobile_config(
             model="M1", f=1, n=9, family="witness", topology="ring:2"
         )
-        with pytest.raises(ValueError, match="trace_detail='full'"):
-            run_simulation(config, trace_detail="full")
+        lite = run_simulation(config, trace_detail="lite")
+        full = run_simulation(config, trace_detail="full")
+        assert full.decisions == lite.decisions
+        assert len(full.rounds) == len(lite.round_extents)
+        for extent, record in zip(lite.round_extents, full.rounds):
+            diameter = 0.0 if extent is None else extent[1] - extent[0]
+            assert record.nonfaulty_diameter_after() == diameter
+
+    def test_full_trace_records_fold_rounds_only(self):
+        config = mobile_config(
+            model="M1", f=1, n=9, family="witness", topology="ring:2"
+        )
+        full = run_simulation(config, trace_detail="full")
+        phase_length = config.resolve_topology().diameter()  # 2 for ring:2, n=9
+        for record in full.rounds:
+            strict = (record.round_index + 1) % phase_length == 0
+            # Claim tables ride as payloads every round; aggregation
+            # snapshots exist only at the strict phase-boundary fold.
+            assert record.payloads
+            if strict:
+                assert record.received and record.applications
+                for pid, application in record.applications.items():
+                    assert application.result == record.values_after[pid]
+            else:
+                assert not record.received and not record.applications
 
     @pytest.mark.parametrize(
         "attack", ["split", "outlier", "oscillating", "crossfire", "noise"]
