@@ -9,7 +9,11 @@ epsilon on the non-complete graphs) and writes the rendered table to
 
 from __future__ import annotations
 
+import math
+
+from repro.analysis import render_table
 from repro.experiments.topology_comparison import run_topology_comparison
+from repro.sweep import GridSpec, run_sweep
 
 
 def test_topology_comparison(benchmark, record_artifact):
@@ -27,3 +31,92 @@ def test_topology_comparison(benchmark, record_artifact):
     # and pay the expected gossip-phase price for it.
     assert rows[("witness", "ring:3")] > rows[("witness", "complete")]
     assert rows[("witness", "random-regular:6:1")] > rows[("witness", "complete")]
+
+
+def test_witness_degree_threshold(benchmark, record_artifact):
+    """EXP-TOPO-DEGREE: the ``min-degree >= 2f+1`` admission bound.
+
+    A disconnection-threshold sweep: one grid whose only moving axis is
+    the random-regular degree, crossing the witness family's admission
+    bound at ``2f+1 = 5`` (f=2).  Below the bound the family must
+    refuse to run -- f neighbors may withhold, leaving fewer than the
+    f+1 distinct witnesses verification needs -- and at or above it
+    every cell must be admitted.  n=26 keeps ``n * d`` even for every
+    swept degree, so each graph exists and the flip can only come from
+    the rule.
+
+    The empirical finding the table records: admission is necessary
+    but not sufficient.  At *exactly* the bound the split adversary
+    starves the phase-boundary fold on both seeds (a runtime error,
+    distinct from the admission rejection); one degree of slack above
+    the bound already restores convergence on every seed.
+    """
+    f = 2
+    bound = 2 * f + 1
+    degrees = tuple(range(3, 9))
+    grid = GridSpec(
+        models=("M1",),
+        fs=(f,),
+        ns=(26,),
+        families=("witness",),
+        topologies=tuple(f"random-regular:{d}:1" for d in degrees),
+        seeds=tuple(range(2)),
+        max_rounds=600,
+    )
+
+    result = benchmark.pedantic(run_sweep, args=(grid,), rounds=1, iterations=1)
+    by_degree: dict[int, list] = {}
+    for cell in result.cells:
+        degree = int(cell.spec.topology.split(":")[1])
+        by_degree.setdefault(degree, []).append(cell)
+
+    rows = []
+    for degree in degrees:
+        cells = by_degree[degree]
+        errored = [cell for cell in cells if cell.error is not None]
+        if errored and all("minimum degree" in cell.error for cell in errored):
+            assert len(errored) == len(cells)
+            rows.append([degree, "rejected", len(cells), "-", "-"])
+            continue
+        if errored:
+            rows.append(
+                [degree, "admitted, starved", len(cells),
+                 f"0/{len(cells)}", "-"]
+            )
+            continue
+        mean_rounds = math.fsum(cell.rounds for cell in cells) / len(cells)
+        ok = sum(1 for cell in cells if cell.satisfied)
+        rows.append(
+            [degree, "admitted", len(cells), f"{ok}/{len(cells)}",
+             f"{mean_rounds:.1f}"]
+        )
+    record_artifact(
+        "topology_degree_threshold",
+        render_table(
+            ["degree", "admission", "cells", "spec ok", "mean rounds"],
+            rows,
+            title=(
+                "EXP-TOPO-DEGREE: witness admission across the "
+                f"min-degree >= 2f+1 bound (f={f}, n=26, "
+                "random-regular:D:1)"
+            ),
+        ),
+    )
+    # The bound itself: the degree-rule rejection flips exactly at
+    # 2f+1, every admitted degree above the bound converges below
+    # epsilon, and the exactly-at-bound row documents the starvation.
+    for degree in degrees:
+        cells = by_degree[degree]
+        if degree < bound:
+            assert all(
+                cell.error is not None and "minimum degree" in cell.error
+                for cell in cells
+            ), degree
+        elif degree == bound:
+            assert all(
+                "minimum degree" not in (cell.error or "")
+                for cell in cells
+            ), degree
+        else:
+            assert all(cell.error is None for cell in cells), degree
+            assert all(cell.satisfied for cell in cells), degree

@@ -212,6 +212,10 @@ def sweep_grid(
     backend=None,
     cache=None,
     probe: str | None = None,
+    batch_size: int | None = None,
+    dispatch: str = "auto",
+    progress=None,
+    journal=None,
 ):
     """Run a scenario sweep over the cartesian product of the axes.
 
@@ -230,11 +234,15 @@ def sweep_grid(
     simulator path (the default trace-lite fast path is bit-identical
     on decisions and diameters).  ``backend`` overrides the execution
     strategy (a :class:`~repro.sweep.SweepBackend` instance or one of
-    ``"serial"`` / ``"multiprocessing"``), ``cache`` -- a directory
-    path or :class:`~repro.sweep.CellStore` -- memoizes per-cell
-    results on disk, and ``probe`` names a registered trace probe (or a
-    ``"module:attr"`` entry point) whose
-    output lands in each cell's ``extras``.  Returns a
+    ``"serial"`` / ``"multiprocessing"`` / ``"async"``), ``cache`` -- a
+    directory path or :class:`~repro.sweep.CellStore` -- memoizes
+    per-cell results on disk, and ``probe`` names a registered trace
+    probe (or a ``"module:attr"`` entry point) whose output lands in
+    each cell's ``extras``.  ``batch_size``, ``dispatch``, ``progress``
+    and ``journal`` forward to :func:`repro.sweep.run_sweep`: in-worker
+    batching, the pool-heuristic override, a streaming
+    ``(result, done, total)`` callback, and a
+    :class:`~repro.sweep.SweepJournal` for resumable sweeps.  Returns a
     :class:`~repro.sweep.SweepResult`.
 
     >>> import repro
@@ -268,6 +276,10 @@ def sweep_grid(
         backend=backend,
         cache=cache,
         probe=probe,
+        batch_size=batch_size,
+        dispatch=dispatch,
+        progress=progress,
+        journal=journal,
     )
 
 

@@ -26,7 +26,14 @@ from collections.abc import Sequence
 from .base import ExperimentResult
 from .runner import EXPERIMENTS, render_report
 
-__all__ = ["main", "run_with_options", "sweep_main", "cache_gc_main"]
+__all__ = [
+    "main",
+    "run_with_options",
+    "sweep_main",
+    "cache_gc_main",
+    "serve_main",
+    "submit_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -222,11 +229,42 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["serial", "multiprocessing", "sharded"],
+        choices=["serial", "multiprocessing", "async", "sharded"],
         default=None,
         help=(
             "execution backend (default: serial, or multiprocessing when "
-            "--workers > 1); 'sharded' requires --shard"
+            "--workers > 1); 'async' feeds the pool from a work queue "
+            "with adaptive chunking; 'sharded' requires --shard"
+        ),
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=["auto", "serial", "pool"],
+        default="auto",
+        help=(
+            "override the pool heuristic: 'serial' forces in-process "
+            "execution, 'pool' forces worker processes even on one "
+            "usable CPU (with a warning; results are identical either "
+            "way, this is a testing/benchmarking knob)"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "print one line per finished cell as results stream in "
+            "(per chunk under the async backend)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal completed cells to DIR and replay them on re-run: "
+            "an interrupted sweep restarted with the same --resume DIR "
+            "skips every finished cell and produces bit-identical "
+            "aggregates"
         ),
     )
     parser.add_argument(
@@ -362,14 +400,34 @@ def _parse_shard(text: str) -> tuple[int, int]:
         ) from None
 
 
+def _progress_printer():
+    """Per-result progress line: streamed as early as the backend allows."""
+
+    def progress(result, done, total):
+        if result.error is not None:
+            status = "error"
+        elif result.satisfied:
+            status = "ok"
+        else:
+            status = "VIOLATED"
+        print(
+            f"[{done}/{total}] {result.spec.describe()}: {status} "
+            f"({result.rounds} rounds)",
+            flush=True,
+        )
+
+    return progress
+
+
 def sweep_main(argv: Sequence[str] | None = None) -> int:
     """``sweep`` subcommand entry point; returns a process exit code."""
     from ..analysis import render_series
-    from ..sweep import CellStore, GridSpec, ShardedBackend, run_sweep
+    from ..sweep import CellStore, GridSpec, ShardedBackend, SweepJournal, run_sweep
     from ..sweep.backends import grid_fingerprint
 
     args = build_sweep_parser().parse_args(argv)
     store = CellStore(args.cache_dir) if args.cache_dir else None
+    journal = SweepJournal(args.resume) if args.resume else None
 
     def split_axis(raw: Sequence[str]) -> list[str]:
         # Both '--families a b' and '--families a,b' are accepted; specs
@@ -420,15 +478,22 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
                 batch_size=args.batch_size,
             )
         print(grid.describe())
-        result = run_sweep(
-            grid,
-            workers=args.workers,
-            trace_detail=args.detail,
-            backend=backend,
-            cache=store,
-            batch_size=args.batch_size,
-            probe=args.probe,
-        )
+        try:
+            result = run_sweep(
+                grid,
+                workers=args.workers,
+                trace_detail=args.detail,
+                backend=backend,
+                cache=store,
+                batch_size=args.batch_size,
+                probe=args.probe,
+                dispatch=args.dispatch,
+                progress=_progress_printer() if args.progress else None,
+                journal=journal,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
     except (ValueError, TypeError, KeyError) as exc:
         # KeyError: unknown probe / family / algorithm names surface
         # here with their "known: ..." guidance.
@@ -448,7 +513,9 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         print()
         print(render_series(result.diameter_series(), title="mean diameter"))
     if store is not None:
-        print(f"cache: {store.stats()} ({store.root})")
+        stats = result.cache_stats
+        rendered = stats.describe() if stats is not None else store.stats()
+        print(f"cache: {rendered} ({store.root})")
     for cell in result.errors():
         print(f"ERROR {cell.spec.describe()}: {cell.error}")
     if not result.complete:
@@ -458,6 +525,148 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
     return 0 if result.all_satisfied else 1
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep serve",
+        description=(
+            "Run the sweep daemon: a JSON-over-HTTP service that answers "
+            "warm-cache grid queries straight from the cell store and "
+            "schedules cold cells through the async backend."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="the shared CellStore root backing the serving tier",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="listen port (default: 0, an OS-assigned free port)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for cold cells (results are identical)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log each HTTP request to stderr",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """``sweep serve`` subcommand: run the daemon until shut down."""
+    from ..sweep import SweepServer
+
+    args = build_serve_parser().parse_args(argv)
+    server = SweepServer(
+        args.cache_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        quiet=not args.verbose,
+    )
+    print(f"sweep serve: listening on {server.address}", flush=True)
+    print(f"cache: {server.cache_root}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print("sweep serve: shut down")
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep submit",
+        description=(
+            "Submit one grid to a running 'sweep serve' daemon and report "
+            "its answer (including the serving tier: cache, compute, or "
+            "mixed)."
+        ),
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="the daemon's base URL, e.g. http://127.0.0.1:8437",
+    )
+    parser.add_argument("--models", nargs="+", default=["M1", "M2", "M3"])
+    parser.add_argument("--f", dest="fs", nargs="+", type=int, default=[1])
+    parser.add_argument("--n", dest="ns", nargs="+", type=int, default=None)
+    parser.add_argument("--algorithms", nargs="+", default=["ftm"])
+    parser.add_argument("--families", nargs="+", default=["bonomi"])
+    parser.add_argument("--topologies", nargs="+", default=["complete"])
+    parser.add_argument("--movements", nargs="+", default=["round-robin"])
+    parser.add_argument("--attacks", nargs="+", default=["split"])
+    parser.add_argument("--epsilons", nargs="+", type=float, default=[1e-3])
+    parser.add_argument("--seeds", type=int, default=4, metavar="K")
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--max-rounds", type=int, default=1_000)
+    parser.add_argument("--detail", choices=["full", "lite"], default="lite")
+    parser.add_argument("--probe", default=None, metavar="NAME")
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="seconds to wait for the daemon's answer",
+    )
+    return parser
+
+
+def submit_main(argv: Sequence[str] | None = None) -> int:
+    """``sweep submit`` subcommand: one grid request to the daemon."""
+    from ..sweep import submit_sweep
+
+    args = build_submit_parser().parse_args(argv)
+    grid: dict = {
+        "models": args.models,
+        "fs": args.fs,
+        "algorithms": args.algorithms,
+        "families": args.families,
+        "topologies": args.topologies,
+        "movements": args.movements,
+        "attacks": args.attacks,
+        "epsilons": args.epsilons,
+        "seeds": args.seeds,
+        "max_rounds": args.max_rounds,
+    }
+    if args.ns is not None:
+        grid["ns"] = args.ns
+    if args.rounds is not None:
+        grid["rounds"] = args.rounds
+    try:
+        response = submit_sweep(
+            args.url,
+            grid,
+            trace_detail=args.detail,
+            probe=args.probe,
+            timeout=args.timeout,
+        )
+    except (RuntimeError, OSError) as exc:
+        print(f"submit error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{response['cells']} cells: {response['satisfied']} ok, "
+        f"{response['errors']} errors | tier={response['tier']} "
+        f"(cached={response['cached']} computed={response['computed']}) "
+        f"dispatch={response['dispatch']} "
+        f"elapsed={response['elapsed_seconds']:.2f}s"
+    )
+    for row in response["summary"]:
+        print("  " + " | ".join(row))
+    return 0 if response["all_satisfied"] else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     if argv is None:
@@ -465,6 +674,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if argv and argv[0] == "sweep":
         if argv[1:2] == ["cache-gc"]:
             return cache_gc_main(list(argv[2:]))
+        if argv[1:2] == ["serve"]:
+            return serve_main(list(argv[2:]))
+        if argv[1:2] == ["submit"]:
+            return submit_main(list(argv[2:]))
         return sweep_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:

@@ -7,45 +7,69 @@ epsilon and seed axes) or as an explicit list of :class:`CellSpec`
 cells (including static-mixed and lower-bound *scenarios*), run it
 with :func:`run_sweep` -- through a pluggable
 :class:`~repro.sweep.backends.SweepBackend` (serial, multiprocessing,
-or deterministic shards across hosts), against an optional
-content-addressed :class:`CellStore` cell cache -- and aggregate the
-:class:`SweepResult` into the harness's tables and series.
+the elastic work-queue :class:`AsyncBackend`, or deterministic shards
+across hosts), against an optional content-addressed :class:`CellStore`
+cell cache -- and aggregate the :class:`SweepResult` into the harness's
+tables and series, batched or streaming (:class:`SweepAccumulator`).
+The service layer adds resumable sweeps (:class:`SweepJournal`) and the
+``sweep serve`` daemon (:class:`SweepServer`), which answers warm-cache
+grid queries without touching a worker pool.
 
 >>> from repro.sweep import GridSpec, run_sweep
 >>> result = run_sweep(GridSpec(models=("M1", "M2"), seeds=range(4)))
 >>> print(result.summary_table())  # doctest: +SKIP
 """
 
-from .aggregate import SweepResult
+from .aggregate import SweepAccumulator, SweepResult
 from .backends import (
+    DISPATCH_MODES,
+    AsyncBackend,
     MultiprocessingBackend,
     SerialBackend,
     ShardedBackend,
     SweepBackend,
+    estimate_cell_cost,
     merge_shards,
 )
-from .cache import SWEEP_SCHEMA_VERSION, CacheGCReport, CellStore
+from .cache import SWEEP_SCHEMA_VERSION, CacheGCReport, CacheStats, CellStore
 from .engine import CellResult, run_cell, run_cell_batch, run_sweep
 from .grid import CellSpec, GridSpec
 from .probes import Probe, get_probe, register_probe
 from .scenarios import build_cell_config, mixed_stall_config, register_scenario
+from .service import (
+    SweepJournal,
+    SweepServer,
+    grid_from_payload,
+    request_json,
+    submit_sweep,
+)
 
 __all__ = [
     "CellSpec",
     "GridSpec",
     "CellResult",
     "SweepResult",
+    "SweepAccumulator",
     "run_cell",
     "run_cell_batch",
     "run_sweep",
     "SweepBackend",
     "SerialBackend",
     "MultiprocessingBackend",
+    "AsyncBackend",
     "ShardedBackend",
+    "DISPATCH_MODES",
+    "estimate_cell_cost",
     "merge_shards",
     "CellStore",
+    "CacheStats",
     "CacheGCReport",
     "SWEEP_SCHEMA_VERSION",
+    "SweepJournal",
+    "SweepServer",
+    "grid_from_payload",
+    "request_json",
+    "submit_sweep",
     "Probe",
     "get_probe",
     "register_probe",

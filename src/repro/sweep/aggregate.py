@@ -5,11 +5,21 @@ its methods reduce the grid back into the shapes the rest of the
 harness speaks: :func:`repro.analysis.render_table` tables (per-cell
 and grouped summaries) and :class:`repro.analysis.Series` diameter
 trajectories (the "figures" of the terminal harness).
+
+:class:`SweepAccumulator` is the *incremental* builder behind streaming
+execution: cells are added one by one as chunks, shards or journal
+replays complete, group statistics update as they land, and
+:meth:`SweepAccumulator.snapshot` yields at any moment the exact
+:class:`SweepResult` a batch merge of the same cells would have
+produced -- bit-identical, because every reduction used here
+(``min``/``max``/``math.fsum``/sorted percentiles) is independent of
+arrival order and the cell tuple is maintained in key order.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
@@ -18,9 +28,10 @@ from ..analysis import Series, render_table, summarize
 from ..runtime.families import DEFAULT_FAMILY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .cache import CacheStats
     from .engine import CellResult
 
-__all__ = ["SweepResult"]
+__all__ = ["SweepAccumulator", "SweepResult"]
 
 
 @dataclass(frozen=True)
@@ -32,12 +43,15 @@ class SweepResult:
     :class:`repro.sweep.backends.ShardedBackend`).
 
     ``dispatch`` records how the cells were actually executed --
-    ``"serial"``, ``"parallel"``, their ``"batched-"`` variants, or a
-    fallback label when a pooled backend decided a pool could not win
-    (e.g. one usable CPU) and ran in-process instead.  It is excluded
-    from equality: the decision is a property of the executing machine,
-    not of the result, and warm-cache reruns must compare equal to the
-    cold runs that produced them.
+    ``"serial"``, ``"parallel"``, their ``"batched-"`` variants, an
+    ``"async-"`` work-queue label, or a fallback label when a pooled
+    backend decided a pool could not win (e.g. one usable CPU) and ran
+    in-process instead.  It is excluded from equality: the decision is
+    a property of the executing machine, not of the result, and
+    warm-cache reruns must compare equal to the cold runs that produced
+    them.  ``cache_stats`` is excluded for the same reason: it carries
+    the executing invocation's :class:`~repro.sweep.cache.CacheStats`
+    traffic counters (``None`` when no cell cache was attached).
     """
 
     cells: tuple["CellResult", ...]
@@ -45,6 +59,7 @@ class SweepResult:
     workers: int = 1
     complete: bool = True
     dispatch: str = field(default="serial", compare=False)
+    cache_stats: "CacheStats | None" = field(default=None, compare=False)
 
     def __len__(self) -> int:
         return len(self.cells)
@@ -179,3 +194,127 @@ class SweepResult:
                 means.append(math.fsum(points) / len(points))
             series.append(Series.of(f"{model}/{algorithm}", means))
         return series
+
+
+class SweepAccumulator:
+    """Incremental :class:`SweepResult` builder for streaming execution.
+
+    Feed it cells in *any* order -- as async chunks land, shards merge
+    or a resume journal replays -- and read aggregates at any moment:
+    :meth:`live_summary_rows` updates from per-group accumulators
+    without touching the cell list, and :meth:`snapshot` materializes
+    the exact result a batch run over the same cells would return.
+    Bit-identity with the batch path holds because the cell tuple is
+    maintained in key order (the order every backend's ``finalize``
+    sorts into) and every group statistic is computed by
+    arrival-order-independent reductions; the streaming equivalence
+    suite gates this.
+
+    ``expected`` (when known) sizes progress reporting; duplicate cell
+    keys are rejected, mirroring :func:`~repro.sweep.engine.run_sweep`'s
+    duplicate-grid-cell validation.
+    """
+
+    def __init__(
+        self,
+        trace_detail: str = "lite",
+        workers: int = 1,
+        dispatch: str = "serial",
+        expected: int | None = None,
+    ) -> None:
+        self.trace_detail = trace_detail
+        self.workers = workers
+        self.dispatch = dispatch
+        self.expected = expected
+        self._cells: list["CellResult"] = []
+        self._keys: list[tuple] = []
+        self._groups: dict[tuple[str, str], dict[str, object]] = {}
+        self._errors = 0
+        self._satisfied = 0
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    @property
+    def errors(self) -> int:
+        """Cells added so far that could not run."""
+        return self._errors
+
+    @property
+    def satisfied(self) -> int:
+        """Cells added so far that met the headline specification."""
+        return self._satisfied
+
+    def add(self, cell: "CellResult") -> int:
+        """Fold one finished cell in; returns the running cell count."""
+        index = bisect_left(self._keys, cell.key)
+        if index < len(self._keys) and self._keys[index] == cell.key:
+            raise ValueError(
+                f"duplicate cell added to accumulator: {cell.spec.describe()}"
+            )
+        self._keys.insert(index, cell.key)
+        self._cells.insert(index, cell)
+        if cell.error is not None:
+            self._errors += 1
+        else:
+            if cell.satisfied:
+                self._satisfied += 1
+            group = self._groups.setdefault(
+                (cell.spec.model, SweepResult._algorithm_label(cell.spec)),
+                {"rounds": [], "diameters": [], "ok": 0},
+            )
+            group["rounds"].append(float(cell.rounds))
+            group["diameters"].append(cell.decision_diameter)
+            if cell.satisfied:
+                group["ok"] += 1
+        return len(self._cells)
+
+    def add_many(self, cells) -> int:
+        """Fold a batch of finished cells in; returns the cell count."""
+        for cell in cells:
+            self.add(cell)
+        return len(self._cells)
+
+    def live_summary_rows(self) -> list[list[object]]:
+        """Current grouped summary, identical to the batch result's.
+
+        Built from the per-group accumulators alone -- O(group sizes)
+        per call, independent of how the cells arrived -- and
+        bit-identical to ``snapshot().summary_rows()`` because every
+        statistic reduces order-independently.
+        """
+        rows: list[list[object]] = []
+        for (model, algorithm), group in sorted(self._groups.items()):
+            rounds = summarize(group["rounds"])
+            diameters = summarize(group["diameters"])
+            members = len(group["rounds"])
+            rows.append(
+                [
+                    model,
+                    algorithm,
+                    members,
+                    f"{group['ok']}/{members}",
+                    rounds.render(),
+                    diameters.mean,
+                ]
+            )
+        return rows
+
+    def snapshot(self, complete: bool = True) -> SweepResult:
+        """The :class:`SweepResult` of everything folded in so far."""
+        return SweepResult(
+            cells=tuple(self._cells),
+            trace_detail=self.trace_detail,
+            workers=self.workers,
+            complete=complete,
+            dispatch=self.dispatch,
+        )
+
+    def result(self) -> SweepResult:
+        """Finish the stream; raises if expected cells are missing."""
+        if self.expected is not None and len(self._cells) != self.expected:
+            raise ValueError(
+                f"accumulator holds {len(self._cells)} cells but expected "
+                f"{self.expected}"
+            )
+        return self.snapshot(complete=True)

@@ -21,6 +21,16 @@ spills its finished shard to a shared directory, and -- once every
 shard file is present -- merges them into the one bit-identical
 result a serial run would have produced.  Shards can run in any order,
 on any host that shares the spill directory.
+
+:class:`AsyncBackend` is the elastic single-host backend: instead of
+cutting the grid into static chunks up front, a dispatcher feeds the
+pool from a shared work queue with *dynamic* chunking -- cells are
+ordered heaviest-first (LPT scheduling), expensive cells ship alone,
+and cheap cells are batched adaptively into chunks sized by a
+continuously calibrated cost model, so per-task dispatch overhead is
+amortized without starving the pool behind stragglers.  Results stream
+back chunk by chunk through :attr:`SweepBackend.on_result`, which is
+what powers streaming aggregation, progress lines and resume journals.
 """
 
 from __future__ import annotations
@@ -29,8 +39,13 @@ import json
 import math
 import multiprocessing
 import os
+import queue
 import re
+import time
+import warnings
+from collections import deque
 from collections.abc import Callable, Sequence
+from functools import partial
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -50,10 +65,20 @@ __all__ = [
     "SweepBackend",
     "SerialBackend",
     "MultiprocessingBackend",
+    "AsyncBackend",
     "ShardedBackend",
+    "DISPATCH_MODES",
+    "estimate_cell_cost",
     "grid_fingerprint",
     "merge_shards",
 ]
+
+#: Valid ``dispatch_mode`` values: ``auto`` consults
+#: :meth:`MultiprocessingBackend._pool_decision`; ``serial`` forces
+#: in-process execution; ``pool`` forces worker processes even where a
+#: pool cannot win (1 usable CPU), with a warning -- the knob that
+#: makes pool code paths testable on single-CPU CI boxes.
+DISPATCH_MODES = ("auto", "serial", "pool")
 
 CellRunner = Callable[["CellSpec"], "CellResult"]
 BatchRunner = Callable[[list["CellSpec"]], list["CellResult"]]
@@ -126,6 +151,27 @@ class SweepBackend:
     #: How the last :meth:`execute`/:meth:`execute_batch` actually
     #: dispatched its cells; copied into ``SweepResult.dispatch``.
     dispatch: str = "serial"
+    #: Execution-strategy override consulted by pooled backends; one of
+    #: :data:`DISPATCH_MODES`.
+    dispatch_mode: str = "auto"
+    #: Optional ``callable(CellResult)`` invoked in the parent process
+    #: as results become available.  Granularity is a backend property:
+    #: per cell for serial execution, per chunk for the async
+    #: dispatcher, on completion for ``pool.map``-style backends (the
+    #: engine reports any unreported results after ``execute`` either
+    #: way, so callers always observe every result exactly once).
+    on_result: Callable[["CellResult"], None] | None = None
+
+    @property
+    def wants_batches(self) -> bool:
+        """Whether the engine should hand this backend a batch runner."""
+        return self.batch_size is not None
+
+    def _emit(self, results: Sequence["CellResult"]) -> None:
+        """Report freshly finished results to :attr:`on_result`."""
+        if self.on_result is not None:
+            for result in results:
+                self.on_result(result)
 
     def select(self, cells: list["CellSpec"]) -> list["CellSpec"]:
         """The subset of the grid this invocation executes."""
@@ -148,11 +194,12 @@ class SweepBackend:
         """
         size = self.batch_size or len(cells) or 1
         self.dispatch = "batched-serial"
-        return [
-            result
-            for start in range(0, len(cells), size)
-            for result in batch_runner(list(cells[start : start + size]))
-        ]
+        results: list["CellResult"] = []
+        for start in range(0, len(cells), size):
+            batch_results = batch_runner(list(cells[start : start + size]))
+            results.extend(batch_results)
+            self._emit(batch_results)
+        return results
 
     def finalize(
         self,
@@ -171,7 +218,12 @@ class SerialBackend(SweepBackend):
         self, cells: Sequence["CellSpec"], runner: CellRunner
     ) -> list["CellResult"]:
         self.dispatch = "serial"
-        return [runner(cell) for cell in cells]
+        results: list["CellResult"] = []
+        for cell in cells:
+            result = runner(cell)
+            results.append(result)
+            self._emit((result,))
+        return results
 
 
 class MultiprocessingBackend(SweepBackend):
@@ -191,6 +243,7 @@ class MultiprocessingBackend(SweepBackend):
         workers: int,
         chunk_size: int | None = None,
         batch_size: int | None = None,
+        dispatch_mode: str = "auto",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
@@ -198,9 +251,15 @@ class MultiprocessingBackend(SweepBackend):
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         if batch_size is not None and batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if dispatch_mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch_mode must be one of {DISPATCH_MODES}, "
+                f"got {dispatch_mode!r}"
+            )
         self.workers = workers
         self.chunk_size = chunk_size
         self.batch_size = batch_size
+        self.dispatch_mode = dispatch_mode
 
     def _pool_decision(self, tasks: int, batched: bool) -> tuple[bool, str]:
         """Whether a pool can win for ``tasks`` dispatch units, and why.
@@ -211,8 +270,31 @@ class MultiprocessingBackend(SweepBackend):
         ``batched_speedup = 0.9`` regression on 1-CPU CI runners).
         Those invocations auto-fall back to in-process dispatch; the
         label records the decision in ``SweepResult.dispatch``.
+
+        :attr:`dispatch_mode` overrides the heuristic: ``serial``
+        always runs in-process, ``pool`` always dispatches to workers
+        -- warning (instead of silently falling back) when only one
+        usable CPU exists, so pool code paths stay testable on 1-CPU
+        CI boxes at an explicitly acknowledged cost.
         """
         label = "batched-" if batched else ""
+        if self.dispatch_mode == "serial":
+            return False, f"{label}serial (forced)"
+        if tasks < 1:
+            return False, f"{label}serial"
+        if self.dispatch_mode == "pool":
+            cpus = _usable_cpus()
+            if cpus < 2:
+                warnings.warn(
+                    f"dispatch mode 'pool' forced with {self.workers} "
+                    f"workers on {cpus} usable cpu: the pool cannot win "
+                    "here (fork/pickle/IPC overhead with nothing to "
+                    "overlap); results are identical but slower",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return True, f"{label}parallel (forced on {cpus} usable cpu)"
+            return True, f"{label}parallel (forced)"
         if self.workers <= 1 or tasks <= 1:
             return False, f"{label}serial"
         cpus = _usable_cpus()
@@ -254,6 +336,238 @@ class MultiprocessingBackend(SweepBackend):
                 for batch_results in pool.map(batch_runner, batches, chunksize=1)
                 for result in batch_results
             ]
+
+
+#: Cost-model round count for oracle-terminated cells (``rounds=None``):
+#: convergence typically lands within a few tens of rounds, so a fixed
+#: nominal keeps the *relative* ordering of cells meaningful without
+#: simulating anything.
+_NOMINAL_ROUNDS = 40
+
+
+def estimate_cell_cost(cell: "CellSpec") -> float:
+    """Relative execution-cost proxy of one cell.
+
+    Messaging and MSR fold work scale roughly with ``n^2 * rounds``;
+    the absolute scale is irrelevant (the dispatcher calibrates
+    seconds-per-cost-unit from observed chunk timings), only the
+    ordering between cheap and expensive cells matters.  ``n=None``
+    resolves to the model's Table 2 minimum; unknown models fall back
+    to a small constant so malformed cells (which error out instantly)
+    are treated as cheap.
+    """
+    n = cell.n
+    if n is None:
+        try:
+            from ..faults.models import get_semantics
+
+            n = get_semantics(cell.model).required_n(cell.f)
+        except (KeyError, ValueError):
+            n = 16
+    rounds = (
+        cell.rounds
+        if cell.rounds is not None
+        else min(cell.max_rounds, _NOMINAL_ROUNDS)
+    )
+    return float(max(n, 1)) ** 2 * float(max(rounds, 1))
+
+
+class _AdaptiveChunker:
+    """Forms dispatch chunks from a work queue, heaviest cells first.
+
+    Until the first timing observation lands, chunks are singletons
+    (calibration doubles as LPT scheduling of the most expensive
+    cells).  Afterwards each chunk is filled greedily until its
+    estimated duration reaches ``target_seconds`` under the current
+    seconds-per-cost-unit model (an EWMA over observed chunk timings),
+    so a cell expensive enough to hit the target alone ships alone
+    while runs of cheap cells coalesce into larger and larger chunks.
+    """
+
+    def __init__(
+        self,
+        cells: Sequence["CellSpec"],
+        target_seconds: float,
+        max_chunk: int,
+    ) -> None:
+        self._queue: deque["CellSpec"] = deque(
+            sorted(cells, key=estimate_cell_cost, reverse=True)
+        )
+        self._target = target_seconds
+        self._max_chunk = max_chunk
+        self._sec_per_cost: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @staticmethod
+    def cost_of(chunk: Sequence["CellSpec"]) -> float:
+        return math.fsum(estimate_cell_cost(cell) for cell in chunk)
+
+    def next_chunk(self) -> list["CellSpec"] | None:
+        """The next dispatch unit, or ``None`` when the queue is dry."""
+        if not self._queue:
+            return None
+        chunk = [self._queue.popleft()]
+        if self._sec_per_cost is None:
+            return chunk
+        budget = self._target - estimate_cell_cost(chunk[0]) * self._sec_per_cost
+        while self._queue and len(chunk) < self._max_chunk:
+            eta = estimate_cell_cost(self._queue[0]) * self._sec_per_cost
+            if eta > budget:
+                break
+            chunk.append(self._queue.popleft())
+            budget -= eta
+        return chunk
+
+    def observe(self, cost: float, seconds: float) -> None:
+        """Fold one completed chunk's worker-side timing into the model."""
+        rate = seconds / max(cost, 1.0)
+        if self._sec_per_cost is None:
+            self._sec_per_cost = rate
+        else:
+            self._sec_per_cost = 0.5 * self._sec_per_cost + 0.5 * rate
+
+
+def _run_chunk(runner: CellRunner, cells: list["CellSpec"]) -> list["CellResult"]:
+    """Apply a per-cell runner across one chunk (module level: pickles)."""
+    return [runner(cell) for cell in cells]
+
+
+def _timed_chunk(
+    chunk_runner: BatchRunner, cells: list["CellSpec"]
+) -> tuple[float, list["CellResult"]]:
+    """Run a chunk in a worker, returning its compute time alongside.
+
+    Timing inside the worker (rather than submit-to-callback in the
+    parent) keeps queueing delay out of the cost model.
+    """
+    start = time.perf_counter()
+    results = chunk_runner(cells)
+    return time.perf_counter() - start, results
+
+
+class AsyncBackend(MultiprocessingBackend):
+    """Work-queue pool dispatcher with adaptive dynamic chunking.
+
+    Replaces the static ``batch_size`` partition of
+    :class:`MultiprocessingBackend`: the parent keeps the pool primed
+    with one spare chunk beyond the worker count, forms each next chunk
+    only when a slot frees (so chunk sizing reacts to the timings of
+    everything already finished), and folds results chunk by chunk
+    through :attr:`SweepBackend.on_result` -- the streaming spine for
+    live aggregation, progress lines and resume journals.  Each chunk
+    runs through one shared round kernel in its worker (see
+    :func:`~repro.sweep.engine.run_cell_batch`), so the cheap-cell
+    dispatch overhead the ``sweep_64`` ledger flagged is amortized
+    twice: fewer pool tasks, and fewer kernel setups.
+
+    Where a pool cannot win (``_pool_decision``: one usable CPU, one
+    task, forced serial) execution falls back inline on static
+    ``inline_batch``-sized chunks -- the batched-serial fast path --
+    still emitting per chunk.  Results are bit-identical to every other
+    backend for any worker count, chunk shape or timing jitter: cells
+    are pure functions of their spec, and the engine sorts by cell key.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        dispatch_mode: str = "auto",
+        target_chunk_seconds: float = 0.15,
+        max_chunk: int = 32,
+        inline_batch: int = 16,
+    ) -> None:
+        super().__init__(workers, dispatch_mode=dispatch_mode)
+        if target_chunk_seconds <= 0:
+            raise ValueError(
+                f"target_chunk_seconds must be positive, got "
+                f"{target_chunk_seconds}"
+            )
+        if max_chunk < 1:
+            raise ValueError(f"max_chunk must be at least 1, got {max_chunk}")
+        if inline_batch < 1:
+            raise ValueError(
+                f"inline_batch must be at least 1, got {inline_batch}"
+            )
+        self.target_chunk_seconds = target_chunk_seconds
+        self.max_chunk = max_chunk
+        self.inline_batch = inline_batch
+
+    @property
+    def wants_batches(self) -> bool:
+        """Chunks always run through a shared in-worker round kernel."""
+        return True
+
+    def execute(
+        self, cells: Sequence["CellSpec"], runner: CellRunner
+    ) -> list["CellResult"]:
+        return self._dispatch(cells, partial(_run_chunk, runner))
+
+    def execute_batch(
+        self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
+    ) -> list["CellResult"]:
+        return self._dispatch(cells, batch_runner)
+
+    def _dispatch(
+        self, cells: Sequence["CellSpec"], chunk_runner: BatchRunner
+    ) -> list["CellResult"]:
+        use_pool, label = self._pool_decision(len(cells), batched=False)
+        self.dispatch = f"async-{label}"
+        if not use_pool:
+            results: list["CellResult"] = []
+            for start in range(0, len(cells), self.inline_batch):
+                chunk_results = chunk_runner(
+                    list(cells[start : start + self.inline_batch])
+                )
+                results.extend(chunk_results)
+                self._emit(chunk_results)
+            return results
+
+        chunker = _AdaptiveChunker(
+            cells, self.target_chunk_seconds, self.max_chunk
+        )
+        completions: queue.SimpleQueue = queue.SimpleQueue()
+        results = []
+        in_flight = 0
+        with multiprocessing.Pool(processes=self.workers) as pool:
+
+            def submit() -> bool:
+                nonlocal in_flight
+                chunk = chunker.next_chunk()
+                if chunk is None:
+                    return False
+                cost = chunker.cost_of(chunk)
+                pool.apply_async(
+                    _timed_chunk,
+                    (chunk_runner, chunk),
+                    callback=lambda timed, c=cost: completions.put(
+                        (c, timed, None)
+                    ),
+                    error_callback=lambda exc, c=cost: completions.put(
+                        (c, None, exc)
+                    ),
+                )
+                in_flight += 1
+                return True
+
+            # One spare chunk beyond the workers keeps every slot busy
+            # while the parent folds a finished chunk's results.
+            while in_flight <= self.workers and submit():
+                pass
+            while in_flight:
+                cost, timed, error = completions.get()
+                in_flight -= 1
+                if error is not None:
+                    # Pool.__exit__ terminates the outstanding work.
+                    raise error
+                seconds, chunk_results = timed
+                chunker.observe(cost, seconds)
+                results.extend(chunk_results)
+                self._emit(chunk_results)
+                while in_flight <= self.workers and submit():
+                    pass
+        return results
 
 
 class ShardedBackend(SweepBackend):

@@ -48,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
 __all__ = [
     "SWEEP_SCHEMA_VERSION",
     "CacheGCReport",
+    "CacheStats",
     "CellStore",
     "result_to_dict",
     "result_from_dict",
@@ -79,6 +80,31 @@ class CacheGCReport:
         return (
             f"cache-gc: scanned {self.scanned} entries, kept {self.kept}, "
             f"{verb} {self.removed} ({self.freed_bytes / 1024:.1f} KiB)"
+        )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of one :class:`CellStore`'s traffic counters.
+
+    Surfaced on :class:`~repro.sweep.aggregate.SweepResult` (compare-
+    excluded, like ``dispatch``: traffic is a property of the executing
+    invocation, not of the result) and printed in the CLI sweep
+    summary.  Counters reflect the snapshotting instance's own lookups
+    -- the parent process's view of a sweep; worker-process write-
+    throughs are not folded back in.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.bytes_read / 1024:.1f} KiB read, "
+            f"{self.bytes_written / 1024:.1f} KiB written"
         )
 
 
@@ -190,13 +216,17 @@ class CellStore:
 
     Cheap to construct and picklable (it carries only the root path),
     so worker processes can write through during parallel execution.
-    The ``hits``/``misses`` counters track lookups made through *this*
-    instance -- the parent process's view of a sweep's cache traffic.
+    The ``hits``/``misses``/``bytes_read``/``bytes_written`` counters
+    track lookups made through *this* instance -- the parent process's
+    view of a sweep's cache traffic (worker-side write-throughs happen
+    on the workers' own copies and are not folded back).
     """
 
     root: Path
     hits: int = field(default=0, compare=False)
     misses: int = field(default=0, compare=False)
+    bytes_read: int = field(default=0, compare=False)
+    bytes_written: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -234,7 +264,9 @@ class CellStore:
         """
         path = self.path_for(spec, trace_detail, probe)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+            self.bytes_read += len(text)
+            payload = json.loads(text)
             if payload.get("schema") != SWEEP_SCHEMA_VERSION:
                 return None
             if payload.get("trace_detail") != trace_detail:
@@ -261,8 +293,10 @@ class CellStore:
             "result": result_to_dict(result),
         }
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        text = json.dumps(payload, sort_keys=True)
+        tmp.write_text(text, encoding="utf-8")
         os.replace(tmp, path)
+        self.bytes_written += len(text)
         return path
 
     # -- maintenance ------------------------------------------------------------
@@ -401,6 +435,15 @@ class CellStore:
         else:
             self.misses += 1
 
+    def snapshot(self) -> CacheStats:
+        """An immutable copy of this instance's traffic counters."""
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+        )
+
     def stats(self) -> str:
         """Human-readable counter summary for CLI banners."""
-        return f"{self.hits} hits, {self.misses} misses"
+        return self.snapshot().describe()

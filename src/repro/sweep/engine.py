@@ -25,21 +25,37 @@ assert these properties.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from dataclasses import dataclass
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, replace
 from functools import partial
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core.specification import check_trace
 from ..runtime.kernel import RoundKernel
 from ..runtime.simulator import TraceDetail, run_simulation
 from .aggregate import SweepResult
-from .backends import MultiprocessingBackend, SerialBackend, SweepBackend
+from .backends import (
+    DISPATCH_MODES,
+    AsyncBackend,
+    MultiprocessingBackend,
+    SerialBackend,
+    ShardedBackend,
+    SweepBackend,
+)
 from .cache import CellStore
 from .grid import CellSpec, GridSpec
 from .probes import get_probe
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
+    from .service import SweepJournal
+
 __all__ = ["CellResult", "run_cell", "run_cell_batch", "run_sweep"]
+
+#: ``progress`` callback signature: ``(result, done, total)`` with
+#: ``done`` counting every result observed so far (journal replays and
+#: cache hits included) out of ``total`` cells this invocation owns.
+ProgressCallback = Callable[["CellResult", int, int], None]
 
 
 @dataclass(frozen=True)
@@ -47,8 +63,10 @@ class CellResult:
     """The condensed, picklable outcome of one grid cell.
 
     ``error`` is set (and every other payload field zeroed) when the
-    cell could not run at all -- e.g. an explicit ``n`` below the
-    model's resilience bound.
+    cell could not run -- e.g. an explicit ``n`` below the model's
+    resilience bound, or a run aborted by a family's own runtime
+    requirement (the witness family refuses mid-run when an adversary
+    starves its phase-boundary fold on a minimum-degree graph).
     """
 
     spec: CellSpec
@@ -105,9 +123,8 @@ def run_cell(
     batch (results are identical with or without it).
     """
     probe_spec = get_probe(probe) if probe is not None else None
-    try:
-        config = cell.to_config()
-    except (ValueError, KeyError) as exc:
+
+    def error_cell(exc: Exception) -> CellResult:
         return CellResult(
             spec=cell,
             decisions=(),
@@ -120,7 +137,17 @@ def run_cell(
             validity_ok=False,
             error=str(exc),
         )
-    trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
+
+    try:
+        config = cell.to_config()
+    except (ValueError, KeyError) as exc:
+        return error_cell(exc)
+    try:
+        trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
+    except ValueError as exc:
+        # A family's runtime requirement rejecting the run mid-flight
+        # is a per-cell verdict, not grounds to kill a whole sweep.
+        return error_cell(exc)
     verdict = check_trace(trace)
     extras = tuple(probe_spec.extract(trace)) if probe_spec is not None else ()
     return CellResult(
@@ -198,22 +225,35 @@ def _resolve_backend(
     workers: int,
     chunk_size: int | None,
     batch_size: int | None = None,
+    dispatch: str = "auto",
 ) -> SweepBackend:
     if backend is None:
+        if dispatch == "pool" and workers <= 1:
+            # Forcing a pool needs a pool-capable backend even at the
+            # default worker count; _pool_decision owns the warning.
+            return MultiprocessingBackend(
+                max(workers, 1), chunk_size, batch_size, dispatch_mode=dispatch
+            )
         if workers <= 1 and batch_size is None:
             return SerialBackend()
         if workers <= 1:
             serial = SerialBackend()
             serial.batch_size = batch_size
             return serial
-        return MultiprocessingBackend(workers, chunk_size, batch_size)
+        return MultiprocessingBackend(
+            workers, chunk_size, batch_size, dispatch_mode=dispatch
+        )
     if isinstance(backend, str):
         if backend == "serial":
             serial = SerialBackend()
             serial.batch_size = batch_size
             return serial
         if backend == "multiprocessing":
-            return MultiprocessingBackend(max(workers, 1), chunk_size, batch_size)
+            return MultiprocessingBackend(
+                max(workers, 1), chunk_size, batch_size, dispatch_mode=dispatch
+            )
+        if backend == "async":
+            return AsyncBackend(max(workers, 1), dispatch_mode=dispatch)
         if backend == "sharded":
             raise ValueError(
                 "the sharded backend needs shard parameters; pass a "
@@ -222,8 +262,10 @@ def _resolve_backend(
             )
         raise ValueError(
             f"unknown backend {backend!r}; known: serial, multiprocessing, "
-            "sharded"
+            "async, sharded"
         )
+    if dispatch != "auto":
+        backend.dispatch_mode = dispatch
     return backend
 
 
@@ -236,6 +278,9 @@ def run_sweep(
     cache: CellStore | str | Path | None = None,
     probe: str | None = None,
     batch_size: int | None = None,
+    dispatch: str = "auto",
+    progress: ProgressCallback | None = None,
+    journal: "SweepJournal | None" = None,
 ) -> SweepResult:
     """Run every cell of ``grid`` through a backend, via the cell cache.
 
@@ -245,7 +290,8 @@ def run_sweep(
     resolution with any :class:`~repro.sweep.backends.SweepBackend`
     (including :class:`~repro.sweep.backends.ShardedBackend` for
     multi-invocation sweeps) or one of the names ``"serial"`` /
-    ``"multiprocessing"``.  ``cache`` -- a
+    ``"multiprocessing"`` / ``"async"`` (the work-queue dispatcher
+    with adaptive chunking).  ``cache`` -- a
     :class:`~repro.sweep.cache.CellStore` or a directory path -- is
     consulted before executing each cell and written through after.
     ``batch_size`` switches execution to in-worker batches: one
@@ -253,9 +299,23 @@ def run_sweep(
     amortizes process dispatch on grids of cheap cells (see
     :func:`run_cell_batch`); when an explicit backend *instance* is
     passed, the instance's own ``batch_size`` attribute governs
-    batching instead.  Results are identical for every backend,
-    worker count, batch size and cache state, and sorted by cell key,
-    so the returned :class:`SweepResult` depends only on the grid.
+    batching instead.
+
+    ``dispatch`` (one of :data:`~repro.sweep.backends.DISPATCH_MODES`)
+    overrides the pool heuristic of pooled backends: ``serial`` forces
+    in-process execution, ``pool`` forces worker processes even on one
+    usable CPU (with a warning).  ``progress`` is called as
+    ``progress(result, done, total)`` for every result exactly once,
+    as early as the backend's reporting granularity allows.
+    ``journal`` -- a :class:`~repro.sweep.service.SweepJournal` --
+    replays cells completed by an interrupted earlier invocation and
+    records each fresh result as it lands, making the sweep resumable.
+
+    Results are identical for every backend, worker count, batch
+    size, dispatch mode, journal and cache state, and sorted by cell
+    key, so the returned :class:`SweepResult` depends only on the
+    grid (``dispatch`` and ``cache_stats`` are equality-excluded
+    machine properties).
     """
     if trace_detail not in ("full", "lite"):
         raise ValueError(
@@ -267,6 +327,10 @@ def run_sweep(
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     if batch_size is not None and batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
+    if dispatch not in DISPATCH_MODES:
+        raise ValueError(
+            f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+        )
     if probe is not None:
         probe_spec = get_probe(probe)
         if probe_spec.requires_full and trace_detail != "full":
@@ -281,46 +345,93 @@ def run_sweep(
             raise ValueError(f"duplicate grid cell: {cell.describe()}")
         seen.add(cell.key)
 
-    resolved = _resolve_backend(backend, workers, chunk_size, batch_size)
+    resolved = _resolve_backend(backend, workers, chunk_size, batch_size, dispatch)
+    if journal is not None and isinstance(resolved, ShardedBackend):
+        raise ValueError(
+            "resume journals cover whole grids; sharded sweeps already "
+            "resume through their spill directory"
+        )
     store = CellStore(cache) if isinstance(cache, (str, Path)) else cache
     selected = resolved.select(cells)
 
-    batched = getattr(resolved, "batch_size", None) is not None
-    if store is None:
-        runner = partial(run_cell, trace_detail=trace_detail, probe=probe)
-        batch_runner = partial(
-            run_cell_batch, trace_detail=trace_detail, probe=probe
-        )
-        results = (
-            resolved.execute_batch(selected, batch_runner)
-            if batched
-            else resolved.execute(selected, runner)
-        )
-    else:
-        runner = partial(
-            _run_cell_cached,
-            trace_detail=trace_detail,
-            probe=probe,
-            store=store,
-        )
-        batch_runner = partial(
-            run_cell_batch,
-            trace_detail=trace_detail,
-            probe=probe,
-            store=store,
-        )
-        hits: list[CellResult] = []
-        missing: list[CellSpec] = []
-        for cell in selected:
-            cached = store.load(cell, trace_detail, probe)
-            store.record(cached is not None)
-            if cached is not None:
-                hits.append(cached)
-            else:
-                missing.append(cell)
-        results = hits + (
-            resolved.execute_batch(missing, batch_runner)
-            if batched
-            else resolved.execute(missing, runner)
-        )
-    return resolved.finalize(results, trace_detail, probe)
+    # Every result flows through the reporter exactly once: journal
+    # replays and cache hits immediately, executed cells as early as
+    # the backend's granularity allows (per cell serially, per chunk
+    # from the async dispatcher), anything a backend could not emit
+    # early (pool.map) after execution returns.
+    total = len(selected)
+    done = 0
+    reported: set[tuple] = set()
+
+    def report(result: CellResult) -> None:
+        nonlocal done
+        if result.key in reported:
+            return
+        reported.add(result.key)
+        done += 1
+        if journal is not None:
+            journal.record(result)
+        if progress is not None:
+            progress(result, done, total)
+
+    journaled: list[CellResult] = []
+    if journal is not None:
+        journaled = list(journal.open(selected, trace_detail, probe).values())
+        for result in journaled:
+            report(result)
+    remaining = (
+        selected
+        if journal is None
+        else [cell for cell in selected if cell.key not in reported]
+    )
+
+    batched = resolved.wants_batches
+    resolved.on_result = report
+    try:
+        if store is None:
+            runner = partial(run_cell, trace_detail=trace_detail, probe=probe)
+            batch_runner = partial(
+                run_cell_batch, trace_detail=trace_detail, probe=probe
+            )
+            executed = (
+                resolved.execute_batch(remaining, batch_runner)
+                if batched
+                else resolved.execute(remaining, runner)
+            )
+        else:
+            runner = partial(
+                _run_cell_cached,
+                trace_detail=trace_detail,
+                probe=probe,
+                store=store,
+            )
+            batch_runner = partial(
+                run_cell_batch,
+                trace_detail=trace_detail,
+                probe=probe,
+                store=store,
+            )
+            hits: list[CellResult] = []
+            missing: list[CellSpec] = []
+            for cell in remaining:
+                cached = store.load(cell, trace_detail, probe)
+                store.record(cached is not None)
+                if cached is not None:
+                    hits.append(cached)
+                else:
+                    missing.append(cell)
+            for result in hits:
+                report(result)
+            executed = hits + (
+                resolved.execute_batch(missing, batch_runner)
+                if batched
+                else resolved.execute(missing, runner)
+            )
+        for result in executed:
+            report(result)
+    finally:
+        resolved.on_result = None
+    final = resolved.finalize(journaled + executed, trace_detail, probe)
+    if store is not None:
+        final = replace(final, cache_stats=store.snapshot())
+    return final

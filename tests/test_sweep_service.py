@@ -1,0 +1,382 @@
+"""Service-layer tests: streaming, resume journals and the sweep daemon.
+
+The elastic sweep service rests on three claims this module pins down:
+
+* **Streaming equals batch** -- folding results into a
+  :class:`SweepAccumulator` as the progress callback delivers them
+  rebuilds the exact :class:`SweepResult` a batch run returns, for any
+  arrival order and any backend.
+* **Interrupted equals uninterrupted** -- a sweep killed mid-flight and
+  resumed through its :class:`SweepJournal` produces a bit-identical
+  aggregate, re-executing only the cells the journal never recorded,
+  and a journal can never silently feed results from a *different*
+  sweep.
+* **Warm equals served** -- a :class:`SweepServer` whose cache holds
+  every requested cell answers from the store alone: ``tier`` is
+  ``"cache"`` and no worker pool is touched.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from tests.helpers import small_grid
+
+from repro.sweep import (
+    AsyncBackend,
+    DISPATCH_MODES,
+    GridSpec,
+    ShardedBackend,
+    SweepAccumulator,
+    SweepJournal,
+    SweepServer,
+    estimate_cell_cost,
+    grid_from_payload,
+    request_json,
+    run_sweep,
+    submit_sweep,
+)
+
+
+def _usable_cpus() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return small_grid(seeds=1, rounds=5)
+
+
+@pytest.fixture(scope="module")
+def reference(grid):
+    return run_sweep(grid, workers=1)
+
+
+class TestStreamingAggregation:
+    def test_progress_stream_rebuilds_the_batch_result(self, grid, reference):
+        acc = SweepAccumulator(expected=len(reference))
+        result = run_sweep(grid, progress=lambda cell, done, total: acc.add(cell))
+        assert acc.result() == result == reference
+
+    def test_progress_counters_cover_every_cell_exactly_once(
+        self, grid, reference
+    ):
+        events = []
+        run_sweep(grid, progress=lambda c, done, total: events.append((c, done, total)))
+        assert [done for _, done, _ in events] == list(range(1, len(reference) + 1))
+        assert {total for _, _, total in events} == {len(reference)}
+        keys = [cell.key for cell, _, _ in events]
+        assert sorted(keys) == sorted(c.key for c in reference.cells)
+
+    def test_async_stream_matches_batch(self, grid, reference):
+        acc = SweepAccumulator(expected=len(reference))
+        run_sweep(
+            grid,
+            workers=4,
+            backend="async",
+            progress=lambda cell, done, total: acc.add(cell),
+        )
+        assert acc.result().cells == reference.cells
+
+    def test_live_summary_is_arrival_order_independent(self, reference):
+        acc = SweepAccumulator()
+        acc.add_many(reversed(reference.cells))
+        assert acc.live_summary_rows() == reference.summary_rows()
+        assert acc.snapshot().cells == reference.cells
+
+    def test_duplicate_cell_rejected(self, reference):
+        acc = SweepAccumulator()
+        acc.add(reference.cells[0])
+        with pytest.raises(ValueError, match="duplicate cell"):
+            acc.add(reference.cells[0])
+
+    def test_incomplete_stream_cannot_finish(self, reference):
+        acc = SweepAccumulator(expected=len(reference))
+        acc.add(reference.cells[0])
+        with pytest.raises(ValueError, match="expected"):
+            acc.result()
+
+
+class TestAsyncBackend:
+    def test_async_by_name_matches_serial(self, grid, reference):
+        result = run_sweep(grid, workers=4, backend="async")
+        assert result.cells == reference.cells
+        assert result.dispatch.startswith("async-")
+
+    def test_async_instance_matches_serial(self, grid, reference):
+        result = run_sweep(grid, backend=AsyncBackend(workers=3))
+        assert result.cells == reference.cells
+
+    def test_forced_serial_dispatch(self, grid, reference):
+        result = run_sweep(grid, workers=4, backend="async", dispatch="serial")
+        assert result.cells == reference.cells
+        assert result.dispatch == "async-serial (forced)"
+
+    def test_forced_pool_is_bit_identical(self, grid, reference):
+        # On one usable CPU the forced pool warns (separately tested);
+        # either way the results must not depend on where cells ran.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = run_sweep(grid, workers=2, dispatch="pool")
+        assert result.cells == reference.cells
+        assert "forced" in result.dispatch
+
+    def test_forced_pool_on_one_cpu_warns(self, grid):
+        if _usable_cpus() >= 2:
+            pytest.skip("warning only fires with a single usable CPU")
+        with pytest.warns(RuntimeWarning, match="pool cannot win"):
+            run_sweep(grid, workers=2, dispatch="pool")
+
+    def test_unknown_dispatch_mode_rejected(self, grid):
+        assert DISPATCH_MODES == ("auto", "serial", "pool")
+        with pytest.raises(ValueError, match="dispatch"):
+            run_sweep(grid, dispatch="bogus")
+
+    def test_cost_model_orders_by_problem_size(self, grid):
+        cells = list(grid.cells())
+        costs = [estimate_cell_cost(cell) for cell in cells]
+        assert all(cost > 0 for cost in costs)
+        # M3 needs the largest quorum (4f+1), so its cells must price
+        # above the M1 cells of the same grid.
+        by_model = {}
+        for cell, cost in zip(cells, costs):
+            by_model.setdefault(cell.model, set()).add(cost)
+        assert min(by_model["M3"]) > max(by_model["M1"])
+
+
+class TestCacheStats:
+    def test_cold_and_warm_counters(self, grid, reference, tmp_path):
+        cold = run_sweep(grid, cache=tmp_path / "cache")
+        assert cold.cache_stats.misses == len(reference)
+        assert cold.cache_stats.hits == 0
+        assert cold.cache_stats.bytes_written > 0
+        warm = run_sweep(grid, cache=tmp_path / "cache")
+        assert warm.cache_stats.hits == len(reference)
+        assert warm.cache_stats.misses == 0
+        assert warm.cache_stats.bytes_read > 0
+        # The stats are machine state, not sweep content: both runs are
+        # equal to each other and to the uncached reference.
+        assert cold == warm == reference
+        assert "hits" in warm.cache_stats.describe()
+
+    def test_uncached_sweep_has_no_stats(self, reference):
+        assert reference.cache_stats is None
+
+
+class TestSweepJournal:
+    def test_fresh_run_records_every_cell(self, grid, reference, tmp_path):
+        journal = SweepJournal(tmp_path / "journal")
+        with journal:
+            result = run_sweep(grid, journal=journal)
+        assert result == reference
+        lines = journal.results_path.read_text().splitlines()
+        assert len(lines) == len(reference)
+        manifest = json.loads(journal.manifest_path.read_text())
+        assert manifest["grid_size"] == len(reference)
+        assert manifest["trace_detail"] == "lite"
+
+    def test_full_replay_executes_nothing(
+        self, grid, reference, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "journal"
+        with SweepJournal(root) as journal:
+            run_sweep(grid, journal=journal)
+        # Resuming a complete journal must answer from the record alone.
+        import repro.sweep.engine as engine
+
+        def explode(*args, **kwargs):
+            raise AssertionError("resume re-executed a journaled cell")
+
+        monkeypatch.setattr(engine, "run_cell", explode)
+        with SweepJournal(root) as journal:
+            resumed = run_sweep(grid, journal=journal)
+        assert resumed == reference
+
+    def test_interrupt_and_resume_is_bit_identical(
+        self, grid, reference, tmp_path
+    ):
+        root = tmp_path / "journal"
+
+        def cancel_after(limit):
+            def progress(cell, done, total):
+                if done >= limit:
+                    raise KeyboardInterrupt
+
+            return progress
+
+        journal = SweepJournal(root)
+        with pytest.raises(KeyboardInterrupt):
+            try:
+                run_sweep(grid, progress=cancel_after(5), journal=journal)
+            finally:
+                journal.close()
+        recorded = journal.results_path.read_text().splitlines()
+        assert 5 <= len(recorded) < len(reference)
+
+        with SweepJournal(root) as journal:
+            resumed = run_sweep(grid, journal=journal)
+        assert resumed == reference
+        assert journal.completed_count == len(reference)
+
+    def test_async_chunk_failure_resumes_from_recorded_chunks(
+        self, grid, reference, tmp_path
+    ):
+        # A worker failure surfaces as an exception mid-dispatch; the
+        # chunks that already streamed back stay journaled.
+        root = tmp_path / "journal"
+
+        def fail_after(limit):
+            def progress(cell, done, total):
+                if done >= limit:
+                    raise RuntimeError("injected worker failure")
+
+            return progress
+
+        journal = SweepJournal(root)
+        with pytest.raises(RuntimeError, match="injected"):
+            try:
+                run_sweep(
+                    grid,
+                    workers=4,
+                    backend="async",
+                    progress=fail_after(3),
+                    journal=journal,
+                )
+            finally:
+                journal.close()
+        assert len(journal.results_path.read_text().splitlines()) >= 3
+
+        with SweepJournal(root) as journal:
+            resumed = run_sweep(grid, journal=journal)
+        assert resumed == reference
+
+    def test_corrupt_tail_line_reruns_that_cell(self, grid, reference, tmp_path):
+        root = tmp_path / "journal"
+        with SweepJournal(root) as journal:
+            run_sweep(grid, journal=journal)
+        results = root / "results.jsonl"
+        lines = results.read_text().splitlines()
+        # Simulate the crash truncating the final line mid-write.
+        results.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        with SweepJournal(root) as journal:
+            resumed = run_sweep(grid, journal=journal)
+        assert resumed == reference
+        assert len(results.read_text().splitlines()) == len(lines)
+
+    def test_foreign_grid_journal_rejected(self, grid, tmp_path):
+        with SweepJournal(tmp_path / "journal") as journal:
+            run_sweep(grid, journal=journal)
+        other = small_grid(seeds=2, rounds=5)
+        with pytest.raises(ValueError, match="journal at"):
+            run_sweep(other, journal=SweepJournal(tmp_path / "journal"))
+
+    def test_foreign_well_formed_result_rejected(self, grid, tmp_path):
+        # A readable result for a cell outside the grid is not crash
+        # damage -- it is the wrong journal, and must not be skipped.
+        other = small_grid(seeds=2, rounds=5)
+        with SweepJournal(tmp_path / "other") as journal:
+            run_sweep(other, journal=journal)
+        foreign = [
+            line
+            for line in (tmp_path / "other" / "results.jsonl")
+            .read_text()
+            .splitlines()
+            if '"seed": 1' in line
+        ][0]
+        root = tmp_path / "journal"
+        with SweepJournal(root) as journal:
+            run_sweep(grid, journal=journal)
+        with open(root / "results.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(foreign + "\n")
+        with pytest.raises(ValueError, match="not a cell"):
+            run_sweep(grid, journal=SweepJournal(root))
+
+    def test_record_requires_open(self, reference, tmp_path):
+        with pytest.raises(ValueError, match="not open"):
+            SweepJournal(tmp_path).record(reference.cells[0])
+
+    def test_sharded_backend_refuses_a_journal(self, grid, tmp_path):
+        with pytest.raises(ValueError, match="sharded"):
+            run_sweep(
+                grid,
+                backend=ShardedBackend(0, 2, tmp_path / "spill"),
+                journal=SweepJournal(tmp_path / "journal"),
+            )
+
+
+class TestGridPayload:
+    def test_payload_round_trips_to_gridspec(self):
+        grid = grid_from_payload(
+            {"models": ["M1", "M2"], "attacks": "outlier", "seeds": [3]}
+        )
+        assert grid == GridSpec(
+            models=("M1", "M2"), attacks=("outlier",), seeds=(3,)
+        )
+
+    def test_integer_seeds_means_seed_count(self):
+        assert grid_from_payload({"seeds": 3}).seeds == (0, 1, 2)
+
+    def test_unknown_field_rejected_by_name(self):
+        with pytest.raises(ValueError, match="modelz"):
+            grid_from_payload({"modelz": ["M1"]})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            grid_from_payload(["M1"])
+
+
+class TestSweepServer:
+    #: Two-cell grid: small enough that cold requests stay fast even on
+    #: the serial fallback path.
+    PAYLOAD_GRID = {
+        "models": ["M1"],
+        "algorithms": ["ftm"],
+        "attacks": ["split"],
+        "seeds": 2,
+        "rounds": 4,
+    }
+
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        server = SweepServer(tmp_path_factory.mktemp("served-cache"))
+        thread = server.start_background()
+        yield server
+        request_json(f"{server.address}/shutdown", {})
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()
+
+    def test_cold_request_computes_then_warm_request_serves(self, server):
+        cold = submit_sweep(server.address, self.PAYLOAD_GRID)
+        assert cold["tier"] == "compute"
+        assert cold["computed"] == cold["cells"] == 2
+        assert cold["cached"] == 0
+        assert cold["all_satisfied"] is True
+
+        warm = submit_sweep(server.address, self.PAYLOAD_GRID)
+        assert warm["tier"] == "cache"
+        assert warm["cached"] == warm["cells"] == 2
+        assert warm["computed"] == 0
+        # Every cell came from the store, so the engine had nothing to
+        # dispatch: the warm answer never touches a worker pool.
+        assert "parallel" not in warm["dispatch"]
+        assert warm["summary"] == cold["summary"]
+
+    def test_healthz_reports_liveness(self, server):
+        health = request_json(f"{server.address}/healthz")
+        assert health["ok"] is True
+        assert health["cache"] == str(server.cache_root)
+
+    def test_invalid_grid_rejected_with_the_real_error(self, server):
+        with pytest.raises(RuntimeError, match="unknown grid field"):
+            submit_sweep(server.address, {"modelz": ["M1"]})
+
+    def test_unknown_endpoint_is_404(self, server):
+        with pytest.raises(RuntimeError, match="unknown endpoint"):
+            request_json(f"{server.address}/nope", {})

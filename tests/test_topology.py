@@ -214,6 +214,57 @@ class TestFamilyAdmission:
         )
         assert "topo=ring:2" in ringed.describe()
 
+    def test_witness_degree_admission_flips_exactly_at_bound(self):
+        """Degree sweep across the ``min-degree >= 2f+1`` bound.
+
+        One grid whose only moving axis is the random-regular degree:
+        every cell strictly below the bound must be rejected *by the
+        degree rule* (not some other admission error), and every cell
+        at or above it must be admitted -- the empirical probe of the
+        admission bound the ROADMAP carried since the witness family
+        landed.  n=26 keeps ``n * d`` even for every swept degree, so
+        each graph exists and the flip can only come from the rule.
+
+        Admission and convergence are distinct verdicts: a run sitting
+        *exactly* at the bound is admitted, but the split adversary can
+        still starve its phase-boundary fold (a runtime error naming
+        the phase boundary, never the degree rule); every degree above
+        the bound runs to completion.
+        """
+        from repro.sweep import GridSpec, run_sweep
+
+        f = 2
+        bound = 2 * f + 1
+        degrees = range(3, 9)
+        grid = GridSpec(
+            models=("M1",),
+            fs=(f,),
+            ns=(26,),
+            families=("witness",),
+            topologies=tuple(f"random-regular:{d}:1" for d in degrees),
+            seeds=(0,),
+            rounds=4,
+        )
+        result = run_sweep(grid)
+        by_degree = {
+            int(cell.spec.topology.split(":")[1]): cell
+            for cell in result.cells
+        }
+        assert sorted(by_degree) == list(degrees)
+        for degree, cell in sorted(by_degree.items()):
+            if degree < bound:
+                assert cell.error is not None, (
+                    f"degree {degree} < {bound} must be rejected"
+                )
+                assert "minimum degree" in cell.error
+            else:
+                assert "minimum degree" not in (cell.error or ""), (
+                    f"degree {degree} >= {bound} must be admitted: "
+                    f"{cell.error}"
+                )
+                if degree > bound:
+                    assert cell.error is None, (degree, cell.error)
+
 
 class TestAdversaryViewNeighborhoods:
     def test_defaults_to_full_mesh(self):
