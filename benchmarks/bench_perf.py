@@ -609,6 +609,71 @@ def test_sweep_parallel_vs_serial(benchmark, record_artifact, record_bench):
         assert speedup >= 1.0, f"parallel sweep too slow: {speedup:.2f}x"
 
 
+def _run_cross_run(grid):
+    return run_sweep(grid, cross_run=True)
+
+
+def test_sweep_cross_run_vs_serial(benchmark, record_artifact, record_bench):
+    """EXP-PERF-CROSS: the cross-run stacked engine on the 64-cell grid.
+
+    ``cross_run=True`` partitions the grid by ``batch_key`` (4 groups
+    of 16 seeds here) and advances each group as one ``(R, n)`` state
+    array -- one fault-planning pass and one sort/fold pass per round
+    for all R runs -- so the win needs no process pool and holds on a
+    single usable CPU, exactly where pooled dispatch cannot help.
+    Bit-identity with the serial sweep is asserted unconditionally; the
+    acceptance bar is >= 2x over per-cell serial, and the committed
+    numbers back the CI perf-smoke cross-run floor.
+    """
+    grid = _sweep_grid_64()
+
+    def measure():
+        serial = run_sweep(grid, workers=1)
+        cross = _run_cross_run(grid)
+        assert cross.cells == serial.cells
+        serial_s = _best_of(3, run_sweep, grid, 1)
+        cross_s = _best_of(3, _run_cross_run, grid)
+        return serial_s, cross_s, cross.dispatch
+
+    serial_s, cross_s, dispatch = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = serial_s / cross_s
+    record_artifact(
+        "perf_sweep_cross_run",
+        render_table(
+            ["cells", "serial ms", "cross-run ms", "speedup", "dispatch"],
+            [
+                [
+                    len(grid),
+                    f"{serial_s * 1e3:.1f}",
+                    f"{cross_s * 1e3:.1f}",
+                    f"{speedup:.2f}x",
+                    dispatch,
+                ]
+            ],
+            title=(
+                "EXP-PERF-CROSS: cross-run stacked engine vs per-cell "
+                "serial (64 cells, lite)"
+            ),
+        ),
+    )
+    record_bench(
+        "cross_run",
+        {
+            "cells": len(grid),
+            "serial_ms": round(serial_s * 1e3, 1),
+            "cross_run_ms": round(cross_s * 1e3, 1),
+            "cells_per_sec": round(len(grid) / cross_s, 1),
+            "speedup": round(speedup, 3),
+            "dispatch": dispatch,
+        },
+    )
+    # The tentpole bar: stacking R compatible runs must at least halve
+    # the serial wall time, with no pool and no extra CPUs.
+    assert speedup >= 2.0, f"cross-run engine only {speedup:.2f}x over serial"
+
+
 def _run_async(grid, workers=4):
     return run_sweep(grid, workers=workers, backend="async")
 

@@ -216,6 +216,7 @@ def sweep_grid(
     dispatch: str = "auto",
     progress=None,
     journal=None,
+    cross_run: bool = False,
 ):
     """Run a scenario sweep over the cartesian product of the axes.
 
@@ -242,7 +243,12 @@ def sweep_grid(
     and ``journal`` forward to :func:`repro.sweep.run_sweep`: in-worker
     batching, the pool-heuristic override, a streaming
     ``(result, done, total)`` callback, and a
-    :class:`~repro.sweep.SweepJournal` for resumable sweeps.  Returns a
+    :class:`~repro.sweep.SweepJournal` for resumable sweeps.
+    ``cross_run=True`` routes execution through the cross-run
+    vectorized engine: compatible cells (same shape, differing only in
+    seed) advance together as one stacked ``(R, n)`` state array,
+    bit-identical to per-cell execution (see
+    :func:`repro.sweep.run_cell_many`).  Returns a
     :class:`~repro.sweep.SweepResult`.
 
     >>> import repro
@@ -280,6 +286,7 @@ def sweep_grid(
         dispatch=dispatch,
         progress=progress,
         journal=journal,
+        cross_run=cross_run,
     )
 
 

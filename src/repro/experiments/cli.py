@@ -222,6 +222,16 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cross-run",
+        action="store_true",
+        help=(
+            "advance compatible cells (same shape, differing only in "
+            "seed) together as one stacked (R, n) state array -- the "
+            "cross-run vectorized engine; fastest for grids of many "
+            "seeds per scenario (results are identical)"
+        ),
+    )
+    parser.add_argument(
         "--detail",
         choices=["full", "lite"],
         default="lite",
@@ -490,6 +500,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
                 dispatch=args.dispatch,
                 progress=_progress_printer() if args.progress else None,
                 journal=journal,
+                cross_run=args.cross_run,
             )
         finally:
             if journal is not None:

@@ -21,7 +21,35 @@ try:  # numpy is optional: the scalar paths never need it.
 except Exception:  # pragma: no cover - exercised only without numpy
     _np = None
 
-__all__ = ["AdversaryView"]
+__all__ = ["AdversaryView", "batch_correct_ranges"]
+
+
+def batch_correct_ranges(stack, mask):
+    """Correct-range intervals for a whole stack of runs at once.
+
+    The cross-run planner's batched companion to
+    :meth:`AdversaryView._correct_range_from_array`: one masked min/max
+    reduction over the ``(R, n)`` value ``stack`` (``mask`` True where a
+    process is currently correct) yields every run's interval in a
+    single numpy pass.  Masked min/max merely *select* elements, so the
+    floats are bit-identical to the view's own per-run reduction.
+
+    An entry is ``None`` -- deferring to the view's lazy first-wins
+    scalar rescan, exactly the per-cell behaviour -- when an endpoint
+    is ``0.0`` (either signed zero under numpy's reductions) or the
+    row is fully masked (``inf`` endpoints).  Callers seed surviving
+    intervals onto views as ``_correct_range`` and leave the rest for
+    :meth:`AdversaryView.correct_range` to recompute.
+    """
+    inf = float("inf")
+    lows = _np.where(mask, stack, inf).min(axis=1).tolist()
+    highs = _np.where(mask, stack, -inf).max(axis=1).tolist()
+    return [
+        None
+        if low == 0.0 or high == 0.0 or low == inf or high == -inf
+        else Interval(low, high)
+        for low, high in zip(lows, highs)
+    ]
 
 
 class _LazyCorrectValues:

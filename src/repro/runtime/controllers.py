@@ -34,14 +34,20 @@ except Exception:  # pragma: no cover - exercised only without numpy
 from ..faults.adversary import Adversary
 from ..faults.mixed_mode import FaultClass, StaticFaultAssignment
 from ..faults.models import CuredSendBehavior, MobileModel, ModelSemantics, get_semantics
-from ..faults.value_strategies import CampOutbox
-from ..faults.view import AdversaryView
+from ..faults.value_strategies import (
+    CampAssignment,
+    CampOutbox,
+    CrossfireAttack,
+    SplitAttack,
+)
+from ..faults.view import AdversaryView, batch_correct_ranges
 
 __all__ = [
     "RoundPlan",
     "FaultController",
     "MobileFaultController",
     "StaticMixedController",
+    "CrossRunPlanner",
 ]
 
 
@@ -605,3 +611,269 @@ class StaticMixedController(FaultController):
     def describe(self) -> str:
         counts = self.assignment.counts
         return f"static-mixed{counts}[{self.adversary.describe()}]"
+
+
+class CrossRunPlanner:
+    """Batched per-round fault planning for R lockstep mobile runs.
+
+    The cross-run engine (:func:`repro.runtime.simulator.simulate_many`)
+    advances a whole batch of compatible runs on one ``(R, n)`` state
+    matrix; this planner produces each run's :class:`RoundPlan` for a
+    round while hoisting the numpy-heavy pieces of
+    :meth:`MobileFaultController.plan_round` -- exclusion masks,
+    correct-range reductions, memory-corruption patching and split-camp
+    assignment codes -- into single whole-matrix passes.
+
+    Bit-identity with per-run planning is preserved by construction:
+
+    * every per-run decision (movement, per-sender outboxes, scalar
+      corruption values) still runs through the run's own controller,
+      adversary and RNG stream in the exact per-cell order, so RNG
+      consumption is unchanged;
+    * batched quantities are injected through the same sanctioned
+      seams the per-cell fast path already uses (``_range_mask`` /
+      ``_correct_range`` on :class:`AdversaryView`, the ``camps-split``
+      view memo), and only when the batched value is provably the one
+      the view would derive itself -- signed-zero endpoints and empty
+      masks fall back to the view's own lazy recomputation.
+
+    Runs may mix models, movements and attacks (each row plans through
+    its own controller); they must share ``n``.  Round 0 never reaches
+    the planner -- the engine plans it per run, which also initializes
+    agent positions.
+    """
+
+    def __init__(self, controllers, rngs, wrap) -> None:
+        for controller in controllers:
+            if not isinstance(controller, MobileFaultController):
+                raise TypeError(
+                    "CrossRunPlanner requires MobileFaultControllers, got "
+                    f"{type(controller).__name__}"
+                )
+        self.controllers = list(controllers)
+        self.rngs = list(rngs)
+        #: Array-backed Mapping constructor (ArrayValues, injected to
+        #: avoid a circular import with the simulator module).
+        self._wrap = wrap
+        self._split_strategy = [
+            isinstance(c.adversary.values, (SplitAttack, CrossfireAttack))
+            for c in self.controllers
+        ]
+
+    def plan_many(self, round_index: int, stack, indices):
+        """Plan ``round_index`` for the runs in ``indices``.
+
+        ``stack`` holds one row per entry of ``indices`` (the active
+        runs' current values, pre-corruption).  Returns ``(plans,
+        patched)`` where ``plans`` aligns with ``indices`` and
+        ``patched`` is the stack with each run's memory corruptions
+        applied -- the send-phase snapshot (aliases ``stack`` when no
+        run corrupted memory).  Requires ``round_index >= 1``.
+        """
+        np = _np
+        wrap = self._wrap
+        count, n = stack.shape
+        plans: list = [None] * count
+
+        # -- stage 1: per-run movement (pure Python + per-run RNG) ------
+        # info[i] is None (f == 0, trivially planned), an M1-M3 tuple
+        # ("m13", values, positions, cured) or an M4 tuple ("m4",
+        # values, hosts).  M4 consumes no randomness here: its
+        # next_positions draw happens *after* the attack outboxes, in
+        # per-cell order (see _plan_buhrman).
+        info: list = [None] * count
+        mask_rows: list[int] = []
+        mask_cols: list[int] = []
+        for i, r in enumerate(indices):
+            controller = self.controllers[r]
+            rng = self.rngs[r]
+            values = wrap(stack[i])
+            if controller.f == 0:
+                plans[i] = controller.plan_round(round_index, values, rng)
+                continue
+            if controller.semantics.moves_with_message:
+                hosts = controller._positions
+                if hosts is None:
+                    hosts = controller.adversary.initial_positions(
+                        controller.n, controller.f, rng
+                    )
+                info[i] = ("m4", values, hosts)
+                excluded = hosts
+            else:
+                if controller._positions is None:
+                    positions = controller.adversary.initial_positions(
+                        controller.n, controller.f, rng
+                    )
+                    cured: frozenset[int] = frozenset()
+                else:
+                    movement_view = controller._view(
+                        round_index, values, controller._positions, frozenset(), rng
+                    )
+                    positions = controller.adversary.next_positions(movement_view)
+                    controller._check_positions(positions)
+                    cured = controller._positions - positions
+                info[i] = ("m13", values, positions, cured)
+                excluded = positions | cured
+            for pid in excluded:
+                mask_rows.append(i)
+                mask_cols.append(pid)
+
+        # -- stage 2: batched exclusion masks + correct ranges ----------
+        mask = np.ones((count, n), dtype=bool)
+        if mask_rows:
+            mask[mask_rows, mask_cols] = False
+        # ``batch_correct_ranges`` leaves signed-zero endpoints and
+        # fully-masked rows unseeded (None) for the view's own scalar
+        # rescan; trivial rows (f == 0, already planned) are cleared
+        # here because no view will ever consume their interval.
+        intervals = batch_correct_ranges(stack, mask)
+        for i in range(count):
+            if info[i] is None:
+                intervals[i] = None
+
+        # -- stage 3: per-run departures, batched corruption patch ------
+        corruptions: list[dict[int, float]] = [{}] * count
+        corr_rows: list[int] = []
+        corr_cols: list[int] = []
+        corr_vals: list[float] = []
+        for i, r in enumerate(indices):
+            item = info[i]
+            if item is None or item[0] != "m13":
+                continue
+            _, values, positions, cured = item
+            controller = self.controllers[r]
+            departure_view = controller._view(
+                round_index, values, positions, cured, self.rngs[r]
+            )
+            object.__setattr__(departure_view, "_range_mask", mask[i])
+            if intervals[i] is not None:
+                object.__setattr__(departure_view, "_correct_range", intervals[i])
+            corrupted = controller._departure_values(departure_view, cured)
+            corruptions[i] = corrupted
+            for pid, value in corrupted.items():
+                corr_rows.append(i)
+                corr_cols.append(pid)
+                corr_vals.append(value)
+        if corr_rows:
+            patched = stack.copy()
+            patched[corr_rows, corr_cols] = corr_vals
+        else:
+            patched = stack
+
+        # -- stage 4: batched split-camp codes --------------------------
+        # Corruptions only land on cured (masked-out) pids, so the
+        # attack view's range equals the departure view's bit-for-bit;
+        # the midpoint is therefore known for every clean row and the
+        # bisection comparison of _split_assignment can run as one
+        # whole-matrix pass.  Rows without a pre-seeded interval let
+        # the strategy recompute lazily (per-cell behaviour).
+        codes_rows = [
+            i
+            for i, r in enumerate(indices)
+            if info[i] is not None
+            and intervals[i] is not None
+            and self._split_strategy[r]
+        ]
+        codes_by_row: dict[int, object] = {}
+        if codes_rows:
+            mids = np.array(
+                [intervals[i].midpoint() for i in codes_rows], dtype=np.float64
+            )
+            codes = (patched[codes_rows] > mids[:, None]).astype("i8")
+            for slot, i in enumerate(codes_rows):
+                codes_by_row[i] = codes[slot]
+
+        # -- stage 5: per-run attack outboxes + plan assembly -----------
+        for i, r in enumerate(indices):
+            item = info[i]
+            if item is None:
+                continue
+            controller = self.controllers[r]
+            rng = self.rngs[r]
+            adversary = controller.adversary
+            if item[0] == "m13":
+                _, values, positions, cured = item
+                corrupted = corruptions[i]
+                attack_values = wrap(patched[i]) if corrupted else values
+                attack_view = controller._view(
+                    round_index, attack_values, positions, cured, rng
+                )
+            else:
+                _, values, hosts = item
+                positions = hosts
+                cured = frozenset()
+                corrupted = None
+                attack_view = controller._view(
+                    round_index, values, hosts, frozenset(), rng
+                )
+            object.__setattr__(attack_view, "_range_mask", mask[i])
+            if intervals[i] is not None:
+                object.__setattr__(attack_view, "_correct_range", intervals[i])
+            codes_row = codes_by_row.get(i)
+            if codes_row is not None:
+                assignment = CampAssignment(codes_row.tolist())
+                assignment.array = codes_row
+                object.__setattr__(attack_view, "_memo", {"camps-split": assignment})
+
+            shared = adversary.shares_round_outboxes
+            send_overrides: dict[int, Mapping[int, float]] = {}
+            if item[0] == "m13" and shared and positions:
+                shared_attack = _attack_override(
+                    adversary, attack_view, next(iter(positions)), controller.n
+                )
+                send_overrides = dict.fromkeys(positions, shared_attack)
+            else:
+                shared_attack = None
+                for pid in positions:
+                    if shared_attack is None:
+                        shared_attack = _attack_override(
+                            adversary, attack_view, pid, controller.n
+                        )
+                    send_overrides[pid] = shared_attack
+                    if not shared:
+                        shared_attack = None
+            if item[0] == "m13":
+                if controller.semantics.cured_send is CuredSendBehavior.PLANTED_QUEUE:
+                    shared_planted: Mapping[int, float] | None = None
+                    for pid in cured:
+                        if shared_planted is None:
+                            shared_planted = _planted_override(
+                                adversary, attack_view, pid, controller.n
+                            )
+                        send_overrides[pid] = shared_planted
+                        if not shared:
+                            shared_planted = None
+                compute_corruptions = controller._corrupted_computes(
+                    attack_view, positions
+                )
+                plans[i] = RoundPlan(
+                    round_index=round_index,
+                    faulty_at_send=positions,
+                    cured_at_send=cured,
+                    positions_after=positions,
+                    memory_corruptions=MappingProxyType(corrupted),
+                    send_overrides=MappingProxyType(send_overrides),
+                    compute_corruptions=MappingProxyType(compute_corruptions),
+                )
+                controller._positions = positions
+            else:
+                # M4: the agents ride the messages -- draw the next
+                # hosts only now, matching _plan_buhrman's RNG order.
+                movement_view = controller._view(
+                    round_index, values, hosts, frozenset(), rng
+                )
+                next_hosts = adversary.next_positions(movement_view)
+                controller._check_positions(next_hosts)
+                compute_corruptions = controller._corrupted_computes(
+                    attack_view, next_hosts
+                )
+                plans[i] = RoundPlan(
+                    round_index=round_index,
+                    faulty_at_send=hosts,
+                    cured_at_send=frozenset(),
+                    positions_after=next_hosts,
+                    send_overrides=_frozen_mapping(send_overrides),
+                    compute_corruptions=_frozen_mapping(compute_corruptions),
+                )
+                controller._positions = next_hosts
+        return plans, patched

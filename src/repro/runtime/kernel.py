@@ -344,20 +344,53 @@ class RoundKernel:
         ties), the batch stage hooks are row-wise identical to the flat
         hooks, and results leave as Python floats via ``.tolist()``.
         """
+        prepared = self.batch_rows(np, broadcasts_arr, override_outboxes)
+        if prepared is None:
+            return None
+        rows, codes = prepared
+        width = int(rows.shape[1])
+        bounds = batch.bounds(width)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        if hi <= lo:
+            return None
+        if codes is None:
+            results = batch.combine(batch.select(rows, lo, hi))
+            return np.full(n, results[0], dtype=np.float64)
+        rows = np.sort(rows, axis=1, kind="stable")
+        results = np.asarray(
+            batch.combine(batch.select(rows, lo, hi)), dtype=np.float64
+        )
+        return results[codes]
+
+    def batch_rows(
+        self,
+        np,
+        broadcasts_arr,
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+    ):
+        """Assemble one round's distinct-inbox row matrix, or ``None``.
+
+        Returns ``(rows, codes)``: ``rows`` is a 2D float64 matrix with
+        one row per distinct inbox (*not yet sorted*, except in the
+        no-override case where the single row is the already-sorted
+        broadcast array itself); ``codes`` maps each pid to its row
+        index, or is ``None`` in the no-override case (every recipient
+        folds row 0).  ``None`` overall means the round is not
+        batchable (non-camp overrides, mixed assignments, an empty
+        fold) and the caller must take the scalar path.
+
+        Factored out of :meth:`compute_phase_batch` so the cross-run
+        engine can collect many runs' rows and fold all rows of one
+        width in a single array pass (:meth:`fold_rows_many`).
+        """
         m = int(broadcasts_arr.shape[0])
         if not override_outboxes:
             # Every recipient folds the same broadcast multiset.
             if m == 0:
                 return None
-            bounds = batch.bounds(m)
-            if bounds is None:
-                return None
-            lo, hi = bounds
-            if hi <= lo:
-                return None
-            rows = broadcasts_arr.reshape(1, m)
-            results = batch.combine(batch.select(rows, lo, hi))
-            return np.full(n, results[0], dtype=np.float64)
+            return broadcasts_arr.reshape(1, m), None
 
         # Identity-dedup mirrors the scalar grouped path: controllers
         # share one outbox object across sender-agnostic agents -- the
@@ -391,14 +424,7 @@ class RoundKernel:
             codes = np.asarray(assignment, dtype=np.intp)
         ncamps = int(codes.max()) + 1
         k = len(override_outboxes)
-        width = m + k
-        if width == 0:
-            return None
-        bounds = batch.bounds(width)
-        if bounds is None:
-            return None
-        lo, hi = bounds
-        if hi <= lo:
+        if m + k == 0:
             return None
         # One row per camp: the shared broadcasts plus this camp's
         # override values in slot order.  The scalar path materializes
@@ -415,11 +441,64 @@ class RoundKernel:
         rows = np.concatenate(
             [np.broadcast_to(broadcasts_arr, (ncamps, m)), extras], axis=1
         )
-        rows = np.sort(rows, axis=1, kind="stable")
-        results = np.asarray(
-            batch.combine(batch.select(rows, lo, hi)), dtype=np.float64
-        )
-        return results[codes]
+        return rows, codes
+
+    def fold_rows_many(self, batch: BatchMSREvaluator, np, entries):
+        """Fold many runs' prepared rows in width-grouped array passes.
+
+        ``entries`` is one item per run: ``(rows, codes, n)`` from
+        :meth:`batch_rows`, or ``None`` for a run whose round is not
+        batchable.  Returns a list aligned with ``entries``: the new
+        length-``n`` float64 value array per run, or ``None`` where the
+        round must take the scalar path (unbatchable rows, degenerate
+        bounds).
+
+        Rows are grouped by width so the reduction bounds (a function
+        of width alone) are shared, all rows of one width are sorted by
+        a single stable ``np.sort`` and folded by one ``combine`` call.
+        Row-wise independence of the batch stage hooks makes this
+        bit-identical to folding each run separately.
+        """
+        results: list = [None] * len(entries)
+        by_width: dict[int, list] = {}
+        for index, entry in enumerate(entries):
+            if entry is None:
+                continue
+            rows, codes, n = entry
+            width = int(rows.shape[1])
+            if width == 0:
+                continue
+            bounds = batch.bounds(width)
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            if hi <= lo:
+                continue
+            by_width.setdefault(width, []).append(
+                (index, rows, codes, n, lo, hi)
+            )
+        for group in by_width.values():
+            if len(group) == 1:
+                stacked = group[0][1]
+            else:
+                stacked = np.concatenate(
+                    [item[1] for item in group], axis=0
+                )
+            stacked = np.sort(stacked, axis=1, kind="stable")
+            lo, hi = group[0][4], group[0][5]
+            folded = batch.combine(batch.select(stacked, lo, hi))
+            offset = 0
+            for index, rows, codes, n, _, _ in group:
+                count = int(rows.shape[0])
+                values = folded[offset : offset + count]
+                offset += count
+                if codes is None:
+                    results[index] = np.full(n, values[0], dtype=np.float64)
+                else:
+                    results[index] = np.asarray(values, dtype=np.float64)[
+                        codes
+                    ]
+        return results
 
     def compute_phase(
         self,

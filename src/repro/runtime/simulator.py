@@ -37,6 +37,7 @@ diameter trajectories are bit-identical between the two modes.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Mapping
 from types import MappingProxyType
 from typing import Literal
@@ -45,6 +46,7 @@ from ..msr.base import MSRApplication
 from ..msr.multiset import ValueMultiset
 from .config import MobileFaultSetup, SimulationConfig, StaticMixedSetup
 from .controllers import (
+    CrossRunPlanner,
     FaultController,
     MobileFaultController,
     RoundPlan,
@@ -75,6 +77,7 @@ __all__ = [
     "SynchronousSimulator",
     "run_simulation",
     "simulate_batch",
+    "simulate_many",
     "TraceDetail",
 ]
 
@@ -187,6 +190,288 @@ def simulate_batch(
         ).run()
         for config in configs
     ]
+
+
+def simulate_many(
+    configs: Iterable[SimulationConfig],
+    trace_detail: TraceDetail = "lite",
+    kernel: RoundKernel | None = None,
+) -> list[Trace | LiteTrace]:
+    """Run many configs with cross-run vectorization where possible.
+
+    The cross-run engine stacks compatible lite runs -- same ``n``,
+    MSR function (algorithm/f/family) and mobile model, each passing
+    the per-cell vectorized preconditions (numpy, complete topology,
+    broadcast sends, batchable MSR stages) -- into one ``(R, n)``
+    float64 state matrix and advances all of them in lockstep: one
+    whole-matrix pass per round for exclusion masks, correct ranges,
+    corruption patches, the broadcast sort and the width-grouped MSR
+    fold (see :meth:`RoundKernel.fold_rows_many`).  Runs that terminate
+    early drop out of the active set, so converged rows stop costing
+    work.
+
+    Results are **bit-identical** to :func:`simulate_batch` over the
+    same configs: per-run decisions (movement, outboxes, RNG streams)
+    still run through each run's own controller in per-cell order, and
+    batched quantities are injected only where provably equal to the
+    per-run derivation (the equivalence suite pins this).  Configs that
+    don't qualify -- full traces, stateful families, partial graphs,
+    static-mixed setups -- silently fall back to their normal
+    :meth:`SynchronousSimulator.run` path, in input order.
+    """
+    shared = kernel if kernel is not None else RoundKernel()
+    sims = [
+        SynchronousSimulator(config, trace_detail=trace_detail, kernel=shared)
+        for config in configs
+    ]
+    traces: list = [None] * len(sims)
+    groups: dict[tuple, list[int]] = {}
+    for index, sim in enumerate(sims):
+        key = sim._cross_run_key()
+        if key is None:
+            traces[index] = sim.run()
+        else:
+            groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        if len(indices) == 1:
+            # A batch of one gains nothing from stacking; the per-cell
+            # vectorized path is the same computation.
+            index = indices[0]
+            traces[index] = sims[index].run()
+            continue
+        for index, trace in zip(
+            indices, _run_lite_many([sims[i] for i in indices])
+        ):
+            traces[index] = trace
+    return traces
+
+
+def _run_lite_many(sims: list[SynchronousSimulator]) -> list[LiteTrace]:
+    """The cross-run lite loop: R compatible runs on one (R, n) stack.
+
+    Bit-identity with `_run_lite_vectorized` per run rests on the same
+    three seams as the per-cell engine -- stable sorts over
+    +inf-padded rows equal sorts of the masked subarrays, masked
+    min/max reductions *select* elements (no arithmetic), and every
+    signed-zero/degenerate endpoint falls back to the per-cell scalar
+    rescan -- plus the :class:`CrossRunPlanner`'s per-run RNG ordering
+    contract.  Round 0 always runs per cell: it needs the per-inbox
+    received diameter and seeds each run's agent positions.
+    """
+    np = _np
+    first = sims[0]
+    n = first.config.n
+    kernel = first.kernel
+    batch = first._cross_run_batch
+    run_count = len(sims)
+    for sim in sims:
+        sim._lite_evaluate = sim.kernel.prepare(sim.protocol)
+    stack = np.array(
+        [[sim._values[pid] for pid in range(n)] for sim in sims],
+        dtype=np.float64,
+    )
+    all_pids = frozenset(range(n))
+    extents: list[list] = [[] for _ in range(run_count)]
+    initially_nonfaulty = [all_pids] * run_count
+    positions_after: list[frozenset[int]] = [frozenset()] * run_count
+    terminated = [False] * run_count
+    max_rounds = [sim.config.max_rounds for sim in sims]
+    planner = CrossRunPlanner(
+        [sim.controller for sim in sims],
+        [sim._adversary_rng for sim in sims],
+        wrap=ArrayValues,
+    )
+
+    active = list(range(run_count))
+    round_index = 0
+    while True:
+        active = [
+            r
+            for r in active
+            if not terminated[r] and round_index < max_rounds[r]
+        ]
+        if not active:
+            break
+        if round_index == 0:
+            for r in active:
+                sim = sims[r]
+                plan, _, arr_after = sim._advance_round_vectorized(
+                    sim._cross_run_batch, stack[r], True
+                )
+                stack[r] = arr_after
+                initially_nonfaulty[r] = all_pids - plan.faulty_at_send
+                positions_after[r] = plan.positions_after
+                extent = sim._array_extent(arr_after, plan.positions_after)
+                extents[r].append(extent)
+                diameter = 0.0 if extent is None else extent[1] - extent[0]
+                sim._round_index = 1
+                if sim.family.decision_ready(
+                    round_index
+                ) and sim.config.termination.should_stop(
+                    round_index,
+                    diameter,
+                    sim._first_round_received_diameter,
+                ):
+                    terminated[r] = True
+            round_index += 1
+            continue
+
+        count = len(active)
+        sub = stack[active]
+        plans, patched = planner.plan_many(round_index, sub, active)
+
+        # -- send phase: one masked stable sort over the whole stack --
+        silent_rows: list[int] = []
+        silent_cols: list[int] = []
+        counts = [0] * count
+        for i, r in enumerate(active):
+            plan = plans[i]
+            silent = set(plan.send_overrides)
+            silent.update(plan.forced_silent)
+            if sims[r]._cured_aware and plan.cured_at_send:
+                silent.update(plan.cured_at_send)
+            counts[i] = n - len(silent)
+            for pid in silent:
+                silent_rows.append(i)
+                silent_cols.append(pid)
+        send_mask = np.ones((count, n), dtype=bool)
+        if silent_rows:
+            send_mask[silent_rows, silent_cols] = False
+        sorted_bcast = np.sort(
+            np.where(send_mask, patched, np.inf), axis=1, kind="stable"
+        )
+
+        # -- receive+compute: width-grouped fold across the runs ------
+        entries: list = [None] * count
+        for i in range(count):
+            overrides = plans[i].send_overrides
+            prepared = kernel.batch_rows(
+                np,
+                sorted_bcast[i, : counts[i]],
+                list(overrides.values()) if overrides else None,
+            )
+            if prepared is not None:
+                rows, codes = prepared
+                entries[i] = (rows, codes, n)
+        folded = kernel.fold_rows_many(batch, np, entries)
+
+        new_stack = np.empty_like(sub)
+        garbage_rows: list[int] = []
+        garbage_cols: list[int] = []
+        garbage_vals: list[float] = []
+        for i, r in enumerate(active):
+            plan = plans[i]
+            new_arr = folded[i]
+            if new_arr is None:
+                # This run's round isn't batchable (non-camp overrides,
+                # below-bound fold): the exact per-cell scalar fallback
+                # of `_advance_round_vectorized`, canonical errors
+                # included.
+                sim = sims[r]
+                work = dict(enumerate(patched[i].tolist()))
+                sim._values = work
+                broadcasts = sim._broadcast_values_lite(plan)
+                broadcasts.sort()
+                overrides = plan.send_overrides
+                kernel.compute_phase(
+                    sim.protocol,
+                    sim._lite_evaluate,
+                    n,
+                    broadcasts,
+                    list(overrides.values()) if overrides else None,
+                    plan.compute_corruptions,
+                    work,
+                    False,
+                )
+                for pid, garbage in plan.compute_corruptions.items():
+                    work[pid] = garbage
+                new_stack[i] = np.array(
+                    list(work.values()), dtype=np.float64
+                )
+            else:
+                new_stack[i] = new_arr
+                for pid, garbage in plan.compute_corruptions.items():
+                    garbage_rows.append(i)
+                    garbage_cols.append(pid)
+                    garbage_vals.append(garbage)
+        if garbage_rows:
+            new_stack[garbage_rows, garbage_cols] = garbage_vals
+        stack[active] = new_stack
+
+        # -- extents + termination: batched reduction, per-run rescue --
+        excl_rows: list[int] = []
+        excl_cols: list[int] = []
+        for i, r in enumerate(active):
+            positions_after[r] = plans[i].positions_after
+            for pid in plans[i].positions_after:
+                excl_rows.append(i)
+                excl_cols.append(pid)
+        ext_mask = np.ones((count, n), dtype=bool)
+        if excl_rows:
+            ext_mask[excl_rows, excl_cols] = False
+        lows = np.where(ext_mask, new_stack, np.inf).min(axis=1).tolist()
+        highs = np.where(ext_mask, new_stack, -np.inf).max(axis=1).tolist()
+        for i, r in enumerate(active):
+            low = lows[i]
+            high = highs[i]
+            if (
+                low == 0.0
+                or high == 0.0
+                or math.isinf(low)
+                or math.isinf(high)
+            ):
+                # Signed-zero endpoints / fully-excluded rows: the
+                # per-cell first-wins scan decides.
+                extent = sims[r]._array_extent(
+                    new_stack[i], plans[i].positions_after
+                )
+            else:
+                extent = (low, high)
+            extents[r].append(extent)
+            diameter = 0.0 if extent is None else extent[1] - extent[0]
+            sim = sims[r]
+            sim._round_index = round_index + 1
+            if sim.family.decision_ready(
+                round_index
+            ) and sim.config.termination.should_stop(
+                round_index,
+                diameter,
+                sim._first_round_received_diameter,
+            ):
+                terminated[r] = True
+        round_index += 1
+
+    traces = []
+    for r, sim in enumerate(sims):
+        final = stack[r].tolist()
+        sim._values = dict(enumerate(final))
+        decisions = {
+            pid: final[pid] for pid in sorted(all_pids - positions_after[r])
+        }
+        traces.append(
+            LiteTrace(
+                n=n,
+                f=sim.config.f,
+                model=sim._setup_model(sim.config),
+                algorithm_name=sim.config.algorithm.name,
+                epsilon=sim.config.epsilon,
+                initial_values=MappingProxyType(
+                    {
+                        pid: float(v)
+                        for pid, v in enumerate(sim.config.initial_values)
+                    }
+                ),
+                initially_nonfaulty=initially_nonfaulty[r],
+                round_extents=tuple(extents[r]),
+                decisions=decisions,
+                terminated=terminated[r],
+                controller_description=(
+                    f"{sim.controller.describe()} | {sim.config.describe()} "
+                    "| trace_detail=lite"
+                ),
+            )
+        )
+    return traces
 
 
 class SynchronousSimulator:
@@ -468,6 +753,36 @@ class SynchronousSimulator:
         if not self.topology.is_complete:
             return None
         return self.kernel.prepare_batch(protocol)
+
+    def _cross_run_key(self):
+        """Cross-run stacking class of this simulator, or ``None``.
+
+        Two simulators sharing a key fold *interchangeable* multisets:
+        same row width (``n``) and same MSR reduction (algorithm name
+        plus the ``f``/family that parameterize its trim), under the
+        same mobile model -- so their rounds can share one width-grouped
+        fold (:meth:`RoundKernel.fold_rows_many`) and one batch
+        evaluator.  Movement, attack, seeds and termination may differ
+        freely: those stay per-run.  ``None`` means the run must stay
+        on its per-cell path (non-lite detail, stateful family, static
+        setup, or a failed vectorized precondition).
+        """
+        if self.trace_detail != "lite":
+            return None
+        if not isinstance(self.controller, MobileFaultController):
+            return None
+        batch = self._vectorized_setup()
+        if batch is None:
+            return None
+        self._cross_run_batch = batch
+        config = self.config
+        return (
+            config.n,
+            config.f,
+            config.algorithm.name,
+            config.family,
+            self._setup_model(config),
+        )
 
     def _advance_round_vectorized(self, batch, arr, first_round: bool):
         """Advance one round on array state.

@@ -32,7 +32,13 @@ from .backends import (
     merge_shards,
 )
 from .cache import SWEEP_SCHEMA_VERSION, CacheGCReport, CacheStats, CellStore
-from .engine import CellResult, run_cell, run_cell_batch, run_sweep
+from .engine import (
+    CellResult,
+    run_cell,
+    run_cell_batch,
+    run_cell_many,
+    run_sweep,
+)
 from .grid import CellSpec, GridSpec
 from .probes import Probe, get_probe, register_probe
 from .scenarios import build_cell_config, mixed_stall_config, register_scenario
@@ -52,6 +58,7 @@ __all__ = [
     "SweepAccumulator",
     "run_cell",
     "run_cell_batch",
+    "run_cell_many",
     "run_sweep",
     "SweepBackend",
     "SerialBackend",

@@ -126,27 +126,41 @@ class SweepResult:
         return f"{spec.family}:{spec.algorithm}"
 
     def summary_rows(self) -> list[list[object]]:
-        """One row per (model, family-tagged algorithm) group."""
+        """One row per (model, family-tagged algorithm) group.
+
+        Error cells count toward their group's ``cells`` and
+        ``spec ok`` columns -- a failing cell must not vanish from the
+        summary -- but are excluded from the round and diameter
+        statistics: their zeroed payload fields are placeholders, not
+        observations, and folding them in would silently skew group
+        means.  A group whose every cell errored renders ``-`` for
+        both statistics.
+        """
         groups: dict[tuple[str, str], list["CellResult"]] = {}
         for cell in self.cells:
-            if cell.error is not None:
-                continue
             groups.setdefault(
                 (cell.spec.model, self._algorithm_label(cell.spec)), []
             ).append(cell)
         rows: list[list[object]] = []
         for (model, algorithm), members in sorted(groups.items()):
-            rounds = summarize(float(cell.rounds) for cell in members)
-            diameters = summarize(cell.decision_diameter for cell in members)
-            ok = sum(1 for cell in members if cell.satisfied)
+            ran = [cell for cell in members if cell.error is None]
+            ok = sum(1 for cell in ran if cell.satisfied)
+            if ran:
+                rounds = summarize(float(cell.rounds) for cell in ran)
+                diameters = summarize(cell.decision_diameter for cell in ran)
+                rendered_rounds: object = rounds.render()
+                mean_diameter: object = diameters.mean
+            else:
+                rendered_rounds = "-"
+                mean_diameter = "-"
             rows.append(
                 [
                     model,
                     algorithm,
                     len(members),
                     f"{ok}/{len(members)}",
-                    rounds.render(),
-                    diameters.mean,
+                    rendered_rounds,
+                    mean_diameter,
                 ]
             )
         return rows
@@ -254,19 +268,23 @@ class SweepAccumulator:
             )
         self._keys.insert(index, cell.key)
         self._cells.insert(index, cell)
+        group = self._groups.setdefault(
+            (cell.spec.model, SweepResult._algorithm_label(cell.spec)),
+            {"rounds": [], "diameters": [], "ok": 0, "errors": 0},
+        )
         if cell.error is not None:
             self._errors += 1
+            # Error cells count as group members (surfaced in the
+            # ``cells`` and ``spec ok`` columns) but contribute no
+            # observations: their zeroed rounds/diameter would skew
+            # the group means.
+            group["errors"] += 1
         else:
             if cell.satisfied:
                 self._satisfied += 1
-            group = self._groups.setdefault(
-                (cell.spec.model, SweepResult._algorithm_label(cell.spec)),
-                {"rounds": [], "diameters": [], "ok": 0},
-            )
+                group["ok"] += 1
             group["rounds"].append(float(cell.rounds))
             group["diameters"].append(cell.decision_diameter)
-            if cell.satisfied:
-                group["ok"] += 1
         return len(self._cells)
 
     def add_many(self, cells) -> int:
@@ -285,17 +303,23 @@ class SweepAccumulator:
         """
         rows: list[list[object]] = []
         for (model, algorithm), group in sorted(self._groups.items()):
-            rounds = summarize(group["rounds"])
-            diameters = summarize(group["diameters"])
-            members = len(group["rounds"])
+            members = len(group["rounds"]) + group["errors"]
+            if group["rounds"]:
+                rounds = summarize(group["rounds"])
+                diameters = summarize(group["diameters"])
+                rendered_rounds: object = rounds.render()
+                mean_diameter: object = diameters.mean
+            else:
+                rendered_rounds = "-"
+                mean_diameter = "-"
             rows.append(
                 [
                     model,
                     algorithm,
                     members,
                     f"{group['ok']}/{members}",
-                    rounds.render(),
-                    diameters.mean,
+                    rendered_rounds,
+                    mean_diameter,
                 ]
             )
         return rows

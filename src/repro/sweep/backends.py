@@ -31,6 +31,19 @@ continuously calibrated cost model, so per-task dispatch overhead is
 amortized without starving the pool behind stragglers.  Results stream
 back chunk by chunk through :attr:`SweepBackend.on_result`, which is
 what powers streaming aggregation, progress lines and resume journals.
+
+Cross-run execution (:meth:`SweepBackend.execute_many`) is the third
+packaging of work: cells are partitioned by
+:attr:`~repro.sweep.grid.CellSpec.batch_key` -- the cell's identity
+minus its seed, so a group describes the *same* simulation shape
+differing only in RNG streams -- and each group is one call to
+:func:`~repro.sweep.engine.run_cell_many`, which stacks the group's
+runs into a single ``(R, n)`` state array and advances all of them per
+round with one vectorized pass.  The partition is a true partition
+(every cell lands in exactly one group; families, topologies and
+scenarios never mix), results are bit-identical to per-cell execution,
+and the dispatch label records the batch structure, e.g.
+``cross-run(4 batches, max R=16)``.
 """
 
 from __future__ import annotations
@@ -82,8 +95,30 @@ DISPATCH_MODES = ("auto", "serial", "pool")
 
 CellRunner = Callable[["CellSpec"], "CellResult"]
 BatchRunner = Callable[[list["CellSpec"]], list["CellResult"]]
+#: Cross-run group runner: a batch-compatible cell group in, results
+#: (in group order) out -- :func:`~repro.sweep.engine.run_cell_many`.
+ManyRunner = Callable[[list["CellSpec"]], list["CellResult"]]
 
 _SHARD_FILE = re.compile(r"^shard-(\d{4})-of-(\d{4})\.json$")
+
+
+def _batch_groups(cells: Sequence["CellSpec"]) -> list[list["CellSpec"]]:
+    """Partition cells into cross-run groups by ``batch_key``.
+
+    Order-preserving on both levels: groups appear in first-cell order
+    and cells keep their relative order within a group, so execution
+    order (and therefore progress reporting) stays deterministic.
+    """
+    groups: dict[tuple, list["CellSpec"]] = {}
+    for cell in cells:
+        groups.setdefault(cell.batch_key, []).append(cell)
+    return list(groups.values())
+
+
+def _cross_run_label(groups: Sequence[Sequence["CellSpec"]], suffix: str = "") -> str:
+    """Dispatch label recording the cross-run batch structure."""
+    max_r = max((len(group) for group in groups), default=0)
+    return f"cross-run({len(groups)} batches, max R={max_r}{suffix})"
 
 
 def grid_fingerprint(cells: Sequence["CellSpec"]) -> str:
@@ -199,6 +234,26 @@ class SweepBackend:
             batch_results = batch_runner(list(cells[start : start + size]))
             results.extend(batch_results)
             self._emit(batch_results)
+        return results
+
+    def execute_many(
+        self, cells: Sequence["CellSpec"], many_runner: ManyRunner
+    ) -> list["CellResult"]:
+        """Run the cells as cross-run groups, one group per dispatch.
+
+        The default executes each ``batch_key`` group in-process
+        through the stacked ``(R, n)`` engine; pooled backends
+        override this to ship whole groups to workers.  Results are
+        bit-identical to :meth:`execute` -- only the packaging (and
+        the per-round vectorization within a group) changes.
+        """
+        groups = _batch_groups(cells)
+        self.dispatch = _cross_run_label(groups)
+        results: list["CellResult"] = []
+        for group in groups:
+            group_results = many_runner(group)
+            results.extend(group_results)
+            self._emit(group_results)
         return results
 
     def finalize(
@@ -337,6 +392,35 @@ class MultiprocessingBackend(SweepBackend):
                 for result in batch_results
             ]
 
+    def execute_many(
+        self, cells: Sequence["CellSpec"], many_runner: ManyRunner
+    ) -> list["CellResult"]:
+        """Dispatch whole cross-run groups to pool workers.
+
+        Each ``batch_key`` group is one pool task advancing its stack
+        in a worker; the pool decision treats groups as the dispatch
+        unit (a single group has nothing to overlap, so it runs
+        inline).  Falls back to the in-process default wherever a pool
+        cannot win.
+        """
+        groups = _batch_groups(cells)
+        use_pool, _ = self._pool_decision(len(groups), batched=True)
+        if not use_pool:
+            self.dispatch = _cross_run_label(groups)
+            results: list["CellResult"] = []
+            for group in groups:
+                group_results = many_runner(group)
+                results.extend(group_results)
+                self._emit(group_results)
+            return results
+        self.dispatch = _cross_run_label(groups, ", parallel")
+        with multiprocessing.Pool(processes=self.workers) as pool:
+            return [
+                result
+                for group_results in pool.map(many_runner, groups, chunksize=1)
+                for result in group_results
+            ]
+
 
 #: Cost-model round count for oracle-terminated cells (``rounds=None``):
 #: convergence typically lands within a few tens of rounds, so a fixed
@@ -344,17 +428,37 @@ class MultiprocessingBackend(SweepBackend):
 #: simulating anything.
 _NOMINAL_ROUNDS = 40
 
+#: Per-family multipliers over the baseline ``n^2 * rounds`` proxy.
+#: The bonomi family rides the vectorized fast path; tseng's stateful
+#: two-phase protocol runs every round through the scalar engine; the
+#: witness family adds relay collection and per-pid witness folds on
+#: top of that.  Ratios are calibrated from the committed ledger's
+#: per-family sweep timings -- only the ordering matters, the async
+#: dispatcher fits the absolute scale at runtime.
+_FAMILY_COST_FACTORS: dict[str, float] = {
+    "bonomi": 1.0,
+    "tseng": 2.5,
+    "witness": 6.0,
+}
+
+#: Partial-topology multiplier: non-complete graphs leave the
+#: vectorized broadcast path, routing every round through per-edge
+#: scalar delivery (and witness relays where applicable).
+_PARTIAL_TOPOLOGY_FACTOR = 1.5
+
 
 def estimate_cell_cost(cell: "CellSpec") -> float:
     """Relative execution-cost proxy of one cell.
 
-    Messaging and MSR fold work scale roughly with ``n^2 * rounds``;
+    Messaging and MSR fold work scale roughly with ``n^2 * rounds``,
+    weighted by per-family and per-topology factors (a witness-family
+    cell on a ring costs several of its bonomi full-mesh neighbours);
     the absolute scale is irrelevant (the dispatcher calibrates
     seconds-per-cost-unit from observed chunk timings), only the
     ordering between cheap and expensive cells matters.  ``n=None``
     resolves to the model's Table 2 minimum; unknown models fall back
     to a small constant so malformed cells (which error out instantly)
-    are treated as cheap.
+    are treated as cheap, and unknown families take no multiplier.
     """
     n = cell.n
     if n is None:
@@ -369,7 +473,11 @@ def estimate_cell_cost(cell: "CellSpec") -> float:
         if cell.rounds is not None
         else min(cell.max_rounds, _NOMINAL_ROUNDS)
     )
-    return float(max(n, 1)) ** 2 * float(max(rounds, 1))
+    cost = float(max(n, 1)) ** 2 * float(max(rounds, 1))
+    cost *= _FAMILY_COST_FACTORS.get(cell.family, 1.0)
+    if cell.topology != "complete":
+        cost *= _PARTIAL_TOPOLOGY_FACTOR
+    return cost
 
 
 class _AdaptiveChunker:
@@ -643,6 +751,13 @@ class ShardedBackend(SweepBackend):
         self, cells: Sequence["CellSpec"], batch_runner: BatchRunner
     ) -> list["CellResult"]:
         results = self._inner.execute_batch(cells, batch_runner)
+        self.dispatch = f"sharded({self._inner.dispatch})"
+        return results
+
+    def execute_many(
+        self, cells: Sequence["CellSpec"], many_runner: ManyRunner
+    ) -> list["CellResult"]:
+        results = self._inner.execute_many(cells, many_runner)
         self.dispatch = f"sharded({self._inner.dispatch})"
         return results
 

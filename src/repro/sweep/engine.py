@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING
 
 from ..core.specification import check_trace
 from ..runtime.kernel import RoundKernel
-from ..runtime.simulator import TraceDetail, run_simulation
+from ..runtime.simulator import TraceDetail, run_simulation, simulate_many
 from .aggregate import SweepResult
 from .backends import (
     DISPATCH_MODES,
@@ -50,7 +50,13 @@ from .probes import get_probe
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a module cycle
     from .service import SweepJournal
 
-__all__ = ["CellResult", "run_cell", "run_cell_batch", "run_sweep"]
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "run_cell_batch",
+    "run_cell_many",
+    "run_sweep",
+]
 
 #: ``progress`` callback signature: ``(result, done, total)`` with
 #: ``done`` counting every result observed so far (journal replays and
@@ -107,47 +113,28 @@ class CellResult:
         return dict(self.extras)
 
 
-def run_cell(
-    cell: CellSpec,
-    trace_detail: TraceDetail = "lite",
-    probe: str | None = None,
-    kernel: RoundKernel | None = None,
-) -> CellResult:
-    """Execute one cell and condense its outcome.
+def _error_cell(cell: CellSpec, exc: Exception) -> CellResult:
+    """The canonical error verdict of a cell that could not run."""
+    return CellResult(
+        spec=cell,
+        decisions=(),
+        rounds=0,
+        terminated=False,
+        decision_diameter=0.0,
+        diameters=(),
+        termination_ok=False,
+        agreement_ok=False,
+        validity_ok=False,
+        error=str(exc),
+    )
 
-    Runs in worker processes during parallel sweeps; everything it
-    touches must be importable and picklable.  ``probe`` names a
-    registered :class:`~repro.sweep.probes.Probe` whose output lands in
-    ``CellResult.extras``.  ``kernel`` optionally shares one
-    :class:`~repro.runtime.kernel.RoundKernel` across the cells of a
-    batch (results are identical with or without it).
+
+def _condense_trace(cell: CellSpec, trace, probe_spec) -> CellResult:
+    """Condense one finished trace into its :class:`CellResult`.
+
+    Shared by the per-cell and cross-run runners so both condense
+    identically (checker verdicts, probe extras, sorted decisions).
     """
-    probe_spec = get_probe(probe) if probe is not None else None
-
-    def error_cell(exc: Exception) -> CellResult:
-        return CellResult(
-            spec=cell,
-            decisions=(),
-            rounds=0,
-            terminated=False,
-            decision_diameter=0.0,
-            diameters=(),
-            termination_ok=False,
-            agreement_ok=False,
-            validity_ok=False,
-            error=str(exc),
-        )
-
-    try:
-        config = cell.to_config()
-    except (ValueError, KeyError) as exc:
-        return error_cell(exc)
-    try:
-        trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
-    except ValueError as exc:
-        # A family's runtime requirement rejecting the run mid-flight
-        # is a per-cell verdict, not grounds to kill a whole sweep.
-        return error_cell(exc)
     verdict = check_trace(trace)
     extras = tuple(probe_spec.extract(trace)) if probe_spec is not None else ()
     return CellResult(
@@ -164,6 +151,35 @@ def run_cell(
         p2_ok=None if verdict.p2.skipped else verdict.p2.holds,
         extras=extras,
     )
+
+
+def run_cell(
+    cell: CellSpec,
+    trace_detail: TraceDetail = "lite",
+    probe: str | None = None,
+    kernel: RoundKernel | None = None,
+) -> CellResult:
+    """Execute one cell and condense its outcome.
+
+    Runs in worker processes during parallel sweeps; everything it
+    touches must be importable and picklable.  ``probe`` names a
+    registered :class:`~repro.sweep.probes.Probe` whose output lands in
+    ``CellResult.extras``.  ``kernel`` optionally shares one
+    :class:`~repro.runtime.kernel.RoundKernel` across the cells of a
+    batch (results are identical with or without it).
+    """
+    probe_spec = get_probe(probe) if probe is not None else None
+    try:
+        config = cell.to_config()
+    except (ValueError, KeyError) as exc:
+        return _error_cell(cell, exc)
+    try:
+        trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
+    except ValueError as exc:
+        # A family's runtime requirement rejecting the run mid-flight
+        # is a per-cell verdict, not grounds to kill a whole sweep.
+        return _error_cell(cell, exc)
+    return _condense_trace(cell, trace, probe_spec)
 
 
 def _run_cell_cached(
@@ -218,6 +234,78 @@ def run_cell_batch(
         )
         for cell in cells
     ]
+
+
+def run_cell_many(
+    cells: list[CellSpec],
+    trace_detail: TraceDetail = "lite",
+    probe: str | None = None,
+    store: CellStore | None = None,
+) -> list[CellResult]:
+    """Execute a group of cells through the cross-run vectorized engine.
+
+    The unit of work of cross-run sweeps (module level so it pickles):
+    the cells are partitioned by :attr:`CellSpec.batch_key` and each
+    compatible group is handed to
+    :func:`repro.runtime.simulator.simulate_many`, which stacks the
+    group's runs into one ``(R, n)`` state array and advances them in
+    lockstep -- one sort/fold pass per round for the whole group.
+    Results are bit-identical to :func:`run_cell` execution and come
+    back in input order; groups the stacked engine cannot take (full
+    traces, stateful families, partial topologies) fall back to the
+    per-run paths inside ``simulate_many`` itself.
+    """
+    kernel = RoundKernel()
+    probe_spec = get_probe(probe) if probe is not None else None
+    results: list[CellResult | None] = [None] * len(cells)
+    pending: list[int] = []
+    for idx, cell in enumerate(cells):
+        if store is not None:
+            # Same double-check as _run_cell_cached: concurrent shard
+            # invocations may have produced the cell since the parent
+            # filtered its misses.
+            cached = store.load(cell, trace_detail, probe)
+            if cached is not None:
+                results[idx] = cached
+                continue
+        pending.append(idx)
+    groups: dict[tuple, list[int]] = {}
+    for idx in pending:
+        groups.setdefault(cells[idx].batch_key, []).append(idx)
+    for indices in groups.values():
+        configs = []
+        runnable: list[int] = []
+        for idx in indices:
+            try:
+                configs.append(cells[idx].to_config())
+            except (ValueError, KeyError) as exc:
+                results[idx] = _error_cell(cells[idx], exc)
+            else:
+                runnable.append(idx)
+        if not runnable:
+            continue
+        try:
+            traces = simulate_many(
+                configs, trace_detail=trace_detail, kernel=kernel
+            )
+        except ValueError:
+            # A family's runtime requirement rejected some run of the
+            # group mid-flight.  Rerun the group per-cell so the error
+            # lands on exactly the cell that earned it.
+            for idx in runnable:
+                results[idx] = run_cell(
+                    cells[idx],
+                    trace_detail=trace_detail,
+                    probe=probe,
+                    kernel=kernel,
+                )
+            continue
+        for idx, trace in zip(runnable, traces):
+            results[idx] = _condense_trace(cells[idx], trace, probe_spec)
+    if store is not None:
+        for idx in pending:
+            store.save(results[idx], trace_detail, probe)
+    return results
 
 
 def _resolve_backend(
@@ -281,6 +369,7 @@ def run_sweep(
     dispatch: str = "auto",
     progress: ProgressCallback | None = None,
     journal: "SweepJournal | None" = None,
+    cross_run: bool = False,
 ) -> SweepResult:
     """Run every cell of ``grid`` through a backend, via the cell cache.
 
@@ -310,6 +399,12 @@ def run_sweep(
     ``journal`` -- a :class:`~repro.sweep.service.SweepJournal` --
     replays cells completed by an interrupted earlier invocation and
     records each fresh result as it lands, making the sweep resumable.
+    ``cross_run`` routes execution through the cross-run vectorized
+    engine instead: cells are partitioned by
+    :attr:`~repro.sweep.grid.CellSpec.batch_key` and each compatible
+    group advances as one stacked ``(R, n)`` state array (see
+    :func:`run_cell_many`); it takes precedence over ``batch_size``
+    batching and is reflected in the result's ``dispatch`` label.
 
     Results are identical for every backend, worker count, batch
     size, dispatch mode, journal and cache state, and sorted by cell
@@ -393,8 +488,13 @@ def run_sweep(
             batch_runner = partial(
                 run_cell_batch, trace_detail=trace_detail, probe=probe
             )
+            many_runner = partial(
+                run_cell_many, trace_detail=trace_detail, probe=probe
+            )
             executed = (
-                resolved.execute_batch(remaining, batch_runner)
+                resolved.execute_many(remaining, many_runner)
+                if cross_run
+                else resolved.execute_batch(remaining, batch_runner)
                 if batched
                 else resolved.execute(remaining, runner)
             )
@@ -411,6 +511,12 @@ def run_sweep(
                 probe=probe,
                 store=store,
             )
+            many_runner = partial(
+                run_cell_many,
+                trace_detail=trace_detail,
+                probe=probe,
+                store=store,
+            )
             hits: list[CellResult] = []
             missing: list[CellSpec] = []
             for cell in remaining:
@@ -423,7 +529,9 @@ def run_sweep(
             for result in hits:
                 report(result)
             executed = hits + (
-                resolved.execute_batch(missing, batch_runner)
+                resolved.execute_many(missing, many_runner)
+                if cross_run
+                else resolved.execute_batch(missing, batch_runner)
                 if batched
                 else resolved.execute(missing, runner)
             )

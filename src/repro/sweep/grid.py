@@ -107,6 +107,36 @@ class CellSpec:
             self.topology,
         )
 
+    @property
+    def batch_key(self) -> tuple:
+        """Cross-run batch compatibility class of the cell.
+
+        ``key`` minus the ``seed``: two cells sharing a ``batch_key``
+        describe the *same* simulation shape (model, sizes, round
+        budget, scenario, family, topology) differing only in their
+        RNG stream, which is exactly the precondition for stacking
+        their runs into one ``(R, n)`` state array and advancing them
+        in lockstep (see :func:`repro.sweep.engine.run_cell_many`).
+        Partitioning any cell list by ``batch_key`` is a true
+        partition: every cell lands in exactly one group, and groups
+        never mix families, topologies or scenarios.
+        """
+        return (
+            self.model,
+            self.f,
+            self.n if self.n is not None else 0,
+            self.algorithm,
+            self.movement,
+            self.attack,
+            self.epsilon,
+            self.rounds if self.rounds is not None else -1,
+            self.max_rounds,
+            self.scenario,
+            self.params,
+            self.family,
+            self.topology,
+        )
+
     def params_dict(self) -> dict[str, object]:
         """The scenario parameters as a plain dictionary."""
         return dict(self.params)
