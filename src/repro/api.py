@@ -248,7 +248,10 @@ def sweep_grid(
     vectorized engine: compatible cells (same shape, differing only in
     seed) advance together as one stacked ``(R, n)`` state array,
     bit-identical to per-cell execution (see
-    :func:`repro.sweep.run_cell_many`).  Returns a
+    :func:`repro.sweep.run_cell_many`); with ``workers > 1`` it
+    auto-selects the zero-copy shared-memory stealing pool
+    (:class:`~repro.sweep.ShmCrossRunBackend`), and ``dispatch="shm"``
+    forces that pool outright.  Returns a
     :class:`~repro.sweep.SweepResult`.
 
     >>> import repro

@@ -249,13 +249,15 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--dispatch",
-        choices=["auto", "serial", "pool"],
+        choices=["auto", "serial", "pool", "shm"],
         default="auto",
         help=(
             "override the pool heuristic: 'serial' forces in-process "
             "execution, 'pool' forces worker processes even on one "
-            "usable CPU (with a warning; results are identical either "
-            "way, this is a testing/benchmarking knob)"
+            "usable CPU (with a warning), 'shm' forces the zero-copy "
+            "shared-memory cross-run pool with work stealing (implies "
+            "--cross-run; results are identical under every mode, "
+            "this is a testing/benchmarking knob)"
         ),
     )
     parser.add_argument(
@@ -520,6 +522,10 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         print(result.cell_table())
         print()
     print(result.summary_table())
+    # The dispatch label is the evidence of *how* cells actually ran
+    # (serial, pool, cross-run batches, shm + steal count); CI smoke
+    # steps grep it, and identity checks diff it out.
+    print(f"dispatch: {result.dispatch}")
     if args.series:
         print()
         print(render_series(result.diameter_series(), title="mean diameter"))

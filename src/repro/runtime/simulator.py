@@ -38,7 +38,7 @@ diameter trajectories are bit-identical between the two modes.
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 from types import MappingProxyType
 from typing import Literal
 
@@ -74,6 +74,8 @@ except Exception:  # pragma: no cover - exercised only without numpy
 
 __all__ = [
     "ArrayValues",
+    "RunBatchOut",
+    "ShmBatchLayout",
     "SynchronousSimulator",
     "run_simulation",
     "simulate_batch",
@@ -82,6 +84,163 @@ __all__ = [
 ]
 
 TraceDetail = Literal["full", "lite"]
+
+
+class RunBatchOut:
+    """A caller-provided output buffer for :func:`simulate_many`.
+
+    Holds the stacked per-run result arrays -- final values, decision
+    membership, executed round counts, termination flags and the
+    diameter trajectory -- as writable views over a single flat buffer
+    (typically a ``multiprocessing.shared_memory`` block mapped by
+    :meth:`ShmBatchLayout.attach`).  The simulator fills one row per
+    finished run; the parent process reconstructs bit-identical results
+    from the rows without any of the payload ever being pickled.
+
+    ``written`` records which slots the simulator actually filled, so
+    callers can tell a written row from a slot whose run was skipped
+    (cache hit) or errored before producing a trace.
+    """
+
+    __slots__ = (
+        "final_values",
+        "decision_mask",
+        "rounds",
+        "terminated",
+        "diameters",
+        "diameter_len",
+        "written",
+    )
+
+    def __init__(
+        self,
+        final_values,
+        decision_mask,
+        rounds,
+        terminated,
+        diameters,
+        diameter_len,
+    ) -> None:
+        self.final_values = final_values
+        self.decision_mask = decision_mask
+        self.rounds = rounds
+        self.terminated = terminated
+        self.diameters = diameters
+        self.diameter_len = diameter_len
+        self.written: set[int] = set()
+
+    def write(self, slot: int, trace) -> None:
+        """Record one finished run's trace into row ``slot``.
+
+        Works for any trace flavour (lite, full, fallback paths): only
+        the condensed quantities a :class:`CellResult` needs are
+        written, and float64 round-trips are exact, so reconstruction
+        is bit-identical to condensing the trace in-process.
+        """
+        row = self.final_values[slot]
+        mask = self.decision_mask[slot]
+        mask[:] = 0
+        for pid, value in trace.decisions.items():
+            row[pid] = value
+            mask[pid] = 1
+        self.rounds[slot] = trace.rounds_executed()
+        self.terminated[slot] = 1 if trace.terminated else 0
+        series = trace.diameters()
+        if len(series) > self.diameters.shape[1]:
+            raise ValueError(
+                f"diameter series of {len(series)} entries exceeds the "
+                f"planned capacity of {self.diameters.shape[1]} (layout "
+                "planned from a different round budget?)"
+            )
+        self.diameters[slot, : len(series)] = series
+        self.diameter_len[slot] = len(series)
+        self.written.add(slot)
+
+
+class ShmBatchLayout:
+    """Array offsets of one :class:`RunBatchOut` inside a flat buffer.
+
+    A compact, picklable header describing where the stacked result
+    arrays of ``runs`` runs of ``n`` processes live inside one
+    contiguous byte buffer (a shared-memory block): float64 final
+    values and diameter series, int64 round counts and series lengths,
+    uint8 decision masks and termination flags, each section aligned to
+    its item size.  Workers plan the layout, create a block of
+    :attr:`total_bytes`, and ship only this header plus per-run scalars
+    back to the parent, which re-attaches the same views.
+    """
+
+    __slots__ = ("runs", "n", "diameter_cap")
+
+    def __init__(self, runs: int, n: int, diameter_cap: int) -> None:
+        if runs < 1 or n < 1 or diameter_cap < 1:
+            raise ValueError(
+                f"layout dimensions must be positive, got runs={runs}, "
+                f"n={n}, diameter_cap={diameter_cap}"
+            )
+        self.runs = runs
+        self.n = n
+        self.diameter_cap = diameter_cap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShmBatchLayout(runs={self.runs}, n={self.n}, "
+            f"diameter_cap={self.diameter_cap})"
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ShmBatchLayout)
+            and self.runs == other.runs
+            and self.n == other.n
+            and self.diameter_cap == other.diameter_cap
+        )
+
+    def __reduce__(self):
+        return (ShmBatchLayout, (self.runs, self.n, self.diameter_cap))
+
+    def _sections(self) -> tuple[list[tuple[str, str, tuple[int, ...], int]], int]:
+        """(name, dtype, shape, offset) for every array, plus the total."""
+        specs = (
+            ("final_values", "float64", (self.runs, self.n)),
+            ("diameters", "float64", (self.runs, self.diameter_cap)),
+            ("rounds", "int64", (self.runs,)),
+            ("diameter_len", "int64", (self.runs,)),
+            ("decision_mask", "uint8", (self.runs, self.n)),
+            ("terminated", "uint8", (self.runs,)),
+        )
+        itemsizes = {"float64": 8, "int64": 8, "uint8": 1}
+        sections = []
+        offset = 0
+        for name, dtype, shape in specs:
+            item = itemsizes[dtype]
+            offset = -(-offset // item) * item
+            sections.append((name, dtype, shape, offset))
+            offset += item * math.prod(shape)
+        return sections, offset
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes one buffer needs to hold every section."""
+        return self._sections()[1]
+
+    def attach(self, buffer) -> RunBatchOut:
+        """Map the layout's arrays over ``buffer`` (zero-copy views)."""
+        if _np is None:  # pragma: no cover - numpy is a test dependency
+            raise RuntimeError("ShmBatchLayout.attach requires numpy")
+        sections, total = self._sections()
+        if len(buffer) < total:
+            raise ValueError(
+                f"buffer of {len(buffer)} bytes is too small for a "
+                f"layout needing {total}"
+            )
+        arrays = {
+            name: _np.frombuffer(
+                buffer, dtype=dtype, count=math.prod(shape), offset=offset
+            ).reshape(shape)
+            for name, dtype, shape, offset in sections
+        }
+        return RunBatchOut(**arrays)
 
 
 class ArrayValues(Mapping):
@@ -196,6 +355,8 @@ def simulate_many(
     configs: Iterable[SimulationConfig],
     trace_detail: TraceDetail = "lite",
     kernel: RoundKernel | None = None,
+    out: RunBatchOut | None = None,
+    out_slots: Sequence[int] | None = None,
 ) -> list[Trace | LiteTrace]:
     """Run many configs with cross-run vectorization where possible.
 
@@ -218,6 +379,14 @@ def simulate_many(
     don't qualify -- full traces, stateful families, partial graphs,
     static-mixed setups -- silently fall back to their normal
     :meth:`SynchronousSimulator.run` path, in input order.
+
+    ``out`` -- a :class:`RunBatchOut`, typically views over a
+    shared-memory block -- receives every finished run's condensed
+    result (final values, decision membership, round count,
+    termination flag, diameter series); ``out_slots`` maps config
+    ``i`` to its output row (defaults to ``i``).  Rows are written
+    only after the whole call succeeds, so a mid-flight rejection
+    never leaves partially-filled output.
     """
     shared = kernel if kernel is not None else RoundKernel()
     sims = [
@@ -243,6 +412,10 @@ def simulate_many(
             indices, _run_lite_many([sims[i] for i in indices])
         ):
             traces[index] = trace
+    if out is not None:
+        slots = range(len(sims)) if out_slots is None else out_slots
+        for slot, trace in zip(slots, traces):
+            out.write(slot, trace)
     return traces
 
 

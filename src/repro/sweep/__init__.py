@@ -23,13 +23,18 @@ grid queries without touching a worker pool.
 from .aggregate import SweepAccumulator, SweepResult
 from .backends import (
     DISPATCH_MODES,
+    ArenaStats,
     AsyncBackend,
+    CostModel,
     MultiprocessingBackend,
     SerialBackend,
     ShardedBackend,
+    SharedResultArena,
+    ShmCrossRunBackend,
     SweepBackend,
     estimate_cell_cost,
     merge_shards,
+    plan_shm_layout,
 )
 from .cache import SWEEP_SCHEMA_VERSION, CacheGCReport, CacheStats, CellStore
 from .engine import (
@@ -65,9 +70,14 @@ __all__ = [
     "MultiprocessingBackend",
     "AsyncBackend",
     "ShardedBackend",
+    "ShmCrossRunBackend",
+    "SharedResultArena",
+    "ArenaStats",
+    "CostModel",
     "DISPATCH_MODES",
     "estimate_cell_cost",
     "merge_shards",
+    "plan_shm_layout",
     "CellStore",
     "CacheStats",
     "CacheGCReport",

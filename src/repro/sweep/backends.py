@@ -44,6 +44,21 @@ round with one vectorized pass.  The partition is a true partition
 scenarios never mix), results are bit-identical to per-cell execution,
 and the dispatch label records the batch structure, e.g.
 ``cross-run(4 batches, max R=16)``.
+
+:class:`ShmCrossRunBackend` is the parallel packaging of cross-run
+work: whole ``batch_key`` groups run in pool workers which write their
+stacked results into ``multiprocessing.shared_memory`` blocks (planned
+by :class:`~repro.runtime.simulator.ShmBatchLayout`) and ship back only
+a compact header plus per-run scalars -- result payloads are never
+pickled.  A :class:`SharedResultArena` owns block lifecycle
+(create-in-worker, attach/unlink-in-parent, crash-safe sweep of
+orphaned blocks), and dispatch is *work-stealing*: each worker slot
+owns a deque of batches, and an idle slot steals the largest half of
+the heaviest victim's biggest pending batch (splittable by run index,
+since runs within a group are independent).  The fallback ladder --
+shm pool, pickle pool, in-process serial -- keeps results bit-identical
+at every rung; only the dispatch label (e.g. ``cross-run-shm(4
+batches, max R=16, steals=1)``) records which rung ran.
 """
 
 from __future__ import annotations
@@ -54,14 +69,23 @@ import multiprocessing
 import os
 import queue
 import re
+import statistics
 import time
 import warnings
+import weakref
 from collections import deque
 from collections.abc import Callable, Sequence
+from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+try:  # shared_memory is stdlib but absent on exotic builds.
+    from multiprocessing import shared_memory as _shared_memory
+except Exception:  # pragma: no cover - exercised only without the module
+    _shared_memory = None
+
+from ..runtime.simulator import ShmBatchLayout
 from .aggregate import SweepResult
 from .cache import (
     SWEEP_SCHEMA_VERSION,
@@ -80,18 +104,25 @@ __all__ = [
     "MultiprocessingBackend",
     "AsyncBackend",
     "ShardedBackend",
+    "ShmCrossRunBackend",
+    "SharedResultArena",
+    "ArenaStats",
+    "CostModel",
     "DISPATCH_MODES",
     "estimate_cell_cost",
     "grid_fingerprint",
     "merge_shards",
+    "plan_shm_layout",
 ]
 
 #: Valid ``dispatch_mode`` values: ``auto`` consults
 #: :meth:`MultiprocessingBackend._pool_decision`; ``serial`` forces
 #: in-process execution; ``pool`` forces worker processes even where a
 #: pool cannot win (1 usable CPU), with a warning -- the knob that
-#: makes pool code paths testable on single-CPU CI boxes.
-DISPATCH_MODES = ("auto", "serial", "pool")
+#: makes pool code paths testable on single-CPU CI boxes; ``shm``
+#: forces the shared-memory cross-run pool (same warning on one CPU)
+#: and implies ``cross_run=True`` in :func:`~repro.sweep.run_sweep`.
+DISPATCH_MODES = ("auto", "serial", "pool", "shm")
 
 CellRunner = Callable[["CellSpec"], "CellResult"]
 BatchRunner = Callable[[list["CellSpec"]], list["CellResult"]]
@@ -159,14 +190,51 @@ def _sorted_result(
 
 
 def _usable_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
+    """CPUs this process may actually run on (affinity-aware).
+
+    The ``REPRO_CPUS`` environment variable pins the count for
+    reproducible benchmarks and CI jobs; it is clamped to the actual
+    affinity (claiming CPUs the scheduler will not grant would only
+    distort pool decisions), and nonsensical values -- non-integers,
+    anything below 1 -- warn and are ignored.
+    """
+    affinity = None
     getter = getattr(os, "sched_getaffinity", None)
     if getter is not None:
         try:
-            return len(getter(0)) or 1
+            affinity = len(getter(0)) or 1
         except OSError:  # pragma: no cover - exotic platforms
-            pass
-    return os.cpu_count() or 1
+            affinity = None
+    if affinity is None:
+        affinity = os.cpu_count() or 1
+    override = os.environ.get("REPRO_CPUS")
+    if override:
+        try:
+            pinned = int(override)
+        except ValueError:
+            warnings.warn(
+                f"ignoring REPRO_CPUS={override!r}: not an integer",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return affinity
+        if pinned < 1:
+            warnings.warn(
+                f"ignoring REPRO_CPUS={override!r}: must be at least 1",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return affinity
+        if pinned > affinity:
+            warnings.warn(
+                f"REPRO_CPUS={pinned} exceeds the {affinity} usable "
+                f"cpu(s) of this process; clamping to {affinity}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return affinity
+        return pinned
+    return affinity
 
 
 class SweepBackend:
@@ -337,14 +405,14 @@ class MultiprocessingBackend(SweepBackend):
             return False, f"{label}serial (forced)"
         if tasks < 1:
             return False, f"{label}serial"
-        if self.dispatch_mode == "pool":
+        if self.dispatch_mode in ("pool", "shm"):
             cpus = _usable_cpus()
             if cpus < 2:
                 warnings.warn(
-                    f"dispatch mode 'pool' forced with {self.workers} "
-                    f"workers on {cpus} usable cpu: the pool cannot win "
-                    "here (fork/pickle/IPC overhead with nothing to "
-                    "overlap); results are identical but slower",
+                    f"dispatch mode {self.dispatch_mode!r} forced with "
+                    f"{self.workers} workers on {cpus} usable cpu: the "
+                    "pool cannot win here (fork/pickle/IPC overhead with "
+                    "nothing to overlap); results are identical but slower",
                     RuntimeWarning,
                     stacklevel=3,
                 )
@@ -447,6 +515,131 @@ _FAMILY_COST_FACTORS: dict[str, float] = {
 _PARTIAL_TOPOLOGY_FACTOR = 1.5
 
 
+def _resolve_n(cell: "CellSpec") -> int:
+    """The cell's ``n``, Table 2 minimum when unset, 16 when unknown."""
+    n = cell.n
+    if n is None:
+        try:
+            from ..faults.models import get_semantics
+
+            n = get_semantics(cell.model).required_n(cell.f)
+        except (KeyError, ValueError):
+            n = 16
+    return max(n, 1)
+
+
+class CostModel:
+    """Relative cell-cost estimator, optionally calibrated from timings.
+
+    The static model prices a cell at ``n^2 * rounds`` weighted by
+    hand-tuned per-family factors and a partial-topology multiplier --
+    only the *ordering* between cheap and expensive cells matters (the
+    async dispatcher fits seconds-per-cost-unit at runtime).
+
+    :meth:`fit` replaces the hand-tuned family weights with ones
+    measured from a :class:`~repro.sweep.service.SweepJournal`'s
+    recorded per-cell timings: each observation contributes a
+    seconds-per-base-unit rate for its family, families with enough
+    samples get ``median(rate) / median(reference rate)`` as their
+    weight (and their median observed round count as the nominal-round
+    estimate for oracle-terminated cells), and families without data
+    keep the static fallback -- so a sweep that has actually run
+    witness cells prices the next witness sweep from evidence instead
+    of folklore.
+    """
+
+    def __init__(
+        self,
+        family_weights: dict[str, float] | None = None,
+        family_rounds: dict[str, int] | None = None,
+    ) -> None:
+        self.family_weights = dict(_FAMILY_COST_FACTORS)
+        if family_weights:
+            self.family_weights.update(family_weights)
+        self.family_rounds = dict(family_rounds or {})
+        #: Whether any weight came from observed data (False: static).
+        self.calibrated = bool(family_weights)
+
+    def nominal_rounds(self, cell: "CellSpec") -> int:
+        """Rounds the model expects the cell to execute."""
+        if cell.rounds is not None:
+            return max(cell.rounds, 1)
+        nominal = self.family_rounds.get(cell.family, _NOMINAL_ROUNDS)
+        return max(min(cell.max_rounds, nominal), 1)
+
+    def base_cost(self, cell: "CellSpec", rounds: int | None = None) -> float:
+        """The family-agnostic ``n^2 * rounds * topology`` proxy."""
+        if rounds is None:
+            rounds = self.nominal_rounds(cell)
+        cost = float(_resolve_n(cell)) ** 2 * float(max(rounds, 1))
+        if cell.topology != "complete":
+            cost *= _PARTIAL_TOPOLOGY_FACTOR
+        return cost
+
+    def estimate(self, cell: "CellSpec") -> float:
+        """Relative execution-cost proxy of one cell."""
+        return self.base_cost(cell) * self.family_weights.get(cell.family, 1.0)
+
+    def describe(self) -> str:
+        source = "fitted" if self.calibrated else "static"
+        weights = ", ".join(
+            f"{family}={weight:.2f}"
+            for family, weight in sorted(self.family_weights.items())
+        )
+        return f"cost-model[{source}]({weights})"
+
+    @classmethod
+    def fit(
+        cls,
+        journal,
+        reference: str = "bonomi",
+        min_samples: int = 3,
+    ) -> "CostModel":
+        """Calibrate family weights from a journal's recorded timings.
+
+        ``journal`` is a :class:`~repro.sweep.service.SweepJournal`
+        (anything with ``observations()`` yielding ``(result,
+        seconds)`` pairs works).  Families with fewer than
+        ``min_samples`` usable observations -- and every family when
+        the journal carries no timings at all -- keep the static
+        weights, so ordering degrades gracefully to the hand-tuned
+        model rather than to noise.
+        """
+        rates: dict[str, list[float]] = {}
+        rounds_seen: dict[str, list[int]] = {}
+        for result, seconds in journal.observations():
+            if seconds is None or seconds <= 0 or result.error is not None:
+                continue
+            cell = result.spec
+            executed = max(result.rounds, 1)
+            base = cls().base_cost(cell, rounds=executed)
+            rates.setdefault(cell.family, []).append(seconds / base)
+            rounds_seen.setdefault(cell.family, []).append(executed)
+        usable = {
+            family: statistics.median(samples)
+            for family, samples in rates.items()
+            if len(samples) >= min_samples
+        }
+        if not usable:
+            return cls()
+        anchor = usable.get(reference)
+        if not anchor:
+            anchor = min(usable.values())
+        if anchor <= 0:
+            return cls()
+        weights = {family: rate / anchor for family, rate in usable.items()}
+        family_rounds = {
+            family: max(1, round(statistics.median(observed)))
+            for family, observed in rounds_seen.items()
+            if family in usable
+        }
+        return cls(family_weights=weights, family_rounds=family_rounds)
+
+
+#: The default (uncalibrated) model behind :func:`estimate_cell_cost`.
+_STATIC_COST_MODEL = CostModel()
+
+
 def estimate_cell_cost(cell: "CellSpec") -> float:
     """Relative execution-cost proxy of one cell.
 
@@ -459,25 +652,10 @@ def estimate_cell_cost(cell: "CellSpec") -> float:
     resolves to the model's Table 2 minimum; unknown models fall back
     to a small constant so malformed cells (which error out instantly)
     are treated as cheap, and unknown families take no multiplier.
+    Delegates to the static :class:`CostModel`; dispatchers accept a
+    :meth:`CostModel.fit`-calibrated instance for measured weights.
     """
-    n = cell.n
-    if n is None:
-        try:
-            from ..faults.models import get_semantics
-
-            n = get_semantics(cell.model).required_n(cell.f)
-        except (KeyError, ValueError):
-            n = 16
-    rounds = (
-        cell.rounds
-        if cell.rounds is not None
-        else min(cell.max_rounds, _NOMINAL_ROUNDS)
-    )
-    cost = float(max(n, 1)) ** 2 * float(max(rounds, 1))
-    cost *= _FAMILY_COST_FACTORS.get(cell.family, 1.0)
-    if cell.topology != "complete":
-        cost *= _PARTIAL_TOPOLOGY_FACTOR
-    return cost
+    return _STATIC_COST_MODEL.estimate(cell)
 
 
 class _AdaptiveChunker:
@@ -497,9 +675,11 @@ class _AdaptiveChunker:
         cells: Sequence["CellSpec"],
         target_seconds: float,
         max_chunk: int,
+        cost_model: CostModel | None = None,
     ) -> None:
+        self._estimate = (cost_model or _STATIC_COST_MODEL).estimate
         self._queue: deque["CellSpec"] = deque(
-            sorted(cells, key=estimate_cell_cost, reverse=True)
+            sorted(cells, key=self._estimate, reverse=True)
         )
         self._target = target_seconds
         self._max_chunk = max_chunk
@@ -508,9 +688,8 @@ class _AdaptiveChunker:
     def __len__(self) -> int:
         return len(self._queue)
 
-    @staticmethod
-    def cost_of(chunk: Sequence["CellSpec"]) -> float:
-        return math.fsum(estimate_cell_cost(cell) for cell in chunk)
+    def cost_of(self, chunk: Sequence["CellSpec"]) -> float:
+        return math.fsum(self._estimate(cell) for cell in chunk)
 
     def next_chunk(self) -> list["CellSpec"] | None:
         """The next dispatch unit, or ``None`` when the queue is dry."""
@@ -519,9 +698,9 @@ class _AdaptiveChunker:
         chunk = [self._queue.popleft()]
         if self._sec_per_cost is None:
             return chunk
-        budget = self._target - estimate_cell_cost(chunk[0]) * self._sec_per_cost
+        budget = self._target - self._estimate(chunk[0]) * self._sec_per_cost
         while self._queue and len(chunk) < self._max_chunk:
-            eta = estimate_cell_cost(self._queue[0]) * self._sec_per_cost
+            eta = self._estimate(self._queue[0]) * self._sec_per_cost
             if eta > budget:
                 break
             chunk.append(self._queue.popleft())
@@ -585,6 +764,7 @@ class AsyncBackend(MultiprocessingBackend):
         target_chunk_seconds: float = 0.15,
         max_chunk: int = 32,
         inline_batch: int = 16,
+        cost_model: CostModel | None = None,
     ) -> None:
         super().__init__(workers, dispatch_mode=dispatch_mode)
         if target_chunk_seconds <= 0:
@@ -601,6 +781,9 @@ class AsyncBackend(MultiprocessingBackend):
         self.target_chunk_seconds = target_chunk_seconds
         self.max_chunk = max_chunk
         self.inline_batch = inline_batch
+        #: Optional :meth:`CostModel.fit`-calibrated estimator for LPT
+        #: ordering and chunk sizing; ``None`` uses the static weights.
+        self.cost_model = cost_model
 
     @property
     def wants_batches(self) -> bool:
@@ -633,7 +816,10 @@ class AsyncBackend(MultiprocessingBackend):
             return results
 
         chunker = _AdaptiveChunker(
-            cells, self.target_chunk_seconds, self.max_chunk
+            cells,
+            self.target_chunk_seconds,
+            self.max_chunk,
+            cost_model=self.cost_model,
         )
         completions: queue.SimpleQueue = queue.SimpleQueue()
         results = []
@@ -675,6 +861,605 @@ class AsyncBackend(MultiprocessingBackend):
                 self._emit(chunk_results)
                 while in_flight <= self.workers and submit():
                     pass
+        return results
+
+
+#: Shared-memory blocks above this size ride the pickle fallback: one
+#: arena block holds one group's stacked payload, and a cap keeps a
+#: pathological grid (huge ``n`` times huge ``max_rounds`` times many
+#: seeds) from exhausting ``/dev/shm``.
+_DEFAULT_MAX_BLOCK_BYTES = 64 * 1024 * 1024
+
+
+def plan_shm_layout(
+    cells: Sequence["CellSpec"],
+) -> ShmBatchLayout | None:
+    """The stacked shared-memory layout of one cross-run batch.
+
+    ``None`` when no layout can be planned -- an unknown model leaves
+    ``n`` unresolvable, so the batch rides the pickle fallback (where
+    its config-build error surfaces per cell as usual).  Batches are
+    normally one ``batch_key`` group (uniform shape); mixed batches
+    are sized to their widest member, which only wastes bytes.
+    """
+    if not cells:
+        return None
+    n = 0
+    diameter_cap = 0
+    for cell in cells:
+        cell_n = cell.n
+        if cell_n is None:
+            try:
+                from ..faults.models import get_semantics
+
+                cell_n = get_semantics(cell.model).required_n(cell.f)
+            except (KeyError, ValueError):
+                return None
+        n = max(n, cell_n)
+        rounds = cell.rounds if cell.rounds is not None else cell.max_rounds
+        # The diameter trajectory is the initial value plus one entry
+        # per executed round.
+        diameter_cap = max(diameter_cap, rounds + 1)
+    if n < 1 or diameter_cap < 1:
+        return None
+    return ShmBatchLayout(runs=len(cells), n=n, diameter_cap=diameter_cap)
+
+
+@dataclass(frozen=True)
+class _ShmRequest:
+    """Parent-issued instruction: create block ``name`` with ``layout``.
+
+    Naming in the parent (not the worker) is what makes cleanup
+    crash-safe: the arena knows every block that may exist before the
+    worker that creates it has even started.
+    """
+
+    name: str
+    layout: ShmBatchLayout
+
+
+@dataclass(frozen=True)
+class _ShmRow:
+    """Per-run scalars of one shared-memory result row.
+
+    The O(header) part of a cell result: everything bulky (decisions,
+    diameter series) lives in the shm block; only checker verdicts and
+    a few floats ride the pickle channel.  ``inline`` carries a full
+    :class:`~repro.sweep.engine.CellResult` for the rows the stacked
+    engine did not write -- error cells, store hits inside the worker,
+    and per-cell fallback reruns -- which stay correct at pickle cost.
+    """
+
+    decision_diameter: float = 0.0
+    termination_ok: bool = False
+    agreement_ok: bool = False
+    validity_ok: bool = False
+    p1_ok: bool | None = None
+    p2_ok: bool | None = None
+    extras: tuple = ()
+    elapsed: float | None = None
+    inline: "CellResult | None" = None
+
+
+@dataclass(frozen=True)
+class ShmBatch:
+    """A finished batch whose payload lives in a shared-memory block."""
+
+    name: str
+    layout: ShmBatchLayout
+    rows: tuple[_ShmRow, ...]
+
+
+@dataclass(frozen=True)
+class _PickleBatch:
+    """A finished batch on the pickle rung of the fallback ladder."""
+
+    results: tuple
+
+
+def _untrack_shm(shm) -> None:
+    """Drop a block from this process's resource tracker.
+
+    ``SharedMemory.__init__`` registers every block with the resource
+    tracker, which would unlink it when the *worker* exits -- but
+    ownership belongs to the parent arena (workers create, the parent
+    attaches, restores and unlinks).  Best-effort: a build without the
+    tracker just leaks a warning at exit, never data.
+    """
+    try:  # pragma: no cover - tracker layout is interpreter-specific
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_block(name: str) -> bool:
+    """Unlink the named block if it still exists; ``True`` if it did."""
+    if _shared_memory is None:
+        return False
+    try:
+        shm = _shared_memory.SharedMemory(name=name)
+    except (FileNotFoundError, OSError):
+        return False
+    try:
+        shm.close()
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - unlink race
+        return False
+    return True
+
+
+def _sweep_orphans(outstanding: set[str], prefix: str) -> int:
+    """Unlink every known or prefix-matching leftover block.
+
+    Module level (not a method) so :func:`weakref.finalize` can run it
+    after the arena is garbage collected: the set and prefix are the
+    only state it needs.  The prefix scan of ``/dev/shm`` catches
+    blocks a killed worker created after the parent recorded the name
+    but died before returning -- and costs one readdir.
+    """
+    swept = 0
+    for name in sorted(outstanding):
+        if _unlink_block(name):
+            swept += 1
+    outstanding.clear()
+    root = Path("/dev/shm")
+    if root.is_dir():
+        try:
+            leftovers = [p.name for p in root.iterdir()]
+        except OSError:  # pragma: no cover - racing teardown
+            leftovers = []
+        for name in leftovers:
+            if name.startswith(prefix) and _unlink_block(name):
+                swept += 1
+    return swept
+
+
+@dataclass(frozen=True)
+class ArenaStats:
+    """Counters of one :class:`SharedResultArena` lifetime.
+
+    ``shm_results`` / ``pickle_results`` split delivered cells by
+    channel; ``shm_bytes`` is the stacked payload volume that never
+    touched a pickle (the zero-copy win); ``blocks`` counts blocks the
+    parent commissioned and ``unlinked`` how many it destroyed --
+    equal on every clean or cleanly-recovered run.
+    """
+
+    shm_results: int = 0
+    pickle_results: int = 0
+    shm_bytes: int = 0
+    blocks: int = 0
+    unlinked: int = 0
+
+
+class SharedResultArena:
+    """Parent-side owner of the shared-memory result blocks.
+
+    Lifecycle: :meth:`plan` names a block and remembers it as
+    outstanding, the worker creates and fills it
+    (:func:`_shm_group_task`), :meth:`restore` attaches, rebuilds the
+    :class:`~repro.sweep.engine.CellResult` rows and unlinks, and
+    :meth:`close` destroys whatever never came back (worker crash,
+    interrupt) plus any ``/dev/shm`` leftovers matching this arena's
+    unique prefix.  A :func:`weakref.finalize` guard runs the same
+    sweep if the arena is dropped without ``close`` -- blocks must
+    never outlive the sweep that commissioned them.
+
+    :meth:`plan` returns ``None`` -- routing the batch to the pickle
+    rung -- when ``shared_memory`` is unavailable, the layout is
+    unplannable, or the block would exceed ``max_block_bytes``.
+    """
+
+    def __init__(self, max_block_bytes: int = _DEFAULT_MAX_BLOCK_BYTES) -> None:
+        if max_block_bytes < 1:
+            raise ValueError(
+                f"max_block_bytes must be positive, got {max_block_bytes}"
+            )
+        self.max_block_bytes = max_block_bytes
+        # psx_* names are capped (POSIX: NAME_MAX minus the leading
+        # slash); 8 random hex chars keep concurrent sweeps apart.
+        self.prefix = f"rpa{os.urandom(4).hex()}"
+        self._seq = 0
+        self._outstanding: set[str] = set()
+        self._shm_results = 0
+        self._pickle_results = 0
+        self._shm_bytes = 0
+        self._blocks = 0
+        self._unlinked = 0
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _sweep_orphans, self._outstanding, self.prefix
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this build can take the shared-memory rung at all."""
+        return _shared_memory is not None
+
+    def plan(self, cells: Sequence["CellSpec"]) -> _ShmRequest | None:
+        """A block request for one batch, or ``None`` for pickle."""
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        if not self.enabled:
+            return None
+        layout = plan_shm_layout(cells)
+        if layout is None or layout.total_bytes > self.max_block_bytes:
+            return None
+        name = f"{self.prefix}n{self._seq}"
+        self._seq += 1
+        self._outstanding.add(name)
+        self._blocks += 1
+        return _ShmRequest(name=name, layout=layout)
+
+    def restore(
+        self, batch: "ShmBatch | _PickleBatch", cells: Sequence["CellSpec"]
+    ) -> list["CellResult"]:
+        """Rebuild a finished batch's results and release its block."""
+        if isinstance(batch, _PickleBatch):
+            self._pickle_results += len(batch.results)
+            return list(batch.results)
+        results = self._rebuild(batch, cells)
+        if _unlink_block(batch.name):
+            self._unlinked += 1
+        self._outstanding.discard(batch.name)
+        self._shm_bytes += batch.layout.total_bytes
+        return results
+
+    def _rebuild(
+        self, batch: "ShmBatch", cells: Sequence["CellSpec"]
+    ) -> list["CellResult"]:
+        from .engine import CellResult
+
+        if len(batch.rows) != len(cells):
+            raise ValueError(
+                f"shm batch carries {len(batch.rows)} rows for "
+                f"{len(cells)} cells"
+            )
+        def rebuild_rows(out) -> list["CellResult"]:
+            # A nested scope so every numpy view (and slice thereof)
+            # dies on return: a live view of shm.buf makes the close()
+            # below raise BufferError.
+            rows: list["CellResult"] = []
+            for slot, (cell, row) in enumerate(zip(cells, batch.rows)):
+                if row.inline is not None:
+                    self._pickle_results += 1
+                    rows.append(row.inline)
+                    continue
+                mask = out.decision_mask[slot]
+                values = out.final_values[slot]
+                decisions = tuple(
+                    (pid, float(values[pid]))
+                    for pid in range(batch.layout.n)
+                    if mask[pid]
+                )
+                length = int(out.diameter_len[slot])
+                diameters = tuple(
+                    float(value) for value in out.diameters[slot, :length]
+                )
+                self._shm_results += 1
+                rows.append(
+                    CellResult(
+                        spec=cell,
+                        decisions=decisions,
+                        rounds=int(out.rounds[slot]),
+                        terminated=bool(out.terminated[slot]),
+                        decision_diameter=row.decision_diameter,
+                        diameters=diameters,
+                        termination_ok=row.termination_ok,
+                        agreement_ok=row.agreement_ok,
+                        validity_ok=row.validity_ok,
+                        p1_ok=row.p1_ok,
+                        p2_ok=row.p2_ok,
+                        extras=row.extras,
+                        elapsed=row.elapsed,
+                    )
+                )
+            return rows
+
+        shm = _shared_memory.SharedMemory(name=batch.name)
+        try:
+            results = rebuild_rows(batch.layout.attach(shm.buf))
+        finally:
+            try:
+                shm.close()
+            except BufferError:
+                # Only reachable when rebuild_rows raised: its
+                # traceback pins the frame (and thus the views) alive.
+                # The arena still unlinks the block by name on close().
+                pass
+        return results
+
+    @property
+    def stats(self) -> ArenaStats:
+        return ArenaStats(
+            shm_results=self._shm_results,
+            pickle_results=self._pickle_results,
+            shm_bytes=self._shm_bytes,
+            blocks=self._blocks,
+            unlinked=self._unlinked,
+        )
+
+    def leaked(self) -> list[str]:
+        """Blocks of this arena still present in ``/dev/shm`` (tests)."""
+        root = Path("/dev/shm")
+        if not root.is_dir():
+            return []
+        return sorted(
+            p.name for p in root.iterdir() if p.name.startswith(self.prefix)
+        )
+
+    def close(self) -> ArenaStats:
+        """Destroy every block that never came back; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer.detach()
+            self._unlinked += _sweep_orphans(self._outstanding, self.prefix)
+        return self.stats
+
+
+def _shm_group_task(
+    many_runner: ManyRunner,
+    request: _ShmRequest | None,
+    cells: list["CellSpec"],
+) -> "ShmBatch | _PickleBatch":
+    """Run one batch in a worker, results into shm (module level: pickles).
+
+    With a request, the worker creates the named block, hands the
+    stacked output buffer to the cross-run engine, and ships back the
+    block name plus per-run scalar rows -- the payload never touches a
+    pickle.  Without one (or if creation fails -- ``/dev/shm`` full,
+    size cap raced), the full results ride the pickle rung instead;
+    both envelopes restore to bit-identical cell results.  On any
+    worker-side error the block is destroyed here (and the parent
+    arena sweeps it again by name, so even a SIGKILL between the two
+    cannot leak it past the sweep).
+    """
+    shm = None
+    if request is not None and _shared_memory is not None:
+        try:
+            shm = _shared_memory.SharedMemory(
+                name=request.name, create=True, size=request.layout.total_bytes
+            )
+        except OSError:
+            shm = None
+    if shm is None:
+        return _PickleBatch(results=tuple(many_runner(cells)))
+    try:
+        _untrack_shm(shm)
+        out = request.layout.attach(shm.buf)
+        try:
+            results = many_runner(cells, out=out)
+            written = set(out.written)
+        finally:
+            del out
+        rows = []
+        for slot, result in enumerate(results):
+            if slot in written:
+                rows.append(
+                    _ShmRow(
+                        decision_diameter=result.decision_diameter,
+                        termination_ok=result.termination_ok,
+                        agreement_ok=result.agreement_ok,
+                        validity_ok=result.validity_ok,
+                        p1_ok=result.p1_ok,
+                        p2_ok=result.p2_ok,
+                        extras=result.extras,
+                        elapsed=result.elapsed,
+                    )
+                )
+            else:
+                rows.append(_ShmRow(inline=result))
+        shm.close()
+        return ShmBatch(name=request.name, layout=request.layout, rows=tuple(rows))
+    except BaseException:
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - views still alive
+            pass
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+        raise
+
+
+class _StealingQueues:
+    """Per-slot batch queues with largest-half work stealing.
+
+    The coordinator state of :class:`ShmCrossRunBackend`: every worker
+    slot owns a queue of batches (each batch a run-index slice of one
+    ``batch_key`` group).  Seeding is LPT -- heaviest group onto the
+    lightest slot -- followed by an eager pre-split that cuts the
+    biggest batches until every slot can start busy (a single huge
+    group still spreads across the whole pool).  :meth:`next_batch`
+    serves a slot from its own queue first; a dry slot *steals*: pick
+    the victim holding the most pending estimated cost, take its
+    biggest pending batch, keep the larger half (ceil) and return the
+    rest to the victim in place.  Only pending batches are touched --
+    in-flight work is never split -- so every run is dispatched
+    exactly once, whatever the interleaving.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence["CellSpec"]],
+        slots: int,
+        estimate: Callable[["CellSpec"], float] | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be at least 1, got {slots}")
+        self.slots = slots
+        self.steals = 0
+        self._estimate = estimate or estimate_cell_cost
+        self._queues: list[list[list["CellSpec"]]] = [[] for _ in range(slots)]
+        loads = [0.0] * slots
+        for group in sorted(groups, key=self._cost, reverse=True):
+            if not group:
+                continue
+            slot = min(range(slots), key=loads.__getitem__)
+            self._queues[slot].append(list(group))
+            loads[slot] += self._cost(group)
+        self._presplit()
+
+    def _cost(self, batch: Sequence["CellSpec"]) -> float:
+        return math.fsum(self._estimate(cell) for cell in batch)
+
+    def _presplit(self) -> None:
+        """Cut the biggest batches until every slot can start busy."""
+        while sum(len(queue) for queue in self._queues) < self.slots:
+            best: tuple[float, int, int] | None = None
+            for slot, queue in enumerate(self._queues):
+                for index, batch in enumerate(queue):
+                    if len(batch) < 2:
+                        continue
+                    cost = self._cost(batch)
+                    if best is None or cost > best[0]:
+                        best = (cost, slot, index)
+            if best is None:
+                return
+            _, slot, index = best
+            batch = self._queues[slot].pop(index)
+            half = (len(batch) + 1) // 2
+            self._queues[slot].insert(index, batch[:half])
+            idle = min(range(self.slots), key=lambda s: len(self._queues[s]))
+            self._queues[idle].append(batch[half:])
+
+    def pending(self) -> int:
+        """Batches not yet handed out."""
+        return sum(len(queue) for queue in self._queues)
+
+    def next_batch(self, slot: int) -> list["CellSpec"] | None:
+        """The next batch for ``slot``, stealing if its queue is dry."""
+        own = self._queues[slot]
+        if own:
+            return own.pop(0)
+        victim: tuple[float, int] | None = None
+        for candidate, queue in enumerate(self._queues):
+            if candidate == slot or not queue:
+                continue
+            load = math.fsum(self._cost(batch) for batch in queue)
+            if victim is None or load > victim[0]:
+                victim = (load, candidate)
+        if victim is None:
+            return None
+        queue = self._queues[victim[1]]
+        index = max(range(len(queue)), key=lambda k: self._cost(queue[k]))
+        batch = queue.pop(index)
+        self.steals += 1
+        if len(batch) < 2:
+            return batch
+        half = (len(batch) + 1) // 2
+        # The victim keeps the smaller tail, in place.
+        queue.insert(index, batch[half:])
+        return batch[:half]
+
+
+class ShmCrossRunBackend(MultiprocessingBackend):
+    """Zero-copy parallel cross-run execution with work stealing.
+
+    The pooled counterpart of :meth:`SweepBackend.execute_many`: whole
+    ``batch_key`` groups (or stolen run-index slices of them) run in
+    pool workers that write their stacked payloads into shared-memory
+    blocks owned by a :class:`SharedResultArena`, and the dispatcher
+    is a :class:`_StealingQueues` coordinator -- one in-flight batch
+    per worker slot, a finishing slot is refilled from its own queue
+    or by stealing the largest half of the heaviest victim's biggest
+    pending batch.  The fallback ladder keeps every rung
+    bit-identical: no usable pool drops to in-process serial
+    cross-run; no usable ``shared_memory`` (or an over-cap block)
+    drops that batch to the pickle rung.  The dispatch label records
+    the rung and the steal count, e.g.
+    ``cross-run-shm(4 batches, max R=16, steals=1)``.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        dispatch_mode: str = "auto",
+        cost_model: CostModel | None = None,
+        max_block_bytes: int = _DEFAULT_MAX_BLOCK_BYTES,
+    ) -> None:
+        super().__init__(workers, dispatch_mode=dispatch_mode)
+        self.cost_model = cost_model or _STATIC_COST_MODEL
+        self.max_block_bytes = max_block_bytes
+        #: Counters of the last :meth:`execute_many` arena (``None``
+        #: until a pooled cross-run dispatch has happened).
+        self.last_arena_stats: ArenaStats | None = None
+        #: Steal count of the last pooled dispatch.
+        self.last_steals = 0
+
+    def execute_many(
+        self, cells: Sequence["CellSpec"], many_runner: ManyRunner
+    ) -> list["CellResult"]:
+        groups = _batch_groups(cells)
+        # Batches split by run index, so the parallelism bound is the
+        # cell count, not the group count -- one big group still fans
+        # out across the pool.
+        use_pool, _ = self._pool_decision(len(cells), batched=True)
+        if not use_pool:
+            self.dispatch = _cross_run_label(groups)
+            results: list["CellResult"] = []
+            for group in groups:
+                group_results = many_runner(group)
+                results.extend(group_results)
+                self._emit(group_results)
+            return results
+
+        arena = SharedResultArena(max_block_bytes=self.max_block_bytes)
+        rung = "shm" if arena.enabled else "pickle"
+        queues = _StealingQueues(
+            groups, self.workers, self.cost_model.estimate
+        )
+        completions: queue.SimpleQueue = queue.SimpleQueue()
+        results = []
+        in_flight = 0
+        try:
+            with multiprocessing.Pool(processes=self.workers) as pool:
+
+                def submit(slot: int) -> bool:
+                    nonlocal in_flight
+                    batch = queues.next_batch(slot)
+                    if batch is None:
+                        return False
+                    request = arena.plan(batch)
+                    pool.apply_async(
+                        _shm_group_task,
+                        (many_runner, request, batch),
+                        callback=lambda out, s=slot, b=batch: completions.put(
+                            (s, b, out, None)
+                        ),
+                        error_callback=lambda exc, s=slot, b=batch: (
+                            completions.put((s, b, None, exc))
+                        ),
+                    )
+                    in_flight += 1
+                    return True
+
+                for slot in range(self.workers):
+                    submit(slot)
+                while in_flight:
+                    slot, batch, outcome, error = completions.get()
+                    in_flight -= 1
+                    if error is not None:
+                        # Pool.__exit__ terminates outstanding work;
+                        # the finally arena.close() sweeps its blocks.
+                        raise error
+                    # Refill the slot before parent-side restore work
+                    # so the pool never idles behind the coordinator.
+                    submit(slot)
+                    batch_results = arena.restore(outcome, batch)
+                    results.extend(batch_results)
+                    self._emit(batch_results)
+        finally:
+            self.last_arena_stats = arena.close()
+            self.last_steals = queues.steals
+        max_r = max((len(group) for group in groups), default=0)
+        self.dispatch = (
+            f"cross-run-{rung}({len(groups)} batches, "
+            f"max R={max_r}, steals={queues.steals})"
+        )
         return results
 
 

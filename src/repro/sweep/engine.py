@@ -25,15 +25,21 @@ assert these properties.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from functools import partial
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from ..core.specification import check_trace
 from ..runtime.kernel import RoundKernel
-from ..runtime.simulator import TraceDetail, run_simulation, simulate_many
+from ..runtime.simulator import (
+    RunBatchOut,
+    TraceDetail,
+    run_simulation,
+    simulate_many,
+)
 from .aggregate import SweepResult
 from .backends import (
     DISPATCH_MODES,
@@ -41,6 +47,7 @@ from .backends import (
     MultiprocessingBackend,
     SerialBackend,
     ShardedBackend,
+    ShmCrossRunBackend,
     SweepBackend,
 )
 from .cache import CellStore
@@ -93,6 +100,12 @@ class CellResult:
     #: :mod:`repro.sweep.probes`); empty when no probe ran.
     extras: tuple[tuple[str, object], ...] = ()
     error: str | None = None
+    #: Observed compute seconds of this cell (a per-run share of its
+    #: group for cross-run execution); ``None`` for cache/journal
+    #: replays.  A machine property: excluded from equality and from
+    #: the cache serialization, consumed by
+    #: :meth:`~repro.sweep.backends.CostModel.fit` via the journal.
+    elapsed: float | None = field(default=None, compare=False, repr=False)
 
     @property
     def key(self) -> tuple:
@@ -169,6 +182,7 @@ def run_cell(
     batch (results are identical with or without it).
     """
     probe_spec = get_probe(probe) if probe is not None else None
+    started = time.perf_counter()
     try:
         config = cell.to_config()
     except (ValueError, KeyError) as exc:
@@ -179,7 +193,8 @@ def run_cell(
         # A family's runtime requirement rejecting the run mid-flight
         # is a per-cell verdict, not grounds to kill a whole sweep.
         return _error_cell(cell, exc)
-    return _condense_trace(cell, trace, probe_spec)
+    result = _condense_trace(cell, trace, probe_spec)
+    return replace(result, elapsed=time.perf_counter() - started)
 
 
 def _run_cell_cached(
@@ -241,6 +256,7 @@ def run_cell_many(
     trace_detail: TraceDetail = "lite",
     probe: str | None = None,
     store: CellStore | None = None,
+    out: RunBatchOut | None = None,
 ) -> list[CellResult]:
     """Execute a group of cells through the cross-run vectorized engine.
 
@@ -254,6 +270,14 @@ def run_cell_many(
     back in input order; groups the stacked engine cannot take (full
     traces, stateful families, partial topologies) fall back to the
     per-run paths inside ``simulate_many`` itself.
+
+    ``out`` -- a :class:`~repro.runtime.simulator.RunBatchOut`, slot
+    ``i`` for ``cells[i]`` -- additionally lands each successful run's
+    payload in the caller's stacked buffer (the shared-memory path of
+    :class:`~repro.sweep.backends.ShmCrossRunBackend`); cells that
+    never produce a trace here (config errors, store hits, per-cell
+    fallback reruns) leave their slot unwritten, which ``out.written``
+    records.
     """
     kernel = RoundKernel()
     probe_spec = get_probe(probe) if probe is not None else None
@@ -269,6 +293,7 @@ def run_cell_many(
                 results[idx] = cached
                 continue
         pending.append(idx)
+    rescued: set[int] = set()
     groups: dict[tuple, list[int]] = {}
     for idx in pending:
         groups.setdefault(cells[idx].batch_key, []).append(idx)
@@ -284,15 +309,29 @@ def run_cell_many(
                 runnable.append(idx)
         if not runnable:
             continue
+        started = time.perf_counter()
         try:
             traces = simulate_many(
-                configs, trace_detail=trace_detail, kernel=kernel
+                configs,
+                trace_detail=trace_detail,
+                kernel=kernel,
+                out=out,
+                out_slots=runnable,
             )
         except ValueError:
             # A family's runtime requirement rejected some run of the
             # group mid-flight.  Rerun the group per-cell so the error
-            # lands on exactly the cell that earned it.
+            # lands on exactly the cell that earned it -- but serve any
+            # member a concurrent invocation has cached since the
+            # stacked attempt started instead of recomputing it.
             for idx in runnable:
+                if store is not None:
+                    cached = store.load(cells[idx], trace_detail, probe)
+                    store.record(cached is not None)
+                    if cached is not None:
+                        results[idx] = cached
+                        rescued.add(idx)
+                        continue
                 results[idx] = run_cell(
                     cells[idx],
                     trace_detail=trace_detail,
@@ -300,11 +339,16 @@ def run_cell_many(
                     kernel=kernel,
                 )
             continue
+        # Each run's share of the group's one stacked pass: the
+        # per-cell number CostModel.fit consumes from the journal.
+        share = (time.perf_counter() - started) / len(runnable)
         for idx, trace in zip(runnable, traces):
-            results[idx] = _condense_trace(cells[idx], trace, probe_spec)
+            condensed = _condense_trace(cells[idx], trace, probe_spec)
+            results[idx] = replace(condensed, elapsed=share)
     if store is not None:
         for idx in pending:
-            store.save(results[idx], trace_detail, probe)
+            if idx not in rescued:
+                store.save(results[idx], trace_detail, probe)
     return results
 
 
@@ -314,8 +358,19 @@ def _resolve_backend(
     chunk_size: int | None,
     batch_size: int | None = None,
     dispatch: str = "auto",
+    cross_run: bool = False,
 ) -> SweepBackend:
     if backend is None:
+        if dispatch == "shm":
+            # Forcing the shared-memory rung needs the stealing
+            # backend at any worker count; _pool_decision owns the
+            # one-CPU warning.
+            return ShmCrossRunBackend(max(workers, 1), dispatch_mode=dispatch)
+        if cross_run and workers > 1 and dispatch != "serial":
+            # Parallel cross-run sweeps default to the zero-copy
+            # stealing backend; it degrades rung by rung (pickle pool,
+            # in-process serial) wherever shm or the pool cannot win.
+            return ShmCrossRunBackend(workers, dispatch_mode=dispatch)
         if dispatch == "pool" and workers <= 1:
             # Forcing a pool needs a pool-capable backend even at the
             # default worker count; _pool_decision owns the warning.
@@ -393,7 +448,10 @@ def run_sweep(
     ``dispatch`` (one of :data:`~repro.sweep.backends.DISPATCH_MODES`)
     overrides the pool heuristic of pooled backends: ``serial`` forces
     in-process execution, ``pool`` forces worker processes even on one
-    usable CPU (with a warning).  ``progress`` is called as
+    usable CPU (with a warning), and ``shm`` forces the zero-copy
+    shared-memory cross-run pool (implying ``cross_run=True``; see
+    :class:`~repro.sweep.backends.ShmCrossRunBackend`).  ``progress``
+    is called as
     ``progress(result, done, total)`` for every result exactly once,
     as early as the backend's reporting granularity allows.
     ``journal`` -- a :class:`~repro.sweep.service.SweepJournal` --
@@ -405,6 +463,9 @@ def run_sweep(
     group advances as one stacked ``(R, n)`` state array (see
     :func:`run_cell_many`); it takes precedence over ``batch_size``
     batching and is reflected in the result's ``dispatch`` label.
+    With ``workers > 1`` cross-run sweeps auto-select the
+    work-stealing shared-memory backend, which degrades rung by rung
+    (shm, pickle pool, in-process serial) without changing results.
 
     Results are identical for every backend, worker count, batch
     size, dispatch mode, journal and cache state, and sorted by cell
@@ -440,7 +501,11 @@ def run_sweep(
             raise ValueError(f"duplicate grid cell: {cell.describe()}")
         seen.add(cell.key)
 
-    resolved = _resolve_backend(backend, workers, chunk_size, batch_size, dispatch)
+    if dispatch == "shm":
+        cross_run = True
+    resolved = _resolve_backend(
+        backend, workers, chunk_size, batch_size, dispatch, cross_run
+    )
     if journal is not None and isinstance(resolved, ShardedBackend):
         raise ValueError(
             "resume journals cover whole grids; sharded sweeps already "

@@ -19,8 +19,15 @@ engine sorts by key, so *where* a result came from cannot matter.
 all cached are answered entirely from the store -- the engine's hit
 filter leaves nothing to execute, so no worker pool is ever touched
 (the response's ``tier`` field proves it) -- while cold cells are
-scheduled through the elastic async backend and written through, warming
-the cache for every later client.
+scheduled through the cross-run engine (the zero-copy shared-memory
+stealing pool where more than one worker and CPU exist) and written
+through, warming the cache for every later client.
+
+The journal additionally records each fresh result's observed compute
+seconds (``elapsed``), making it a calibration source:
+:meth:`SweepJournal.observations` feeds
+:meth:`~repro.sweep.backends.CostModel.fit`, which replaces the
+hand-tuned family cost weights with measured ones.
 """
 
 from __future__ import annotations
@@ -82,6 +89,7 @@ class SweepJournal:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self._completed: dict[tuple, "CellResult"] = {}
+        self._timings: dict[tuple, float] = {}
         self._handle = None
 
     @property
@@ -137,13 +145,15 @@ class SweepJournal:
 
         grid_keys = {cell.key for cell in cells}
         self._completed = {}
+        self._timings = {}
         if self.results_path.exists():
             for line in self.results_path.read_text(encoding="utf-8").splitlines():
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    result = result_from_dict(json.loads(line))
+                    entry = json.loads(line)
+                    result = result_from_dict(entry)
                 except (ValueError, KeyError, TypeError):
                     # A line truncated by the interrupting crash: the
                     # cell re-runs, bit-identically.
@@ -155,6 +165,9 @@ class SweepJournal:
                         "of this grid -- wrong journal directory?"
                     )
                 self._completed[result.key] = result
+                elapsed = entry.get("elapsed")
+                if isinstance(elapsed, (int, float)) and elapsed > 0:
+                    self._timings[result.key] = float(elapsed)
         self._handle = open(self.results_path, "a", encoding="utf-8")
         return dict(self._completed)
 
@@ -167,14 +180,34 @@ class SweepJournal:
             )
         if result.key in self._completed:
             return False
-        self._handle.write(
-            json.dumps(result_to_dict(result), sort_keys=True) + "\n"
-        )
+        payload = result_to_dict(result)
+        if result.elapsed is not None and result.elapsed > 0:
+            # Observed compute seconds ride each line (ignored by
+            # result_from_dict, so replay stays schema-compatible);
+            # CostModel.fit consumes them via observations().
+            payload["elapsed"] = result.elapsed
+            self._timings[result.key] = result.elapsed
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
         # Flushed per result: a journal that loses the cells finished
         # just before the crash would defeat its purpose.
         self._handle.flush()
         self._completed[result.key] = result
         return True
+
+    def timings(self) -> dict[tuple, float]:
+        """Observed compute seconds by cell key (recorded + replayed)."""
+        return dict(self._timings)
+
+    def observations(self):
+        """Yield ``(result, seconds | None)`` for every completed cell.
+
+        The calibration feed of
+        :meth:`~repro.sweep.backends.CostModel.fit`: results whose
+        journal line carried no timing (replays from older journals,
+        cache hits) yield ``None`` and are skipped by the fitter.
+        """
+        for key, result in self._completed.items():
+            yield result, self._timings.get(key)
 
     def close(self) -> None:
         if self._handle is not None:
@@ -286,11 +319,12 @@ class SweepServer(ThreadingHTTPServer):
     * ``GET /healthz`` -- liveness, schema version, cache root, request
       count.
     * ``POST /sweep`` -- ``{"grid": {axes...}, "trace_detail"?,
-      "probe"?}``; runs the grid through the async backend against the
-      shared cache and answers with aggregate counts, summary rows and
-      the serving ``tier``: ``"cache"`` (every cell answered from the
-      store -- nothing executed, no pool touched), ``"compute"`` (all
-      cold) or ``"mixed"``.
+      "probe"?}``; runs the grid through the cross-run engine (the
+      shared-memory stealing pool where workers and CPUs allow)
+      against the shared cache and answers with aggregate counts,
+      summary rows and the serving ``tier``: ``"cache"`` (every cell
+      answered from the store -- nothing executed, no pool touched),
+      ``"compute"`` (all cold) or ``"mixed"``.
     * ``POST /shutdown`` -- clean stop of ``serve_forever``.
 
     Each request runs against its *own* :class:`CellStore` instance on
@@ -349,9 +383,9 @@ class SweepServer(ThreadingHTTPServer):
             grid,
             workers=self.workers,
             trace_detail=trace_detail,
-            backend="async",
             cache=store,
             probe=probe,
+            cross_run=True,
         )
         elapsed = time.perf_counter() - start
         stats = result.cache_stats

@@ -134,7 +134,7 @@ class TestAsyncBackend:
             run_sweep(grid, workers=2, dispatch="pool")
 
     def test_unknown_dispatch_mode_rejected(self, grid):
-        assert DISPATCH_MODES == ("auto", "serial", "pool")
+        assert DISPATCH_MODES == ("auto", "serial", "pool", "shm")
         with pytest.raises(ValueError, match="dispatch"):
             run_sweep(grid, dispatch="bogus")
 

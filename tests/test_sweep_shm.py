@@ -1,0 +1,592 @@
+"""Shared-memory cross-run backend: layout, arena, stealing, identity.
+
+The zero-copy parallel path has three layers, each gated here:
+
+* :class:`~repro.runtime.simulator.ShmBatchLayout` /
+  :class:`~repro.runtime.simulator.RunBatchOut` -- the stacked output
+  buffer the cross-run engine fills, and its byte-exact attach.
+* :class:`~repro.sweep.backends.SharedResultArena` /
+  :func:`~repro.sweep.backends._shm_group_task` -- block lifecycle
+  (create-in-worker, restore-and-unlink-in-parent, crash sweep) and
+  the O(header) pickle contract: only scalars ride the IPC channel.
+* :class:`~repro.sweep.backends.ShmCrossRunBackend` /
+  :class:`~repro.sweep.backends._StealingQueues` -- the work-stealing
+  dispatcher: exactly-once delivery under every interleaving, slow and
+  crashing workers, bit-identity with the serial cross-run and
+  per-cell reference paths, and no leaked ``/dev/shm`` blocks after
+  success, worker error, or a SIGINT-style parent interrupt.
+
+Everything runs under forced ``dispatch="shm"`` so the pool paths are
+exercised even on single-CPU CI boxes (the forced-pool warning is
+expected and suppressed).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import re
+import time
+import warnings
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.sweep import (
+    CellSpec,
+    CellStore,
+    GridSpec,
+    SweepJournal,
+    run_cell,
+    run_cell_many,
+    run_sweep,
+)
+from repro.sweep.backends import (
+    SharedResultArena,
+    ShmCrossRunBackend,
+    _PickleBatch,
+    _shm_group_task,
+    _StealingQueues,
+    plan_shm_layout,
+    _shared_memory,
+)
+from repro.runtime.simulator import ShmBatchLayout
+
+pytestmark = pytest.mark.skipif(
+    _shared_memory is None, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+def cell(seed=0, **overrides):
+    base = dict(
+        model="M2",
+        f=2,
+        n=17,
+        algorithm="ftm",
+        movement="round-robin",
+        attack="split",
+        epsilon=1e-3,
+        seed=seed,
+        max_rounds=30,
+    )
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+def starving_witness(seed=0):
+    """Admitted at the degree bound, but starved mid-run by the split
+    adversary targeting extremes -- the group-level ValueError recipe."""
+    return cell(
+        model="M1",
+        n=26,
+        movement="target-extremes",
+        seed=seed,
+        rounds=4,
+        family="witness",
+        topology="random-regular:5:1",
+    )
+
+
+def small_grid(seeds=4):
+    return GridSpec(
+        models=("M2", "M3"),
+        fs=(2,),
+        ns=(17,),
+        attacks=("split", "outlier"),
+        seeds=range(seeds),
+        max_rounds=30,
+    )
+
+
+def shm_sweep(grid, **kwargs):
+    kwargs.setdefault("workers", 2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return run_sweep(grid, dispatch="shm", **kwargs)
+
+
+def shm_entries() -> set[str]:
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return set()
+    return {p.name for p in root.iterdir() if p.name.startswith("rpa")}
+
+
+def assert_cells_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.spec == b.spec
+        assert a.decisions == b.decisions, a.spec.describe()
+        assert a.diameters == b.diameters, a.spec.describe()
+        assert a.rounds == b.rounds
+        assert a.terminated == b.terminated
+        assert a.decision_diameter == b.decision_diameter
+        assert a.error == b.error
+
+
+# Module level so pool workers can unpickle them by reference.
+def _slow_many_runner(cells, out=None):
+    if cells and cells[0].seed % 2:
+        time.sleep(0.02)
+    return run_cell_many(cells, out=out)
+
+
+def _crashing_many_runner(cells, out=None):
+    if any(spec.seed == 3 for spec in cells):
+        raise RuntimeError("injected worker crash")
+    return run_cell_many(cells, out=out)
+
+
+class TestShmBatchLayout:
+    def test_total_bytes_and_pickle_round_trip(self):
+        layout = ShmBatchLayout(runs=3, n=17, diameter_cap=31)
+        assert layout.total_bytes > 0
+        clone = pickle.loads(pickle.dumps(layout))
+        assert clone == layout
+        assert clone.total_bytes == layout.total_bytes
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            ShmBatchLayout(runs=0, n=17, diameter_cap=31)
+        with pytest.raises(ValueError):
+            ShmBatchLayout(runs=1, n=0, diameter_cap=31)
+        with pytest.raises(ValueError):
+            ShmBatchLayout(runs=1, n=17, diameter_cap=0)
+
+    def test_attach_round_trips_simulation_payloads(self):
+        from repro.runtime.simulator import run_simulation, simulate_many
+
+        specs = [cell(seed=seed) for seed in range(3)]
+        configs = [spec.to_config() for spec in specs]
+        layout = plan_shm_layout(specs)
+        buffer = bytearray(layout.total_bytes)
+        out = layout.attach(buffer)
+        traces = simulate_many(configs, out=out)
+        assert out.written == set(range(3))
+        for slot, config in enumerate(configs):
+            reference = run_simulation(config)
+            decided = {
+                pid: float(out.final_values[slot][pid])
+                for pid in range(layout.n)
+                if out.decision_mask[slot][pid]
+            }
+            assert decided == reference.decisions
+            assert int(out.rounds[slot]) == reference.rounds_executed()
+            assert bool(out.terminated[slot]) == reference.terminated
+            length = int(out.diameter_len[slot])
+            assert tuple(
+                float(v) for v in out.diameters[slot][:length]
+            ) == tuple(reference.diameters())
+
+
+class TestPlanShmLayout:
+    def test_plans_one_group(self):
+        specs = [cell(seed=seed) for seed in range(4)]
+        layout = plan_shm_layout(specs)
+        assert layout == ShmBatchLayout(runs=4, n=17, diameter_cap=31)
+
+    def test_resolves_default_n_from_model(self):
+        layout = plan_shm_layout([cell(n=None, model="M3", f=2)])
+        assert layout is not None
+        assert layout.n >= 9  # M3 needs 4f+1
+
+    def test_unknown_model_is_unplannable(self):
+        assert plan_shm_layout([cell(n=None, model="M9")]) is None
+        assert plan_shm_layout([]) is None
+
+    def test_fixed_rounds_bound_the_diameter_cap(self):
+        layout = plan_shm_layout([cell(rounds=7, max_rounds=60)])
+        assert layout.diameter_cap == 8
+
+
+class TestSharedResultArena:
+    def test_plan_restore_unlink_counters(self):
+        specs = [cell(seed=seed) for seed in range(3)]
+        arena = SharedResultArena()
+        request = arena.plan(specs)
+        assert request is not None
+        batch = _shm_group_task(run_cell_many, request, specs)
+        restored = arena.restore(batch, specs)
+        stats = arena.close()
+        assert stats.shm_results == 3
+        assert stats.pickle_results == 0
+        assert stats.blocks == stats.unlinked == 1
+        assert stats.shm_bytes == request.layout.total_bytes
+        assert arena.leaked() == []
+        assert_cells_identical(restored, [run_cell(spec) for spec in specs])
+
+    def test_oversized_blocks_ride_the_pickle_rung(self):
+        arena = SharedResultArena(max_block_bytes=64)
+        specs = [cell(seed=seed) for seed in range(3)]
+        assert arena.plan(specs) is None
+        batch = _shm_group_task(run_cell_many, None, specs)
+        assert isinstance(batch, _PickleBatch)
+        restored = arena.restore(batch, specs)
+        stats = arena.close()
+        assert stats.pickle_results == 3
+        assert stats.shm_results == stats.blocks == 0
+        assert_cells_identical(restored, [run_cell(spec) for spec in specs])
+
+    def test_close_sweeps_unreturned_blocks(self):
+        specs = [cell(seed=seed) for seed in range(2)]
+        arena = SharedResultArena()
+        request = arena.plan(specs)
+        # Simulate a worker that created the block and died before
+        # returning: the parent never restores, close() must unlink.
+        shm = _shared_memory.SharedMemory(
+            name=request.name, create=True, size=request.layout.total_bytes
+        )
+        shm.close()
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        assert arena.leaked() == [request.name]
+        stats = arena.close()
+        assert arena.leaked() == []
+        assert stats.unlinked == 1
+        # Idempotent.
+        assert arena.close() == stats
+
+    def test_closed_arena_refuses_new_plans(self):
+        arena = SharedResultArena()
+        arena.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            arena.plan([cell()])
+
+
+class TestOHeaderPickleContract:
+    def test_shm_batch_pickles_orders_smaller_than_results(self):
+        # 8 runs at n=17 over 30 rounds: the full results carry 8
+        # decision vectors and 8 diameter series; the shm envelope
+        # carries one name, one 3-int layout, and 8 scalar rows.
+        specs = [cell(seed=seed) for seed in range(8)]
+        arena = SharedResultArena()
+        request = arena.plan(specs)
+        shm_batch = _shm_group_task(run_cell_many, request, specs)
+        pickle_batch = _PickleBatch(results=tuple(run_cell_many(specs)))
+        shm_bytes = len(pickle.dumps(shm_batch))
+        full_bytes = len(pickle.dumps(pickle_batch))
+        try:
+            assert shm_bytes * 2 < full_bytes
+            # Per result the envelope stays O(header): bounded by a few
+            # hundred bytes of verdict scalars, not by n or rounds.
+            per_result = (shm_bytes - len(pickle.dumps(request))) / len(specs)
+            payload_per_result = request.layout.total_bytes / len(specs)
+            assert per_result < payload_per_result
+        finally:
+            arena.restore(shm_batch, specs)
+            arena.close()
+        assert arena.leaked() == []
+
+    def test_rows_without_traces_ride_inline(self):
+        specs = [cell(seed=0), cell(n=5, seed=9)]  # second: config error
+        arena = SharedResultArena()
+        request = arena.plan(specs)
+        batch = _shm_group_task(run_cell_many, request, specs)
+        assert batch.rows[0].inline is None
+        assert batch.rows[1].inline is not None
+        assert batch.rows[1].inline.error is not None
+        restored = arena.restore(batch, specs)
+        stats = arena.close()
+        assert stats.shm_results == 1 and stats.pickle_results == 1
+        assert_cells_identical(restored, [run_cell(spec) for spec in specs])
+
+
+class TestStealingQueues:
+    def groups(self, shape=(6, 3, 1)):
+        return [
+            [cell(seed=seed, n=17 + 4 * index) for seed in range(size)]
+            for index, size in enumerate(shape)
+        ]
+
+    def drain(self, queues, rng):
+        delivered = []
+        while True:
+            batch = queues.next_batch(rng.randrange(queues.slots))
+            if batch is None:
+                return delivered
+            delivered.extend(spec.key for spec in batch)
+
+    def test_exactly_once_under_random_interleavings(self):
+        expected = sorted(
+            spec.key for group in self.groups() for spec in group
+        )
+        for seed in range(25):
+            queues = _StealingQueues(self.groups(), slots=3)
+            delivered = self.drain(queues, random.Random(seed))
+            assert sorted(delivered) == expected, f"interleaving {seed}"
+
+    def test_single_group_spreads_across_slots(self):
+        # One 8-run group, 4 slots: the pre-split must cut it so every
+        # slot can start busy -- the lone-group parallelism case.
+        queues = _StealingQueues([[cell(seed=s) for s in range(8)]], slots=4)
+        assert queues.pending() >= 4
+        first = [queues.next_batch(slot) for slot in range(4)]
+        assert all(batch for batch in first)
+        assert sum(len(batch) for batch in first) == 8
+
+    def test_thief_takes_the_larger_half(self):
+        groups = [[cell(seed=s) for s in range(5)]]
+        queues = _StealingQueues(groups, slots=2)
+        # Pre-split gave each slot a piece; drain slot 0's own queue,
+        # then steal from slot 1 and check the split arithmetic.
+        own = queues.next_batch(0)
+        stolen = queues.next_batch(0)  # slot 0 is now dry: steals
+        assert queues.steals == 1
+        remainder = queues.next_batch(1)
+        sizes = sorted([len(own), len(stolen), len(remainder or [])])
+        assert sum(sizes) == 5
+        # Whatever was stolen came from a split where the thief kept
+        # the ceil half of the victim's batch.
+        assert len(stolen) >= len(remainder or [])
+
+    def test_steals_from_the_heaviest_victim(self):
+        light = [cell(seed=s, n=9, f=1, model="M1") for s in range(2)]
+        heavy = [cell(seed=s, n=33) for s in range(2)]
+        queues = _StealingQueues([heavy, light], slots=3)
+        # Slot 2 owns nothing (2 groups, pre-split covers 3 slots);
+        # drain until a steal happens and check it targets heavy cells.
+        queues.next_batch(0)
+        queues.next_batch(1)
+        stolen = queues.next_batch(2)
+        if queues.steals:  # pre-split may already have served slot 2
+            assert all(spec.n == 33 for spec in stolen)
+
+    def test_rejects_no_slots(self):
+        with pytest.raises(ValueError, match="slots"):
+            _StealingQueues([], slots=0)
+
+
+class TestForcedShmBitIdentity:
+    """The full equivalence matrix under forced shm dispatch."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return small_grid()
+
+    @pytest.fixture(scope="class")
+    def reference(self, grid):
+        return run_sweep(grid)
+
+    def test_matches_serial_reference(self, grid, reference):
+        result = shm_sweep(grid)
+        assert result.cells == reference.cells
+        assert_cells_identical(result.cells, reference.cells)
+
+    def test_dispatch_label_records_rung_and_steals(self, grid):
+        result = shm_sweep(grid)
+        assert re.fullmatch(
+            r"cross-run-shm\(\d+ batches, max R=\d+, steals=\d+\)",
+            result.dispatch,
+        ), result.dispatch
+
+    def test_matches_serial_cross_run(self, grid, reference):
+        serial_cross = run_sweep(grid, cross_run=True)
+        result = shm_sweep(grid)
+        assert result.cells == serial_cross.cells == reference.cells
+
+    def test_mixed_families_and_topologies(self):
+        grid = GridSpec(
+            models=("M2",),
+            fs=(1,),
+            families=("bonomi", "tseng", "witness"),
+            topologies=("complete", "ring:3"),
+            seeds=range(2),
+            max_rounds=15,
+        )
+        assert shm_sweep(grid).cells == run_sweep(grid).cells
+
+    def test_full_detail(self):
+        cells = [cell(seed=seed, max_rounds=10) for seed in range(3)]
+        base = run_sweep(cells, trace_detail="full")
+        result = shm_sweep(cells, trace_detail="full")
+        assert result.cells == base.cells
+
+    def test_error_and_starved_cells(self):
+        cells = [cell(seed=seed) for seed in range(2)]
+        cells.append(cell(n=5, seed=9))  # config-build error
+        cells.extend(starving_witness(seed) for seed in range(2))  # mid-run
+        base = run_sweep(cells)
+        result = shm_sweep(cells)
+        assert result.cells == base.cells
+        assert len(result.errors()) == 3
+
+    def test_scenario_params_axis(self):
+        cells = [
+            cell(
+                scenario="static-mixed",
+                params={"a": 1, "s": 2, "b": 14},
+                seed=seed,
+            )
+            for seed in range(2)
+        ]
+        assert shm_sweep(cells).cells == run_sweep(cells).cells
+
+    def test_cache_write_through(self, grid, reference, tmp_path):
+        cold = shm_sweep(grid, cache=tmp_path)
+        warm = run_sweep(grid, cache=tmp_path)
+        assert cold.cells == warm.cells == reference.cells
+        assert warm.cache_stats.hits == len(grid)
+
+    def test_auto_selection_still_identical(self, grid, reference):
+        # workers > 1 + cross_run auto-selects the stealing backend;
+        # whatever rung it lands on, results cannot change.
+        result = run_sweep(grid, workers=2, cross_run=True)
+        assert result.cells == reference.cells
+
+
+class TestExactlyOnceReporting:
+    def test_progress_fires_once_per_cell(self):
+        grid = small_grid()
+        seen = []
+        counts = []
+
+        def progress(result, done, total):
+            seen.append(result.key)
+            counts.append((done, total))
+
+        result = shm_sweep(grid, progress=progress)
+        assert len(seen) == len(set(seen)) == len(grid)
+        assert [done for done, _ in counts] == list(range(1, len(grid) + 1))
+        assert all(total == len(grid) for _, total in counts)
+        assert len(result.cells) == len(grid)
+
+    def test_slow_workers_stay_exactly_once(self):
+        specs = list(small_grid().cells())
+        reference = [run_cell(spec) for spec in specs]
+        backend = ShmCrossRunBackend(2, dispatch_mode="shm")
+        emitted = []
+        backend.on_result = lambda result: emitted.append(result.key)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = backend.execute_many(specs, _slow_many_runner)
+        assert len(emitted) == len(set(emitted)) == len(specs)
+        assert sorted(r.key for r in results) == sorted(
+            r.key for r in reference
+        )
+        assert_cells_identical(
+            sorted(results, key=lambda r: r.key),
+            sorted(reference, key=lambda r: r.key),
+        )
+
+    def test_crashing_worker_never_double_delivers(self):
+        specs = list(small_grid().cells())
+        backend = ShmCrossRunBackend(2, dispatch_mode="shm")
+        emitted = []
+        backend.on_result = lambda result: emitted.append(result.key)
+        before = shm_entries()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RuntimeError, match="injected worker crash"):
+                backend.execute_many(specs, _crashing_many_runner)
+        # The crash surfaced loudly (no silent drop), nothing was
+        # delivered twice, and every block was swept.
+        assert len(emitted) == len(set(emitted))
+        assert shm_entries() <= before
+        assert backend.last_arena_stats is not None
+        assert backend.last_arena_stats.blocks >= 1
+
+
+class TestArenaLeaks:
+    def test_no_blocks_leak_on_success(self):
+        before = shm_entries()
+        result = shm_sweep(small_grid())
+        assert len(result.cells) == 16
+        assert shm_entries() <= before
+
+    def test_no_blocks_leak_on_worker_error(self):
+        specs = list(small_grid().cells())
+        backend = ShmCrossRunBackend(2, dispatch_mode="shm")
+        before = shm_entries()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(RuntimeError):
+                backend.execute_many(specs, _crashing_many_runner)
+        assert shm_entries() <= before
+
+    def test_no_blocks_leak_on_parent_interrupt(self):
+        grid = small_grid()
+        before = shm_entries()
+
+        def interrupt(result, done, total):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            shm_sweep(grid, progress=interrupt)
+        assert shm_entries() <= before
+
+
+class TestInterruptResume:
+    def test_journal_resume_is_bit_identical(self, tmp_path):
+        grid = small_grid()
+        reference = run_sweep(grid)
+        fired = []
+
+        def interrupt_after_four(result, done, total):
+            fired.append(result.key)
+            if done >= 4:
+                raise KeyboardInterrupt
+
+        journal = SweepJournal(tmp_path / "journal")
+        with pytest.raises(KeyboardInterrupt):
+            shm_sweep(grid, journal=journal, progress=interrupt_after_four)
+        journal.close()
+        assert journal.completed_count >= 4
+
+        resumed_journal = SweepJournal(tmp_path / "journal")
+        resumed = shm_sweep(grid, journal=resumed_journal)
+        resumed_journal.close()
+        assert resumed.cells == reference.cells
+        assert_cells_identical(resumed.cells, reference.cells)
+        assert resumed_journal.completed_count == len(grid)
+        assert shm_entries() == shm_entries()  # and nothing left behind
+
+
+class TestRunCellManyFallbackCache:
+    """The group ValueError fallback consults the store (satellite f)."""
+
+    class RacingStore(CellStore):
+        """Misses the first load per cell, hits afterwards -- the shape
+        of a concurrent shard invocation finishing mid-attempt."""
+
+        def __init__(self, root):
+            super().__init__(root)
+            self.first_load_done = set()
+            self.saves = []
+
+        def load(self, spec, trace_detail, probe=None):
+            if spec.key not in self.first_load_done:
+                self.first_load_done.add(spec.key)
+                return None
+            return super().load(spec, trace_detail, probe)
+
+        def save(self, result, trace_detail, probe=None):
+            self.saves.append(result.key)
+            return super().save(result, trace_detail, probe)
+
+    def test_fallback_serves_cached_members(self, tmp_path):
+        specs = [starving_witness(seed) for seed in range(3)]
+        reference = [run_cell(spec) for spec in specs]
+        assert all(r.error is not None for r in reference)
+
+        store = self.RacingStore(tmp_path)
+        # Pre-cache the first two members, as a sibling shard would.
+        for result in reference[:2]:
+            CellStore(tmp_path).save(result, "lite", None)
+
+        results = run_cell_many(specs, store=store)
+        assert_cells_identical(results, reference)
+        # The rescued members were served from the store (recorded as
+        # hits) and not saved a second time.
+        stats = store.snapshot()
+        assert stats.hits == 2
+        assert store.saves == [specs[2].key]
+
+    def test_fallback_without_store_still_identical(self):
+        specs = [starving_witness(seed) for seed in range(2)]
+        results = run_cell_many(specs)
+        assert_cells_identical(results, [run_cell(spec) for spec in specs])
