@@ -22,6 +22,7 @@ import argparse
 import inspect
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .base import ExperimentResult
 from .runner import EXPERIMENTS, render_report
@@ -326,6 +327,18 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--series", action="store_true", help="also print diameter trajectories"
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace the sweep into DIR: JSON-lines span traces (one "
+            "trace-<pid>.jsonl per process), sampled kernel timings, "
+            "flight-recorder dumps on error cells, and a metrics.json "
+            "snapshot; render it afterwards with 'sweep stats DIR' "
+            "(results are identical with or without)"
+        ),
+    )
     return parser
 
 
@@ -436,10 +449,12 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
     from ..analysis import render_series
     from ..sweep import CellStore, GridSpec, ShardedBackend, SweepJournal, run_sweep
     from ..sweep.backends import grid_fingerprint
+    from ..telemetry import get_registry, snapshot_delta
 
     args = build_sweep_parser().parse_args(argv)
     store = CellStore(args.cache_dir) if args.cache_dir else None
     journal = SweepJournal(args.resume) if args.resume else None
+    metrics_before = get_registry().snapshot()
 
     def split_axis(raw: Sequence[str]) -> list[str]:
         # Both '--families a b' and '--families a,b' are accepted; specs
@@ -503,6 +518,7 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
                 progress=_progress_printer() if args.progress else None,
                 journal=journal,
                 cross_run=args.cross_run,
+                telemetry=args.telemetry,
             )
         finally:
             if journal is not None:
@@ -535,11 +551,61 @@ def sweep_main(argv: Sequence[str] | None = None) -> int:
         print(f"cache: {rendered} ({store.root})")
     for cell in result.errors():
         print(f"ERROR {cell.spec.describe()}: {cell.error}")
+    # One-line warning summary: silent conversions (error cells,
+    # forced-pool dispatches on one CPU) must not vanish in the
+    # aggregate tables.
+    delta = snapshot_delta(metrics_before, get_registry().snapshot())
+    warn_parts = []
+    errors = int(delta["counters"].get("sweep.cells.error", 0))
+    if errors:
+        warn_parts.append(f"{errors} error cell(s)")
+    forced = int(delta["counters"].get("sweep.pool.forced_one_cpu", 0))
+    if forced:
+        warn_parts.append(
+            f"{forced} forced pool dispatch(es) on one usable cpu"
+        )
+    if warn_parts:
+        print(f"warnings: {', '.join(warn_parts)}")
+    if args.telemetry:
+        print(f"telemetry: {args.telemetry}")
     if not result.complete:
         # A partial shard succeeded if its own cells did -- vacuously
         # so when the shard owns no cells (shard_count > grid size).
         return 0 if all(cell.satisfied for cell in result.cells) else 1
     return 0 if result.all_satisfied else 1
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments sweep stats",
+        description=(
+            "Render a telemetry directory (produced by 'sweep "
+            "--telemetry DIR' or 'sweep serve --telemetry DIR') as "
+            "human-readable tables: merged counters and histograms, "
+            "per-span rollups, and any flight-recorder dumps."
+        ),
+    )
+    parser.add_argument(
+        "telemetry_dir",
+        metavar="DIR",
+        help="the telemetry directory to summarize",
+    )
+    return parser
+
+
+def stats_main(argv: Sequence[str] | None = None) -> int:
+    """``sweep stats`` subcommand: render a telemetry directory."""
+    from ..telemetry import render_stats
+
+    args = build_stats_parser().parse_args(argv)
+    if not Path(args.telemetry_dir).is_dir():
+        print(
+            f"stats error: {args.telemetry_dir} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_stats(args.telemetry_dir))
+    return 0
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -575,6 +641,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="log each HTTP request to stderr",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="DIR",
+        help=(
+            "trace every hosted sweep into DIR for the daemon's "
+            "lifetime; /metrics then includes the sampled kernel "
+            "counters merged back from pool workers"
+        ),
+    )
     return parser
 
 
@@ -589,6 +665,7 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         port=args.port,
         workers=args.workers,
         quiet=not args.verbose,
+        telemetry_dir=args.telemetry,
     )
     print(f"sweep serve: listening on {server.address}", flush=True)
     print(f"cache: {server.cache_root}", flush=True)
@@ -695,6 +772,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return serve_main(list(argv[2:]))
         if argv[1:2] == ["submit"]:
             return submit_main(list(argv[2:]))
+        if argv[1:2] == ["stats"]:
+            return stats_main(list(argv[2:]))
         return sweep_main(list(argv[1:]))
     args = build_parser().parse_args(argv)
     if args.list:

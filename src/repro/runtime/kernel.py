@@ -42,6 +42,7 @@ backends' ``batch_size`` run whole batches of cells on shared buffers.
 
 from __future__ import annotations
 
+import time
 from bisect import insort
 from collections.abc import Callable, Mapping, Sequence
 
@@ -277,7 +278,7 @@ class RoundKernel:
         bit-identity reference) whenever any precondition fails.
     """
 
-    __slots__ = ("group_inboxes", "flat_msr", "vectorized", "_buffer")
+    __slots__ = ("group_inboxes", "flat_msr", "vectorized", "telemetry", "_buffer")
 
     def __init__(
         self,
@@ -289,6 +290,10 @@ class RoundKernel:
         self.group_inboxes = group_inboxes
         self.flat_msr = flat_msr
         self.vectorized = vectorized
+        # A repro.telemetry KernelSampler when a tracing session wants
+        # sampled phase timings; None keeps the phase entry points on
+        # the single-slot-read fast path.
+        self.telemetry = None
         self._buffer: list[float] = []
 
     def prepare(self, protocol: VotingProtocol) -> FlatEvaluator | None:
@@ -321,6 +326,30 @@ class RoundKernel:
         return compile_msr_batch(function)
 
     def compute_phase_batch(
+        self,
+        batch: BatchMSREvaluator,
+        np,
+        broadcasts_arr,
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+        n: int,
+    ):
+        """Sampling shim over :meth:`_compute_phase_batch` (the real
+        vectorized phase).  With no sampler attached this is one slot
+        read and a tail call."""
+        sampler = self.telemetry
+        if sampler is None or not sampler.tick("batch"):
+            return self._compute_phase_batch(
+                batch, np, broadcasts_arr, override_outboxes, n
+            )
+        start = time.perf_counter()
+        try:
+            return self._compute_phase_batch(
+                batch, np, broadcasts_arr, override_outboxes, n
+            )
+        finally:
+            sampler.record("batch", time.perf_counter() - start)
+
+    def _compute_phase_batch(
         self,
         batch: BatchMSREvaluator,
         np,
@@ -501,6 +530,40 @@ class RoundKernel:
         return results
 
     def compute_phase(
+        self,
+        protocol: VotingProtocol,
+        evaluate: FlatEvaluator | None,
+        n: int,
+        broadcasts: list[float],
+        override_outboxes: Sequence[Mapping[int, float]] | None,
+        compute_corruptions: Mapping[int, float],
+        values: dict[int, float],
+        need_diameter: bool,
+        topology=None,
+        broadcast_by_sender: Mapping[int, float] | None = None,
+        override_senders: Sequence[int] | None = None,
+    ) -> float:
+        """Sampling shim over :meth:`_compute_phase` (the real scalar
+        phase).  With no sampler attached this is one slot read and a
+        tail call."""
+        sampler = self.telemetry
+        if sampler is None or not sampler.tick("scalar"):
+            return self._compute_phase(
+                protocol, evaluate, n, broadcasts, override_outboxes,
+                compute_corruptions, values, need_diameter, topology,
+                broadcast_by_sender, override_senders,
+            )
+        start = time.perf_counter()
+        try:
+            return self._compute_phase(
+                protocol, evaluate, n, broadcasts, override_outboxes,
+                compute_corruptions, values, need_diameter, topology,
+                broadcast_by_sender, override_senders,
+            )
+        finally:
+            sampler.record("scalar", time.perf_counter() - start)
+
+    def _compute_phase(
         self,
         protocol: VotingProtocol,
         evaluate: FlatEvaluator | None,

@@ -52,6 +52,7 @@ from .controllers import (
     RoundPlan,
     StaticMixedController,
 )
+from ..telemetry import trace_span
 from .families import get_family
 from .kernel import RoundKernel
 from .network import SynchronousNetwork
@@ -393,30 +394,34 @@ def simulate_many(
         SynchronousSimulator(config, trace_detail=trace_detail, kernel=shared)
         for config in configs
     ]
-    traces: list = [None] * len(sims)
-    groups: dict[tuple, list[int]] = {}
-    for index, sim in enumerate(sims):
-        key = sim._cross_run_key()
-        if key is None:
-            traces[index] = sim.run()
-        else:
-            groups.setdefault(key, []).append(index)
-    for indices in groups.values():
-        if len(indices) == 1:
-            # A batch of one gains nothing from stacking; the per-cell
-            # vectorized path is the same computation.
-            index = indices[0]
-            traces[index] = sims[index].run()
-            continue
-        for index, trace in zip(
-            indices, _run_lite_many([sims[i] for i in indices])
-        ):
-            traces[index] = trace
-    if out is not None:
-        slots = range(len(sims)) if out_slots is None else out_slots
-        for slot, trace in zip(slots, traces):
-            out.write(slot, trace)
-    return traces
+    with trace_span("sim.many", runs=len(sims)) as span:
+        traces: list = [None] * len(sims)
+        groups: dict[tuple, list[int]] = {}
+        for index, sim in enumerate(sims):
+            key = sim._cross_run_key()
+            if key is None:
+                traces[index] = sim.run()
+            else:
+                groups.setdefault(key, []).append(index)
+        stacked = 0
+        for indices in groups.values():
+            if len(indices) == 1:
+                # A batch of one gains nothing from stacking; the
+                # per-cell vectorized path is the same computation.
+                index = indices[0]
+                traces[index] = sims[index].run()
+                continue
+            stacked += 1
+            for index, trace in zip(
+                indices, _run_lite_many([sims[i] for i in indices])
+            ):
+                traces[index] = trace
+        span.set("stacked_groups", stacked)
+        if out is not None:
+            slots = range(len(sims)) if out_slots is None else out_slots
+            for slot, trace in zip(slots, traces):
+                out.write(slot, trace)
+        return traces
 
 
 def _run_lite_many(sims: list[SynchronousSimulator]) -> list[LiteTrace]:
@@ -689,11 +694,17 @@ class SynchronousSimulator:
 
     def run(self) -> Trace | LiteTrace:
         """Execute rounds until the termination rule fires (or the cap)."""
-        if isinstance(self.protocol, StatefulRoundProtocol):
-            return self._run_stateful()
-        if self.trace_detail == "lite":
-            return self._run_lite()
-        return self._run_full()
+        with trace_span(
+            "sim.run", n=self.config.n, family=self.config.family
+        ) as span:
+            if isinstance(self.protocol, StatefulRoundProtocol):
+                trace = self._run_stateful()
+            elif self.trace_detail == "lite":
+                trace = self._run_lite()
+            else:
+                trace = self._run_full()
+            span.set("rounds", trace.rounds_executed())
+            return trace
 
     def _run_full(self) -> Trace:
         """Full-trace run: vectorized recorder when available, else step()."""

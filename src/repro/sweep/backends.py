@@ -86,6 +86,7 @@ except Exception:  # pragma: no cover - exercised only without the module
     _shared_memory = None
 
 from ..runtime.simulator import ShmBatchLayout
+from ..telemetry import DEFAULT_SIZE_EDGES, count, observe
 from .aggregate import SweepResult
 from .cache import (
     SWEEP_SCHEMA_VERSION,
@@ -408,6 +409,10 @@ class MultiprocessingBackend(SweepBackend):
         if self.dispatch_mode in ("pool", "shm"):
             cpus = _usable_cpus()
             if cpus < 2:
+                # Counted so the CLI can surface a one-line warning
+                # summary after the sweep -- RuntimeWarnings otherwise
+                # vanish under pytest/capture harnesses.
+                count("sweep.pool.forced_one_cpu")
                 warnings.warn(
                     f"dispatch mode {self.dispatch_mode!r} forced with "
                     f"{self.workers} workers on {cpus} usable cpu: the "
@@ -697,6 +702,7 @@ class _AdaptiveChunker:
             return None
         chunk = [self._queue.popleft()]
         if self._sec_per_cost is None:
+            observe("sweep.chunk.size", float(len(chunk)), DEFAULT_SIZE_EDGES)
             return chunk
         budget = self._target - self._estimate(chunk[0]) * self._sec_per_cost
         while self._queue and len(chunk) < self._max_chunk:
@@ -705,6 +711,7 @@ class _AdaptiveChunker:
                 break
             chunk.append(self._queue.popleft())
             budget -= eta
+        observe("sweep.chunk.size", float(len(chunk)), DEFAULT_SIZE_EDGES)
         return chunk
 
     def observe(self, cost: float, seconds: float) -> None:
@@ -938,6 +945,9 @@ class _ShmRow:
     p2_ok: bool | None = None
     extras: tuple = ()
     elapsed: float | None = None
+    #: Cell-scoped telemetry counters (see ``CellResult.metrics``);
+    #: rides the pickle channel like the other header scalars.
+    metrics: tuple = ()
     inline: "CellResult | None" = None
 
 
@@ -1154,6 +1164,7 @@ class SharedResultArena:
                         p2_ok=row.p2_ok,
                         extras=row.extras,
                         elapsed=row.elapsed,
+                        metrics=row.metrics,
                     )
                 )
             return rows
@@ -1247,6 +1258,7 @@ def _shm_group_task(
                         p2_ok=result.p2_ok,
                         extras=result.extras,
                         elapsed=result.elapsed,
+                        metrics=result.metrics,
                     )
                 )
             else:

@@ -25,6 +25,7 @@ assert these properties.
 
 from __future__ import annotations
 
+import json
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field, replace
@@ -34,6 +35,24 @@ from typing import TYPE_CHECKING
 
 from ..core.specification import check_trace
 from ..runtime.kernel import RoundKernel
+from ..telemetry import (
+    DEFAULT_SIZE_EDGES,
+    KernelSampler,
+    TelemetryConfig,
+    activate,
+    count,
+    current_config,
+    deactivate,
+    dump_flight,
+    get_registry,
+    metrics_enabled,
+    observe,
+    parse_dispatch_label,
+    record_event,
+    snapshot_delta,
+    trace_span,
+    tracing_active,
+)
 from ..runtime.simulator import (
     RunBatchOut,
     TraceDetail,
@@ -106,6 +125,15 @@ class CellResult:
     #: the cache serialization, consumed by
     #: :meth:`~repro.sweep.backends.CostModel.fit` via the journal.
     elapsed: float | None = field(default=None, compare=False, repr=False)
+    #: Cell-scoped telemetry counters (``(name, value)`` pairs, e.g.
+    #: sampled kernel phase timings) recorded where the cell actually
+    #: ran and merged into the parent's metrics registry by
+    #: :func:`run_sweep`.  A machine property like ``elapsed``:
+    #: compare-excluded, absent from the cache serialization, empty
+    #: unless a telemetry session is active.
+    metrics: tuple[tuple[str, float], ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     @property
     def key(self) -> tuple:
@@ -127,7 +155,15 @@ class CellResult:
 
 
 def _error_cell(cell: CellSpec, exc: Exception) -> CellResult:
-    """The canonical error verdict of a cell that could not run."""
+    """The canonical error verdict of a cell that could not run.
+
+    Under an active tracing session the conversion also lands in the
+    trace and triggers a flight-recorder dump, so the events leading up
+    to the failure survive next to the error string.
+    """
+    if tracing_active():
+        record_event("cell.error", cell=cell.describe(), error=str(exc))
+        dump_flight("error-cell")
     return CellResult(
         spec=cell,
         decisions=(),
@@ -166,11 +202,22 @@ def _condense_trace(cell: CellSpec, trace, probe_spec) -> CellResult:
     )
 
 
+def _ensure_sampler(kernel: RoundKernel) -> KernelSampler:
+    """Attach (or reuse) a kernel phase sampler for the active session."""
+    sampler = kernel.telemetry
+    if sampler is None:
+        config = current_config()
+        every = config.sample_every if config is not None else 32
+        sampler = kernel.telemetry = KernelSampler(every)
+    return sampler
+
+
 def run_cell(
     cell: CellSpec,
     trace_detail: TraceDetail = "lite",
     probe: str | None = None,
     kernel: RoundKernel | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> CellResult:
     """Execute one cell and condense its outcome.
 
@@ -179,22 +226,47 @@ def run_cell(
     registered :class:`~repro.sweep.probes.Probe` whose output lands in
     ``CellResult.extras``.  ``kernel`` optionally shares one
     :class:`~repro.runtime.kernel.RoundKernel` across the cells of a
-    batch (results are identical with or without it).
+    batch (results are identical with or without it).  ``telemetry``
+    activates the run's tracing session in whichever process this
+    lands; the drained kernel sample counters travel back on
+    ``CellResult.metrics``.
     """
+    if telemetry is not None:
+        activate(telemetry)
     probe_spec = get_probe(probe) if probe is not None else None
+    sampler = None
+    if tracing_active():
+        if kernel is None:
+            kernel = RoundKernel()
+        sampler = _ensure_sampler(kernel)
     started = time.perf_counter()
-    try:
-        config = cell.to_config()
-    except (ValueError, KeyError) as exc:
-        return _error_cell(cell, exc)
-    try:
-        trace = run_simulation(config, trace_detail=trace_detail, kernel=kernel)
-    except ValueError as exc:
-        # A family's runtime requirement rejecting the run mid-flight
-        # is a per-cell verdict, not grounds to kill a whole sweep.
-        return _error_cell(cell, exc)
-    result = _condense_trace(cell, trace, probe_spec)
-    return replace(result, elapsed=time.perf_counter() - started)
+    with trace_span("sweep.cell", cell=cell.describe()) as span:
+        result: CellResult | None = None
+        try:
+            config = cell.to_config()
+        except (ValueError, KeyError) as exc:
+            result = _error_cell(cell, exc)
+        if result is None:
+            try:
+                trace = run_simulation(
+                    config, trace_detail=trace_detail, kernel=kernel
+                )
+            except ValueError as exc:
+                # A family's runtime requirement rejecting the run
+                # mid-flight is a per-cell verdict, not grounds to kill
+                # a whole sweep.
+                result = _error_cell(cell, exc)
+            else:
+                result = replace(
+                    _condense_trace(cell, trace, probe_spec),
+                    elapsed=time.perf_counter() - started,
+                )
+                span.set("rounds", result.rounds)
+    if sampler is not None:
+        drained = sampler.drain()
+        if drained:
+            result = replace(result, metrics=drained)
+    return result
 
 
 def _run_cell_cached(
@@ -203,6 +275,7 @@ def _run_cell_cached(
     probe: str | None = None,
     store: CellStore | None = None,
     kernel: RoundKernel | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> CellResult:
     """Cache-through cell runner (module level so it pickles).
 
@@ -214,7 +287,13 @@ def _run_cell_cached(
     cached = store.load(cell, trace_detail, probe)
     if cached is not None:
         return cached
-    result = run_cell(cell, trace_detail=trace_detail, probe=probe, kernel=kernel)
+    result = run_cell(
+        cell,
+        trace_detail=trace_detail,
+        probe=probe,
+        kernel=kernel,
+        telemetry=telemetry,
+    )
     store.save(result, trace_detail, probe)
     return result
 
@@ -224,6 +303,7 @@ def run_cell_batch(
     trace_detail: TraceDetail = "lite",
     probe: str | None = None,
     store: CellStore | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> list[CellResult]:
     """Execute a batch of cells in-process through one shared kernel.
 
@@ -233,6 +313,8 @@ def run_cell_batch(
     over the whole batch.  Results are bit-identical to per-cell
     execution -- the kernel carries no simulation state between cells.
     """
+    if telemetry is not None:
+        activate(telemetry)
     kernel = RoundKernel()
     if store is None:
         return [
@@ -257,6 +339,7 @@ def run_cell_many(
     probe: str | None = None,
     store: CellStore | None = None,
     out: RunBatchOut | None = None,
+    telemetry: TelemetryConfig | None = None,
 ) -> list[CellResult]:
     """Execute a group of cells through the cross-run vectorized engine.
 
@@ -279,7 +362,10 @@ def run_cell_many(
     fallback reruns) leave their slot unwritten, which ``out.written``
     records.
     """
+    if telemetry is not None:
+        activate(telemetry)
     kernel = RoundKernel()
+    sampler = _ensure_sampler(kernel) if tracing_active() else None
     probe_spec = get_probe(probe) if probe is not None else None
     results: list[CellResult | None] = [None] * len(cells)
     pending: list[int] = []
@@ -310,15 +396,19 @@ def run_cell_many(
         if not runnable:
             continue
         started = time.perf_counter()
-        try:
-            traces = simulate_many(
-                configs,
-                trace_detail=trace_detail,
-                kernel=kernel,
-                out=out,
-                out_slots=runnable,
-            )
-        except ValueError:
+        group_span = trace_span("sweep.cell.group", runs=len(runnable))
+        with group_span:
+            try:
+                traces = simulate_many(
+                    configs,
+                    trace_detail=trace_detail,
+                    kernel=kernel,
+                    out=out,
+                    out_slots=runnable,
+                )
+            except ValueError:
+                traces = None
+        if traces is None:
             # A family's runtime requirement rejected some run of the
             # group mid-flight.  Rerun the group per-cell so the error
             # lands on exactly the cell that earned it -- but serve any
@@ -345,6 +435,14 @@ def run_cell_many(
         for idx, trace in zip(runnable, traces):
             condensed = _condense_trace(cells[idx], trace, probe_spec)
             results[idx] = replace(condensed, elapsed=share)
+        if sampler is not None:
+            # Kernel counters of one stacked pass are group-scoped;
+            # ship them on the group's first result (the parent merge
+            # is additive, so attribution within the group is moot).
+            drained = sampler.drain()
+            if drained:
+                first = runnable[0]
+                results[first] = replace(results[first], metrics=drained)
     if store is not None:
         for idx in pending:
             if idx not in rescued:
@@ -425,6 +523,7 @@ def run_sweep(
     progress: ProgressCallback | None = None,
     journal: "SweepJournal | None" = None,
     cross_run: bool = False,
+    telemetry: TelemetryConfig | str | Path | None = None,
 ) -> SweepResult:
     """Run every cell of ``grid`` through a backend, via the cell cache.
 
@@ -472,7 +571,150 @@ def run_sweep(
     key, so the returned :class:`SweepResult` depends only on the
     grid (``dispatch`` and ``cache_stats`` are equality-excluded
     machine properties).
+
+    ``telemetry`` -- a directory path or a
+    :class:`~repro.telemetry.TelemetryConfig` -- activates a tracing
+    session for the sweep: JSON-lines span traces (one
+    ``trace-<pid>.jsonl`` per participating process), sampled kernel
+    phase timings shipped back on ``CellResult.metrics``, a
+    flight-recorder dump on every error cell or sweep crash, and a
+    ``metrics.json`` snapshot of the sweep's counters on completion.
+    Telemetry never changes results: every field it adds is
+    compare-excluded like ``dispatch``/``elapsed``.
     """
+    tconfig: TelemetryConfig | None
+    own_session = False
+    if telemetry is None:
+        # Inherit an already-active session (a serve daemon configures
+        # one for all the sweeps it hosts).
+        tconfig = current_config()
+    elif isinstance(telemetry, TelemetryConfig):
+        tconfig = telemetry
+        own_session = activate(tconfig)
+    else:
+        tconfig = TelemetryConfig(directory=str(telemetry))
+        own_session = activate(tconfig)
+    metrics_before = get_registry().snapshot() if own_session else None
+    try:
+        with trace_span("sweep.run", workers=workers) as span:
+            final = _run_sweep(
+                grid, workers, trace_detail, chunk_size, backend, cache,
+                probe, batch_size, dispatch, progress, journal, cross_run,
+                tconfig,
+            )
+            span.set("cells", len(final.cells))
+            span.set("dispatch", final.dispatch)
+        return final
+    except BaseException:
+        # A propagated exception (worker crash, pool failure) is what
+        # the flight recorder exists for: dump the tail of the story
+        # before unwinding.  Per-cell errors never reach here -- they
+        # were converted (and dumped) by _error_cell.
+        if tconfig is not None:
+            dump_flight("sweep.crash")
+        raise
+    finally:
+        if own_session:
+            _write_session_metrics(tconfig.directory, metrics_before)
+            deactivate()
+
+
+def _write_session_metrics(directory: str, before: dict) -> None:
+    """Write the sweep-scoped ``metrics.json`` delta of a session."""
+    payload = snapshot_delta(before, get_registry().snapshot())
+    path = Path(directory) / "metrics.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _record_cell_metrics(result: CellResult) -> None:
+    """Fold one observed result into the process metrics registry."""
+    if not metrics_enabled():
+        return
+    count("sweep.cells.done")
+    if result.error is not None:
+        count("sweep.cells.error")
+    if result.elapsed is not None:
+        observe("sweep.cell.seconds", result.elapsed)
+        observe(f"sweep.cell.seconds.{result.spec.family}", result.elapsed)
+    observe("sweep.cell.rounds", float(result.rounds), DEFAULT_SIZE_EDGES)
+    if result.metrics:
+        registry = get_registry()
+        for name, value in result.metrics:
+            registry.inc(name, value)
+
+
+def _record_sweep_metrics(
+    resolved: SweepBackend, final: SweepResult, cache_before
+) -> None:
+    """Fold a finished sweep's dispatch decision into the registry."""
+    if not metrics_enabled():
+        return
+    count("sweep.runs")
+    try:
+        record = parse_dispatch_label(final.dispatch)
+    except ValueError:
+        # Third-party backends may label dispatches however they like.
+        count("sweep.dispatch.unparsed")
+        return
+    count(f"sweep.dispatch.mode.{record.mode}")
+    if record.pooled:
+        count("sweep.dispatch.pooled")
+    if record.asynchronous:
+        count("sweep.dispatch.async")
+    if record.cross_run:
+        count("sweep.dispatch.cross_run")
+    if record.sharded:
+        count("sweep.dispatch.sharded")
+    if record.forced:
+        count("sweep.dispatch.forced")
+    if record.fallback:
+        count("sweep.dispatch.auto_fallback")
+    if record.rung is not None:
+        count(f"sweep.shm.rung.{record.rung}")
+    if record.steals is not None:
+        count("sweep.shm.steals", record.steals)
+    stats = getattr(resolved, "last_arena_stats", None)
+    if stats is not None:
+        count("sweep.shm.results", stats.shm_results)
+        count("sweep.shm.pickle_results", stats.pickle_results)
+        count("sweep.shm.bytes", stats.shm_bytes)
+        count("sweep.shm.blocks", stats.blocks)
+        count("sweep.shm.unlinked", stats.unlinked)
+    if final.cache_stats is not None and cache_before is not None:
+        # The store may be shared across sweeps (serve daemon): count
+        # only this sweep's traffic.
+        count("sweep.cache.hits", final.cache_stats.hits - cache_before.hits)
+        count(
+            "sweep.cache.misses",
+            final.cache_stats.misses - cache_before.misses,
+        )
+        count(
+            "sweep.cache.bytes_read",
+            final.cache_stats.bytes_read - cache_before.bytes_read,
+        )
+        count(
+            "sweep.cache.bytes_written",
+            final.cache_stats.bytes_written - cache_before.bytes_written,
+        )
+
+
+def _run_sweep(
+    grid: GridSpec | Iterable[CellSpec],
+    workers: int,
+    trace_detail: TraceDetail,
+    chunk_size: int | None,
+    backend: SweepBackend | str | None,
+    cache: CellStore | str | Path | None,
+    probe: str | None,
+    batch_size: int | None,
+    dispatch: str,
+    progress: ProgressCallback | None,
+    journal: "SweepJournal | None",
+    cross_run: bool,
+    tconfig: TelemetryConfig | None,
+) -> SweepResult:
+    """The body of :func:`run_sweep`, inside its telemetry envelope."""
     if trace_detail not in ("full", "lite"):
         raise ValueError(
             f"trace_detail must be 'full' or 'lite', got {trace_detail!r}"
@@ -512,6 +754,9 @@ def run_sweep(
             "resume through their spill directory"
         )
     store = CellStore(cache) if isinstance(cache, (str, Path)) else cache
+    # Stores outlive sweeps (the serve daemon shares one across
+    # requests), so registry counting below works on the delta.
+    cache_before = store.snapshot() if store is not None else None
     selected = resolved.select(cells)
 
     # Every result flows through the reporter exactly once: journal
@@ -529,6 +774,7 @@ def run_sweep(
             return
         reported.add(result.key)
         done += 1
+        _record_cell_metrics(result)
         if journal is not None:
             journal.record(result)
         if progress is not None:
@@ -547,14 +793,33 @@ def run_sweep(
 
     batched = resolved.wants_batches
     resolved.on_result = report
+    # Manual span management spares the whole dispatch block a
+    # re-indent; the label lands as an attribute once execution is
+    # done.  A propagated exception leaves through run_sweep's
+    # flight-recorder dump.
+    dispatch_span = trace_span(
+        "sweep.dispatch", backend=type(resolved).__name__
+    )
+    dispatch_span.__enter__()
     try:
         if store is None:
-            runner = partial(run_cell, trace_detail=trace_detail, probe=probe)
+            runner = partial(
+                run_cell,
+                trace_detail=trace_detail,
+                probe=probe,
+                telemetry=tconfig,
+            )
             batch_runner = partial(
-                run_cell_batch, trace_detail=trace_detail, probe=probe
+                run_cell_batch,
+                trace_detail=trace_detail,
+                probe=probe,
+                telemetry=tconfig,
             )
             many_runner = partial(
-                run_cell_many, trace_detail=trace_detail, probe=probe
+                run_cell_many,
+                trace_detail=trace_detail,
+                probe=probe,
+                telemetry=tconfig,
             )
             executed = (
                 resolved.execute_many(remaining, many_runner)
@@ -569,18 +834,21 @@ def run_sweep(
                 trace_detail=trace_detail,
                 probe=probe,
                 store=store,
+                telemetry=tconfig,
             )
             batch_runner = partial(
                 run_cell_batch,
                 trace_detail=trace_detail,
                 probe=probe,
                 store=store,
+                telemetry=tconfig,
             )
             many_runner = partial(
                 run_cell_many,
                 trace_detail=trace_detail,
                 probe=probe,
                 store=store,
+                telemetry=tconfig,
             )
             hits: list[CellResult] = []
             missing: list[CellSpec] = []
@@ -603,8 +871,11 @@ def run_sweep(
         for result in executed:
             report(result)
     finally:
+        dispatch_span.set("label", resolved.dispatch)
+        dispatch_span.__exit__(None, None, None)
         resolved.on_result = None
     final = resolved.finalize(journaled + executed, trace_detail, probe)
     if store is not None:
         final = replace(final, cache_stats=store.snapshot())
+    _record_sweep_metrics(resolved, final, cache_before)
     return final

@@ -42,7 +42,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import TYPE_CHECKING
 
-from .backends import grid_fingerprint
+from ..telemetry import TelemetryConfig, activate, get_registry
+from .backends import ShmCrossRunBackend, grid_fingerprint
 from .cache import (
     SWEEP_SCHEMA_VERSION,
     CellStore,
@@ -285,6 +286,10 @@ class _SweepRequestHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         if self.path == "/healthz":
             self._respond(200, self.server.health())
+        elif self.path == "/metrics":
+            self._respond(200, get_registry().snapshot())
+        elif self.path == "/stats":
+            self._respond(200, self.server.stats())
         else:
             self._respond(404, {"error": f"unknown endpoint {self.path}"})
 
@@ -316,8 +321,16 @@ class SweepServer(ThreadingHTTPServer):
 
     Endpoints (all JSON):
 
-    * ``GET /healthz`` -- liveness, schema version, cache root, request
-      count.
+    * ``GET /healthz`` -- liveness, schema version, cache root, uptime,
+      request counts (total and per serving tier), worker count, and
+      accumulated shared-memory arena stats -- everything the CI
+      ``sweep-service`` job asserts on.
+    * ``GET /metrics`` -- the process metrics registry snapshot
+      (counters, gauges, fixed-edge histograms), including the
+      worker-side counters each sweep merged back through its result
+      channel.
+    * ``GET /stats`` -- service-oriented view: uptime, per-tier request
+      counts, arena totals, plus the metrics snapshot.
     * ``POST /sweep`` -- ``{"grid": {axes...}, "trace_detail"?,
       "probe"?}``; runs the grid through the cross-run engine (the
       shared-memory stealing pool where workers and CPUs allow)
@@ -332,6 +345,11 @@ class SweepServer(ThreadingHTTPServer):
     evidence behind ``tier`` -- are isolated even under the threaded
     server's concurrent requests; the content-addressed store itself is
     safely shared (atomic per-entry writes).
+
+    ``telemetry_dir`` activates a tracing session for the daemon's
+    lifetime (``sweep serve --telemetry DIR``): every hosted sweep
+    traces into it, and ``/metrics`` then carries the sampled kernel
+    counters merged back from pool workers.
     """
 
     daemon_threads = True
@@ -343,12 +361,27 @@ class SweepServer(ThreadingHTTPServer):
         port: int = 0,
         workers: int = 1,
         quiet: bool = True,
+        telemetry_dir: str | Path | None = None,
     ) -> None:
         super().__init__((host, port), _SweepRequestHandler)
         self.cache_root = Path(cache_dir)
         self.workers = workers
         self.quiet = quiet
         self.requests_served = 0
+        self.started = time.time()
+        self.tier_counts = {"cache": 0, "compute": 0, "mixed": 0}
+        #: Accumulated :class:`~repro.sweep.backends.ArenaStats` fields
+        #: over every pooled shm dispatch this daemon has hosted.
+        self.arena_totals = {
+            "shm_results": 0,
+            "pickle_results": 0,
+            "shm_bytes": 0,
+            "blocks": 0,
+            "unlinked": 0,
+        }
+        self._stats_lock = threading.Lock()
+        if telemetry_dir is not None:
+            activate(TelemetryConfig(directory=str(telemetry_dir)))
 
     @property
     def address(self) -> str:
@@ -357,13 +390,23 @@ class SweepServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
     def health(self) -> dict:
-        return {
-            "ok": True,
-            "schema": SWEEP_SCHEMA_VERSION,
-            "cache": str(self.cache_root),
-            "requests": self.requests_served,
-            "workers": self.workers,
-        }
+        with self._stats_lock:
+            return {
+                "ok": True,
+                "schema": SWEEP_SCHEMA_VERSION,
+                "cache": str(self.cache_root),
+                "requests": self.requests_served,
+                "tiers": dict(self.tier_counts),
+                "uptime_seconds": time.time() - self.started,
+                "arena": dict(self.arena_totals),
+                "workers": self.workers,
+            }
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: service view plus metrics snapshot."""
+        payload = self.health()
+        payload["metrics"] = get_registry().snapshot()
+        return payload
 
     def handle_sweep(self, payload: dict) -> dict:
         """Run one grid request; the response carries its serving tier."""
@@ -378,11 +421,17 @@ class SweepServer(ThreadingHTTPServer):
         trace_detail = payload.get("trace_detail", "lite")
         probe = payload.get("probe")
         store = CellStore(self.cache_root)
+        # An explicit backend instance (rather than run_sweep's auto
+        # resolution) keeps the arena stats of the dispatch readable
+        # for the /healthz accumulators; its fallback ladder still
+        # drops to in-process serial cross-run at 1 worker/CPU.
+        backend = ShmCrossRunBackend(max(self.workers, 1))
         start = time.perf_counter()
         result = run_sweep(
             grid,
             workers=self.workers,
             trace_detail=trace_detail,
+            backend=backend,
             cache=store,
             probe=probe,
             cross_run=True,
@@ -395,7 +444,16 @@ class SweepServer(ThreadingHTTPServer):
             tier = "compute"
         else:
             tier = "mixed"
-        self.requests_served += 1
+        with self._stats_lock:
+            self.requests_served += 1
+            self.tier_counts[tier] += 1
+            arena = backend.last_arena_stats
+            if arena is not None:
+                self.arena_totals["shm_results"] += arena.shm_results
+                self.arena_totals["pickle_results"] += arena.pickle_results
+                self.arena_totals["shm_bytes"] += arena.shm_bytes
+                self.arena_totals["blocks"] += arena.blocks
+                self.arena_totals["unlinked"] += arena.unlinked
         return {
             "cells": len(result),
             "satisfied": result.satisfied_count(),

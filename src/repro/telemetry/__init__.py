@@ -1,0 +1,85 @@
+"""Zero-dependency observability for the sweep/runtime stack.
+
+Two halves with different costs and defaults:
+
+* **Metrics** (:mod:`repro.telemetry.metrics`) — a process-wide
+  registry of counters, gauges, and fixed-edge histograms.  On by
+  default; parent-side code records at cell granularity and workers
+  ship their cell-scoped measurements back through the result channel
+  (``CellResult.metrics``, compare-excluded) for the parent to merge.
+
+* **Tracing** (:mod:`repro.telemetry.tracing`) — span-based JSON-lines
+  traces, a flight-recorder ring buffer, and sampled kernel timers.
+  Opt-in per run via ``sweep --telemetry DIR`` /
+  ``run_sweep(telemetry=...)``; the disabled path of ``trace_span`` is
+  a module-global lookup and return.
+
+:mod:`repro.telemetry.labels` parses backend dispatch labels into
+structured records, and :mod:`repro.telemetry.stats` renders a
+telemetry directory for ``sweep stats``.
+"""
+
+from .labels import DispatchRecord, parse_dispatch_label
+from .metrics import (
+    DEFAULT_LATENCY_EDGES,
+    DEFAULT_SIZE_EDGES,
+    Histogram,
+    MetricsRegistry,
+    count,
+    get_registry,
+    metrics_enabled,
+    observe,
+    set_gauge,
+    set_metrics_enabled,
+    snapshot_delta,
+)
+from .stats import (
+    load_metrics,
+    load_trace_events,
+    render_stats,
+    span_children,
+    span_rollup,
+)
+from .tracing import (
+    KernelSampler,
+    TelemetryConfig,
+    activate,
+    configure,
+    current_config,
+    deactivate,
+    dump_flight,
+    record_event,
+    trace_span,
+    tracing_active,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_EDGES",
+    "DEFAULT_SIZE_EDGES",
+    "DispatchRecord",
+    "Histogram",
+    "KernelSampler",
+    "MetricsRegistry",
+    "TelemetryConfig",
+    "activate",
+    "configure",
+    "count",
+    "current_config",
+    "deactivate",
+    "dump_flight",
+    "get_registry",
+    "load_metrics",
+    "load_trace_events",
+    "metrics_enabled",
+    "observe",
+    "parse_dispatch_label",
+    "record_event",
+    "render_stats",
+    "set_gauge",
+    "set_metrics_enabled",
+    "snapshot_delta",
+    "span_children",
+    "span_rollup",
+    "trace_span",
+    "tracing_active",
+]

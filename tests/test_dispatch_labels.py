@@ -1,0 +1,181 @@
+"""Dispatch-label round-tripping: every backend label parses structurally.
+
+Backends advertise how a sweep actually ran through the free-text
+``SweepResult.dispatch`` label.  CI scripts and the telemetry layer key
+off those strings, so the grammar is load-bearing: this suite pins down
+``parse_dispatch_label`` for every label family the backends can emit
+(``serial``, ``batched-parallel (forced)``, ``async-*``,
+``cross-run(...)``, ``cross-run-shm(..., steals=S)``, ``sharded(inner)``)
+and then harvests labels from real small sweeps to prove the parser and
+the backends never drift apart.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from tests.helpers import small_grid
+
+from repro.sweep import run_sweep
+from repro.telemetry import DispatchRecord, parse_dispatch_label
+
+
+class TestPlainLabels:
+    def test_serial(self):
+        rec = parse_dispatch_label("serial")
+        assert rec.mode == "serial"
+        assert not rec.pooled and not rec.batched and not rec.forced
+        assert rec.inner is None
+
+    def test_batched_serial(self):
+        rec = parse_dispatch_label("batched-serial")
+        assert rec.mode == "serial"
+        assert rec.batched
+
+    def test_parallel(self):
+        rec = parse_dispatch_label("parallel")
+        assert rec.mode == "parallel"
+        assert rec.pooled
+
+    def test_forced_qualifier(self):
+        rec = parse_dispatch_label("batched-parallel (forced)")
+        assert rec.mode == "parallel"
+        assert rec.batched and rec.forced and not rec.fallback
+
+    def test_forced_on_one_cpu(self):
+        rec = parse_dispatch_label("parallel (forced on 1 usable cpu)")
+        assert rec.forced
+        assert rec.usable_cpus == 1
+
+    def test_auto_fallback(self):
+        rec = parse_dispatch_label(
+            "serial (auto-fallback: 4 workers on 1 usable cpu)"
+        )
+        assert rec.mode == "serial"
+        assert rec.fallback and not rec.forced
+        assert rec.workers == 4
+        assert rec.usable_cpus == 1
+
+
+class TestCrossRunLabels:
+    def test_in_process(self):
+        rec = parse_dispatch_label("cross-run(6 batches, max R=16)")
+        assert rec.cross_run
+        assert rec.mode == "serial"
+        assert not rec.pooled
+        assert rec.batches == 6
+        assert rec.max_r == 16
+        assert rec.rung is None
+
+    def test_pooled_legacy(self):
+        rec = parse_dispatch_label("cross-run(6 batches, max R=16, parallel)")
+        assert rec.cross_run and rec.pooled
+        assert rec.mode == "parallel"
+
+    def test_shm_rung(self):
+        rec = parse_dispatch_label(
+            "cross-run-shm(4 batches, max R=8, steals=2)"
+        )
+        assert rec.cross_run and rec.pooled
+        assert rec.rung == "shm"
+        assert rec.batches == 4
+        assert rec.max_r == 8
+        assert rec.steals == 2
+
+    def test_pickle_rung(self):
+        rec = parse_dispatch_label(
+            "cross-run-pickle(4 batches, max R=8, steals=0)"
+        )
+        assert rec.rung == "pickle"
+        assert rec.steals == 0
+
+
+class TestWrapperLabels:
+    def test_async_prefix(self):
+        rec = parse_dispatch_label("async-cross-run(3 batches, max R=4)")
+        assert rec.asynchronous and rec.cross_run
+        assert rec.batches == 3
+        assert rec.inner is not None
+        assert not rec.inner.asynchronous
+
+    def test_async_serial(self):
+        rec = parse_dispatch_label("async-serial")
+        assert rec.asynchronous
+        assert rec.mode == "serial"
+
+    def test_sharded_wraps_inner(self):
+        rec = parse_dispatch_label("sharded(batched-serial)")
+        assert rec.sharded
+        assert rec.mode == "serial"
+        assert rec.batched
+        assert isinstance(rec.inner, DispatchRecord)
+        assert rec.inner.raw == "batched-serial"
+        assert not rec.inner.sharded
+
+    def test_sharded_shm(self):
+        rec = parse_dispatch_label(
+            "sharded(cross-run-shm(2 batches, max R=4, steals=1))"
+        )
+        assert rec.sharded and rec.cross_run
+        assert rec.rung == "shm"
+        assert rec.steals == 1
+
+    def test_sharded_merge(self):
+        rec = parse_dispatch_label("sharded-merge")
+        assert rec.sharded
+        assert rec.mode == "merge"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "label",
+        [
+            "",
+            "quantum",
+            "cross-run(batches)",
+            "parallel (because reasons)",
+            "cross-run-mmap(1 batches, max R=1, steals=0)",
+        ],
+    )
+    def test_unknown_labels_raise(self, label):
+        with pytest.raises(ValueError):
+            parse_dispatch_label(label)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_dispatch_label(None)
+
+
+class TestHarvestedLabels:
+    """Labels emitted by real sweeps must parse — backends cannot drift."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return small_grid()
+
+    @pytest.mark.parametrize(
+        "kwargs, expectation",
+        [
+            ({"dispatch": "serial"}, {"mode": "serial"}),
+            ({"workers": 1}, {"mode": "serial"}),
+            ({"cross_run": True}, {"cross_run": True}),
+            ({"backend": "async"}, {"asynchronous": True}),
+        ],
+    )
+    def test_live_label_parses(self, grid, kwargs, expectation):
+        result = run_sweep(grid, **kwargs)
+        rec = parse_dispatch_label(result.dispatch)
+        for attr, value in expectation.items():
+            assert getattr(rec, attr) == value, result.dispatch
+
+    def test_live_shm_label_parses(self, grid, monkeypatch):
+        monkeypatch.setenv("REPRO_CPUS", "2")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = run_sweep(grid, workers=2, dispatch="shm")
+        rec = parse_dispatch_label(result.dispatch)
+        assert rec.cross_run and rec.pooled
+        assert rec.rung in {"shm", "pickle"}
+        assert rec.steals is not None

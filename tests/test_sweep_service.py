@@ -380,3 +380,64 @@ class TestSweepServer:
     def test_unknown_endpoint_is_404(self, server):
         with pytest.raises(RuntimeError, match="unknown endpoint"):
             request_json(f"{server.address}/nope", {})
+
+
+class TestServerObservability:
+    """The daemon's health/metrics surface: what CI asserts on."""
+
+    PAYLOAD_GRID = {
+        "models": ["M1"],
+        "algorithms": ["ftm"],
+        "attacks": ["split"],
+        "seeds": 2,
+        "rounds": 4,
+    }
+
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        server = SweepServer(tmp_path_factory.mktemp("observed-cache"))
+        thread = server.start_background()
+        # One cold and one warm request give every tier counter a floor.
+        cold = submit_sweep(server.address, self.PAYLOAD_GRID)
+        warm = submit_sweep(server.address, self.PAYLOAD_GRID)
+        assert (cold["tier"], warm["tier"]) == ("compute", "cache")
+        yield server
+        request_json(f"{server.address}/shutdown", {})
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        server.server_close()
+
+    def test_healthz_reports_uptime_and_tiers(self, server):
+        health = request_json(f"{server.address}/healthz")
+        assert health["ok"] is True
+        assert health["uptime_seconds"] > 0
+        assert health["requests"] == 2
+        assert health["tiers"]["compute"] == 1
+        assert health["tiers"]["cache"] == 1
+        assert health["tiers"]["mixed"] == 0
+        assert health["workers"] == server.workers
+
+    def test_healthz_reports_arena_totals(self, server):
+        health = request_json(f"{server.address}/healthz")
+        arena = health["arena"]
+        assert set(arena) == {
+            "shm_results", "pickle_results", "shm_bytes", "blocks", "unlinked"
+        }
+        # On a single usable CPU the shm pool falls back to in-process
+        # serial cross-run, so totals may legitimately be zero -- the
+        # contract is that they are present and non-negative.
+        assert all(value >= 0 for value in arena.values())
+
+    def test_metrics_endpoint_returns_registry_snapshot(self, server):
+        metrics = request_json(f"{server.address}/metrics")
+        assert set(metrics) == {"counters", "gauges", "histograms"}
+        counters = metrics["counters"]
+        assert counters.get("sweep.runs", 0) >= 2
+        assert counters.get("sweep.cells.done", 0) >= 2
+        assert "sweep.cell.seconds" in metrics["histograms"]
+
+    def test_stats_endpoint_combines_health_and_metrics(self, server):
+        stats = request_json(f"{server.address}/stats")
+        assert stats["ok"] is True
+        assert stats["requests"] == 2
+        assert stats["metrics"]["counters"].get("sweep.runs", 0) >= 2
